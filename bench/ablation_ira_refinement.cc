@@ -1,0 +1,117 @@
+// Ablation: the IRA precision-refinement policy (Section 7.2).
+//
+// Compares the paper's policy alpha(i) = alpha_U^(2^(-i/(3l-3))) against
+// two alternatives on bounded-MOQO instances:
+//   halving:  alpha(i) = 1 + (alpha_U - 1) * 2^(-(i-1))   (fast decrease)
+//   slow:     alpha(i) = alpha_U^(1/i)                    (harmonic-ish)
+// by driving DPPlanGenerator directly with each schedule and the IRA
+// stopping condition. Reports iterations, total time, and the share of the
+// last iteration in total time (the paper's policy keeps redundant work
+// negligible: the last iteration dominates).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_config.h"
+#include "core/ira.h"
+#include "harness/table_printer.h"
+#include "harness/workload.h"
+
+using namespace moqo;
+using namespace moqo::bench;
+
+namespace {
+
+struct PolicyResult {
+  int iterations = 0;
+  double total_ms = 0;
+  double last_ms = 0;
+  double weighted_cost = 0;
+  bool bounds_ok = false;
+};
+
+PolicyResult RunWithSchedule(const Catalog& catalog, const TestCase& tc,
+                             const OptimizerOptions& base,
+                             const std::function<double(int)>& schedule) {
+  Query query = MakeTpcHQuery(&catalog, tc.query_number);
+  OperatorRegistry registry(base.operators);
+  CostModel model(&query, &registry, tc.objectives);
+  Arena arena;
+  PolicyResult result;
+  StopWatch total;
+  for (int i = 1; i <= 40; ++i) {
+    const double alpha = std::max(schedule(i), 1.0);
+    StopWatch iteration;
+    arena.Reset();
+    DPPlanGenerator generator(&model, &registry, &arena);
+    DPOptions dp;
+    dp.alpha = RTAInternalPrecision(alpha, query.num_tables());
+    dp.deadline = Deadline::AfterMillis(base.timeout_ms);
+    dp.quick_mode_weights = tc.weights;
+    const ParetoSet& pareto = generator.Run(query, dp);
+    const PlanNode* popt = pareto.SelectBest(tc.weights, tc.bounds);
+    result.iterations = i;
+    result.last_ms = iteration.ElapsedMillis();
+    if (IRAOptimizer::StoppingConditionMet(pareto, tc.weights, tc.bounds,
+                                           popt, alpha, base.alpha) ||
+        alpha <= 1.0) {
+      result.weighted_cost =
+          popt != nullptr ? tc.weights.WeightedCost(popt->cost) : 0;
+      result.bounds_ok = popt != nullptr && tc.bounds.Respects(popt->cost);
+      break;
+    }
+  }
+  result.total_ms = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = MakeConfig(/*default_timeout_ms=*/10000);
+  config.options.alpha = 1.5;
+  Catalog catalog = Catalog::TpcH(config.scale_factor);
+  WorkloadGenerator generator(&catalog, config.options);
+
+  std::printf("Ablation: IRA refinement policies (alpha_U=1.5, SF=%g)\n\n",
+              config.scale_factor);
+  TablePrinter table({"query", "bounds", "policy", "iters", "total_ms",
+                      "last_iter_share", "wcost", "bounds_ok"});
+
+  const double alpha_u = config.options.alpha;
+  const int l = kNumObjectives;
+  const std::vector<std::pair<std::string, std::function<double(int)>>>
+      policies = {
+          {"paper(2^-i/(3l-3))",
+           [&](int i) { return IRAIterationPrecision(alpha_u, i, l); }},
+          {"halving",
+           [&](int i) {
+             return 1.0 + (alpha_u - 1.0) * std::pow(2.0, -(i - 1));
+           }},
+          {"harmonic",
+           [&](int i) { return std::pow(alpha_u, 1.0 / i); }},
+      };
+
+  for (int query : {12, 3, 10}) {
+    for (int bounds : {3, 6}) {
+      const TestCase tc = generator.BoundedCase(query, bounds, 7000);
+      for (const auto& [name, schedule] : policies) {
+        const PolicyResult r =
+            RunWithSchedule(catalog, tc, config.options, schedule);
+        table.AddRow({"q" + std::to_string(query), std::to_string(bounds),
+                      name, std::to_string(r.iterations),
+                      FormatDouble(r.total_ms, 1),
+                      FormatDouble(r.total_ms > 0 ? r.last_ms / r.total_ms
+                                                  : 1.0,
+                                   2),
+                      FormatDouble(r.weighted_cost, 2),
+                      r.bounds_ok ? "yes" : "no"});
+      }
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("paper shape: the paper's policy keeps the last iteration's\n"
+              "share of total time high (little redundant work) while not\n"
+              "over-refining like fast-halving schedules.\n");
+  return 0;
+}

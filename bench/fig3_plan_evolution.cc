@@ -1,0 +1,91 @@
+// Reproduces Figure 3: evolution of the optimal plan for TPC-H Query 3 as
+// user preferences change.
+//
+//  (a) bound tuple loss to 0, weight on total time only
+//      -> time-optimal plan (paper: hash joins);
+//  (b) add weight on buffer footprint
+//      -> memory-hungry hash joins disappear (paper: SMJ + IdxNL);
+//  (c) add an upper bound on startup time
+//      -> fully pipelined plan (paper: IdxNL joins only).
+
+#include <cstdio>
+
+#include "bench/bench_config.h"
+#include "core/exa.h"
+#include "core/ira.h"
+#include "plan/plan_printer.h"
+#include "query/tpch_queries.h"
+
+using namespace moqo;
+using namespace moqo::bench;
+
+namespace {
+
+void Show(const char* title, const Query& query, const OptimizerBase& opt,
+          const OptimizerResult& result) {
+  std::printf("--- %s ---\n%scost: %s\noperators: %s\n\n", title,
+              ExplainPlan(result.plan, query, opt.registry()).c_str(),
+              result.cost.ToString().c_str(),
+              OperatorInventory(result.plan, opt.registry()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = MakeConfig(/*default_timeout_ms=*/10000);
+  // Q3 is a three-table query; full TPC-H scale is cheap here and makes
+  // the hash-vs-pipelined tradeoff of the figure visible.
+  config.scale_factor = EnvDouble("MOQO_SF", 1.0);
+  Catalog catalog = Catalog::TpcH(config.scale_factor);
+  Query query = MakeTpcHQuery(&catalog, 3);
+
+  // Objective layout: time, startup, buffer, tuple loss.
+  const ObjectiveSet objectives({Objective::kTotalTime,
+                                 Objective::kStartupTime,
+                                 Objective::kBufferFootprint,
+                                 Objective::kTupleLoss});
+  std::printf("Figure 3: TPC-H Q3 plan evolution under changing "
+              "preferences (SF=%g)\n\n", config.scale_factor);
+
+  // (a) Tuple loss bounded by 0; optimize total time.
+  MOQOProblem a;
+  a.query = &query;
+  a.objectives = objectives;
+  a.weights = WeightVector(4);
+  a.weights[0] = 1.0;
+  a.bounds = BoundVector::Unbounded(4);
+  a.bounds[3] = 0.0;  // No sampling allowed.
+  IRAOptimizer opt_a(config.options);
+  OptimizerResult res_a = opt_a.Optimize(a);
+  Show("(a) time-optimal, tuple loss = 0", query, opt_a, res_a);
+
+  // (b) Additional weight on buffer footprint.
+  MOQOProblem b = a;
+  b.weights[2] = 0.1;  // Buffer bytes are a large-magnitude unit.
+  IRAOptimizer opt_b(config.options);
+  OptimizerResult res_b = opt_b.Optimize(b);
+  Show("(b) + weight on buffer footprint", query, opt_b, res_b);
+
+  // (c) Additional bound on startup time: half of (b)'s startup.
+  MOQOProblem c = b;
+  c.bounds[1] = res_b.cost[1] > 0 ? res_b.cost[1] * 0.01 + 1e-3 : 1e-3;
+  IRAOptimizer opt_c(config.options);
+  OptimizerResult res_c = opt_c.Optimize(c);
+  Show("(c) + bound on startup time", query, opt_c, res_c);
+
+  std::printf(
+      "paper shape: (a) may use memory-hungry hash joins; (b) drops hash\n"
+      "joins for memory-lean operators; (c) forces pipelined (IdxNL) "
+      "joins.\n");
+  const bool b_dropped_hash =
+      std::string(OperatorInventory(res_b.plan, opt_b.registry()))
+          .find("HashJ") == std::string::npos;
+  const bool c_pipelined =
+      std::string(OperatorInventory(res_c.plan, opt_c.registry()))
+          .find("HashJ") == std::string::npos;
+  std::printf("reproduced: (b) hash-free=%s, (c) hash-free=%s, startup "
+              "(a)=%.2f (b)=%.2f (c)=%.2f\n",
+              b_dropped_hash ? "yes" : "no", c_pipelined ? "yes" : "no",
+              res_a.cost[1], res_b.cost[1], res_c.cost[1]);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// cloud_provider: Scenario 1 of the paper.
+//
+// A Cloud provider bills users by accumulated processing time; sampling
+// reduces cost but loses result tuples. Users set weights (relative
+// importance) and optional hard bounds (budget, deadline) in their profile.
+// The provider must find a plan minimizing the weighted cost among plans
+// respecting all bounds — the bounded-weighted MOQO problem solved by the
+// IRA.
+//
+// Monetary cost is modeled from the accumulated CPU/IO load (billed
+// core-seconds), an "accumulative cost objective calculated according to
+// similar formulas as energy consumption" (Section 6.1) — we reuse the
+// cpu-load objective with a price weight.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/ira.h"
+#include "plan/plan_printer.h"
+#include "query/tpch_queries.h"
+
+using namespace moqo;
+
+namespace {
+
+void RunProfile(const char* profile_name, const Query& query,
+                const MOQOProblem& problem, double alpha) {
+  OptimizerOptions options;
+  options.alpha = alpha;
+  options.timeout_ms = 30000;
+  IRAOptimizer ira(options);
+  OptimizerResult result = ira.Optimize(problem);
+  std::printf("=== profile: %s (alpha_U = %.2f) ===\n", profile_name, alpha);
+  std::cout << ExplainPlan(result.plan, query, ira.registry());
+  std::printf(
+      "cost %s\nweighted %.2f | bounds %s | %d iterations, %.1f ms, "
+      "frontier %d\n\n",
+      result.cost.ToString().c_str(), result.weighted_cost,
+      result.respects_bounds ? "respected" : "VIOLATED (none feasible)",
+      result.metrics.iterations, result.metrics.optimization_ms,
+      result.metrics.frontier_size);
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog = Catalog::TpcH(0.1);
+  Query query = MakeTpcHQuery(&catalog, 10);  // Returned-item reporting.
+  std::cout << "Cloud scenario on " << query.ToString() << "\n\n";
+
+  // Objectives: execution time (user-visible latency), monetary cost
+  // (billed work = cpu load), tuple loss (answer quality).
+  MOQOProblem problem;
+  problem.query = &query;
+  problem.objectives = ObjectiveSet(
+      {Objective::kTotalTime, Objective::kCPULoad, Objective::kTupleLoss});
+
+  // Profile 1: analyst — exact answers required (tuple loss bounded to 0),
+  // latency matters more than money.
+  problem.weights = WeightVector(3);
+  problem.weights[0] = 1.0;    // time
+  problem.weights[1] = 0.05;   // dollars per unit of work
+  problem.weights[2] = 0.0;
+  problem.bounds = BoundVector::Unbounded(3);
+  problem.bounds[2] = 0.0;     // No lost tuples.
+  RunProfile("analyst (exact answers, latency-sensitive)", query, problem,
+             1.15);
+
+  // Profile 2: dashboard — approximate answers are fine (up to 96% loss
+  // via sampling), hard monetary budget, latency cheap.
+  problem.weights[0] = 0.2;
+  problem.weights[1] = 1.0;
+  problem.weights[2] = 100.0;  // Still prefer less loss, all else equal.
+  problem.bounds = BoundVector::Unbounded(3);
+  problem.bounds[2] = 0.96;
+  RunProfile("dashboard (sampled, budget-bound)", query, problem, 1.5);
+
+  // Profile 3: batch report — deadline on execution time, minimize money.
+  problem.weights[0] = 0.0;
+  problem.weights[1] = 1.0;
+  problem.weights[2] = 0.0;
+  problem.bounds = BoundVector::Unbounded(3);
+  problem.bounds[2] = 0.0;
+  problem.bounds[0] = 1e6;     // Deadline in optimizer time units.
+  RunProfile("batch report (deadline, cost-minimizing)", query, problem,
+             2.0);
+  return 0;
+}

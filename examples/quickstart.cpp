@@ -1,0 +1,73 @@
+// quickstart: the minimal end-to-end tour of the moqo public API.
+//
+// Builds the TPC-H catalog, defines a three-table join query (TPC-H Q3),
+// optimizes it for three conflicting objectives with the RTA approximation
+// scheme, prints the chosen plan and the approximate Pareto frontier, and
+// compares against the exact EXA result.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/exa.h"
+#include "core/rta.h"
+#include "plan/plan_printer.h"
+#include "query/tpch_queries.h"
+
+using namespace moqo;
+
+int main() {
+  // 1. Catalog and query: TPC-H at scale factor 1; Q3 joins customer,
+  //    orders and lineitem.
+  Catalog catalog = Catalog::TpcH(1.0);
+  Query query = MakeTpcHQuery(&catalog, 3);
+  std::cout << "Query: " << query.ToString() << "\n\n";
+
+  // 2. Problem: minimize a weighted sum of total time, buffer footprint
+  //    and tuple loss. Higher weight = more important.
+  MOQOProblem problem;
+  problem.query = &query;
+  problem.objectives = ObjectiveSet({Objective::kTotalTime,
+                                     Objective::kBufferFootprint,
+                                     Objective::kTupleLoss});
+  problem.weights = WeightVector(3);
+  problem.weights[0] = 1.0;     // time
+  problem.weights[1] = 1e-6;    // buffer (bytes are a big unit)
+  problem.weights[2] = 1e5;     // tuple loss is precious
+  problem.bounds = BoundVector::Unbounded(3);
+
+  // 3. Optimize with the RTA approximation scheme at precision 1.5: the
+  //    returned plan's weighted cost is guaranteed within factor 1.5 of
+  //    the optimum.
+  OptimizerOptions options;
+  options.alpha = 1.5;
+  RTAOptimizer rta(options);
+  OptimizerResult approx = rta.Optimize(problem);
+
+  std::cout << "RTA(alpha=1.5) plan:\n"
+            << ExplainPlan(approx.plan, query, rta.registry())
+            << "cost " << approx.cost.ToString() << "  weighted "
+            << approx.weighted_cost << "\n"
+            << "optimization took " << approx.metrics.optimization_ms
+            << " ms, considered " << approx.metrics.considered_plans
+            << " plans, frontier size " << approx.metrics.frontier_size
+            << "\n\n";
+
+  // 4. Compare with exhaustive optimization (EXA).
+  ExactMOQO exa(options);
+  OptimizerResult exact = exa.Optimize(problem);
+  std::cout << "EXA plan:\n"
+            << ExplainPlan(exact.plan, query, exa.registry())
+            << "cost " << exact.cost.ToString() << "  weighted "
+            << exact.weighted_cost << "\n"
+            << "optimization took " << exact.metrics.optimization_ms
+            << " ms, considered " << exact.metrics.considered_plans
+            << " plans, Pareto set size " << exact.metrics.frontier_size
+            << "\n\n";
+
+  const double ratio = exact.weighted_cost > 0
+                           ? approx.weighted_cost / exact.weighted_cost
+                           : 1.0;
+  std::printf("RTA/EXA weighted-cost ratio: %.4f (guarantee: <= %.2f)\n",
+              ratio, options.alpha);
+  return ratio <= options.alpha ? 0 : 1;
+}

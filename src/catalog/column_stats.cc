@@ -1,0 +1,74 @@
+#include "catalog/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moqo {
+
+Histogram Histogram::Uniform(double lo, double hi, int buckets,
+                             double row_count) {
+  return Zipf(lo, hi, buckets, row_count, /*skew=*/0.0);
+}
+
+Histogram Histogram::Zipf(double lo, double hi, int buckets, double row_count,
+                          double skew) {
+  Histogram h;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  h.total_rows_ = row_count;
+  h.counts_.resize(std::max(buckets, 1));
+  double norm = 0;
+  for (size_t i = 0; i < h.counts_.size(); ++i) {
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+  }
+  for (size_t i = 0; i < h.counts_.size(); ++i) {
+    h.counts_[i] =
+        row_count * (1.0 / std::pow(static_cast<double>(i + 1), skew)) / norm;
+  }
+  return h;
+}
+
+double Histogram::SelectivityLessEqual(double v) const {
+  if (Empty() || total_rows_ <= 0) return 1.0;
+  if (v < lo_) return 0.0;
+  if (v >= hi_) return 1.0;
+  const double width = (hi_ - lo_) / num_buckets();
+  double covered = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const double bucket_lo = lo_ + i * width;
+    const double bucket_hi = bucket_lo + width;
+    if (v >= bucket_hi) {
+      covered += counts_[i];
+    } else if (v > bucket_lo) {
+      covered += counts_[i] * (v - bucket_lo) / width;
+      break;
+    } else {
+      break;
+    }
+  }
+  return covered / total_rows_;
+}
+
+double Histogram::SelectivityRange(double lo_v, double hi_v) const {
+  if (hi_v < lo_v) return 0.0;
+  const double result = SelectivityLessEqual(hi_v) - SelectivityLessEqual(lo_v);
+  return std::clamp(result, 0.0, 1.0);
+}
+
+double Histogram::SelectivityEquals(double v, double ndv) const {
+  if (Empty() || ndv <= 0) return 0.0;
+  if (v < lo_ || v > hi_) return 0.0;
+  const double width = (hi_ - lo_) / num_buckets();
+  int bucket = width > 0 ? static_cast<int>((v - lo_) / width) : 0;
+  bucket = std::clamp(bucket, 0, num_buckets() - 1);
+  // Distinct values are assumed evenly spread across buckets; for low-NDV
+  // discrete columns (fewer distinct values than buckets) the per-value
+  // share 1/ndv is the right estimate — the bucket-local estimate would
+  // spuriously divide by empty buckets between the discrete values.
+  const double ndv_per_bucket = std::max(ndv / num_buckets(), 1.0);
+  const double bucket_local = counts_[bucket] / ndv_per_bucket / total_rows_;
+  const double uniform_share = 1.0 / ndv;
+  return std::min(1.0, std::max(bucket_local, uniform_share));
+}
+
+}  // namespace moqo

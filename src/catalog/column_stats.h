@@ -1,0 +1,70 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Column-level statistics: NDV, min/max, null fraction, and an equi-width
+// histogram. These replace the Postgres statistics the paper's cost model
+// consulted; the cardinality estimator in src/model composes selectivities
+// from them under the usual independence assumption.
+
+#ifndef MOQO_CATALOG_COLUMN_STATS_H_
+#define MOQO_CATALOG_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+/// Equi-width histogram over a numeric domain [lo, hi].
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Uniform histogram: `row_count` rows spread evenly over `buckets`
+  /// buckets covering [lo, hi].
+  static Histogram Uniform(double lo, double hi, int buckets,
+                           double row_count);
+
+  /// Zipf-skewed histogram: bucket i holds mass proportional to
+  /// 1/(i+1)^skew. skew = 0 degenerates to Uniform.
+  static Histogram Zipf(double lo, double hi, int buckets, double row_count,
+                        double skew);
+
+  bool Empty() const { return counts_.empty(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  double total_rows() const { return total_rows_; }
+  double bucket_count(int i) const { return counts_[i]; }
+
+  /// Estimated fraction of rows with value <= v (linear interpolation
+  /// within the containing bucket).
+  double SelectivityLessEqual(double v) const;
+
+  /// Estimated fraction of rows in [lo_v, hi_v].
+  double SelectivityRange(double lo_v, double hi_v) const;
+
+  /// Estimated fraction of rows equal to v, assuming `ndv` distinct values
+  /// uniformly distributed inside the containing bucket.
+  double SelectivityEquals(double v, double ndv) const;
+
+ private:
+  double lo_ = 0;
+  double hi_ = 0;
+  double total_rows_ = 0;
+  std::vector<double> counts_;
+};
+
+/// Statistics for a single column.
+struct ColumnStats {
+  std::string name;
+  double ndv = 1;            ///< Number of distinct values.
+  double min_value = 0;
+  double max_value = 0;
+  double null_fraction = 0;  ///< Fraction of NULLs.
+  double avg_width_bytes = 8;
+  Histogram histogram;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CATALOG_COLUMN_STATS_H_

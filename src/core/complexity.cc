@@ -1,0 +1,49 @@
+#include "core/complexity.h"
+
+#include <cmath>
+
+namespace moqo {
+
+namespace {
+
+// log10(x!) via lgamma.
+double Log10Factorial(int x) {
+  return std::lgamma(static_cast<double>(x) + 1.0) / std::log(10.0);
+}
+
+}  // namespace
+
+double Log10NBushy(int j, int n) {
+  // j^(2n-1) * (2(n-1))! / (n-1)!
+  return (2.0 * n - 1.0) * std::log10(static_cast<double>(j)) +
+         Log10Factorial(2 * (n - 1)) - Log10Factorial(n - 1);
+}
+
+double Log10NStored(double m, int n, int l, double alpha_u) {
+  const double alpha_i = std::pow(alpha_u, 1.0 / n);
+  // log_{alpha_i} m = ln m / ln alpha_i.
+  const double log_alpha_m = std::log(m) / std::log(alpha_i);
+  return (l - 1.0) * std::log10(n * log_alpha_m);
+}
+
+double Log10ExaTime(int j, int n) { return 2.0 * Log10NBushy(j, n); }
+
+double Log10RtaTime(int j, int n, int l, double m, double alpha_u) {
+  return std::log10(static_cast<double>(j)) + n * std::log10(3.0) +
+         3.0 * Log10NStored(m, n, l, alpha_u);
+}
+
+double Log10SelingerTime(int j, int n) {
+  return std::log10(static_cast<double>(j)) + n * std::log10(3.0);
+}
+
+double Log10IraIterationTime(int j, int n, int l, double m, double alpha_u,
+                             int iteration) {
+  const double poly =
+      (3.0 * l - 3.0) *
+      std::log10(n * n * std::log(m) / std::log(alpha_u));
+  return std::log10(static_cast<double>(j)) + n * std::log10(3.0) +
+         iteration * std::log10(2.0) + poly;
+}
+
+}  // namespace moqo

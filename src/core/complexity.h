@@ -1,0 +1,38 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Closed-form complexity model of Sections 5.2 and 6.3, used to regenerate
+// Figure 7 (analytic comparison of EXA, RTA and Selinger running times)
+// and checked against measured plan-set cardinalities by the tests.
+
+#ifndef MOQO_CORE_COMPLEXITY_H_
+#define MOQO_CORE_COMPLEXITY_H_
+
+namespace moqo {
+
+/// Number of bushy plans joining n tables with j operators (Section 5.2):
+/// N_bushy(j, n) = j^(2n-1) * (2(n-1))! / (n-1)!.
+/// Returned in log10 to avoid overflow for large n.
+double Log10NBushy(int j, int n);
+
+/// Per-table-set plan bound of the RTA (Lemma 2):
+/// N_stored(m, n) = (n * log_{alpha_i} m)^(l-1), with
+/// alpha_i = alpha_U^(1/n). Returned in log10.
+double Log10NStored(double m, int n, int l, double alpha_u);
+
+/// EXA time complexity (Theorem 2): N_bushy(j, n)^2. log10.
+double Log10ExaTime(int j, int n);
+
+/// RTA time complexity (Theorem 5): j * 3^n * N_stored^3. log10.
+double Log10RtaTime(int j, int n, int l, double m, double alpha_u);
+
+/// Selinger bushy-plan SOQO complexity: j * 3^n. log10.
+double Log10SelingerTime(int j, int n);
+
+/// IRA i-th iteration time complexity (Theorem 7):
+/// j * 3^n * 2^i * (n^2 log m / log alpha_U)^(3l-3). log10.
+double Log10IraIterationTime(int j, int n, int l, double m, double alpha_u,
+                             int iteration);
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_COMPLEXITY_H_

@@ -1,0 +1,207 @@
+#include "core/dp_driver.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace moqo {
+
+namespace {
+
+// Deadline polls are amortized over this many candidate evaluations so the
+// steady-state cost of timeout support is one branch per candidate.
+constexpr long kDeadlinePollInterval = 4096;
+
+}  // namespace
+
+const ParetoSet& DPPlanGenerator::Run(const Query& query,
+                                      const DPOptions& options) {
+  query_ = &query;
+  memo_.clear();
+  stats_ = DPStats();
+
+  const TableSet all = query.AllTables();
+  const int n = query.num_tables();
+  stats_.total_sets = (1 << n) - 1;
+
+  // With a connected join graph, the Cartesian-product heuristic implies
+  // that table sets inducing a disconnected subgraph are never needed: any
+  // plan for such a set must contain a Cartesian product while predicate-
+  // connected alternatives exist at every DP level (Postgres behaviour).
+  const bool skip_disconnected =
+      options.cartesian_heuristic && query.JoinGraphConnected();
+
+  ProcessSingletons(query, options);
+  for (int k = 2; k <= n; ++k) {
+    for (TableSet tables : SubsetsOfSize(all, k)) {
+      if (skip_disconnected && !query.InducedSubgraphConnected(tables)) {
+        --stats_.total_sets;
+        continue;
+      }
+      if (stats_.timed_out || options.deadline.Expired() ||
+          options.single_plan_mode) {
+        if (!options.single_plan_mode) stats_.timed_out = true;
+        ProcessSetQuick(query, tables, options);
+        continue;
+      }
+      if (!ProcessSet(query, tables, options)) {
+        // Deadline hit mid-set: discard the partial result and rebuild this
+        // set (and all remaining ones) in quick mode.
+        stats_.timed_out = true;
+        memo_[tables.mask()].clear();
+        ProcessSetQuick(query, tables, options);
+      }
+    }
+  }
+  return SetFor(all);
+}
+
+const ParetoSet& DPPlanGenerator::SetFor(TableSet tables) const {
+  auto it = memo_.find(tables.mask());
+  return it != memo_.end() ? it->second : empty_set_;
+}
+
+size_t DPPlanGenerator::MemoryBytes() const {
+  size_t bytes = arena_->reserved_bytes();
+  for (const auto& [mask, set] : memo_) {
+    bytes += set.MemoryBytes() + sizeof(mask);
+  }
+  return bytes;
+}
+
+WeightVector DPPlanGenerator::EffectiveWeights(
+    const DPOptions& options) const {
+  if (options.quick_mode_weights.size() == model_->objectives().size()) {
+    return options.quick_mode_weights;
+  }
+  return WeightVector::Uniform(model_->objectives().size());
+}
+
+void DPPlanGenerator::ProcessSingletons(const Query& query,
+                                        const DPOptions& options) {
+  const ParetoSet::PruneOptions prune{options.alpha,
+                                      options.aggressive_delete};
+  const WeightVector weights = EffectiveWeights(options);
+  for (int table = 0; table < query.num_tables(); ++table) {
+    ParetoSet& set = memo_[TableSet::Singleton(table).mask()];
+    if (options.single_plan_mode) {
+      // Keep only the weighted-best access path.
+      PlanNode best;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (int config : registry_->scan_configs()) {
+        if (!model_->ScanApplicable(config, table)) continue;
+        PlanNode candidate = model_->ScanNode(config, table);
+        ++stats_.considered_plans;
+        const double weighted = weights.WeightedCost(candidate.cost);
+        if (weighted < best_cost) {
+          best_cost = weighted;
+          best = candidate;
+        }
+      }
+      if (best_cost < std::numeric_limits<double>::infinity()) {
+        set.Prune(arena_->New<PlanNode>(best), ParetoSet::PruneOptions());
+        ++stats_.inserted_plans;
+      }
+    } else {
+      for (int config : registry_->scan_configs()) {
+        if (!model_->ScanApplicable(config, table)) continue;
+        PlanNode candidate = model_->ScanNode(config, table);
+        ++stats_.considered_plans;
+        if (set.WouldInsert(candidate.cost, prune)) {
+          set.Prune(arena_->New<PlanNode>(candidate), prune);
+          ++stats_.inserted_plans;
+        }
+      }
+    }
+    set.Seal();
+    ++stats_.complete_sets;
+    stats_.last_complete_set = TableSet::Singleton(table);
+    stats_.last_complete_pareto_count = set.size();
+  }
+}
+
+std::vector<DPPlanGenerator::Split> DPPlanGenerator::SplitsOf(
+    const Query& query, TableSet tables, const DPOptions& options) const {
+  (void)query;
+  std::vector<Split> connected;
+  std::vector<Split> all;
+  for (SubsetIterator it(tables); !it.Done(); it.Next()) {
+    const TableSet left = it.Current();
+    const TableSet right = it.Complement();
+    if (!options.bushy && right.Cardinality() != 1) continue;
+    Split split{left, right, model_->AnalyzeSplit(left, right)};
+    if (options.cartesian_heuristic && split.info.has_predicate) {
+      connected.push_back(split);
+    }
+    all.push_back(split);
+  }
+  if (options.cartesian_heuristic && !connected.empty()) return connected;
+  return all;
+}
+
+bool DPPlanGenerator::ProcessSet(const Query& query, TableSet tables,
+                                 const DPOptions& options) {
+  const ParetoSet::PruneOptions prune{options.alpha,
+                                      options.aggressive_delete};
+  ParetoSet& set = memo_[tables.mask()];
+  long since_poll = 0;
+  for (const Split& split : SplitsOf(query, tables, options)) {
+    const ParetoSet& left_plans = SetFor(split.left);
+    const ParetoSet& right_plans = SetFor(split.right);
+    for (int li = 0; li < left_plans.size(); ++li) {
+      const PlanNode* left = left_plans.at(li);
+      for (int ri = 0; ri < right_plans.size(); ++ri) {
+        const PlanNode* right = right_plans.at(ri);
+        for (int config : registry_->join_configs()) {
+          if (++since_poll >= kDeadlinePollInterval) {
+            since_poll = 0;
+            if (options.deadline.Expired()) return false;
+          }
+          const OperatorConfig& op = registry_->config(config);
+          if (!model_->JoinApplicableFast(op, split.info)) continue;
+          PlanNode candidate =
+              model_->JoinNode(config, left, right, split.info);
+          ++stats_.considered_plans;
+          if (set.WouldInsert(candidate.cost, prune)) {
+            set.Prune(arena_->New<PlanNode>(candidate), prune);
+            ++stats_.inserted_plans;
+          }
+        }
+      }
+    }
+  }
+  set.Seal();
+  ++stats_.complete_sets;
+  stats_.last_complete_set = tables;
+  stats_.last_complete_pareto_count = set.size();
+  return true;
+}
+
+void DPPlanGenerator::ProcessSetQuick(const Query& query, TableSet tables,
+                                      const DPOptions& options) {
+  const WeightVector weights = EffectiveWeights(options);
+  ParetoSet& set = memo_[tables.mask()];
+  PlanNode best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Split& split : SplitsOf(query, tables, options)) {
+    const PlanNode* left = SetFor(split.left).SelectBestWeighted(weights);
+    const PlanNode* right = SetFor(split.right).SelectBestWeighted(weights);
+    if (left == nullptr || right == nullptr) continue;
+    for (int config : registry_->join_configs()) {
+      const OperatorConfig& op = registry_->config(config);
+      if (!model_->JoinApplicableFast(op, split.info)) continue;
+      PlanNode candidate = model_->JoinNode(config, left, right, split.info);
+      ++stats_.considered_plans;
+      const double weighted = weights.WeightedCost(candidate.cost);
+      if (weighted < best_cost) {
+        best_cost = weighted;
+        best = candidate;
+      }
+    }
+  }
+  if (best_cost < std::numeric_limits<double>::infinity()) {
+    set.Prune(arena_->New<PlanNode>(best), ParetoSet::PruneOptions());
+    ++stats_.inserted_plans;
+  }
+}
+
+}  // namespace moqo

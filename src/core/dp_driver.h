@@ -1,0 +1,134 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// DPPlanGenerator: the dynamic-programming engine shared by all optimizers
+// (FindParetoPlans of Algorithms 1 and 2).
+//
+// It constructs plan sets for table sets of increasing cardinality; for
+// each set it enumerates all ordered splits into two non-empty disjoint
+// subsets (every split is one choice of operands for the last join), all
+// applicable join operator configurations, and all combinations of stored
+// sub-plans (Algorithm 1, lines 15-25). Pruning precision alpha
+// distinguishes the EXA (alpha = 1) from the RTA (alpha = |Q|-th root of
+// the user precision).
+//
+// Postgres heuristics kept in place per Section 4: Cartesian-product splits
+// are considered only for table sets where no predicate-connected split
+// exists.
+//
+// Timeout handling per Section 5.1: when the deadline expires, the
+// generator "finishes quickly by only generating one plan for all table
+// sets that have not been treated so far" — remaining sets combine only the
+// weighted-best sub-plans and store a single plan.
+
+#ifndef MOQO_CORE_DP_DRIVER_H_
+#define MOQO_CORE_DP_DRIVER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/pareto_set.h"
+#include "model/cost_model.h"
+#include "util/arena.h"
+#include "util/deadline.h"
+
+namespace moqo {
+
+/// Knobs of one dynamic-programming run.
+struct DPOptions {
+  /// Internal pruning precision alpha_i; 1.0 = exact (EXA).
+  double alpha = 1.0;
+  /// Ablation only: also delete approximately dominated stored plans
+  /// (destroys the near-optimality guarantee; Section 6.2).
+  bool aggressive_delete = false;
+  /// Consider bushy plans (paper default). false = left-deep only
+  /// (right operand of every join is a base table) for the ablation bench.
+  bool bushy = true;
+  /// Consider Cartesian products only when no predicate-connected split
+  /// exists (Postgres heuristic, Section 4).
+  bool cartesian_heuristic = true;
+  /// From the start, keep only the single weighted-best plan per table set.
+  /// This degenerates the DP into the classic Selinger-style algorithm with
+  /// the *weighted sum* as pruning metric — the heuristic that Example 1
+  /// shows can be arbitrarily suboptimal. Used as an ablation baseline.
+  bool single_plan_mode = false;
+  /// Wall-clock budget; infinite by default.
+  Deadline deadline;
+  /// Weights used to pick the representative plan in timeout quick-mode /
+  /// single-plan mode. Defaults to uniform when empty.
+  WeightVector quick_mode_weights;
+};
+
+/// Counters and outcomes of one run, feeding the Figure 5/9/10 metrics.
+struct DPStats {
+  bool timed_out = false;
+  /// Plans constructed and cost-evaluated (considered plans, Section 5.1).
+  long considered_plans = 0;
+  /// Plans that survived pruning at insertion time.
+  long inserted_plans = 0;
+  /// "#Pareto plans for the last table set that was treated completely".
+  int last_complete_pareto_count = 0;
+  TableSet last_complete_set;
+  /// Table sets fully processed before the deadline.
+  int complete_sets = 0;
+  int total_sets = 0;
+};
+
+/// The DP engine. One instance per optimization run; plans live in the
+/// provided arena.
+class DPPlanGenerator {
+ public:
+  DPPlanGenerator(const CostModel* model, const OperatorRegistry* registry,
+                  Arena* arena)
+      : model_(model), registry_(registry), arena_(arena), query_(nullptr) {}
+
+  /// Runs the DP over all non-empty subsets of the query's tables and
+  /// returns the plan set for the full set. The returned reference is
+  /// valid until the next Run() call.
+  const ParetoSet& Run(const Query& query, const DPOptions& options);
+
+  /// Plan set stored for `tables` (empty set if never built).
+  const ParetoSet& SetFor(TableSet tables) const;
+
+  const DPStats& stats() const { return stats_; }
+
+  /// Memory metric: arena reservation plus plan-set container footprint.
+  size_t MemoryBytes() const;
+
+ private:
+  void ProcessSingletons(const Query& query, const DPOptions& options);
+
+  /// Builds the plan set for `tables`; returns false if the deadline
+  /// expired mid-set (the partial set is discarded and rebuilt quickly).
+  bool ProcessSet(const Query& query, TableSet tables,
+                  const DPOptions& options);
+
+  /// Quick mode: single weighted-best plan for `tables`.
+  void ProcessSetQuick(const Query& query, TableSet tables,
+                       const DPOptions& options);
+
+  /// One ordered split with its precomputed plan-independent facts.
+  struct Split {
+    TableSet left;
+    TableSet right;
+    CostModel::SplitInfo info;
+  };
+
+  /// Ordered splits of `tables` honouring the Cartesian heuristic and the
+  /// bushy/left-deep switch, with SplitInfo computed once per split.
+  std::vector<Split> SplitsOf(const Query& query, TableSet tables,
+                              const DPOptions& options) const;
+
+  WeightVector EffectiveWeights(const DPOptions& options) const;
+
+  const CostModel* model_;
+  const OperatorRegistry* registry_;
+  Arena* arena_;
+  const Query* query_;
+  std::unordered_map<uint64_t, ParetoSet> memo_;
+  DPStats stats_;
+  ParetoSet empty_set_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_DP_DRIVER_H_

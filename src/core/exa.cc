@@ -1,0 +1,24 @@
+#include "core/exa.h"
+
+namespace moqo {
+
+OptimizerResult ExactMOQO::Optimize(const MOQOProblem& problem) {
+  StopWatch watch;
+  arena_.Reset();
+  CostModel model(problem.query, &registry_, problem.objectives);
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+
+  DPOptions dp = MakeDPOptions(problem, /*internal_alpha=*/1.0,
+                               MakeDeadline());
+  const ParetoSet& pareto = generator.Run(*problem.query, dp);
+
+  const BoundVector bounds = problem.bounds.size() == problem.objectives.size()
+                                 ? problem.bounds
+                                 : BoundVector::Unbounded(
+                                       problem.objectives.size());
+  const PlanNode* best = pareto.SelectBest(problem.weights, bounds);
+  return FinishResult(problem, generator, pareto, best,
+                      watch.ElapsedMillis());
+}
+
+}  // namespace moqo

@@ -1,0 +1,28 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// ExactMOQO (EXA): the exact multi-objective optimizer by Ganguly et al.,
+// as analyzed in Section 5 (Algorithm 1). Generates the full Pareto plan
+// set per table set via dynamic programming with multi-objective dominance
+// pruning, then selects the best plan for the given weights and bounds.
+// Extended (like the paper's implementation) to bushy plans and timeouts.
+
+#ifndef MOQO_CORE_EXA_H_
+#define MOQO_CORE_EXA_H_
+
+#include "core/optimizer.h"
+
+namespace moqo {
+
+/// Exact MOQO algorithm. Guarantees a 1-approximate (optimal) solution
+/// when it completes without timeout (Definition 5).
+class ExactMOQO : public OptimizerBase {
+ public:
+  explicit ExactMOQO(const OptimizerOptions& options)
+      : OptimizerBase(options) {}
+
+  OptimizerResult Optimize(const MOQOProblem& problem) override;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_EXA_H_

@@ -1,0 +1,47 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// IRAOptimizer: the Iterative-Refinement Algorithm (Section 7,
+// Algorithm 3) — an approximation scheme for *bounded-weighted* MOQO.
+//
+// An alpha-approximate Pareto set need not contain a near-optimal plan once
+// hard bounds are present (Figure 8): two nearly identical cost vectors can
+// fall on opposite sides of a bound. The IRA therefore iterates: each
+// iteration generates an alpha-approximate Pareto set (via the RTA engine),
+// with alpha refined per iteration as alpha_U^(2^(-i/(3l-3))); it stops as
+// soon as the stopping condition of Algorithm 3 certifies that the best
+// generated plan is an alpha_U-approximate solution (Theorem 6):
+//
+//   stop iff  !exists p in P:  c(p) respects alpha*B  and
+//             C_W(c(p)) / alpha < C_W(c(popt)) / alpha_U
+//
+// Theorem 8 guarantees termination; the refinement policy makes the last
+// iteration dominate total cost, so redundant work is negligible
+// (Theorem 7).
+
+#ifndef MOQO_CORE_IRA_H_
+#define MOQO_CORE_IRA_H_
+
+#include "core/optimizer.h"
+
+namespace moqo {
+
+/// Approximation scheme for bounded-weighted MOQO (Definition 4).
+class IRAOptimizer : public OptimizerBase {
+ public:
+  explicit IRAOptimizer(const OptimizerOptions& options)
+      : OptimizerBase(options) {}
+
+  OptimizerResult Optimize(const MOQOProblem& problem) override;
+
+  /// Exposed for tests: evaluates the Algorithm-3 stopping condition on a
+  /// generated plan set. Returns true iff the IRA may terminate.
+  static bool StoppingConditionMet(const ParetoSet& set,
+                                   const WeightVector& weights,
+                                   const BoundVector& bounds,
+                                   const PlanNode* popt, double alpha,
+                                   double alpha_u);
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_IRA_H_

@@ -1,0 +1,96 @@
+#include "core/naive_enumerator.h"
+
+#include <cmath>
+#include <limits>
+
+namespace moqo {
+
+const std::vector<const PlanNode*>& NaiveEnumerator::PlansFor(
+    const Query& query, TableSet tables, const Options& options,
+    long* budget) {
+  auto it = memo_.find(tables.mask());
+  if (it != memo_.end()) return it->second;
+  std::vector<const PlanNode*>& plans = memo_[tables.mask()];
+
+  if (tables.Cardinality() == 1) {
+    const int table = tables.First();
+    for (int config : registry_->scan_configs()) {
+      if (options.applicability && !model_->ScanApplicable(config, table)) {
+        continue;
+      }
+      if (*budget <= 0) return plans;
+      --*budget;
+      plans.push_back(model_->MakeScan(config, table, arena_));
+    }
+    return plans;
+  }
+
+  // Collect splits, optionally restricted to predicate-connected ones.
+  std::vector<std::pair<TableSet, TableSet>> splits;
+  std::vector<std::pair<TableSet, TableSet>> connected;
+  for (SubsetIterator split_it(tables); !split_it.Done(); split_it.Next()) {
+    const auto split =
+        std::make_pair(split_it.Current(), split_it.Complement());
+    splits.push_back(split);
+    if (query.SplitHasJoinPredicate(split.first, split.second)) {
+      connected.push_back(split);
+    }
+  }
+  if (options.cartesian_heuristic && !connected.empty()) {
+    splits = connected;
+  }
+
+  for (const auto& [left_set, right_set] : splits) {
+    // Copy: PlansFor below may rehash memo_ and invalidate references.
+    const std::vector<const PlanNode*> left_plans =
+        PlansFor(query, left_set, options, budget);
+    const std::vector<const PlanNode*> right_plans =
+        PlansFor(query, right_set, options, budget);
+    for (const PlanNode* left : left_plans) {
+      for (const PlanNode* right : right_plans) {
+        for (int config : registry_->join_configs()) {
+          if (options.applicability &&
+              !model_->JoinApplicable(config, *left, *right)) {
+            continue;
+          }
+          if (*budget <= 0) return memo_[tables.mask()];
+          --*budget;
+          memo_[tables.mask()].push_back(
+              model_->MakeJoin(config, left, right, arena_));
+        }
+      }
+    }
+  }
+  return memo_.at(tables.mask());
+}
+
+std::vector<const PlanNode*> NaiveEnumerator::EnumerateAll(
+    const Query& query, const Options& options) {
+  memo_.clear();
+  long budget = options.max_plans > 0 ? options.max_plans
+                                      : std::numeric_limits<long>::max();
+  return PlansFor(query, query.AllTables(), options, &budget);
+}
+
+long NaiveEnumerator::VisitAll(
+    const Query& query, const Options& options,
+    const std::function<void(const PlanNode*)>& visit) {
+  const std::vector<const PlanNode*> plans = EnumerateAll(query, options);
+  for (const PlanNode* plan : plans) visit(plan);
+  return static_cast<long>(plans.size());
+}
+
+long NaiveEnumerator::CountPlans(const Query& query, const Options& options) {
+  return static_cast<long>(EnumerateAll(query, options).size());
+}
+
+double NaiveEnumerator::ExpectedPlanCount(int scan_configs, int join_configs,
+                                          int num_tables) {
+  const int n = num_tables;
+  // (2(n-1))!/(n-1)! ordered bushy shapes.
+  double shapes = 1;
+  for (int k = n; k <= 2 * (n - 1); ++k) shapes *= k;
+  return std::pow(scan_configs, n) * std::pow(join_configs, n - 1) * shapes;
+}
+
+}  // namespace moqo

@@ -1,0 +1,47 @@
+#include "core/optimizer.h"
+
+#include <cmath>
+
+namespace moqo {
+
+OptimizerResult OptimizerBase::FinishResult(const MOQOProblem& problem,
+                                            const DPPlanGenerator& generator,
+                                            const ParetoSet& final_set,
+                                            const PlanNode* plan,
+                                            double elapsed_ms) const {
+  OptimizerResult result;
+  if (plan != nullptr) {
+    result.plan_arena = std::make_shared<Arena>();
+    result.plan = DeepCopyPlan(plan, result.plan_arena.get());
+  }
+  if (plan != nullptr) {
+    result.cost = plan->cost;
+    result.weighted_cost = problem.weights.WeightedCost(plan->cost);
+    result.respects_bounds = problem.bounds.size() == 0 ||
+                             problem.bounds.Respects(plan->cost);
+  }
+  result.frontier = final_set.Frontier();
+  result.metrics.optimization_ms = elapsed_ms;
+  result.metrics.memory_bytes = generator.MemoryBytes();
+  result.metrics.timed_out = generator.stats().timed_out;
+  result.metrics.considered_plans = generator.stats().considered_plans;
+  result.metrics.last_complete_pareto_count =
+      generator.stats().last_complete_pareto_count;
+  result.metrics.frontier_size = final_set.size();
+  return result;
+}
+
+double RTAInternalPrecision(double alpha_u, int num_tables) {
+  if (num_tables <= 1) return alpha_u;
+  return std::pow(alpha_u, 1.0 / num_tables);
+}
+
+double IRAIterationPrecision(double alpha_u, int iteration,
+                             int num_objectives) {
+  const double denom =
+      num_objectives >= 2 ? 3.0 * num_objectives - 3.0 : 1.0;
+  const double exponent = std::pow(2.0, -static_cast<double>(iteration) / denom);
+  return std::pow(alpha_u, exponent);
+}
+
+}  // namespace moqo

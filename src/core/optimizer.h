@@ -1,0 +1,150 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// The public optimizer API: problem/option/result types shared by the
+// exact algorithm (EXA), the representative-tradeoffs algorithm (RTA), the
+// iterative-refinement algorithm (IRA), and the baselines.
+
+#ifndef MOQO_CORE_OPTIMIZER_H_
+#define MOQO_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dp_driver.h"
+#include "cost/cost_vector.h"
+#include "cost/objective.h"
+#include "plan/operators.h"
+#include "plan/plan_node.h"
+#include "query/query.h"
+#include "util/arena.h"
+
+namespace moqo {
+
+/// A bounded-weighted MOQO problem instance I = <Q, W, B> (Definition 2).
+/// Leave `bounds` default-constructed (size 0) or all-infinite for the
+/// weighted MOQO problem I = <Q, W> (Definition 1).
+struct MOQOProblem {
+  const Query* query = nullptr;
+  ObjectiveSet objectives;
+  WeightVector weights;
+  BoundVector bounds;
+
+  /// True iff no finite bound is set (weighted MOQO).
+  bool IsWeightedOnly() const {
+    return bounds.size() == 0 || bounds.AllUnbounded();
+  }
+};
+
+/// Optimizer configuration shared by all algorithms.
+struct OptimizerOptions {
+  /// User precision alpha_U for the approximation schemes (>= 1). The EXA
+  /// ignores it (always exact).
+  double alpha = 1.0;
+  /// Wall-clock budget in milliseconds; < 0 means no timeout. On expiry
+  /// the optimizer finishes quickly per Section 5.1.
+  int64_t timeout_ms = -1;
+  /// Physical operator space (sampling scans, DOP variants, ...).
+  OperatorRegistry::Options operators;
+  /// Plan-space switches (see DPOptions).
+  bool bushy = true;
+  bool cartesian_heuristic = true;
+  /// Ablation only: guarantee-destroying aggressive pruning (Section 6.2).
+  bool aggressive_delete = false;
+  /// IRA: hard cap on refinement iterations (safety net; Theorem 8
+  /// guarantees termination well before this in practice).
+  int max_iterations = 64;
+};
+
+/// Measurements reported for Figures 5, 9 and 10.
+struct OptimizerMetrics {
+  double optimization_ms = 0;
+  size_t memory_bytes = 0;     ///< Arena + plan-set footprint (last iter).
+  bool timed_out = false;
+  long considered_plans = 0;
+  /// #Pareto plans of the last completely treated table set (Figure 5/9).
+  int last_complete_pareto_count = 0;
+  /// Refinement iterations executed (1 for EXA/RTA; Figure 10 for IRA).
+  int iterations = 1;
+  /// Cardinality of the final (approximate) Pareto set for Q.
+  int frontier_size = 0;
+};
+
+/// The outcome of one optimization. The winning plan tree is deep-copied
+/// into a result-owned arena, so results safely outlive (and may be moved
+/// around independently of) the optimizer that produced them.
+struct OptimizerResult {
+  /// Owns the storage behind `plan`; shared so results are copyable.
+  std::shared_ptr<Arena> plan_arena;
+  const PlanNode* plan = nullptr;
+  CostVector cost;
+  double weighted_cost = 0;
+  bool respects_bounds = true;
+  /// Cost vectors of the final (approximate) Pareto set for Q — the
+  /// "byproduct of optimization" visualized in Figure 4.
+  std::vector<CostVector> frontier;
+  OptimizerMetrics metrics;
+};
+
+/// Shared implementation scaffolding: owns the arena, the operator
+/// registry, and the translation from OptimizerOptions to DPOptions.
+class OptimizerBase {
+ public:
+  explicit OptimizerBase(const OptimizerOptions& options)
+      : options_(options), registry_(options.operators) {}
+  virtual ~OptimizerBase() = default;
+
+  /// Solves the instance. Implementations never return a null plan for
+  /// queries with at least one table.
+  virtual OptimizerResult Optimize(const MOQOProblem& problem) = 0;
+
+  const OperatorRegistry& registry() const { return registry_; }
+  const OptimizerOptions& options() const { return options_; }
+
+ protected:
+  Deadline MakeDeadline() const {
+    return options_.timeout_ms < 0
+               ? Deadline::Infinite()
+               : Deadline::AfterMillis(options_.timeout_ms);
+  }
+
+  DPOptions MakeDPOptions(const MOQOProblem& problem, double internal_alpha,
+                          Deadline deadline) const {
+    DPOptions dp;
+    dp.alpha = internal_alpha;
+    dp.aggressive_delete = options_.aggressive_delete;
+    dp.bushy = options_.bushy;
+    dp.cartesian_heuristic = options_.cartesian_heuristic;
+    dp.deadline = deadline;
+    dp.quick_mode_weights = problem.weights;
+    return dp;
+  }
+
+  /// Packages the generator state into a result.
+  OptimizerResult FinishResult(const MOQOProblem& problem,
+                               const DPPlanGenerator& generator,
+                               const ParetoSet& final_set,
+                               const PlanNode* plan, double elapsed_ms) const;
+
+  OptimizerOptions options_;
+  OperatorRegistry registry_;
+  Arena arena_;
+};
+
+/// Internal pruning precision of the RTA (Algorithm 2): the |Q|-th root of
+/// the target precision, so that Theorem 3 yields an alpha_U-approximate
+/// Pareto set after |Q| induction steps.
+double RTAInternalPrecision(double alpha_u, int num_tables);
+
+/// IRA precision-refinement policy (Algorithm 3, line 8):
+/// alpha(i) = alpha_U ^ (2^(-i/(3l-3))), strictly decreasing in the
+/// iteration counter i >= 1 and chosen so the i-th iteration's worst-case
+/// time doubles per iteration (Theorem 7), making redundant work across
+/// iterations negligible. For l = 1 the policy degenerates to halving the
+/// exponent each iteration.
+double IRAIterationPrecision(double alpha_u, int iteration,
+                             int num_objectives);
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_OPTIMIZER_H_

@@ -1,0 +1,207 @@
+#include "core/pareto_set.h"
+
+#include <limits>
+
+namespace moqo {
+
+namespace {
+
+/// True iff a[i] <= b[i] for every dimension (Dominates without the size
+/// assert, for summary vectors).
+inline bool AllLessEq(const CostVector& a, const CostVector& b) {
+  for (int i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParetoSet::WouldInsert(const CostVector& cost,
+                            const PruneOptions& options) const {
+  // stored ⪯_alpha cost  <=>  stored ⪯ alpha*cost; scale the candidate once.
+  const CostVector threshold =
+      options.alpha <= 1.0 ? cost : cost.Scaled(options.alpha);
+  // Recent-rejecter cache (sound only with the default deletion rule: a
+  // tombstoned plan is plainly dominated by a live one, so its rejections
+  // transfer; with aggressive deletion that implication weakens to alpha^2).
+  const bool use_hot = !options.aggressive_delete;
+  if (use_hot) {
+    for (int h = 0; h < hot_used_; ++h) {
+      if (Dominates(hot_[h], threshold)) return false;
+    }
+  }
+  // Newest blocks first: consecutive candidates usually come from the same
+  // split and are most often dominated by a recent insertion.
+  for (int b = NumBlocks() - 1; b >= 0; --b) {
+    // A block can contain a dominator only if its component-wise min is
+    // below the threshold in every dimension.
+    if (block_min_[b].size() == 0 || !AllLessEq(block_min_[b], threshold)) {
+      continue;
+    }
+    const int begin = b * kBlockSize;
+    const int end =
+        std::min<int>(begin + kBlockSize, static_cast<int>(entries_.size()));
+    for (int i = end - 1; i >= begin; --i) {
+      if (entries_[i].plan != nullptr &&
+          Dominates(entries_[i].cost, threshold)) {
+        if (use_hot) {
+          hot_[hot_next_] = entries_[i].cost;
+          hot_next_ = (hot_next_ + 1) % kHotSlots;
+          hot_used_ = std::min(hot_used_ + 1, kHotSlots);
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ParetoSet::Prune(const PlanNode* plan, const PruneOptions& options) {
+  if (!WouldInsert(plan->cost, options)) return false;
+
+  // Deletion: tombstone stored plans the new plan dominates. Plain
+  // dominance by default (see header); approximate dominance only in the
+  // ablation mode.
+  const CostVector& cost = plan->cost;
+  const bool aggressive = options.aggressive_delete && options.alpha > 1.0;
+  for (int b = 0; b < NumBlocks(); ++b) {
+    if (block_min_[b].size() == 0) continue;  // No live entries.
+    // The new plan can dominate a member only if cost <= block_max.
+    if (!aggressive && !AllLessEq(cost, block_max_[b])) continue;
+    const int begin = b * kBlockSize;
+    const int end =
+        std::min<int>(begin + kBlockSize, static_cast<int>(entries_.size()));
+    bool removed_any = false;
+    for (int i = begin; i < end; ++i) {
+      if (entries_[i].plan == nullptr) continue;
+      const bool remove =
+          aggressive
+              ? ApproxDominates(cost, entries_[i].cost, options.alpha)
+              : Dominates(cost, entries_[i].cost);
+      if (remove) {
+        entries_[i].plan = nullptr;
+        --live_;
+        removed_any = true;
+      }
+    }
+    if (removed_any) RebuildBlock(b);
+  }
+
+  // Compact when tombstones dominate the storage.
+  if (live_ * 2 < static_cast<int>(entries_.size())) Compact();
+
+  // Append and fold into the last block's summaries.
+  entries_.push_back(Entry{cost, plan});
+  ++live_;
+  const int last = NumBlocks() - 1;
+  if (static_cast<int>(block_min_.size()) < NumBlocks()) {
+    block_min_.push_back(cost);
+    block_max_.push_back(cost);
+  } else if (block_min_[last].size() == 0) {
+    block_min_[last] = cost;
+    block_max_[last] = cost;
+  } else {
+    for (int i = 0; i < cost.size(); ++i) {
+      block_min_[last][i] = std::min(block_min_[last][i], cost[i]);
+      block_max_[last][i] = std::max(block_max_[last][i], cost[i]);
+    }
+  }
+  return true;
+}
+
+void ParetoSet::RebuildBlock(int b) {
+  const int begin = b * kBlockSize;
+  const int end =
+      std::min<int>(begin + kBlockSize, static_cast<int>(entries_.size()));
+  CostVector min_v, max_v;
+  bool any = false;
+  for (int i = begin; i < end; ++i) {
+    if (entries_[i].plan == nullptr) continue;
+    const CostVector& c = entries_[i].cost;
+    if (!any) {
+      min_v = c;
+      max_v = c;
+      any = true;
+    } else {
+      for (int d = 0; d < c.size(); ++d) {
+        min_v[d] = std::min(min_v[d], c[d]);
+        max_v[d] = std::max(max_v[d], c[d]);
+      }
+    }
+  }
+  block_min_[b] = any ? min_v : CostVector();
+  block_max_[b] = any ? max_v : CostVector();
+}
+
+void ParetoSet::Compact() {
+  size_t kept = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].plan != nullptr) {
+      if (kept != i) entries_[kept] = entries_[i];
+      ++kept;
+    }
+  }
+  entries_.resize(kept);
+  live_ = static_cast<int>(kept);
+  block_min_.assign(NumBlocks(), CostVector());
+  block_max_.assign(NumBlocks(), CostVector());
+  for (int b = 0; b < NumBlocks(); ++b) RebuildBlock(b);
+}
+
+void ParetoSet::Seal() { Compact(); }
+
+void ParetoSet::clear() {
+  entries_.clear();
+  block_min_.clear();
+  block_max_.clear();
+  live_ = 0;
+  hot_used_ = 0;
+  hot_next_ = 0;
+}
+
+std::vector<const PlanNode*> ParetoSet::plans() const {
+  std::vector<const PlanNode*> result;
+  result.reserve(live_);
+  for (const Entry& entry : entries_) {
+    if (entry.plan != nullptr) result.push_back(entry.plan);
+  }
+  return result;
+}
+
+const PlanNode* ParetoSet::SelectBest(const WeightVector& weights,
+                                      const BoundVector& bounds) const {
+  const PlanNode* best_bounded = nullptr;
+  double best_bounded_cost = std::numeric_limits<double>::infinity();
+  const PlanNode* best_any = nullptr;
+  double best_any_cost = std::numeric_limits<double>::infinity();
+  for (const Entry& entry : entries_) {
+    if (entry.plan == nullptr) continue;
+    const double weighted = weights.WeightedCost(entry.cost);
+    if (weighted < best_any_cost) {
+      best_any_cost = weighted;
+      best_any = entry.plan;
+    }
+    if (bounds.Respects(entry.cost) && weighted < best_bounded_cost) {
+      best_bounded_cost = weighted;
+      best_bounded = entry.plan;
+    }
+  }
+  return best_bounded != nullptr ? best_bounded : best_any;
+}
+
+const PlanNode* ParetoSet::SelectBestWeighted(
+    const WeightVector& weights) const {
+  return SelectBest(weights, BoundVector::Unbounded(weights.size()));
+}
+
+std::vector<CostVector> ParetoSet::Frontier() const {
+  std::vector<CostVector> frontier;
+  frontier.reserve(live_);
+  for (const Entry& entry : entries_) {
+    if (entry.plan != nullptr) frontier.push_back(entry.cost);
+  }
+  return frontier;
+}
+
+}  // namespace moqo

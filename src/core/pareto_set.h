@@ -1,0 +1,146 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// ParetoSet: the per-table-set plan container with the pruning procedure of
+// Algorithm 1 (exact) and Algorithm 2 (approximate).
+//
+// Exact pruning (EXA, Algorithm 1, Prune):
+//   insert pN iff no stored p has c(p) "dominating" c(pN); then delete every
+//   stored p whose cost the new plan dominates.
+//
+// Approximate pruning (RTA, Algorithm 2, Prune with precision alpha_i):
+//   insert pN iff no stored p approximately dominates it, i.e.
+//   ¬∃p: c(p) ⪯_alpha c(pN). Deletion still uses *plain* dominance: the
+//   paper explicitly warns (Section 6.2) that also deleting approximately
+//   dominated plans lets stored vectors drift arbitrarily far from the real
+//   Pareto frontier, destroying the near-optimality guarantee. The
+//   guarantee-destroying variant is available behind an explicit flag for
+//   the ablation bench only.
+//
+// Performance: dominance checks are the optimizer's innermost loop — every
+// candidate is compared against every stored plan, and sets grow into the
+// tens of thousands for many-objective instances (Section 5.1). Two
+// optimizations keep this tractable without changing semantics:
+//
+//  * Block summaries. Entries are grouped into blocks of kBlockSize; each
+//    block keeps the component-wise min and max of its live cost vectors.
+//    A block can contain a dominator of candidate c only if
+//    block_min <= alpha*c component-wise, and the new plan can dominate a
+//    block member only if c <= block_max component-wise — one vector
+//    comparison skips up to kBlockSize entries.
+//  * Tombstone deletion. Dominated entries are unlinked lazily
+//    (plan = nullptr) instead of compacting the vector on every insert;
+//    compaction runs when tombstones exceed half the slots, and the DP
+//    driver Seal()s a set once its table set is fully processed.
+
+#ifndef MOQO_CORE_PARETO_SET_H_
+#define MOQO_CORE_PARETO_SET_H_
+
+#include <vector>
+
+#include "cost/cost_vector.h"
+#include "plan/plan_node.h"
+
+namespace moqo {
+
+/// A set of mutually non-dominated plans for one table set.
+class ParetoSet {
+ public:
+  ParetoSet() = default;
+
+  /// Pruning precision: 1.0 reproduces the exact EXA behaviour; > 1.0 the
+  /// RTA behaviour. `aggressive_delete` enables the guarantee-destroying
+  /// deletion rule for the ablation study; never set it in production code.
+  struct PruneOptions {
+    double alpha = 1.0;
+    bool aggressive_delete = false;
+  };
+
+  /// Insertion check only: would a plan with cost `cost` survive pruning?
+  /// Lets the DP driver cost-evaluate candidates on the stack and
+  /// arena-allocate only survivors.
+  bool WouldInsert(const CostVector& cost, const PruneOptions& options) const;
+
+  /// Attempts to insert `plan`; returns true iff the plan was kept.
+  /// Postcondition: no stored live plan strictly dominates another.
+  bool Prune(const PlanNode* plan, const PruneOptions& options);
+
+  /// Convenience overload with exact pruning.
+  bool Prune(const PlanNode* plan) { return Prune(plan, PruneOptions()); }
+
+  /// Number of live (non-deleted) plans.
+  int size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  /// Dense access; valid only after Seal() (the DP driver seals every
+  /// completed table set; freshly built sets must be sealed before
+  /// iteration).
+  const PlanNode* at(int i) const { return entries_[i].plan; }
+  const CostVector& cost_at(int i) const { return entries_[i].cost; }
+
+  /// Compacts tombstones and rebuilds block summaries; afterwards
+  /// entries 0..size()-1 are exactly the live plans.
+  void Seal();
+
+  /// Stored live plans, oldest first.
+  std::vector<const PlanNode*> plans() const;
+
+  void clear();
+
+  /// Bytes used by this container (for the memory metric of Figs. 5/9/10).
+  size_t MemoryBytes() const {
+    return entries_.capacity() * sizeof(Entry) +
+           block_min_.capacity() * 2 * sizeof(CostVector) + sizeof(*this);
+  }
+
+  /// SelectBest of Algorithm 1: the plan minimizing weighted cost among
+  /// plans respecting `bounds`; if none respects them, the plan minimizing
+  /// weighted cost overall. Returns nullptr iff the set is empty.
+  const PlanNode* SelectBest(const WeightVector& weights,
+                             const BoundVector& bounds) const;
+
+  /// The plan minimizing weighted cost (no bounds). Null iff empty.
+  const PlanNode* SelectBestWeighted(const WeightVector& weights) const;
+
+  /// Cost vectors of all live plans (the (approximate) Pareto frontier).
+  std::vector<CostVector> Frontier() const;
+
+ private:
+  struct Entry {
+    CostVector cost;  ///< Copy of plan->cost, contiguous for fast scans.
+    const PlanNode* plan;  ///< nullptr = tombstone.
+  };
+
+  static constexpr int kBlockSize = 32;
+
+  int NumBlocks() const {
+    return static_cast<int>((entries_.size() + kBlockSize - 1) / kBlockSize);
+  }
+
+  /// Recomputes min/max summaries of block `b` from its live entries.
+  void RebuildBlock(int b);
+
+  /// Drops tombstones and rebuilds all blocks.
+  void Compact();
+
+  std::vector<Entry> entries_;
+  /// Component-wise min/max over live entries per block; empty vectors for
+  /// blocks with no live entries.
+  std::vector<CostVector> block_min_;
+  std::vector<CostVector> block_max_;
+  int live_ = 0;
+
+  /// Move-to-front cache of recently rejecting cost vectors: consecutive
+  /// candidates usually come from the same split and are rejected by the
+  /// same stored plan. Purely an accelerator; stale copies are harmless
+  /// because every cached vector belonged to a stored plan whose dominance
+  /// already implied rejection (tombstoning only ever happens to plans
+  /// dominated by a *kept* plan, which then dominates the same candidates).
+  static constexpr int kHotSlots = 4;
+  mutable CostVector hot_[kHotSlots];
+  mutable int hot_used_ = 0;
+  mutable int hot_next_ = 0;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_PARETO_SET_H_

@@ -1,0 +1,23 @@
+#include "core/rta.h"
+
+namespace moqo {
+
+OptimizerResult RTAOptimizer::Optimize(const MOQOProblem& problem) {
+  StopWatch watch;
+  arena_.Reset();
+  CostModel model(problem.query, &registry_, problem.objectives);
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+
+  // Algorithm 2: derive the internal precision from alpha_U.
+  const double alpha_i =
+      RTAInternalPrecision(options_.alpha, problem.query->num_tables());
+  DPOptions dp = MakeDPOptions(problem, alpha_i, MakeDeadline());
+  const ParetoSet& pareto = generator.Run(*problem.query, dp);
+
+  // SelectBest with infinite bounds: weighted MOQO only.
+  const PlanNode* best = pareto.SelectBestWeighted(problem.weights);
+  return FinishResult(problem, generator, pareto, best,
+                      watch.ElapsedMillis());
+}
+
+}  // namespace moqo

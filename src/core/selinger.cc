@@ -1,0 +1,54 @@
+#include "core/selinger.h"
+
+#include <cassert>
+
+namespace moqo {
+
+OptimizerResult SelingerOptimizer::Optimize(const MOQOProblem& problem) {
+  assert(problem.objectives.size() == 1 &&
+         "SelingerOptimizer is single-objective");
+  StopWatch watch;
+  arena_.Reset();
+  CostModel model(problem.query, &registry_, problem.objectives);
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+
+  // One dimension: exact dominance pruning keeps exactly one plan per set.
+  DPOptions dp = MakeDPOptions(problem, /*internal_alpha=*/1.0,
+                               MakeDeadline());
+  const ParetoSet& best_set = generator.Run(*problem.query, dp);
+  const WeightVector weights = WeightVector::Uniform(1);
+  const PlanNode* best = best_set.SelectBestWeighted(weights);
+
+  MOQOProblem normalized = problem;
+  normalized.weights = weights;
+  return FinishResult(normalized, generator, best_set, best,
+                      watch.ElapsedMillis());
+}
+
+double SelingerOptimizer::MinimumCost(const Query& query, Objective objective,
+                                      const OptimizerOptions& options) {
+  SelingerOptimizer optimizer(options);
+  MOQOProblem problem;
+  problem.query = &query;
+  problem.objectives = ObjectiveSet::Only(objective);
+  problem.weights = WeightVector::Uniform(1);
+  OptimizerResult result = optimizer.Optimize(problem);
+  return result.plan != nullptr ? result.cost[0] : 0.0;
+}
+
+OptimizerResult WeightedSumOptimizer::Optimize(const MOQOProblem& problem) {
+  StopWatch watch;
+  arena_.Reset();
+  CostModel model(problem.query, &registry_, problem.objectives);
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+
+  DPOptions dp = MakeDPOptions(problem, /*internal_alpha=*/1.0,
+                               MakeDeadline());
+  dp.single_plan_mode = true;  // Prune every table set down to argmin C_W.
+  const ParetoSet& best_set = generator.Run(*problem.query, dp);
+  const PlanNode* best = best_set.SelectBestWeighted(problem.weights);
+  return FinishResult(problem, generator, best_set, best,
+                      watch.ElapsedMillis());
+}
+
+}  // namespace moqo

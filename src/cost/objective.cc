@@ -1,0 +1,83 @@
+#include "cost/objective.h"
+
+#include <sstream>
+
+namespace moqo {
+
+namespace {
+
+// Intrinsic floors (Observation 3): discrete-domain objectives have a
+// natural quantum; tuple loss has the minimal non-zero loss induced by the
+// coarsest sampling rate (sampling 99% of one table loses at least 1%).
+constexpr std::array<ObjectiveInfo, kNumObjectives> kObjectiveTable = {{
+    {Objective::kTotalTime, "total_time", "ms", CombinationKind::kParallelMax,
+     false, 1e-3},
+    {Objective::kStartupTime, "startup_time", "ms",
+     CombinationKind::kParallelMax, false, 1e-3},
+    {Objective::kIOLoad, "io_load", "page-ios", CombinationKind::kAdditive,
+     false, 1.0},
+    {Objective::kCPULoad, "cpu_load", "tuple-ops", CombinationKind::kAdditive,
+     false, 1.0},
+    {Objective::kCores, "cores", "cores", CombinationKind::kPeak, false, 1.0},
+    {Objective::kDiskFootprint, "disk_footprint", "bytes",
+     CombinationKind::kPeak, false, 1.0},
+    {Objective::kBufferFootprint, "buffer_footprint", "bytes",
+     CombinationKind::kPeak, false, 1.0},
+    {Objective::kEnergy, "energy", "joule", CombinationKind::kAdditive, false,
+     1e-3},
+    {Objective::kTupleLoss, "tuple_loss", "fraction",
+     CombinationKind::kLossCompose, true, 0.01},
+}};
+
+}  // namespace
+
+const ObjectiveInfo& GetObjectiveInfo(Objective objective) {
+  return kObjectiveTable[static_cast<int>(objective)];
+}
+
+const ObjectiveInfo& GetObjectiveInfoByIndex(int index) {
+  return kObjectiveTable[index];
+}
+
+const char* ObjectiveName(Objective objective) {
+  return GetObjectiveInfo(objective).name;
+}
+
+bool ParseObjective(const std::string& name, Objective* out) {
+  for (const ObjectiveInfo& info : kObjectiveTable) {
+    if (name == info.name) {
+      *out = info.objective;
+      return true;
+    }
+  }
+  return false;
+}
+
+ObjectiveSet ObjectiveSet::All() {
+  std::vector<Objective> all(kAllObjectives.begin(), kAllObjectives.end());
+  return ObjectiveSet(std::move(all));
+}
+
+bool ObjectiveSet::Contains(Objective objective) const {
+  return IndexOf(objective) >= 0;
+}
+
+int ObjectiveSet::IndexOf(Objective objective) const {
+  for (int i = 0; i < size(); ++i) {
+    if (objectives_[i] == objective) return i;
+  }
+  return -1;
+}
+
+std::string ObjectiveSet::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) out << ", ";
+    out << ObjectiveName(objectives_[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace moqo

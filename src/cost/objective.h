@@ -1,0 +1,118 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// The nine cost objectives of the extended Postgres cost model (Section 4)
+// plus per-objective metadata used by the cost model, the workload
+// generator, and the complexity analysis.
+
+#ifndef MOQO_COST_OBJECTIVE_H_
+#define MOQO_COST_OBJECTIVE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+/// The nine objectives implemented by the paper's extended Postgres cost
+/// model (Section 4). The enumerator order fixes the dimension order of
+/// CostVector.
+enum class Objective : uint8_t {
+  kTotalTime = 0,       ///< Time until all result tuples are produced.
+  kStartupTime = 1,     ///< Time until the first result tuple is produced.
+  kIOLoad = 2,          ///< Number of (weighted) I/O operations.
+  kCPULoad = 3,         ///< Accumulated CPU work over all cores.
+  kCores = 4,           ///< Peak number of cores used concurrently.
+  kDiskFootprint = 5,   ///< Peak temporary disk space (bytes).
+  kBufferFootprint = 6, ///< Peak buffer memory (bytes).
+  kEnergy = 7,          ///< Total energy consumption (Joule).
+  kTupleLoss = 8,       ///< Expected fraction of result tuples lost (0..1).
+};
+
+/// Number of implemented objectives; the paper treats this as the constant l.
+inline constexpr int kNumObjectives = 9;
+
+/// All objectives in dimension order.
+inline constexpr std::array<Objective, kNumObjectives> kAllObjectives = {
+    Objective::kTotalTime,      Objective::kStartupTime,
+    Objective::kIOLoad,         Objective::kCPULoad,
+    Objective::kCores,          Objective::kDiskFootprint,
+    Objective::kBufferFootprint, Objective::kEnergy,
+    Objective::kTupleLoss,
+};
+
+/// How a plan's cost for an objective combines over independent,
+/// concurrently executing subplans (Section 6.1: all formulas are built from
+/// sum, max, min and multiplication by constants; tuple loss uses
+/// 1-(1-a)(1-b)).
+enum class CombinationKind : uint8_t {
+  kAdditive,     ///< Child costs add up (energy, CPU load, IO load, ...).
+  kPeak,         ///< Maximum over concurrently live children (footprints).
+  kParallelMax,  ///< max over parallel branches plus own term (times).
+  kLossCompose,  ///< 1-(1-a)(1-b): tuple loss / failure probability.
+};
+
+/// Static metadata for one objective.
+struct ObjectiveInfo {
+  Objective objective;
+  const char* name;         ///< Short identifier, e.g. "total_time".
+  const char* unit;         ///< Human-readable unit for printing.
+  CombinationKind combination;
+  bool bounded_domain;      ///< True iff cost values live in [0, 1] a priori.
+  /// Observation 3: intrinsic positive lower bound on non-zero cost values.
+  double intrinsic_floor;
+};
+
+/// Returns the metadata record for `objective`.
+const ObjectiveInfo& GetObjectiveInfo(Objective objective);
+
+/// Returns the metadata record by dimension index (0..kNumObjectives-1).
+const ObjectiveInfo& GetObjectiveInfoByIndex(int index);
+
+/// Short name ("total_time", "tuple_loss", ...).
+const char* ObjectiveName(Objective objective);
+
+/// Parses an objective from its short name; returns true on success.
+bool ParseObjective(const std::string& name, Objective* out);
+
+/// An ordered selection of objectives, as chosen per test case in Section 8
+/// ("selected randomly out of the nine implemented objectives"). The
+/// selection defines which CostVector dimensions are active in a problem
+/// instance.
+class ObjectiveSet {
+ public:
+  ObjectiveSet() = default;
+  explicit ObjectiveSet(std::vector<Objective> objectives)
+      : objectives_(std::move(objectives)) {}
+
+  /// The selection containing all nine objectives, in dimension order.
+  static ObjectiveSet All();
+
+  /// Single-objective selection (SOQO), used for the 1-objective baseline.
+  static ObjectiveSet Only(Objective objective) {
+    return ObjectiveSet({objective});
+  }
+
+  int size() const { return static_cast<int>(objectives_.size()); }
+  Objective at(int i) const { return objectives_[i]; }
+  const std::vector<Objective>& objectives() const { return objectives_; }
+
+  bool Contains(Objective objective) const;
+
+  /// Index of `objective` within this selection, or -1 if absent.
+  int IndexOf(Objective objective) const;
+
+  std::string ToString() const;
+
+  auto begin() const { return objectives_.begin(); }
+  auto end() const { return objectives_.end(); }
+
+  bool operator==(const ObjectiveSet&) const = default;
+
+ private:
+  std::vector<Objective> objectives_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_COST_OBJECTIVE_H_

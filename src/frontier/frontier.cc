@@ -1,0 +1,160 @@
+#include "frontier/frontier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace moqo {
+
+std::vector<CostVector> ExtractParetoFrontier(
+    const std::vector<CostVector>& vectors) {
+  std::vector<CostVector> frontier;
+  for (const CostVector& candidate : vectors) {
+    bool dominated = false;
+    for (const CostVector& other : frontier) {
+      if (Dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    std::erase_if(frontier, [&candidate](const CostVector& other) {
+      return StrictlyDominates(candidate, other);
+    });
+    frontier.push_back(candidate);
+  }
+  return frontier;
+}
+
+std::optional<CostVector> FindUncoveredVector(
+    const std::vector<CostVector>& candidate,
+    const std::vector<CostVector>& reference, double alpha) {
+  for (const CostVector& ref : reference) {
+    bool covered = false;
+    for (const CostVector& c : candidate) {
+      if (ApproxDominates(c, ref, alpha)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return ref;
+  }
+  return std::nullopt;
+}
+
+double CoverageAlpha(const std::vector<CostVector>& candidate,
+                     const std::vector<CostVector>& reference) {
+  double worst = 1.0;
+  for (const CostVector& ref : reference) {
+    double best_for_ref = std::numeric_limits<double>::infinity();
+    for (const CostVector& c : candidate) {
+      // Smallest alpha such that c alpha-dominates ref.
+      double needed = 1.0;
+      for (int i = 0; i < c.size(); ++i) {
+        if (c[i] <= ref[i]) continue;
+        if (ref[i] == 0) {
+          needed = std::numeric_limits<double>::infinity();
+          break;
+        }
+        needed = std::max(needed, c[i] / ref[i]);
+      }
+      best_for_ref = std::min(best_for_ref, needed);
+    }
+    worst = std::max(worst, best_for_ref);
+  }
+  return worst;
+}
+
+double Hypervolume2D(const std::vector<CostVector>& frontier,
+                     const CostVector& reference_point) {
+  std::vector<CostVector> points;
+  for (const CostVector& p : frontier) {
+    if (p.size() >= 2 && p[0] <= reference_point[0] &&
+        p[1] <= reference_point[1]) {
+      points.push_back(p);
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const CostVector& a, const CostVector& b) {
+              return a[0] != b[0] ? a[0] < b[0] : a[1] < b[1];
+            });
+  double volume = 0;
+  double prev_y = reference_point[1];
+  for (const CostVector& p : points) {
+    if (p[1] >= prev_y) continue;  // Dominated in the sweep.
+    volume += (reference_point[0] - p[0]) * (prev_y - p[1]);
+    prev_y = p[1];
+  }
+  return volume;
+}
+
+double HypervolumeMonteCarlo(const std::vector<CostVector>& frontier,
+                             const CostVector& reference_point, int samples,
+                             uint64_t seed) {
+  if (frontier.empty() || samples <= 0) return 0;
+  const int dims = reference_point.size();
+  Xoshiro256 rng(seed);
+  int hits = 0;
+  double box = 1.0;
+  for (int i = 0; i < dims; ++i) box *= reference_point[i];
+  for (int s = 0; s < samples; ++s) {
+    CostVector point(dims);
+    for (int i = 0; i < dims; ++i) {
+      point[i] = rng.NextDouble() * reference_point[i];
+    }
+    for (const CostVector& f : frontier) {
+      if (Dominates(f, point)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return box * static_cast<double>(hits) / samples;
+}
+
+std::vector<CostVector> Project(const std::vector<CostVector>& vectors,
+                                const std::vector<int>& dimensions) {
+  std::vector<CostVector> result;
+  result.reserve(vectors.size());
+  for (const CostVector& v : vectors) {
+    CostVector projected(static_cast<int>(dimensions.size()));
+    for (size_t i = 0; i < dimensions.size(); ++i) {
+      projected[static_cast<int>(i)] = v[dimensions[i]];
+    }
+    result.push_back(projected);
+  }
+  return result;
+}
+
+std::string AsciiScatter(const std::vector<CostVector>& points, int width,
+                         int height, const std::string& x_label,
+                         const std::string& y_label) {
+  std::ostringstream out;
+  if (points.empty()) return "(no points)\n";
+  double min_x = std::numeric_limits<double>::infinity(), max_x = 0;
+  double min_y = std::numeric_limits<double>::infinity(), max_y = 0;
+  for (const CostVector& p : points) {
+    min_x = std::min(min_x, p[0]);
+    max_x = std::max(max_x, p[0]);
+    min_y = std::min(min_y, p[1]);
+    max_y = std::max(max_y, p[1]);
+  }
+  const double span_x = max_x > min_x ? max_x - min_x : 1.0;
+  const double span_y = max_y > min_y ? max_y - min_y : 1.0;
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (const CostVector& p : points) {
+    int col = static_cast<int>((p[0] - min_x) / span_x * (width - 1));
+    int row = static_cast<int>((p[1] - min_y) / span_y * (height - 1));
+    canvas[height - 1 - row][col] = '*';
+  }
+  out << y_label << " (" << min_y << " .. " << max_y << ")\n";
+  for (const std::string& line : canvas) out << "|" << line << "\n";
+  out << "+" << std::string(width, '-') << "> " << x_label << " (" << min_x
+      << " .. " << max_x << ")\n";
+  return out.str();
+}
+
+}  // namespace moqo

@@ -1,0 +1,62 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Pareto-frontier utilities: extraction, alpha-coverage verification
+// (Definition of alpha-approximate Pareto sets, Section 3), quality metrics
+// and low-dimensional projections. Used by the Figure-4 reproduction, the
+// examples' frontier explorer, and the approximation-guarantee tests.
+
+#ifndef MOQO_FRONTIER_FRONTIER_H_
+#define MOQO_FRONTIER_FRONTIER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/cost_vector.h"
+
+namespace moqo {
+
+/// Removes strictly dominated vectors from `vectors` (keeps one
+/// representative per equivalent cost vector). Returns the Pareto frontier.
+std::vector<CostVector> ExtractParetoFrontier(
+    const std::vector<CostVector>& vectors);
+
+/// Checks the alpha-approximate-Pareto-set property: every vector in
+/// `reference` (the true frontier) must be approximately dominated with
+/// precision `alpha` by some vector in `candidate`. Returns the first
+/// uncovered reference vector, or nullopt if covered (property holds).
+std::optional<CostVector> FindUncoveredVector(
+    const std::vector<CostVector>& candidate,
+    const std::vector<CostVector>& reference, double alpha);
+
+/// Smallest alpha >= 1 such that `candidate` alpha-covers `reference`
+/// (infinity when some reference vector has a zero component that the
+/// candidate cannot reach).
+double CoverageAlpha(const std::vector<CostVector>& candidate,
+                     const std::vector<CostVector>& reference);
+
+/// Exact hypervolume dominated by `frontier` inside the box [0, ref] for
+/// two-dimensional vectors (sweep algorithm).
+double Hypervolume2D(const std::vector<CostVector>& frontier,
+                     const CostVector& reference_point);
+
+/// Monte-Carlo hypervolume estimate for arbitrary dimension; `samples`
+/// pseudo-random points, deterministic given `seed`.
+double HypervolumeMonteCarlo(const std::vector<CostVector>& frontier,
+                             const CostVector& reference_point, int samples,
+                             uint64_t seed);
+
+/// Projects each vector onto the given dimensions (e.g. {8, 6, 0} for the
+/// tuple-loss x buffer x time plot of Figure 4).
+std::vector<CostVector> Project(const std::vector<CostVector>& vectors,
+                                const std::vector<int>& dimensions);
+
+/// Renders a 2-D scatter plot of (x, y) = (v[0], v[1]) as ASCII art with
+/// the given canvas size. Axes are linearly scaled to the data range.
+std::string AsciiScatter(const std::vector<CostVector>& points, int width,
+                         int height, const std::string& x_label,
+                         const std::string& y_label);
+
+}  // namespace moqo
+
+#endif  // MOQO_FRONTIER_FRONTIER_H_

@@ -1,0 +1,40 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Fixed-width table rendering for the figure-reproduction benches.
+
+#ifndef MOQO_HARNESS_TABLE_PRINTER_H_
+#define MOQO_HARNESS_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders the table with a header separator, e.g.
+  ///   query  tables  time_ms
+  ///   -----  ------  -------
+  ///   q1     1       0.42
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Compact formatting helpers shared by the benches.
+std::string FormatDouble(double value, int precision = 2);
+std::string FormatSci(double value);
+
+}  // namespace moqo
+
+#endif  // MOQO_HARNESS_TABLE_PRINTER_H_

@@ -1,0 +1,78 @@
+#include "harness/workload.h"
+
+#include <sstream>
+
+#include "core/selinger.h"
+
+namespace moqo {
+
+std::string TestCase::ToString() const {
+  std::ostringstream out;
+  out << "q" << query_number << " seed=" << seed << " objectives "
+      << objectives.ToString() << " " << weights.ToString() << " "
+      << bounds.ToString();
+  return out.str();
+}
+
+TestCase WorkloadGenerator::WeightedCase(int query_number, int num_objectives,
+                                         uint64_t seed) {
+  Xoshiro256 rng(seed ^ (static_cast<uint64_t>(query_number) << 32));
+  TestCase test_case;
+  test_case.query_number = query_number;
+  test_case.seed = seed;
+
+  // Random objective subset of fixed cardinality.
+  std::vector<Objective> chosen;
+  for (int index : rng.SampleWithoutReplacement(kNumObjectives,
+                                                num_objectives)) {
+    chosen.push_back(kAllObjectives[index]);
+  }
+  test_case.objectives = ObjectiveSet(std::move(chosen));
+
+  // Weights uniform in [0, 1].
+  test_case.weights = WeightVector(num_objectives);
+  for (int i = 0; i < num_objectives; ++i) {
+    test_case.weights[i] = rng.NextDouble();
+  }
+  test_case.bounds = BoundVector::Unbounded(num_objectives);
+  return test_case;
+}
+
+TestCase WorkloadGenerator::BoundedCase(int query_number, int num_bounds,
+                                        uint64_t seed) {
+  // All nine objectives are active for bounded MOQO (Section 8).
+  TestCase test_case = WeightedCase(query_number, kNumObjectives, seed);
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + query_number);
+
+  // Bound a random subset of the objectives.
+  for (int index : rng.SampleWithoutReplacement(kNumObjectives, num_bounds)) {
+    const Objective objective = kAllObjectives[index];
+    const ObjectiveInfo& info = GetObjectiveInfo(objective);
+    const int dim = test_case.objectives.IndexOf(objective);
+    if (info.bounded_domain) {
+      // Uniform over the a-priori domain [0, 1].
+      test_case.bounds[dim] = rng.NextDouble();
+    } else {
+      // Minimal possible value for this objective and query, scaled by a
+      // uniform factor from [1, 2].
+      const double minimum = ObjectiveMinimum(query_number, objective);
+      test_case.bounds[dim] = minimum * rng.NextDouble(1.0, 2.0);
+    }
+  }
+  return test_case;
+}
+
+double WorkloadGenerator::ObjectiveMinimum(int query_number,
+                                           Objective objective) {
+  const auto key = std::make_pair(query_number, static_cast<int>(objective));
+  auto it = minimum_cache_.find(key);
+  if (it != minimum_cache_.end()) return it->second;
+
+  Query query = MakeTpcHQuery(catalog_, query_number);
+  const double minimum =
+      SelingerOptimizer::MinimumCost(query, objective, options_);
+  minimum_cache_[key] = minimum;
+  return minimum;
+}
+
+}  // namespace moqo

@@ -1,0 +1,67 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// The Section-8 workload generator.
+//
+// "We generated 20 test cases for each TPC-H query and three, six, and nine
+// objectives respectively. Every test case is characterized by a set of
+// considered objectives (selected randomly out of the nine implemented
+// objectives), by weights on the selected objectives (chosen randomly from
+// [0,1] with uniform distribution), and (only for bounded MOQO) by bounds
+// on a subset of the selected objectives. Bounds for objectives with
+// a-priori bounded value domain are chosen with uniform distribution from
+// that domain. Bounds for objectives with non-bounded value domains are
+// chosen by multiplying the minimal possible value for the given objective
+// and query by a factor chosen from [1,2] with uniform distribution."
+
+#ifndef MOQO_HARNESS_WORKLOAD_H_
+#define MOQO_HARNESS_WORKLOAD_H_
+
+#include <map>
+#include <string>
+
+#include "core/optimizer.h"
+#include "query/tpch_queries.h"
+#include "util/random.h"
+
+namespace moqo {
+
+/// One generated test case (problem instance minus the query object).
+struct TestCase {
+  int query_number = 0;
+  uint64_t seed = 0;
+  ObjectiveSet objectives;
+  WeightVector weights;
+  BoundVector bounds;  ///< Unbounded for weighted-MOQO cases.
+
+  std::string ToString() const;
+};
+
+/// Deterministic generator of Section-8 test cases.
+class WorkloadGenerator {
+ public:
+  /// `options` configures the single-objective runs used to find the
+  /// per-objective minima that scale bound values.
+  WorkloadGenerator(const Catalog* catalog, OptimizerOptions options)
+      : catalog_(catalog), options_(std::move(options)) {}
+
+  /// Weighted MOQO test case: `num_objectives` randomly selected
+  /// objectives with U[0,1] weights, no bounds (Figure 9).
+  TestCase WeightedCase(int query_number, int num_objectives, uint64_t seed);
+
+  /// Bounded MOQO test case: all nine objectives active, bounds on
+  /// `num_bounds` randomly selected objectives (Figure 10).
+  TestCase BoundedCase(int query_number, int num_bounds, uint64_t seed);
+
+  /// Minimal achievable cost for (query, objective), cached across calls
+  /// (each evaluation is one single-objective Selinger run).
+  double ObjectiveMinimum(int query_number, Objective objective);
+
+ private:
+  const Catalog* catalog_;
+  OptimizerOptions options_;
+  std::map<std::pair<int, int>, double> minimum_cache_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_HARNESS_WORKLOAD_H_

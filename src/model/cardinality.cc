@@ -1,0 +1,75 @@
+#include "model/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moqo {
+
+double CardinalityEstimator::FilterSelectivity(
+    const FilterPredicate& filter) const {
+  const Table& table = query_->table(filter.table);
+  const ColumnStats* column = table.FindColumn(filter.column);
+  if (column == nullptr) return 0.33;  // Postgres-style default guess.
+  const Histogram& h = column->histogram;
+  double sel;
+  switch (filter.op) {
+    case FilterOp::kEquals:
+      sel = h.Empty() ? 1.0 / std::max(column->ndv, 1.0)
+                      : h.SelectivityEquals(filter.value, column->ndv);
+      break;
+    case FilterOp::kLess:
+    case FilterOp::kLessEquals:
+      sel = h.SelectivityLessEqual(filter.value);
+      break;
+    case FilterOp::kGreater:
+    case FilterOp::kGreaterEquals:
+      sel = 1.0 - h.SelectivityLessEqual(filter.value);
+      break;
+    case FilterOp::kRange:
+      sel = h.SelectivityRange(filter.value, filter.value_hi);
+      break;
+    default:
+      sel = 0.33;
+  }
+  return std::clamp(sel, 1e-9, 1.0);
+}
+
+double CardinalityEstimator::TableFilterSelectivity(int local_table) const {
+  double sel = 1.0;
+  for (const FilterPredicate* filter : query_->FiltersForTable(local_table)) {
+    sel *= FilterSelectivity(*filter);
+  }
+  return sel;
+}
+
+double CardinalityEstimator::ScanOutputRows(int local_table,
+                                            double sampling_rate) const {
+  const double rows = query_->table(local_table).row_count();
+  return std::max(1.0, rows * TableFilterSelectivity(local_table)) *
+         sampling_rate;
+}
+
+double CardinalityEstimator::JoinPredicateSelectivity(
+    const JoinPredicate& join) const {
+  const ColumnStats* left =
+      query_->table(join.left_table).FindColumn(join.left_column);
+  const ColumnStats* right =
+      query_->table(join.right_table).FindColumn(join.right_column);
+  const double ndv_left = left != nullptr ? left->ndv : 1000;
+  const double ndv_right = right != nullptr ? right->ndv : 1000;
+  return 1.0 / std::max({ndv_left, ndv_right, 1.0});
+}
+
+double CardinalityEstimator::JoinOutputRows(TableSet left_set,
+                                            double left_rows,
+                                            TableSet right_set,
+                                            double right_rows) const {
+  double rows = left_rows * right_rows;
+  for (const JoinPredicate* join :
+       query_->JoinsForSplit(left_set, right_set)) {
+    rows *= JoinPredicateSelectivity(*join);
+  }
+  return std::max(rows, 1e-3);
+}
+
+}  // namespace moqo

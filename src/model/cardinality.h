@@ -1,0 +1,52 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Cardinality estimation: System-R-style selectivity composition under the
+// independence assumption, extended by the sampling-aware scaling the
+// paper's sampled-scan operator introduces (a scan that reads fraction s of
+// a table scales output cardinality by s).
+
+#ifndef MOQO_MODEL_CARDINALITY_H_
+#define MOQO_MODEL_CARDINALITY_H_
+
+#include "query/query.h"
+#include "util/table_set.h"
+
+namespace moqo {
+
+/// Estimates base-table and join cardinalities for one query.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Query* query) : query_(query) {}
+
+  /// Selectivity of one filter predicate, from column statistics.
+  double FilterSelectivity(const FilterPredicate& filter) const;
+
+  /// Combined selectivity of all filters on `local_table` (independence).
+  double TableFilterSelectivity(int local_table) const;
+
+  /// Output rows of a scan of `local_table` with sampling rate `rate`:
+  /// |T| * filter selectivity * rate.
+  double ScanOutputRows(int local_table, double sampling_rate) const;
+
+  /// Selectivity of an equi-join predicate: 1 / max(ndv_left, ndv_right).
+  double JoinPredicateSelectivity(const JoinPredicate& join) const;
+
+  /// Output rows of joining plans producing `left_set` (with `left_rows`
+  /// rows) and `right_set` (`right_rows`): the product scaled by the
+  /// selectivity of every join predicate connecting the two sides; a pure
+  /// Cartesian product when no predicate applies.
+  double JoinOutputRows(TableSet left_set, double left_rows,
+                        TableSet right_set, double right_rows) const;
+
+  /// Average output row width of a join (sum of operand widths).
+  double JoinOutputWidth(double left_width, double right_width) const {
+    return left_width + right_width;
+  }
+
+ private:
+  const Query* query_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_MODEL_CARDINALITY_H_

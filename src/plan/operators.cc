@@ -1,0 +1,65 @@
+#include "plan/operators.h"
+
+#include <sstream>
+
+namespace moqo {
+
+const char* OperatorTypeName(OperatorType type) {
+  switch (type) {
+    case OperatorType::kSeqScan: return "SeqScan";
+    case OperatorType::kIndexScan: return "IdxScan";
+    case OperatorType::kHashJoin: return "HashJ";
+    case OperatorType::kSortMergeJoin: return "SMJ";
+    case OperatorType::kIndexNLJoin: return "IdxNL";
+    case OperatorType::kBlockNLJoin: return "BNL";
+  }
+  return "?";
+}
+
+std::string OperatorConfig::ToString() const {
+  std::ostringstream out;
+  out << OperatorTypeName(type);
+  if (IsScan()) {
+    if (sampling_rate < 1.0) {
+      out << "(sample=" << sampling_rate * 100 << "%)";
+    }
+  } else if (dop > 1) {
+    out << "(dop=" << dop << ")";
+  }
+  return out.str();
+}
+
+OperatorRegistry::OperatorRegistry(const Options& options) {
+  auto add = [this](OperatorConfig config) {
+    configs_.push_back(config);
+    const int id = static_cast<int>(configs_.size()) - 1;
+    (config.IsScan() ? scan_configs_ : join_configs_).push_back(id);
+    return id;
+  };
+
+  // Scan configurations: full scans first, then sampled variants.
+  std::vector<double> rates = {1.0};
+  if (options.enable_sampling) {
+    rates.insert(rates.end(), options.sampling_rates.begin(),
+                 options.sampling_rates.end());
+  }
+  for (double rate : rates) {
+    add({OperatorType::kSeqScan, rate, 1});
+    if (options.enable_index_scan) {
+      add({OperatorType::kIndexScan, rate, 1});
+    }
+  }
+
+  // Join configurations parameterized by degree of parallelism.
+  std::vector<int> dops = options.enable_parallelism
+                              ? options.dops
+                              : std::vector<int>{1};
+  for (int dop : dops) {
+    add({OperatorType::kHashJoin, 1.0, dop});
+    add({OperatorType::kSortMergeJoin, 1.0, dop});
+    add({OperatorType::kIndexNLJoin, 1.0, dop});
+    add({OperatorType::kBlockNLJoin, 1.0, dop});
+  }
+}
+
+}  // namespace moqo

@@ -1,0 +1,92 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// The physical operator configuration space (Section 4).
+//
+// The paper extends the Postgres plan space with a parameterized sampling
+// scan (1%..5% of a base table) and parameterizes join and sort operators
+// by a degree of parallelism (up to 4 cores per operation), yielding "over
+// 10 different configurations ... for the scan and for the join operator
+// respectively". We reproduce that fan-out:
+//
+//   scans: {SeqScan, IndexScan} x sampling {100%, 5%, 4%, 3%, 2%, 1%}
+//   joins: {HashJoin, SortMergeJoin, IndexNLJoin, BlockNLJoin} x DOP {1,2,4}
+
+#ifndef MOQO_PLAN_OPERATORS_H_
+#define MOQO_PLAN_OPERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+enum class OperatorType : uint8_t {
+  kSeqScan,
+  kIndexScan,
+  kHashJoin,
+  kSortMergeJoin,
+  kIndexNLJoin,
+  kBlockNLJoin,
+};
+
+const char* OperatorTypeName(OperatorType type);
+
+/// One physical operator configuration: the algorithm plus its parameters.
+/// Value type; plans reference configurations by dense id.
+struct OperatorConfig {
+  OperatorType type = OperatorType::kSeqScan;
+  /// Fraction of the base table scanned (scans only); 1.0 = full scan,
+  /// sampling rates in {0.05, 0.04, 0.03, 0.02, 0.01} per Section 4.
+  double sampling_rate = 1.0;
+  /// Degree of parallelism (joins only); number of cores used by this
+  /// operator, in {1, 2, 4}.
+  int dop = 1;
+
+  bool IsScan() const {
+    return type == OperatorType::kSeqScan || type == OperatorType::kIndexScan;
+  }
+  bool IsJoin() const { return !IsScan(); }
+
+  std::string ToString() const;
+
+  bool operator==(const OperatorConfig&) const = default;
+};
+
+/// The full operator registry for one optimizer run. Provides the dense
+/// config id space and applicability-filtered views used by the DP drivers.
+class OperatorRegistry {
+ public:
+  struct Options {
+    bool enable_sampling = true;       ///< Sampled scan variants.
+    bool enable_index_scan = true;
+    bool enable_parallelism = true;    ///< DOP 2 and 4 join variants.
+    std::vector<double> sampling_rates = {0.05, 0.04, 0.03, 0.02, 0.01};
+    std::vector<int> dops = {1, 2, 4};
+  };
+
+  OperatorRegistry() : OperatorRegistry(Options()) {}
+  explicit OperatorRegistry(const Options& options);
+
+  int num_configs() const { return static_cast<int>(configs_.size()); }
+  const OperatorConfig& config(int id) const { return configs_[id]; }
+
+  /// Ids of all scan configurations. IndexScan variants are included; the
+  /// plan space decides per table whether an index is available.
+  const std::vector<int>& scan_configs() const { return scan_configs_; }
+
+  /// Ids of all join configurations; this is the set J of Section 3
+  /// restricted to joins.
+  const std::vector<int>& join_configs() const { return join_configs_; }
+
+  /// j = |J| in the paper's complexity analysis: total operator count.
+  int OperatorCountJ() const { return num_configs(); }
+
+ private:
+  std::vector<OperatorConfig> configs_;
+  std::vector<int> scan_configs_;
+  std::vector<int> join_configs_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_OPERATORS_H_

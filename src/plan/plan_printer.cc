@@ -1,0 +1,85 @@
+#include "plan/plan_printer.h"
+
+#include <set>
+#include <sstream>
+
+namespace moqo {
+
+namespace {
+
+void ExplainRec(const PlanNode* plan, const Query& query,
+                const OperatorRegistry& registry, int depth,
+                std::ostringstream* out) {
+  const OperatorConfig& op = registry.config(plan->op_config);
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  if (plan->IsScan()) {
+    *out << OperatorTypeName(op.type) << "(" << query.table(plan->table).name();
+    if (op.sampling_rate < 1.0) {
+      *out << ", sample=" << op.sampling_rate * 100 << "%";
+    }
+    *out << ")  [rows=" << plan->cardinality << "]\n";
+  } else {
+    *out << op.ToString() << "  [rows=" << plan->cardinality << "]\n";
+    ExplainRec(plan->left, query, registry, depth + 1, out);
+    ExplainRec(plan->right, query, registry, depth + 1, out);
+  }
+}
+
+void SignatureRec(const PlanNode* plan, const Query& query,
+                  const OperatorRegistry& registry, std::ostringstream* out) {
+  const OperatorConfig& op = registry.config(plan->op_config);
+  if (plan->IsScan()) {
+    *out << query.table(plan->table).name();
+    if (op.type == OperatorType::kIndexScan) *out << "[idx]";
+    if (op.sampling_rate < 1.0) *out << "[s" << op.sampling_rate * 100 << "]";
+    return;
+  }
+  *out << OperatorTypeName(op.type);
+  if (op.dop > 1) *out << op.dop;
+  *out << "(";
+  SignatureRec(plan->left, query, registry, out);
+  *out << ", ";
+  SignatureRec(plan->right, query, registry, out);
+  *out << ")";
+}
+
+void InventoryRec(const PlanNode* plan, const OperatorRegistry& registry,
+                  std::set<std::string>* types) {
+  types->insert(OperatorTypeName(registry.config(plan->op_config).type));
+  if (!plan->IsScan()) {
+    InventoryRec(plan->left, registry, types);
+    InventoryRec(plan->right, registry, types);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanNode* plan, const Query& query,
+                        const OperatorRegistry& registry) {
+  std::ostringstream out;
+  ExplainRec(plan, query, registry, 0, &out);
+  return out.str();
+}
+
+std::string PlanSignature(const PlanNode* plan, const Query& query,
+                          const OperatorRegistry& registry) {
+  std::ostringstream out;
+  SignatureRec(plan, query, registry, &out);
+  return out.str();
+}
+
+std::string OperatorInventory(const PlanNode* plan,
+                              const OperatorRegistry& registry) {
+  std::set<std::string> types;
+  InventoryRec(plan, registry, &types);
+  std::ostringstream out;
+  bool first = true;
+  for (const std::string& type : types) {
+    if (!first) out << ",";
+    out << type;
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace moqo

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Explain-style rendering of physical plans, used by the examples and by
+// the Figure-3 reproduction (plan evolution under changing preferences).
+
+#ifndef MOQO_PLAN_PLAN_PRINTER_H_
+#define MOQO_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/operators.h"
+#include "plan/plan_node.h"
+#include "query/query.h"
+
+namespace moqo {
+
+/// Multi-line indented tree, e.g.
+///   HashJ(dop=2)  [rows=3e+03]
+///     HashJ  [rows=1.5e+05]
+///       SeqScan(customer)
+///       SeqScan(orders)
+///     IdxScan(lineitem)
+std::string ExplainPlan(const PlanNode* plan, const Query& query,
+                        const OperatorRegistry& registry);
+
+/// One-line parenthesized form, e.g.
+///   HashJ(HashJ(customer, orders), lineitem)
+/// Useful in tests and logs.
+std::string PlanSignature(const PlanNode* plan, const Query& query,
+                          const OperatorRegistry& registry);
+
+/// Comma-separated list of the operator types used, innermost first. The
+/// Figure-3 reproduction asserts on this (e.g. "no hash joins anymore").
+std::string OperatorInventory(const PlanNode* plan,
+                              const OperatorRegistry& registry);
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_PLAN_PRINTER_H_

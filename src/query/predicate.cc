@@ -1,0 +1,30 @@
+#include "query/predicate.h"
+
+#include <sstream>
+
+namespace moqo {
+
+std::string JoinPredicate::ToString() const {
+  std::ostringstream out;
+  out << "t" << left_table << "." << left_column << " = t" << right_table
+      << "." << right_column;
+  return out.str();
+}
+
+std::string FilterPredicate::ToString() const {
+  std::ostringstream out;
+  out << "t" << table << "." << column;
+  switch (op) {
+    case FilterOp::kEquals: out << " = " << value; break;
+    case FilterOp::kLess: out << " < " << value; break;
+    case FilterOp::kLessEquals: out << " <= " << value; break;
+    case FilterOp::kGreater: out << " > " << value; break;
+    case FilterOp::kGreaterEquals: out << " >= " << value; break;
+    case FilterOp::kRange:
+      out << " in [" << value << ", " << value_hi << "]";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace moqo

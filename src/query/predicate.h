@@ -1,0 +1,57 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Predicates: equi-join edges between tables and local filters on single
+// tables. The formal model of Section 3 abstracts queries to table sets;
+// like the paper's implementation, we keep predicates because they drive
+// cardinality estimation and the Cartesian-product heuristic.
+
+#ifndef MOQO_QUERY_PREDICATE_H_
+#define MOQO_QUERY_PREDICATE_H_
+
+#include <string>
+
+#include "util/table_set.h"
+
+namespace moqo {
+
+/// An equi-join predicate left.column = right.column.
+struct JoinPredicate {
+  int left_table;            ///< Query-local table index.
+  std::string left_column;
+  int right_table;           ///< Query-local table index.
+  std::string right_column;
+
+  /// True iff this edge connects `a`-side tables to `b`-side tables, i.e.
+  /// it is applicable as the join condition of the split (a, b).
+  bool Connects(TableSet a, TableSet b) const {
+    return (a.Contains(left_table) && b.Contains(right_table)) ||
+           (a.Contains(right_table) && b.Contains(left_table));
+  }
+
+  std::string ToString() const;
+};
+
+/// Comparison operator of a local filter.
+enum class FilterOp {
+  kEquals,
+  kLess,
+  kLessEquals,
+  kGreater,
+  kGreaterEquals,
+  kRange,  ///< value in [lo, hi]
+};
+
+/// A single-table filter predicate, e.g. l_shipdate <= DATE '1998-09-02'.
+struct FilterPredicate {
+  int table;           ///< Query-local table index.
+  std::string column;
+  FilterOp op;
+  double value = 0;    ///< Comparison constant (lo for kRange).
+  double value_hi = 0; ///< hi for kRange, unused otherwise.
+
+  std::string ToString() const;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_PREDICATE_H_

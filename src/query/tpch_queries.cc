@@ -1,0 +1,285 @@
+#include "query/tpch_queries.h"
+
+#include <cassert>
+
+namespace moqo {
+
+namespace {
+
+FilterPredicate Range(int table, std::string column, double lo, double hi) {
+  FilterPredicate f;
+  f.table = table;
+  f.column = std::move(column);
+  f.op = FilterOp::kRange;
+  f.value = lo;
+  f.value_hi = hi;
+  return f;
+}
+
+FilterPredicate Equals(int table, std::string column, double value) {
+  FilterPredicate f;
+  f.table = table;
+  f.column = std::move(column);
+  f.op = FilterOp::kEquals;
+  f.value = value;
+  return f;
+}
+
+FilterPredicate LessEq(int table, std::string column, double value) {
+  FilterPredicate f;
+  f.table = table;
+  f.column = std::move(column);
+  f.op = FilterOp::kLessEquals;
+  f.value = value;
+  return f;
+}
+
+}  // namespace
+
+Query MakeTpcHQuery(const Catalog* catalog, int number) {
+  Query q(catalog, "tpch_q" + std::to_string(number));
+  switch (number) {
+    case 1: {  // Pricing summary report: scan of lineitem.
+      int l = q.AddTable("lineitem");
+      q.AddFilter(LessEq(l, "l_shipdate", 2430));
+      break;
+    }
+    case 4: {  // Order priority checking; EXISTS handled as separate block.
+      int o = q.AddTable("orders");
+      q.AddFilter(Range(o, "o_orderdate", 800, 890));
+      break;
+    }
+    case 6: {  // Forecasting revenue change: lineitem scan.
+      int l = q.AddTable("lineitem");
+      q.AddFilter(Range(l, "l_shipdate", 365, 730));
+      q.AddFilter(Range(l, "l_quantity", 1, 24));
+      break;
+    }
+    case 22: {  // Global sales opportunity; anti-join customer/orders.
+      int c = q.AddTable("customer");
+      int o = q.AddTable("orders");
+      q.AddJoin(c, "c_custkey", o, "o_custkey");
+      break;
+    }
+    case 12: {  // Shipping modes and order priority.
+      int o = q.AddTable("orders");
+      int l = q.AddTable("lineitem");
+      q.AddJoin(o, "o_orderkey", l, "l_orderkey");
+      q.AddFilter(Range(l, "l_shipdate", 365, 730));
+      break;
+    }
+    case 13: {  // Customer distribution (left join modeled as join).
+      int c = q.AddTable("customer");
+      int o = q.AddTable("orders");
+      q.AddJoin(c, "c_custkey", o, "o_custkey");
+      break;
+    }
+    case 14: {  // Promotion effect.
+      int l = q.AddTable("lineitem");
+      int p = q.AddTable("part");
+      q.AddJoin(l, "l_partkey", p, "p_partkey");
+      q.AddFilter(Range(l, "l_shipdate", 1000, 1030));
+      break;
+    }
+    case 15: {  // Top supplier (revenue view folded into lineitem).
+      int s = q.AddTable("supplier");
+      int l = q.AddTable("lineitem");
+      q.AddJoin(s, "s_suppkey", l, "l_suppkey");
+      q.AddFilter(Range(l, "l_shipdate", 1200, 1290));
+      break;
+    }
+    case 16: {  // Parts/supplier relationship.
+      int ps = q.AddTable("partsupp");
+      int p = q.AddTable("part");
+      q.AddJoin(ps, "ps_partkey", p, "p_partkey");
+      q.AddFilter(Equals(p, "p_brand", 12));
+      q.AddFilter(Range(p, "p_size", 1, 15));
+      break;
+    }
+    case 17: {  // Small-quantity-order revenue.
+      int l = q.AddTable("lineitem");
+      int p = q.AddTable("part");
+      q.AddJoin(l, "l_partkey", p, "p_partkey");
+      q.AddFilter(Equals(p, "p_brand", 23));
+      break;
+    }
+    case 19: {  // Discounted revenue.
+      int l = q.AddTable("lineitem");
+      int p = q.AddTable("part");
+      q.AddJoin(l, "l_partkey", p, "p_partkey");
+      q.AddFilter(Range(p, "p_size", 1, 15));
+      q.AddFilter(Range(l, "l_quantity", 1, 30));
+      break;
+    }
+    case 20: {  // Potential part promotion (outer block).
+      int s = q.AddTable("supplier");
+      int n = q.AddTable("nation");
+      q.AddJoin(s, "s_nationkey", n, "n_nationkey");
+      q.AddFilter(Equals(n, "n_nationkey", 3));
+      break;
+    }
+    case 3: {  // Shipping priority.
+      int c = q.AddTable("customer");
+      int o = q.AddTable("orders");
+      int l = q.AddTable("lineitem");
+      q.AddJoin(c, "c_custkey", o, "o_custkey");
+      q.AddJoin(o, "o_orderkey", l, "l_orderkey");
+      q.AddFilter(Equals(c, "c_mktsegment", 1));
+      q.AddFilter(LessEq(o, "o_orderdate", 1204));
+      break;
+    }
+    case 11: {  // Important stock identification.
+      int ps = q.AddTable("partsupp");
+      int s = q.AddTable("supplier");
+      int n = q.AddTable("nation");
+      q.AddJoin(ps, "ps_suppkey", s, "s_suppkey");
+      q.AddJoin(s, "s_nationkey", n, "n_nationkey");
+      q.AddFilter(Equals(n, "n_nationkey", 7));
+      break;
+    }
+    case 18: {  // Large volume customer.
+      int c = q.AddTable("customer");
+      int o = q.AddTable("orders");
+      int l = q.AddTable("lineitem");
+      q.AddJoin(c, "c_custkey", o, "o_custkey");
+      q.AddJoin(o, "o_orderkey", l, "l_orderkey");
+      break;
+    }
+    case 10: {  // Returned item reporting.
+      int c = q.AddTable("customer");
+      int o = q.AddTable("orders");
+      int l = q.AddTable("lineitem");
+      int n = q.AddTable("nation");
+      q.AddJoin(c, "c_custkey", o, "o_custkey");
+      q.AddJoin(o, "o_orderkey", l, "l_orderkey");
+      q.AddJoin(c, "c_nationkey", n, "n_nationkey");
+      q.AddFilter(Range(o, "o_orderdate", 850, 940));
+      break;
+    }
+    case 21: {  // Suppliers who kept orders waiting.
+      int s = q.AddTable("supplier");
+      int l = q.AddTable("lineitem");
+      int o = q.AddTable("orders");
+      int n = q.AddTable("nation");
+      q.AddJoin(s, "s_suppkey", l, "l_suppkey");
+      q.AddJoin(l, "l_orderkey", o, "o_orderkey");
+      q.AddJoin(s, "s_nationkey", n, "n_nationkey");
+      q.AddFilter(Equals(n, "n_nationkey", 20));
+      break;
+    }
+    case 2: {  // Minimum cost supplier (outer block).
+      int p = q.AddTable("part");
+      int s = q.AddTable("supplier");
+      int ps = q.AddTable("partsupp");
+      int n = q.AddTable("nation");
+      int r = q.AddTable("region");
+      q.AddJoin(p, "p_partkey", ps, "ps_partkey");
+      q.AddJoin(s, "s_suppkey", ps, "ps_suppkey");
+      q.AddJoin(s, "s_nationkey", n, "n_nationkey");
+      q.AddJoin(n, "n_regionkey", r, "r_regionkey");
+      q.AddFilter(Equals(p, "p_size", 15));
+      q.AddFilter(Equals(r, "r_regionkey", 2));
+      break;
+    }
+    case 5: {  // Local supplier volume.
+      int c = q.AddTable("customer");
+      int o = q.AddTable("orders");
+      int l = q.AddTable("lineitem");
+      int s = q.AddTable("supplier");
+      int n = q.AddTable("nation");
+      int r = q.AddTable("region");
+      q.AddJoin(c, "c_custkey", o, "o_custkey");
+      q.AddJoin(o, "o_orderkey", l, "l_orderkey");
+      q.AddJoin(l, "l_suppkey", s, "s_suppkey");
+      q.AddJoin(c, "c_nationkey", n, "n_nationkey");
+      q.AddJoin(s, "s_nationkey", n, "n_nationkey");
+      q.AddJoin(n, "n_regionkey", r, "r_regionkey");
+      q.AddFilter(Equals(r, "r_regionkey", 1));
+      q.AddFilter(Range(o, "o_orderdate", 365, 730));
+      break;
+    }
+    case 7: {  // Volume shipping; two nation occurrences.
+      int s = q.AddTable("supplier");
+      int l = q.AddTable("lineitem");
+      int o = q.AddTable("orders");
+      int c = q.AddTable("customer");
+      int n1 = q.AddTable("nation");
+      int n2 = q.AddTable("nation");
+      q.AddJoin(s, "s_suppkey", l, "l_suppkey");
+      q.AddJoin(o, "o_orderkey", l, "l_orderkey");
+      q.AddJoin(c, "c_custkey", o, "o_custkey");
+      q.AddJoin(s, "s_nationkey", n1, "n_nationkey");
+      q.AddJoin(c, "c_nationkey", n2, "n_nationkey");
+      q.AddFilter(Equals(n1, "n_nationkey", 6));
+      q.AddFilter(Equals(n2, "n_nationkey", 7));
+      q.AddFilter(Range(l, "l_shipdate", 365, 1095));
+      break;
+    }
+    case 9: {  // Product type profit measure.
+      int p = q.AddTable("part");
+      int s = q.AddTable("supplier");
+      int l = q.AddTable("lineitem");
+      int ps = q.AddTable("partsupp");
+      int o = q.AddTable("orders");
+      int n = q.AddTable("nation");
+      q.AddJoin(s, "s_suppkey", l, "l_suppkey");
+      q.AddJoin(ps, "ps_suppkey", l, "l_suppkey");
+      q.AddJoin(ps, "ps_partkey", l, "l_partkey");
+      q.AddJoin(p, "p_partkey", l, "l_partkey");
+      q.AddJoin(o, "o_orderkey", l, "l_orderkey");
+      q.AddJoin(s, "s_nationkey", n, "n_nationkey");
+      q.AddFilter(Range(p, "p_type", 40, 60));
+      break;
+    }
+    case 8: {  // National market share; largest query, eight tables.
+      int p = q.AddTable("part");
+      int s = q.AddTable("supplier");
+      int l = q.AddTable("lineitem");
+      int o = q.AddTable("orders");
+      int c = q.AddTable("customer");
+      int n1 = q.AddTable("nation");
+      int n2 = q.AddTable("nation");
+      int r = q.AddTable("region");
+      q.AddJoin(p, "p_partkey", l, "l_partkey");
+      q.AddJoin(s, "s_suppkey", l, "l_suppkey");
+      q.AddJoin(l, "l_orderkey", o, "o_orderkey");
+      q.AddJoin(o, "o_custkey", c, "c_custkey");
+      q.AddJoin(c, "c_nationkey", n1, "n_nationkey");
+      q.AddJoin(n1, "n_regionkey", r, "r_regionkey");
+      q.AddJoin(s, "s_nationkey", n2, "n_nationkey");
+      q.AddFilter(Equals(r, "r_regionkey", 1));
+      q.AddFilter(Range(p, "p_type", 100, 110));
+      q.AddFilter(Range(o, "o_orderdate", 365, 1095));
+      break;
+    }
+    default:
+      assert(false && "TPC-H query number must be in 1..22");
+  }
+  return q;
+}
+
+const std::vector<int>& TpcHQueryOrder() {
+  static const std::vector<int> kOrder = {1,  4,  6,  22, 12, 13, 14, 15,
+                                          16, 17, 19, 20, 3,  11, 18, 10,
+                                          21, 2,  5,  7,  9,  8};
+  return kOrder;
+}
+
+int TpcHQueryTableCount(int number) {
+  // Derived from the join-graph definitions above; kept as a table so the
+  // harness can size sweeps without building queries.
+  switch (number) {
+    case 1: case 4: case 6: return 1;
+    case 22: case 12: case 13: case 14: case 15:
+    case 16: case 17: case 19: case 20: return 2;
+    case 3: case 11: case 18: return 3;
+    case 10: case 21: return 4;
+    case 2: return 5;
+    case 5: case 7: case 9: return 6;
+    case 8: return 8;
+    default: assert(false && "TPC-H query number must be in 1..22");
+  }
+  return 0;
+}
+
+}  // namespace moqo

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Join graphs of the 22 TPC-H queries.
+//
+// The paper's experiments (Figures 5, 9, 10) run the optimizers on TPC-H,
+// ordering queries on the x-axis by the maximal number of tables in any
+// from-clause. Like Postgres (whose subquery-separation heuristic the paper
+// kept in place, Section 4), each query is modeled by its largest
+// from-clause block; EXISTS-style subqueries that Postgres converts into
+// joins are folded into that block, which yields the per-query table counts
+// of the paper's x-axis annotation:
+//
+//   Q1:1 Q4:1 Q6:1 Q22:2 Q12:2 Q13:2 Q14:2 Q15:2 Q16:2 Q17:2 Q19:2 Q20:2
+//   Q3:3 Q11:3 Q18:3 Q10:4 Q21:4 Q2:5 Q5:6 Q7:6 Q9:6 Q8:8
+
+#ifndef MOQO_QUERY_TPCH_QUERIES_H_
+#define MOQO_QUERY_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace moqo {
+
+/// Builds the join graph of TPC-H query `number` (1..22) over `catalog`
+/// (which must be a Catalog::TpcH()). Aborts on out-of-range numbers.
+Query MakeTpcHQuery(const Catalog* catalog, int number);
+
+/// Query numbers ordered by maximal from-clause size, the x-axis order of
+/// Figures 5, 9 and 10: 1 4 6 22 12 13 14 15 16 17 19 20 3 11 18 10 21 2 5
+/// 7 9 8.
+const std::vector<int>& TpcHQueryOrder();
+
+/// Number of tables in the modeled join graph of query `number`.
+int TpcHQueryTableCount(int number);
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_TPCH_QUERIES_H_

@@ -1,0 +1,95 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Arena: a bump allocator for immutable plan nodes.
+//
+// The optimizers allocate very large numbers of small, immutable PlanNode
+// objects whose lifetime is the lifetime of one optimization run (the EXA
+// can allocate millions before a timeout). A bump allocator makes each
+// allocation a pointer increment, never frees individual objects, and
+// reports its total footprint so OptimizerMetrics can reproduce the
+// "allocated memory during optimization" series of Figures 5/9/10.
+
+#ifndef MOQO_UTIL_ARENA_H_
+#define MOQO_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace moqo {
+
+/// Block-based bump allocator. Not thread-safe; each optimizer run owns one.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 16;  // 64 KiB
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` with `alignment`; memory is owned by the arena and
+  /// released only on destruction or Reset().
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
+    size_t padded = (offset_ + alignment - 1) & ~(alignment - 1);
+    if (blocks_.empty() || padded + bytes > blocks_.back().size) {
+      NewBlock(bytes + alignment);
+      padded = (offset_ + alignment - 1) & ~(alignment - 1);
+    }
+    void* result = blocks_.back().data.get() + padded;
+    offset_ = padded + bytes;
+    allocated_bytes_ += bytes;
+    return result;
+  }
+
+  /// Constructs a T in arena storage. T must be trivially destructible or
+  /// not require destruction (plan nodes qualify: POD-ish, pointer fields).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Total bytes handed out to callers since construction or last Reset().
+  size_t allocated_bytes() const { return allocated_bytes_; }
+
+  /// Total bytes reserved from the system (>= allocated_bytes()).
+  size_t reserved_bytes() const { return reserved_bytes_; }
+
+  /// Releases all blocks; invalidates every pointer previously returned.
+  void Reset() {
+    blocks_.clear();
+    offset_ = 0;
+    allocated_bytes_ = 0;
+    reserved_bytes_ = 0;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  void NewBlock(size_t min_bytes) {
+    size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    reserved_bytes_ += size;
+    offset_ = 0;
+  }
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t offset_ = 0;
+  size_t allocated_bytes_ = 0;
+  size_t reserved_bytes_ = 0;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_ARENA_H_

@@ -1,0 +1,20 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace moqo {
+
+std::vector<int> Xoshiro256::SampleWithoutReplacement(int universe,
+                                                      int count) {
+  std::vector<int> pool(universe);
+  std::iota(pool.begin(), pool.end(), 0);
+  if (count > universe) count = universe;
+  for (int i = 0; i < count; ++i) {
+    int j = i + static_cast<int>(NextInt(static_cast<uint64_t>(universe - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace moqo

@@ -1,0 +1,83 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Xoshiro256**: a small, fast, reproducible PRNG.
+//
+// The Section-8 workload generator must produce identical test cases across
+// runs and platforms for a given seed, so we avoid std::mt19937's
+// distribution portability issues and implement the generator and the few
+// distributions we need (uniform double, uniform int, subset sampling)
+// explicitly.
+
+#ifndef MOQO_UTIL_RANDOM_H_
+#define MOQO_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace moqo {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference code).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t s = z;
+      s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      s = (s ^ (s >> 27)) * 0x94d049bb133111ebULL;
+      word = s ^ (s >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  uint64_t NextInt(uint64_t bound) {
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    return lo + static_cast<int>(NextInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Samples `count` distinct elements from {0, ..., universe-1}
+  /// (partial Fisher-Yates); order of the result is the sampling order.
+  std::vector<int> SampleWithoutReplacement(int universe, int count);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_RANDOM_H_

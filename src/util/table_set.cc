@@ -1,0 +1,45 @@
+#include "util/table_set.h"
+
+#include <sstream>
+
+namespace moqo {
+
+std::string TableSet::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (int member : Members()) {
+    if (!first) out << ", ";
+    out << member;
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+namespace {
+
+void CollectSubsets(const std::vector<int>& members, int next, int remaining,
+                    uint64_t partial, std::vector<TableSet>* out) {
+  if (remaining == 0) {
+    out->push_back(TableSet(partial));
+    return;
+  }
+  const int available = static_cast<int>(members.size()) - next;
+  if (available < remaining) return;
+  // Either include members[next] or skip it.
+  CollectSubsets(members, next + 1, remaining - 1,
+                 partial | (uint64_t{1} << members[next]), out);
+  CollectSubsets(members, next + 1, remaining, partial, out);
+}
+
+}  // namespace
+
+std::vector<TableSet> SubsetsOfSize(TableSet universe, int cardinality) {
+  std::vector<TableSet> subsets;
+  if (cardinality < 0 || cardinality > universe.Cardinality()) return subsets;
+  CollectSubsets(universe.Members(), 0, cardinality, 0, &subsets);
+  return subsets;
+}
+
+}  // namespace moqo

@@ -1,0 +1,127 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// TableSet: a set of base tables represented as a 64-bit bitmask.
+//
+// The dynamic-programming optimizers in src/core index their memo tables by
+// table subsets; this type provides O(1) set algebra and the two enumeration
+// primitives the algorithms need: enumeration of all non-empty proper
+// submasks (the "splits" of Algorithm 1, line 19) and enumeration of all
+// subsets of a fixed cardinality (line 16).
+
+#ifndef MOQO_UTIL_TABLE_SET_H_
+#define MOQO_UTIL_TABLE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+/// A set of up to 64 base tables, identified by indexes 0..63.
+///
+/// Value type; all operations are O(1) bit manipulation. Used as the key of
+/// the optimizer memo and as the operand universe in split enumeration.
+class TableSet {
+ public:
+  /// Maximum number of distinct tables representable.
+  static constexpr int kMaxTables = 64;
+
+  constexpr TableSet() : mask_(0) {}
+  constexpr explicit TableSet(uint64_t mask) : mask_(mask) {}
+
+  /// The singleton set {table}.
+  static constexpr TableSet Singleton(int table) {
+    return TableSet(uint64_t{1} << table);
+  }
+
+  /// The set {0, 1, ..., count-1}.
+  static constexpr TableSet Prefix(int count) {
+    return count >= kMaxTables ? TableSet(~uint64_t{0})
+                               : TableSet((uint64_t{1} << count) - 1);
+  }
+
+  constexpr uint64_t mask() const { return mask_; }
+  constexpr bool Empty() const { return mask_ == 0; }
+  constexpr int Cardinality() const { return std::popcount(mask_); }
+
+  constexpr bool Contains(int table) const {
+    return (mask_ >> table) & uint64_t{1};
+  }
+  constexpr bool ContainsAll(TableSet other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+  constexpr bool Intersects(TableSet other) const {
+    return (mask_ & other.mask_) != 0;
+  }
+
+  constexpr TableSet Union(TableSet other) const {
+    return TableSet(mask_ | other.mask_);
+  }
+  constexpr TableSet Intersect(TableSet other) const {
+    return TableSet(mask_ & other.mask_);
+  }
+  constexpr TableSet Minus(TableSet other) const {
+    return TableSet(mask_ & ~other.mask_);
+  }
+  constexpr TableSet With(int table) const {
+    return TableSet(mask_ | (uint64_t{1} << table));
+  }
+  constexpr TableSet Without(int table) const {
+    return TableSet(mask_ & ~(uint64_t{1} << table));
+  }
+
+  /// Index of the lowest-numbered table in the set. Undefined when empty.
+  constexpr int First() const { return std::countr_zero(mask_); }
+
+  /// The member tables in increasing index order.
+  std::vector<int> Members() const {
+    std::vector<int> members;
+    members.reserve(Cardinality());
+    for (uint64_t m = mask_; m != 0; m &= m - 1) {
+      members.push_back(std::countr_zero(m));
+    }
+    return members;
+  }
+
+  /// Renders e.g. "{0, 2, 5}" for debugging and explain output.
+  std::string ToString() const;
+
+  constexpr bool operator==(const TableSet&) const = default;
+  constexpr auto operator<=>(const TableSet&) const = default;
+
+ private:
+  uint64_t mask_;
+};
+
+/// Enumerates all non-empty proper submasks s of `set` such that
+/// (s, set \ s) covers every 2-way split of `set`. Each unordered split
+/// {s, set\s} is visited twice (once per side); the dynamic-programming
+/// driver deduplicates by keeping the side that contains set.First() when
+/// operand order does not matter.
+///
+/// Usage:
+///   for (SubsetIterator it(q); !it.Done(); it.Next()) { use(it.Current()); }
+class SubsetIterator {
+ public:
+  explicit SubsetIterator(TableSet set)
+      : universe_(set.mask()), current_((set.mask() - 1) & set.mask()) {}
+
+  bool Done() const { return current_ == 0; }
+  TableSet Current() const { return TableSet(current_); }
+  TableSet Complement() const { return TableSet(universe_ & ~current_); }
+  void Next() { current_ = (current_ - 1) & universe_; }
+
+ private:
+  uint64_t universe_;
+  uint64_t current_;
+};
+
+/// Returns all subsets of `universe` with exactly `cardinality` members, in
+/// increasing mask order. Used by the DP drivers to process table sets of
+/// increasing size (Algorithm 1, lines 15-16).
+std::vector<TableSet> SubsetsOfSize(TableSet universe, int cardinality);
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_TABLE_SET_H_

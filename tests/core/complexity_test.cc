@@ -1,0 +1,87 @@
+// Tests for the closed-form complexity model behind Figure 7.
+
+#include "core/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace moqo {
+namespace {
+
+TEST(ComplexityTest, NBushyMatchesHandComputedValues) {
+  // N_bushy(j, n) = j^(2n-1) * (2(n-1))!/(n-1)!.
+  // n=1: j^1 * 0!/0! = j.
+  EXPECT_NEAR(Log10NBushy(6, 1), std::log10(6.0), 1e-9);
+  // n=2: j^3 * 2!/1! = 2 j^3.
+  EXPECT_NEAR(Log10NBushy(6, 2), std::log10(2.0 * 216), 1e-9);
+  // n=3: j^5 * 4!/2! = 12 j^5.
+  EXPECT_NEAR(Log10NBushy(2, 3), std::log10(12.0 * 32), 1e-9);
+}
+
+TEST(ComplexityTest, ExaTimeIsSquareOfPlanCount) {
+  EXPECT_NEAR(Log10ExaTime(6, 5), 2 * Log10NBushy(6, 5), 1e-12);
+}
+
+TEST(ComplexityTest, NStoredGrowsWithTablesAndShrinksWithAlpha) {
+  const double m = 1e5;
+  EXPECT_LT(Log10NStored(m, 4, 3, 2.0), Log10NStored(m, 8, 3, 2.0));
+  EXPECT_LT(Log10NStored(m, 4, 3, 2.0), Log10NStored(m, 4, 3, 1.05));
+  EXPECT_LT(Log10NStored(m, 4, 3, 2.0), Log10NStored(m, 4, 9, 2.0));
+}
+
+TEST(ComplexityTest, Figure7Ordering) {
+  // Figure 7 (j=6, l=3, m=1e5): Selinger < RTA(1.5) < RTA(1.05) always;
+  // the EXA starts cheaper than the fine-grained RTA for few tables but
+  // crosses over and dwarfs everything as n grows — that crossover is the
+  // visual message of the figure.
+  bool exa_cheaper_somewhere = false;
+  bool exa_crosses_over = false;
+  for (int n = 2; n <= 10; ++n) {
+    const double selinger = Log10SelingerTime(6, n);
+    const double rta_coarse = Log10RtaTime(6, n, 3, 1e5, 1.5);
+    const double rta_fine = Log10RtaTime(6, n, 3, 1e5, 1.05);
+    const double exa = Log10ExaTime(6, n);
+    EXPECT_LT(selinger, rta_coarse) << "n=" << n;
+    EXPECT_LT(rta_coarse, rta_fine) << "n=" << n;
+    if (exa < rta_fine) exa_cheaper_somewhere = true;
+    if (exa > rta_fine) exa_crosses_over = true;
+  }
+  EXPECT_TRUE(exa_cheaper_somewhere);
+  EXPECT_TRUE(exa_crosses_over);
+  // Far out, the EXA exceeds even the finest RTA by many orders.
+  EXPECT_GT(Log10ExaTime(6, 10) - Log10RtaTime(6, 10, 3, 1e5, 1.05), 5);
+}
+
+TEST(ComplexityTest, ExaGrowsSuperExponentially) {
+  // The EXA curve accelerates: successive differences increase.
+  double prev_delta = 0;
+  for (int n = 2; n <= 10; ++n) {
+    const double delta = Log10ExaTime(6, n) - Log10ExaTime(6, n - 1);
+    EXPECT_GT(delta, prev_delta) << "n=" << n;
+    prev_delta = delta;
+  }
+}
+
+TEST(ComplexityTest, RtaIsPolynomialFactorOverSelinger) {
+  // Theorem 5: RTA time = Selinger * N_stored^3 — the gap in log space is
+  // exactly 3*log10(N_stored).
+  for (int n = 2; n <= 8; ++n) {
+    const double gap = Log10RtaTime(6, n, 3, 1e5, 1.5) -
+                       Log10SelingerTime(6, n);
+    EXPECT_NEAR(gap, 3 * Log10NStored(1e5, n, 3, 1.5), 1e-9);
+  }
+}
+
+TEST(ComplexityTest, IraIterationTimeDoublesPerIteration) {
+  // Theorem 7: the 2^i factor makes consecutive iterations differ by
+  // log10(2).
+  const double t1 = Log10IraIterationTime(6, 5, 3, 1e5, 1.5, 1);
+  const double t2 = Log10IraIterationTime(6, 5, 3, 1e5, 1.5, 2);
+  const double t3 = Log10IraIterationTime(6, 5, 3, 1e5, 1.5, 3);
+  EXPECT_NEAR(t2 - t1, std::log10(2.0), 1e-12);
+  EXPECT_NEAR(t3 - t2, std::log10(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace moqo

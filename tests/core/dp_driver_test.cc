@@ -1,0 +1,132 @@
+// Tests for the DP engine: memo structure, split enumeration, the
+// Cartesian-product heuristic, and quick/timeout modes.
+
+#include "core/dp_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_helpers.h"
+
+namespace moqo {
+namespace {
+
+class DpDriverTest : public ::testing::Test {
+ protected:
+  DpDriverTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        registry_(testing::SmallOperatorSpace()) {}
+
+  Catalog catalog_;
+  OperatorRegistry registry_;
+  Arena arena_;
+};
+
+TEST_F(DpDriverTest, BuildsEntriesForConnectedSubsetsOnly) {
+  // Star query: fact(0)-dim1(1), fact-dim2(2). {dim1,dim2} is disconnected.
+  Query query = testing::MakeStarQuery(&catalog_, 2);
+  CostModel model(&query, &registry_,
+                  ObjectiveSet({Objective::kTotalTime, Objective::kEnergy}));
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+  DPOptions options;
+  const ParetoSet& result = generator.Run(query, options);
+  EXPECT_FALSE(result.empty());
+  EXPECT_FALSE(generator.SetFor(TableSet::Singleton(0)).empty());
+  EXPECT_FALSE(
+      generator.SetFor(TableSet::Singleton(0).With(1)).empty());
+  // Disconnected subset skipped entirely.
+  EXPECT_TRUE(generator.SetFor(TableSet::Singleton(1).With(2)).empty());
+}
+
+TEST_F(DpDriverTest, DisconnectedQueryStillOptimizable) {
+  // Query with NO join predicate: only Cartesian products are possible, so
+  // the heuristic must fall back to product splits.
+  Query query(&catalog_, "cross");
+  query.AddTable("dim1");
+  query.AddTable("dim2");
+  CostModel model(&query, &registry_, ObjectiveSet::Only(Objective::kTotalTime));
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+  DPOptions options;
+  const ParetoSet& result = generator.Run(query, options);
+  ASSERT_FALSE(result.empty());
+  EXPECT_EQ(result.at(0)->tables, query.AllTables());
+}
+
+TEST_F(DpDriverTest, StatsCountConsideredAndInserted) {
+  Query query = testing::MakeStarQuery(&catalog_, 2);
+  CostModel model(&query, &registry_, ObjectiveSet::Only(Objective::kTotalTime));
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+  DPOptions options;
+  generator.Run(query, options);
+  const DPStats& stats = generator.stats();
+  EXPECT_GT(stats.considered_plans, 0);
+  EXPECT_GT(stats.inserted_plans, 0);
+  EXPECT_LE(stats.inserted_plans, stats.considered_plans);
+  EXPECT_FALSE(stats.timed_out);
+  EXPECT_EQ(stats.last_complete_set, query.AllTables());
+  EXPECT_EQ(stats.last_complete_pareto_count, 1);  // Single objective.
+}
+
+TEST_F(DpDriverTest, ApproximatePruningStoresFewerPlans) {
+  Query query = testing::MakeStarQuery(&catalog_, 3);
+  CostModel model(&query, &registry_, ObjectiveSet::All());
+  DPOptions exact;
+  Arena arena1;
+  DPPlanGenerator exact_gen(&model, &registry_, &arena1);
+  const int exact_size = exact_gen.Run(query, exact).size();
+
+  DPOptions approx;
+  approx.alpha = RTAInternalPrecision(2.0, query.num_tables());
+  Arena arena2;
+  DPPlanGenerator approx_gen(&model, &registry_, &arena2);
+  const int approx_size = approx_gen.Run(query, approx).size();
+
+  EXPECT_LE(approx_size, exact_size);
+  EXPECT_GT(approx_size, 0);
+  EXPECT_LE(approx_gen.stats().considered_plans,
+            exact_gen.stats().considered_plans);
+}
+
+TEST_F(DpDriverTest, SinglePlanModeKeepsOnePlanPerSet) {
+  Query query = testing::MakeStarQuery(&catalog_, 3);
+  CostModel model(&query, &registry_, ObjectiveSet::All());
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+  DPOptions options;
+  options.single_plan_mode = true;
+  options.quick_mode_weights = WeightVector::Uniform(kNumObjectives);
+  const ParetoSet& result = generator.Run(query, options);
+  EXPECT_EQ(result.size(), 1);
+  EXPECT_EQ(generator.SetFor(TableSet::Singleton(0)).size(), 1);
+}
+
+TEST_F(DpDriverTest, MemoryBytesGrowWithWork) {
+  Query small_query = testing::MakeStarQuery(&catalog_, 1);
+  Query big_query = testing::MakeStarQuery(&catalog_, 3);
+  CostModel small_model(&small_query, &registry_, ObjectiveSet::All());
+  CostModel big_model(&big_query, &registry_, ObjectiveSet::All());
+  Arena arena1, arena2;
+  DPPlanGenerator small_gen(&small_model, &registry_, &arena1);
+  DPPlanGenerator big_gen(&big_model, &registry_, &arena2);
+  DPOptions options;
+  small_gen.Run(small_query, options);
+  big_gen.Run(big_query, options);
+  EXPECT_GT(big_gen.MemoryBytes(), small_gen.MemoryBytes());
+}
+
+TEST_F(DpDriverTest, SplitEnumerationPrefersConnectedSplits) {
+  Query query = testing::MakeStarQuery(&catalog_, 2);
+  CostModel model(&query, &registry_, ObjectiveSet::Only(Objective::kTotalTime));
+  DPPlanGenerator generator(&model, &registry_, &arena_);
+  // With the heuristic on, the full set {0,1,2} must never be built from
+  // the Cartesian split ({1,2} | {0}) — {1,2} has no plans anyway — and the
+  // result must use predicate-connected joins.
+  DPOptions options;
+  const ParetoSet& result = generator.Run(query, options);
+  ASSERT_FALSE(result.empty());
+  const PlanNode* plan = result.at(0);
+  // Both joins in the plan connect fact with a dimension.
+  EXPECT_TRUE(plan->left->tables.Contains(0) ||
+              plan->right->tables.Contains(0));
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,209 @@
+// Tests using the exhaustive plan enumerator as ground-truth oracle:
+// plan-count formula validation, EXA optimality and frontier completeness,
+// and the RTA guarantee measured against true optima.
+
+#include "core/naive_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exa.h"
+#include "core/rta.h"
+#include "frontier/frontier.h"
+#include "testing/test_helpers.h"
+
+namespace moqo {
+namespace {
+
+/// A catalog without indexes: IndexScan and IndexNLJoin are never
+/// applicable, so applicability-filtered enumeration matches closed forms.
+Catalog MakeIndexFreeCatalog() {
+  Catalog catalog;
+  for (int t = 0; t < 4; ++t) {
+    Table table("t" + std::to_string(t), 1000 + 100 * t, 32);
+    ColumnStats key;
+    key.name = "key";
+    key.ndv = 100;
+    key.min_value = 0;
+    key.max_value = 99;
+    key.histogram = Histogram::Uniform(0, 99, 8, table.row_count());
+    table.AddColumn(key);
+    catalog.AddTable(std::move(table));
+  }
+  return catalog;
+}
+
+Query MakeChain(const Catalog* catalog, int n) {
+  Query query(catalog, "chain" + std::to_string(n));
+  for (int t = 0; t < n; ++t) query.AddTable("t" + std::to_string(t));
+  for (int t = 0; t + 1 < n; ++t) query.AddJoin(t, "key", t + 1, "key");
+  return query;
+}
+
+OperatorRegistry::Options BareOperators() {
+  OperatorRegistry::Options options;
+  options.enable_sampling = false;
+  options.enable_index_scan = false;
+  options.enable_parallelism = false;
+  return options;
+}
+
+TEST(NaiveEnumeratorTest, PlanCountMatchesClosedForm) {
+  Catalog catalog = MakeIndexFreeCatalog();
+  OperatorRegistry registry(BareOperators());
+  // 1 scan config; 4 join types of which IndexNL is never applicable -> 3.
+  const int scans = 1, joins = 3;
+  for (int n : {1, 2, 3}) {
+    Query query = MakeChain(&catalog, n);
+    CostModel model(&query, &registry, ObjectiveSet::Only(Objective::kTotalTime));
+    Arena arena;
+    NaiveEnumerator enumerator(&model, &registry, &arena);
+    NaiveEnumerator::Options options;
+    options.cartesian_heuristic = false;
+    const long count = enumerator.CountPlans(query, options);
+    EXPECT_DOUBLE_EQ(static_cast<double>(count),
+                     NaiveEnumerator::ExpectedPlanCount(scans, joins, n))
+        << "n=" << n;
+  }
+  // Hand values: n=2 -> 1*1*3*2 shapes? shapes(2)=2, so 1^2*3^1*2 = 6;
+  // n=3 -> 1^3*3^2*12 = 108.
+  EXPECT_DOUBLE_EQ(NaiveEnumerator::ExpectedPlanCount(1, 3, 2), 6);
+  EXPECT_DOUBLE_EQ(NaiveEnumerator::ExpectedPlanCount(1, 3, 3), 108);
+}
+
+TEST(NaiveEnumeratorTest, CartesianHeuristicShrinksSpace) {
+  // In a 4-chain t0-t1-t2-t3, the subset {t0, t1, t3} has the
+  // non-connected split ({t3} | {t0,t1}) which the heuristic excludes;
+  // 3-table chains have no such split, so 4 tables are the smallest case
+  // where the heuristic bites.
+  Catalog catalog = MakeIndexFreeCatalog();
+  OperatorRegistry registry(BareOperators());
+  Query query = MakeChain(&catalog, 4);
+  CostModel model(&query, &registry, ObjectiveSet::Only(Objective::kTotalTime));
+  Arena arena;
+  NaiveEnumerator enumerator(&model, &registry, &arena);
+  NaiveEnumerator::Options all;
+  all.cartesian_heuristic = false;
+  NaiveEnumerator::Options connected;
+  connected.cartesian_heuristic = true;
+  Arena arena2;
+  NaiveEnumerator enumerator2(&model, &registry, &arena2);
+  EXPECT_LT(enumerator2.CountPlans(query, connected),
+            enumerator.CountPlans(query, all));
+}
+
+TEST(NaiveEnumeratorTest, BudgetCapsEnumeration) {
+  Catalog catalog = MakeIndexFreeCatalog();
+  OperatorRegistry registry(BareOperators());
+  Query query = MakeChain(&catalog, 3);
+  CostModel model(&query, &registry, ObjectiveSet::Only(Objective::kTotalTime));
+  Arena arena;
+  NaiveEnumerator enumerator(&model, &registry, &arena);
+  NaiveEnumerator::Options options;
+  options.max_plans = 10;
+  EXPECT_LE(enumerator.CountPlans(query, options), 10);
+}
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        query_(testing::MakeStarQuery(&catalog_, 2)) {}
+
+  /// Enumerates the full plan space under the same settings the optimizers
+  /// use (heuristic on, applicability on) and returns all cost vectors.
+  std::vector<CostVector> AllCostVectors(const ObjectiveSet& objectives) {
+    OperatorRegistry registry(testing::SmallOperatorSpace());
+    CostModel model(&query_, &registry, objectives);
+    Arena arena;
+    NaiveEnumerator enumerator(&model, &registry, &arena);
+    NaiveEnumerator::Options options;
+    options.cartesian_heuristic = true;
+    std::vector<CostVector> costs;
+    enumerator.VisitAll(query_, options, [&](const PlanNode* plan) {
+      costs.push_back(plan->cost);
+    });
+    return costs;
+  }
+
+  Catalog catalog_;
+  Query query_;
+};
+
+TEST_F(OracleTest, ExaFindsTrueWeightedOptimum) {
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Objective> objectives;
+    for (int idx : rng.SampleWithoutReplacement(kNumObjectives, 3)) {
+      objectives.push_back(kAllObjectives[idx]);
+    }
+    const ObjectiveSet objective_set(objectives);
+    WeightVector weights(3);
+    for (int i = 0; i < 3; ++i) weights[i] = rng.NextDouble();
+
+    double naive_best = std::numeric_limits<double>::infinity();
+    for (const CostVector& cost : AllCostVectors(objective_set)) {
+      naive_best = std::min(naive_best, weights.WeightedCost(cost));
+    }
+
+    MOQOProblem problem;
+    problem.query = &query_;
+    problem.objectives = objective_set;
+    problem.weights = weights;
+    OptimizerResult result =
+        ExactMOQO(testing::SmallOptions()).Optimize(problem);
+    EXPECT_NEAR(result.weighted_cost, naive_best,
+                1e-9 * std::max(1.0, naive_best))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(OracleTest, ExaFrontierEqualsTrueParetoFrontier) {
+  const ObjectiveSet objectives({Objective::kTotalTime,
+                                 Objective::kBufferFootprint,
+                                 Objective::kTupleLoss});
+  const std::vector<CostVector> all = AllCostVectors(objectives);
+  std::vector<CostVector> truth = ExtractParetoFrontier(all);
+
+  MOQOProblem problem;
+  problem.query = &query_;
+  problem.objectives = objectives;
+  problem.weights = WeightVector::Uniform(3);
+  OptimizerResult result =
+      ExactMOQO(testing::SmallOptions()).Optimize(problem);
+
+  // Mutual 1.0-coverage = same frontier (up to duplicates).
+  EXPECT_FALSE(
+      FindUncoveredVector(result.frontier, truth, 1.0 + 1e-12).has_value());
+  EXPECT_FALSE(
+      FindUncoveredVector(truth, result.frontier, 1.0 + 1e-12).has_value());
+}
+
+TEST_F(OracleTest, RtaGuaranteeHoldsAgainstTrueOptimum) {
+  Xoshiro256 rng(23);
+  for (double alpha : {1.1, 1.5, 2.0}) {
+    std::vector<Objective> objectives;
+    for (int idx : rng.SampleWithoutReplacement(kNumObjectives, 4)) {
+      objectives.push_back(kAllObjectives[idx]);
+    }
+    const ObjectiveSet objective_set(objectives);
+    WeightVector weights(4);
+    for (int i = 0; i < 4; ++i) weights[i] = rng.NextDouble();
+
+    double naive_best = std::numeric_limits<double>::infinity();
+    for (const CostVector& cost : AllCostVectors(objective_set)) {
+      naive_best = std::min(naive_best, weights.WeightedCost(cost));
+    }
+
+    MOQOProblem problem;
+    problem.query = &query_;
+    problem.objectives = objective_set;
+    problem.weights = weights;
+    OptimizerResult result =
+        RTAOptimizer(testing::SmallOptions(alpha)).Optimize(problem);
+    EXPECT_LE(result.weighted_cost, naive_best * alpha + 1e-9)
+        << "alpha " << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace moqo

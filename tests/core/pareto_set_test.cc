@@ -1,0 +1,222 @@
+// Tests for ParetoSet pruning — including a randomized cross-check of the
+// block-summary/tombstone implementation against a naive reference
+// implementation of Algorithm 1/2's Prune.
+
+#include "core/pareto_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "testing/test_helpers.h"
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace moqo {
+namespace {
+
+PlanNode* MakePlan(Arena* arena, std::initializer_list<double> values) {
+  PlanNode* plan = arena->New<PlanNode>();
+  plan->cost = CostVector(static_cast<int>(values.size()));
+  int i = 0;
+  for (double v : values) plan->cost[i++] = v;
+  return plan;
+}
+
+/// Naive reference: exactly the paper's pseudo-code, no acceleration.
+class ReferenceParetoSet {
+ public:
+  bool Prune(const PlanNode* plan, const ParetoSet::PruneOptions& options) {
+    for (const PlanNode* stored : plans_) {
+      const bool rejects =
+          options.alpha <= 1.0
+              ? Dominates(stored->cost, plan->cost)
+              : ApproxDominates(stored->cost, plan->cost, options.alpha);
+      if (rejects) return false;
+    }
+    std::erase_if(plans_, [&](const PlanNode* stored) {
+      return Dominates(plan->cost, stored->cost);
+    });
+    plans_.push_back(plan);
+    return true;
+  }
+  std::vector<const PlanNode*> plans_;
+};
+
+TEST(ParetoSetTest, KeepsIncomparablePlans) {
+  Arena arena;
+  ParetoSet set;
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {1, 4})));
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {4, 1})));
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {2, 2})));
+  EXPECT_EQ(set.size(), 3);
+}
+
+TEST(ParetoSetTest, RejectsDominatedInsertions) {
+  Arena arena;
+  ParetoSet set;
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {1, 1})));
+  EXPECT_FALSE(set.Prune(MakePlan(&arena, {2, 2})));
+  EXPECT_FALSE(set.Prune(MakePlan(&arena, {1, 1})));  // Equal = dominated.
+  EXPECT_EQ(set.size(), 1);
+}
+
+TEST(ParetoSetTest, DeletesDominatedResidents) {
+  Arena arena;
+  ParetoSet set;
+  set.Prune(MakePlan(&arena, {3, 3}));
+  set.Prune(MakePlan(&arena, {4, 2}));
+  set.Prune(MakePlan(&arena, {1, 1}));  // Dominates both.
+  EXPECT_EQ(set.size(), 1);
+  set.Seal();
+  EXPECT_EQ(set.cost_at(0)[0], 1);
+}
+
+TEST(ParetoSetTest, ApproximatePruningRejectsNearDuplicates) {
+  Arena arena;
+  ParetoSet set;
+  ParetoSet::PruneOptions rta{1.5, false};
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {10, 10}), rta));
+  // Within factor 1.5 in every dimension: approximately dominated.
+  EXPECT_FALSE(set.Prune(MakePlan(&arena, {14, 12}), rta));
+  // Outside: 10 > 1.5 * 6 fails, so the stored plan does not 1.5-dominate.
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {6, 30}), rta));
+  EXPECT_EQ(set.size(), 2);
+}
+
+TEST(ParetoSetTest, ApproximateDeletionStillExact) {
+  // The paper's warning (Section 6.2): deletion must use plain dominance.
+  // Newcomer (4, 12) with alpha = 2:
+  //   - survives insertion: (10,10) does not 2-dominate it (10 > 2*4);
+  //   - 2-dominates the resident (4 <= 20, 12 <= 20);
+  //   - does NOT plainly dominate it (12 > 10).
+  // Default rule: both must stay.
+  Arena arena;
+  ParetoSet set;
+  ParetoSet::PruneOptions rta{2.0, false};
+  set.Prune(MakePlan(&arena, {10, 10}), rta);
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {4, 12}), rta));
+  EXPECT_EQ(set.size(), 2);
+  // (6, 4): not 2-dominated by either resident (10 > 2*4 and 12 > 2*4 in
+  // dim 1), plainly dominates (10,10), but not (4,12) — so the insert
+  // replaces exactly one resident.
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {6, 4}), rta));
+  set.Seal();
+  std::set<double> first_components;
+  for (int i = 0; i < set.size(); ++i) {
+    first_components.insert(set.cost_at(i)[0]);
+  }
+  EXPECT_EQ(first_components, (std::set<double>{4, 6}));
+}
+
+TEST(ParetoSetTest, AggressiveDeleteRemovesApproxDominated) {
+  // Same (10,10) / (4,12) pair: the ablation rule deletes the resident the
+  // newcomer approximately dominates, shrinking the set to 1.
+  Arena arena;
+  ParetoSet set;
+  ParetoSet::PruneOptions ablation{2.0, true};
+  set.Prune(MakePlan(&arena, {10, 10}), ablation);
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {4, 12}), ablation));
+  EXPECT_EQ(set.size(), 1);
+}
+
+TEST(ParetoSetTest, SelectBestRespectsBoundsWithFallback) {
+  Arena arena;
+  ParetoSet set;
+  const PlanNode* cheap = MakePlan(&arena, {1, 100});
+  const PlanNode* bounded = MakePlan(&arena, {50, 10});
+  set.Prune(cheap);
+  set.Prune(bounded);
+  WeightVector w = WeightVector::Uniform(2);
+  BoundVector bounds(2);
+  bounds[1] = 20;  // Excludes `cheap`.
+  EXPECT_EQ(set.SelectBest(w, bounds), bounded);
+  // Without bounds, total weighted cost decides: 101 vs 60 -> bounded.
+  EXPECT_EQ(set.SelectBestWeighted(w), bounded);
+  // Infeasible bounds: fall back to weighted best among all.
+  BoundVector impossible(2);
+  impossible[0] = 0.5;
+  EXPECT_EQ(set.SelectBest(w, impossible), bounded);
+}
+
+TEST(ParetoSetTest, EmptySetBehaviour) {
+  ParetoSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.SelectBestWeighted(WeightVector::Uniform(2)), nullptr);
+  EXPECT_TRUE(set.Frontier().empty());
+}
+
+TEST(ParetoSetTest, NoStoredPlanStrictlyDominatesAnother) {
+  Arena arena;
+  Xoshiro256 rng(5);
+  ParetoSet set;
+  for (int i = 0; i < 2000; ++i) {
+    PlanNode* plan = arena.New<PlanNode>();
+    plan->cost = testing::RandomCostVector(&rng, 3, 100);
+    set.Prune(plan);
+  }
+  set.Seal();
+  for (int i = 0; i < set.size(); ++i) {
+    for (int j = 0; j < set.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(StrictlyDominates(set.cost_at(i), set.cost_at(j)))
+          << i << " dominates " << j;
+    }
+  }
+}
+
+// The randomized cross-check: the optimized implementation must keep
+// exactly the same plan set as the naive pseudo-code, for exact and
+// approximate pruning, across dimensions — sweeping insert counts large
+// enough to exercise blocks, tombstones, and compaction.
+class ParetoSetCrossCheck
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ParetoSetCrossCheck, MatchesReferenceImplementation) {
+  const int dims = std::get<0>(GetParam());
+  const double alpha = std::get<1>(GetParam());
+  Arena arena;
+  Xoshiro256 rng(1000 + dims * 10 + static_cast<int>(alpha * 100));
+  ParetoSet fast;
+  ReferenceParetoSet reference;
+  const ParetoSet::PruneOptions options{alpha, false};
+  for (int i = 0; i < 3000; ++i) {
+    PlanNode* plan = arena.New<PlanNode>();
+    // Low-resolution grid so duplicates/dominance chains are common.
+    plan->cost = CostVector(dims);
+    for (int d = 0; d < dims; ++d) {
+      plan->cost[d] = static_cast<double>(rng.NextInt(uint64_t{40}));
+    }
+    const bool kept_fast = fast.Prune(plan, options);
+    const bool kept_ref = reference.Prune(plan, options);
+    ASSERT_EQ(kept_fast, kept_ref) << "insert " << i;
+    ASSERT_EQ(fast.size(), static_cast<int>(reference.plans_.size()))
+        << "insert " << i;
+  }
+  // Same multiset of cost vectors.
+  fast.Seal();
+  auto key = [](const CostVector& c) {
+    std::string k;
+    for (int d = 0; d < c.size(); ++d) {
+      k += std::to_string(c[d]) + ",";
+    }
+    return k;
+  };
+  std::multiset<std::string> fast_keys, ref_keys;
+  for (int i = 0; i < fast.size(); ++i) fast_keys.insert(key(fast.cost_at(i)));
+  for (const PlanNode* p : reference.plans_) ref_keys.insert(key(p->cost));
+  EXPECT_EQ(fast_keys, ref_keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndAlphas, ParetoSetCrossCheck,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 9),
+                       ::testing::Values(1.0, 1.05, 1.5)),
+    [](const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
+      return "dims" + std::to_string(std::get<0>(info.param)) + "_alpha" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,164 @@
+// Tests for CostVector, the dominance relations of Section 3, weighted
+// cost, bounds, and relative cost (Definition 3).
+
+#include "cost/cost_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_helpers.h"
+#include "util/random.h"
+
+namespace moqo {
+namespace {
+
+CostVector Make(std::initializer_list<double> values) {
+  CostVector cost(static_cast<int>(values.size()));
+  int i = 0;
+  for (double v : values) cost[i++] = v;
+  return cost;
+}
+
+TEST(CostVectorTest, ArithmeticOps) {
+  const CostVector a = Make({1, 4, 2});
+  const CostVector b = Make({3, 1, 2});
+  EXPECT_EQ(a.Plus(b), Make({4, 5, 4}));
+  EXPECT_EQ(a.Max(b), Make({3, 4, 2}));
+  EXPECT_EQ(a.Scaled(2), Make({2, 8, 4}));
+  EXPECT_TRUE(a.IsValid());
+}
+
+TEST(CostVectorTest, InvalidOnNegativeOrNaN) {
+  CostVector c = Make({1, -1});
+  EXPECT_FALSE(c.IsValid());
+  c[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(c.IsValid());
+}
+
+TEST(DominanceTest, PaperExampleFigures) {
+  // From Example 1: (7,1) and (6,2) are incomparable; (1,3) vs (7,1) too.
+  EXPECT_FALSE(Dominates(Make({7, 1}), Make({6, 2})));
+  EXPECT_FALSE(Dominates(Make({6, 2}), Make({7, 1})));
+  EXPECT_TRUE(Dominates(Make({6, 1}), Make({7, 1})));
+  EXPECT_TRUE(StrictlyDominates(Make({6, 1}), Make({7, 1})));
+}
+
+TEST(DominanceTest, DominatesIsReflexiveStrictIsNot) {
+  const CostVector c = Make({2, 3, 5});
+  EXPECT_TRUE(Dominates(c, c));
+  EXPECT_FALSE(StrictlyDominates(c, c));
+}
+
+TEST(DominanceTest, ApproxDominanceWithAlphaOneEqualsDominance) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    const CostVector a = testing::RandomCostVector(&rng, 4);
+    const CostVector b = testing::RandomCostVector(&rng, 4);
+    EXPECT_EQ(ApproxDominates(a, b, 1.0), Dominates(a, b));
+  }
+}
+
+TEST(DominanceTest, DominanceImpliesApproxDominance) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    const CostVector a = testing::RandomCostVector(&rng, 5);
+    const CostVector b = testing::RandomCostVector(&rng, 5);
+    const double alpha = 1.0 + rng.NextDouble();
+    if (Dominates(a, b)) {
+      EXPECT_TRUE(ApproxDominates(a, b, alpha));
+    }
+  }
+}
+
+TEST(DominanceTest, ApproxDominanceMonotoneInAlpha) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const CostVector a = testing::RandomCostVector(&rng, 3);
+    const CostVector b = testing::RandomCostVector(&rng, 3);
+    if (ApproxDominates(a, b, 1.2)) {
+      EXPECT_TRUE(ApproxDominates(a, b, 1.5));
+      EXPECT_TRUE(ApproxDominates(a, b, 3.0));
+    }
+  }
+}
+
+// Transitivity with multiplied precisions: a ⪯_x b and b ⪯_y c imply
+// a ⪯_{xy} c — the composition the RTA induction (Theorem 3) relies on.
+TEST(DominanceTest, ApproxDominanceComposesMultiplicatively) {
+  Xoshiro256 rng(11);
+  int checked = 0;
+  for (int trial = 0; trial < 3000 && checked < 200; ++trial) {
+    const CostVector a = testing::RandomCostVector(&rng, 3);
+    const CostVector b = testing::RandomCostVector(&rng, 3);
+    const CostVector c = testing::RandomCostVector(&rng, 3);
+    const double x = 1.0 + rng.NextDouble();
+    const double y = 1.0 + rng.NextDouble();
+    if (ApproxDominates(a, b, x) && ApproxDominates(b, c, y)) {
+      EXPECT_TRUE(ApproxDominates(a, c, x * y));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(DominanceTest, ZeroComponentBlocksApproxDominance) {
+  // alpha * 0 = 0: only cost 0 approximately dominates cost 0.
+  EXPECT_FALSE(ApproxDominates(Make({0.1, 1}), Make({0, 1}), 100.0));
+  EXPECT_TRUE(ApproxDominates(Make({0, 1}), Make({0, 1}), 1.0));
+}
+
+TEST(WeightVectorTest, WeightedCostIsDotProduct) {
+  WeightVector w(3);
+  w[0] = 1;
+  w[1] = 2;
+  w[2] = 0.5;
+  EXPECT_DOUBLE_EQ(w.WeightedCost(Make({4, 3, 2})), 4 + 6 + 1);
+}
+
+TEST(WeightVectorTest, Example1WeightedCosts) {
+  // Example 1: weights (1, 2); plan cost (7,3) -> 13, (6,5) -> 16.
+  WeightVector w(2);
+  w[0] = 1;
+  w[1] = 2;
+  EXPECT_DOUBLE_EQ(w.WeightedCost(Make({7, 3})), 13);
+  EXPECT_DOUBLE_EQ(w.WeightedCost(Make({6, 5})), 16);
+}
+
+TEST(WeightVectorTest, UniformAndOneHot) {
+  EXPECT_DOUBLE_EQ(WeightVector::Uniform(3).WeightedCost(Make({1, 2, 3})), 6);
+  EXPECT_DOUBLE_EQ(WeightVector::OneHot(3, 1).WeightedCost(Make({1, 2, 3})),
+                   2);
+}
+
+TEST(BoundVectorTest, UnboundedRespectsEverything) {
+  const BoundVector bounds = BoundVector::Unbounded(3);
+  EXPECT_TRUE(bounds.AllUnbounded());
+  EXPECT_EQ(bounds.NumFinite(), 0);
+  EXPECT_TRUE(bounds.Respects(Make({1e300, 1e300, 1e300})));
+}
+
+TEST(BoundVectorTest, SingleViolationExceeds) {
+  BoundVector bounds(3);
+  bounds[1] = 5.0;
+  EXPECT_TRUE(bounds.Respects(Make({100, 5, 100})));
+  EXPECT_FALSE(bounds.Respects(Make({0, 5.001, 0})));
+  EXPECT_EQ(bounds.NumFinite(), 1);
+}
+
+TEST(BoundVectorTest, RelaxedBoundsScaleMultiplicatively) {
+  BoundVector bounds(2);
+  bounds[0] = 10.0;
+  EXPECT_FALSE(bounds.Respects(Make({14, 1})));
+  EXPECT_TRUE(bounds.RespectsRelaxed(Make({14, 1}), 1.5));
+  EXPECT_FALSE(bounds.RespectsRelaxed(Make({16, 1}), 1.5));
+}
+
+TEST(RelativeCostTest, MatchesDefinition) {
+  WeightVector w = WeightVector::Uniform(2);
+  EXPECT_DOUBLE_EQ(RelativeCost(w, Make({2, 2}), Make({1, 1})), 2.0);
+  EXPECT_DOUBLE_EQ(RelativeCost(w, Make({1, 1}), Make({1, 1})), 1.0);
+  // Zero optimum with zero plan cost: relative cost 1 by convention.
+  EXPECT_DOUBLE_EQ(RelativeCost(w, Make({0, 0}), Make({0, 0})), 1.0);
+}
+
+}  // namespace
+}  // namespace moqo

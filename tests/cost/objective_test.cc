@@ -1,0 +1,84 @@
+// Tests for objective metadata and ObjectiveSet.
+
+#include "cost/objective.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace moqo {
+namespace {
+
+TEST(ObjectiveTest, NineObjectivesWithUniqueNames) {
+  std::set<std::string> names;
+  for (Objective o : kAllObjectives) {
+    names.insert(ObjectiveName(o));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumObjectives));
+  EXPECT_EQ(kNumObjectives, 9);
+}
+
+TEST(ObjectiveTest, MetadataConsistent) {
+  for (int i = 0; i < kNumObjectives; ++i) {
+    const ObjectiveInfo& info = GetObjectiveInfoByIndex(i);
+    EXPECT_EQ(static_cast<int>(info.objective), i);
+    EXPECT_GT(info.intrinsic_floor, 0) << info.name;  // Observation 3.
+  }
+}
+
+TEST(ObjectiveTest, TupleLossIsTheOnlyBoundedDomain) {
+  for (Objective o : kAllObjectives) {
+    EXPECT_EQ(GetObjectiveInfo(o).bounded_domain, o == Objective::kTupleLoss);
+  }
+}
+
+TEST(ObjectiveTest, CombinationKinds) {
+  EXPECT_EQ(GetObjectiveInfo(Objective::kEnergy).combination,
+            CombinationKind::kAdditive);
+  EXPECT_EQ(GetObjectiveInfo(Objective::kBufferFootprint).combination,
+            CombinationKind::kPeak);
+  EXPECT_EQ(GetObjectiveInfo(Objective::kTotalTime).combination,
+            CombinationKind::kParallelMax);
+  EXPECT_EQ(GetObjectiveInfo(Objective::kTupleLoss).combination,
+            CombinationKind::kLossCompose);
+}
+
+TEST(ObjectiveTest, ParseRoundTrips) {
+  for (Objective o : kAllObjectives) {
+    Objective parsed;
+    ASSERT_TRUE(ParseObjective(ObjectiveName(o), &parsed));
+    EXPECT_EQ(parsed, o);
+  }
+  Objective dummy;
+  EXPECT_FALSE(ParseObjective("no_such_objective", &dummy));
+}
+
+TEST(ObjectiveSetTest, AllContainsEverything) {
+  const ObjectiveSet all = ObjectiveSet::All();
+  EXPECT_EQ(all.size(), kNumObjectives);
+  for (Objective o : kAllObjectives) {
+    EXPECT_TRUE(all.Contains(o));
+  }
+}
+
+TEST(ObjectiveSetTest, IndexOfMatchesOrder) {
+  ObjectiveSet set({Objective::kEnergy, Objective::kTotalTime});
+  EXPECT_EQ(set.IndexOf(Objective::kEnergy), 0);
+  EXPECT_EQ(set.IndexOf(Objective::kTotalTime), 1);
+  EXPECT_EQ(set.IndexOf(Objective::kCores), -1);
+  EXPECT_FALSE(set.Contains(Objective::kCores));
+}
+
+TEST(ObjectiveSetTest, OnlyMakesSingleton) {
+  const ObjectiveSet set = ObjectiveSet::Only(Objective::kIOLoad);
+  EXPECT_EQ(set.size(), 1);
+  EXPECT_EQ(set.at(0), Objective::kIOLoad);
+}
+
+TEST(ObjectiveSetTest, ToStringListsNames) {
+  ObjectiveSet set({Objective::kTotalTime, Objective::kTupleLoss});
+  EXPECT_EQ(set.ToString(), "[total_time, tuple_loss]");
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,113 @@
+// Tests for Pareto-frontier utilities: extraction, alpha-coverage,
+// hypervolume, projection, and ASCII plotting.
+
+#include "frontier/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_helpers.h"
+#include "util/random.h"
+
+namespace moqo {
+namespace {
+
+CostVector Make(std::initializer_list<double> values) {
+  CostVector cost(static_cast<int>(values.size()));
+  int i = 0;
+  for (double v : values) cost[i++] = v;
+  return cost;
+}
+
+TEST(FrontierTest, ExtractRemovesDominated) {
+  const std::vector<CostVector> vectors = {
+      Make({1, 4}), Make({2, 2}), Make({4, 1}), Make({3, 3}),  // dominated
+      Make({5, 5}),                                            // dominated
+  };
+  const auto frontier = ExtractParetoFrontier(vectors);
+  EXPECT_EQ(frontier.size(), 3u);
+  for (const CostVector& f : frontier) {
+    EXPECT_LT(f[0] + f[1], 6);  // (3,3) and (5,5) are gone.
+  }
+}
+
+TEST(FrontierTest, ExtractKeepsOneOfEquals) {
+  const std::vector<CostVector> vectors = {Make({1, 1}), Make({1, 1})};
+  EXPECT_EQ(ExtractParetoFrontier(vectors).size(), 1u);
+}
+
+TEST(FrontierTest, ExtractionIsIdempotent) {
+  Xoshiro256 rng(3);
+  std::vector<CostVector> vectors;
+  for (int i = 0; i < 200; ++i) {
+    vectors.push_back(testing::RandomCostVector(&rng, 3));
+  }
+  const auto once = ExtractParetoFrontier(vectors);
+  const auto twice = ExtractParetoFrontier(once);
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST(FrontierTest, CoverageDetection) {
+  const std::vector<CostVector> reference = {Make({1, 4}), Make({4, 1})};
+  const std::vector<CostVector> candidate = {Make({1.2, 4.4})};
+  // (1.2, 4.4) covers (1,4) with alpha 1.2 but not (4,1).
+  EXPECT_TRUE(FindUncoveredVector(candidate, reference, 1.2).has_value());
+  const std::vector<CostVector> full = {Make({1.2, 4.4}), Make({4.4, 1.2})};
+  EXPECT_FALSE(FindUncoveredVector(full, reference, 1.2).has_value());
+  EXPECT_NEAR(CoverageAlpha(full, reference), 1.2, 1e-9);
+  EXPECT_NEAR(CoverageAlpha(reference, reference), 1.0, 1e-9);
+}
+
+TEST(FrontierTest, Hypervolume2DRectangles) {
+  // Single point (1,1) with reference (2,2): dominated box is 1x1.
+  EXPECT_DOUBLE_EQ(Hypervolume2D({Make({1, 1})}, Make({2, 2})), 1.0);
+  // Two staircase points.
+  const double hv =
+      Hypervolume2D({Make({1, 2}), Make({2, 1})}, Make({3, 3}));
+  EXPECT_DOUBLE_EQ(hv, 3.0);  // 2x1 + 1x... = (3-1)(3-2)+(3-2)(2-1)=2+1.
+  // Dominated point adds nothing.
+  const double hv2 = Hypervolume2D({Make({1, 2}), Make({2, 1}), Make({2, 2})},
+                                   Make({3, 3}));
+  EXPECT_DOUBLE_EQ(hv2, hv);
+}
+
+TEST(FrontierTest, MonteCarloAgreesWith2DExact) {
+  Xoshiro256 rng(5);
+  std::vector<CostVector> frontier;
+  for (int i = 0; i < 20; ++i) {
+    frontier.push_back(testing::RandomCostVector(&rng, 2, 10.0));
+  }
+  const CostVector ref = Make({10, 10});
+  const double exact = Hypervolume2D(ExtractParetoFrontier(frontier), ref);
+  const double mc = HypervolumeMonteCarlo(frontier, ref, 200000, 9);
+  EXPECT_NEAR(mc, exact, 0.05 * 100);  // Within 5% of the box volume.
+}
+
+TEST(FrontierTest, HypervolumeMonotoneInFrontierQuality) {
+  // A better (lower) frontier dominates more volume.
+  const CostVector ref = Make({10, 10, 10});
+  const double worse = HypervolumeMonteCarlo({Make({5, 5, 5})}, ref, 50000, 1);
+  const double better = HypervolumeMonteCarlo({Make({2, 2, 2})}, ref, 50000, 1);
+  EXPECT_GT(better, worse);
+}
+
+TEST(FrontierTest, ProjectSelectsDimensions) {
+  const std::vector<CostVector> vectors = {Make({1, 2, 3, 4})};
+  const auto projected = Project(vectors, {3, 0});
+  ASSERT_EQ(projected.size(), 1u);
+  EXPECT_EQ(projected[0].size(), 2);
+  EXPECT_DOUBLE_EQ(projected[0][0], 4);
+  EXPECT_DOUBLE_EQ(projected[0][1], 1);
+}
+
+TEST(FrontierTest, AsciiScatterRendersPoints) {
+  const std::vector<CostVector> points = {Make({0, 0}), Make({1, 1}),
+                                          Make({0.5, 0.2})};
+  const std::string plot = AsciiScatter(points, 40, 10, "time", "buffer");
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("time"), std::string::npos);
+  EXPECT_NE(plot.find("buffer"), std::string::npos);
+  EXPECT_EQ(AsciiScatter({}, 10, 5, "x", "y"), "(no points)\n");
+}
+
+}  // namespace
+}  // namespace moqo

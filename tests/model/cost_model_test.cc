@@ -1,0 +1,251 @@
+// Tests for cardinality estimation and per-operator cost behaviour.
+
+#include "model/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "query/tpch_queries.h"
+#include "testing/test_helpers.h"
+
+namespace moqo {
+namespace {
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  CardinalityTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        query_(testing::MakeStarQuery(&catalog_, 2)),
+        estimator_(&query_) {}
+
+  Catalog catalog_;
+  Query query_;
+  CardinalityEstimator estimator_;
+};
+
+TEST_F(CardinalityTest, ScanWithoutFiltersReturnsTableSize) {
+  EXPECT_DOUBLE_EQ(estimator_.ScanOutputRows(0, 1.0), 10000);
+  EXPECT_DOUBLE_EQ(estimator_.ScanOutputRows(1, 1.0), 100);
+}
+
+TEST_F(CardinalityTest, SamplingScalesLinearly) {
+  EXPECT_DOUBLE_EQ(estimator_.ScanOutputRows(0, 0.05),
+                   estimator_.ScanOutputRows(0, 1.0) * 0.05);
+}
+
+TEST_F(CardinalityTest, FilterSelectivityFromHistogram) {
+  FilterPredicate f;
+  f.table = 0;
+  f.column = "f_value";
+  f.op = FilterOp::kRange;
+  f.value = 0;
+  f.value_hi = 499.5;
+  EXPECT_NEAR(estimator_.FilterSelectivity(f), 0.5, 0.01);
+  query_.AddFilter(f);
+  EXPECT_NEAR(estimator_.ScanOutputRows(0, 1.0), 5000, 100);
+}
+
+TEST_F(CardinalityTest, EquiJoinUsesMaxNdv) {
+  // fact.f_d1 (ndv 100) = dim1.d1_key (ndv 100) -> selectivity 1/100.
+  const double rows = estimator_.JoinOutputRows(
+      TableSet::Singleton(0), 10000, TableSet::Singleton(1), 100);
+  EXPECT_NEAR(rows, 10000 * 100 / 100.0, 1);
+}
+
+TEST_F(CardinalityTest, CartesianProductWithoutPredicate) {
+  // dim1 x dim2 have no connecting predicate.
+  const double rows = estimator_.JoinOutputRows(
+      TableSet::Singleton(1), 100, TableSet::Singleton(2), 100);
+  EXPECT_DOUBLE_EQ(rows, 10000);
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        query_(testing::MakeStarQuery(&catalog_, 2)),
+        registry_(testing::SmallOperatorSpace()),
+        model_(&query_, &registry_, ObjectiveSet::All()) {}
+
+  int ScanConfig(OperatorType type, double rate) {
+    for (int id : registry_.scan_configs()) {
+      const OperatorConfig& c = registry_.config(id);
+      if (c.type == type && c.sampling_rate == rate) return id;
+    }
+    return -1;
+  }
+  int JoinConfig(OperatorType type, int dop) {
+    for (int id : registry_.join_configs()) {
+      const OperatorConfig& c = registry_.config(id);
+      if (c.type == type && c.dop == dop) return id;
+    }
+    return -1;
+  }
+  double Dim(const CostVector& c, Objective o) {
+    return c[ObjectiveSet::All().IndexOf(o)];
+  }
+
+  Catalog catalog_;
+  Query query_;
+  OperatorRegistry registry_;
+  CostModel model_;
+  Arena arena_;
+};
+
+TEST_F(CostModelTest, ScanCostsAreValidAndPositive) {
+  for (int id : registry_.scan_configs()) {
+    if (!model_.ScanApplicable(id, 0)) continue;
+    const PlanNode scan = model_.ScanNode(id, 0);
+    EXPECT_TRUE(scan.cost.IsValid()) << registry_.config(id).ToString();
+    EXPECT_GT(Dim(scan.cost, Objective::kTotalTime), 0);
+    EXPECT_GE(Dim(scan.cost, Objective::kTupleLoss), 0);
+    EXPECT_LE(Dim(scan.cost, Objective::kTupleLoss), 1);
+  }
+}
+
+TEST_F(CostModelTest, SampledScanTradesLossForTime) {
+  const PlanNode full =
+      model_.ScanNode(ScanConfig(OperatorType::kSeqScan, 1.0), 0);
+  const PlanNode sampled =
+      model_.ScanNode(ScanConfig(OperatorType::kSeqScan, 0.05), 0);
+  EXPECT_LT(Dim(sampled.cost, Objective::kTotalTime),
+            Dim(full.cost, Objective::kTotalTime));
+  EXPECT_DOUBLE_EQ(Dim(full.cost, Objective::kTupleLoss), 0.0);
+  EXPECT_DOUBLE_EQ(Dim(sampled.cost, Objective::kTupleLoss), 0.95);
+  EXPECT_LT(sampled.cardinality, full.cardinality);
+}
+
+TEST_F(CostModelTest, IndexScanRequiresIndex) {
+  // fact has an index on f_d1 (join column) -> applicable.
+  EXPECT_TRUE(
+      model_.ScanApplicable(ScanConfig(OperatorType::kIndexScan, 1.0), 0));
+  // A table occurrence with no indexed filter/join column is not:
+  Query lone(&catalog_, "lone");
+  lone.AddTable("fact");
+  FilterPredicate f;
+  f.table = 0;
+  f.column = "f_value";  // Not indexed.
+  f.op = FilterOp::kLess;
+  f.value = 10;
+  lone.AddFilter(f);
+  CostModel lone_model(&lone, &registry_, ObjectiveSet::All());
+  EXPECT_FALSE(lone_model.ScanApplicable(
+      ScanConfig(OperatorType::kIndexScan, 1.0), 0));
+  EXPECT_TRUE(lone_model.ScanApplicable(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 0));
+}
+
+TEST_F(CostModelTest, ParallelismTradesTimeForCoresAndEnergy) {
+  const PlanNode* fact = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 0, &arena_);
+  const PlanNode* dim = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 1, &arena_);
+  const PlanNode serial = model_.JoinNode(
+      JoinConfig(OperatorType::kHashJoin, 1), fact, dim);
+  const PlanNode parallel = model_.JoinNode(
+      JoinConfig(OperatorType::kHashJoin, 2), fact, dim);
+  EXPECT_LT(Dim(parallel.cost, Objective::kCores) -
+                Dim(serial.cost, Objective::kCores),
+            3);
+  EXPECT_GE(Dim(parallel.cost, Objective::kCores),
+            Dim(serial.cost, Objective::kCores));
+  // Parallel overhead: more total CPU work and energy.
+  EXPECT_GT(Dim(parallel.cost, Objective::kCPULoad),
+            Dim(serial.cost, Objective::kCPULoad));
+  EXPECT_GT(Dim(parallel.cost, Objective::kEnergy),
+            Dim(serial.cost, Objective::kEnergy));
+}
+
+TEST_F(CostModelTest, HashJoinHasWorseStartupThanIndexNL) {
+  const PlanNode* fact = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 0, &arena_);
+  const PlanNode* dim = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 1, &arena_);
+  const PlanNode hash = model_.JoinNode(
+      JoinConfig(OperatorType::kHashJoin, 1), fact, dim);
+  const PlanNode idxnl = model_.JoinNode(
+      JoinConfig(OperatorType::kIndexNLJoin, 1), fact, dim);
+  // Pipelined IdxNL produces the first tuple long before hash join, whose
+  // startup includes consuming the whole build side (Figure 3(c) driver).
+  EXPECT_LT(Dim(idxnl.cost, Objective::kStartupTime),
+            Dim(hash.cost, Objective::kStartupTime));
+  // Hash join holds a hash table; IdxNL holds almost nothing (Fig. 3(b)).
+  EXPECT_LT(Dim(idxnl.cost, Objective::kBufferFootprint),
+            Dim(hash.cost, Objective::kBufferFootprint));
+}
+
+TEST_F(CostModelTest, TupleLossComposesViaLossFormula) {
+  const PlanNode* fact = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 0.05), 0, &arena_);
+  const PlanNode* dim = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 0.05), 1, &arena_);
+  const PlanNode join = model_.JoinNode(
+      JoinConfig(OperatorType::kHashJoin, 1), fact, dim);
+  // 1 - (1-0.95)(1-0.95) = 0.9975.
+  EXPECT_NEAR(Dim(join.cost, Objective::kTupleLoss), 0.9975, 1e-9);
+}
+
+TEST_F(CostModelTest, IndexNLJoinApplicability) {
+  const PlanNode* fact = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 0, &arena_);
+  const PlanNode* dim = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 1, &arena_);
+  const int idxnl = JoinConfig(OperatorType::kIndexNLJoin, 1);
+  // dim1 as inner: indexed join column -> applicable.
+  EXPECT_TRUE(model_.JoinApplicable(idxnl, *fact, *dim));
+  // A join as inner is never probed by index.
+  const PlanNode* join = model_.MakeJoin(
+      JoinConfig(OperatorType::kHashJoin, 1), fact, dim, &arena_);
+  const PlanNode* dim2 = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 2, &arena_);
+  EXPECT_FALSE(model_.JoinApplicable(idxnl, *dim2, *join));
+}
+
+TEST_F(CostModelTest, AnalyzeSplitMatchesSlowPath) {
+  const CostModel::SplitInfo info =
+      model_.AnalyzeSplit(TableSet::Singleton(0), TableSet::Singleton(1));
+  EXPECT_TRUE(info.has_predicate);
+  EXPECT_TRUE(info.index_nl_applicable);
+  EXPECT_NEAR(info.selectivity, 0.01, 1e-9);
+  const CostModel::SplitInfo cross =
+      model_.AnalyzeSplit(TableSet::Singleton(1), TableSet::Singleton(2));
+  EXPECT_FALSE(cross.has_predicate);
+  EXPECT_DOUBLE_EQ(cross.selectivity, 1.0);
+}
+
+TEST_F(CostModelTest, JoinNodeFastPathMatchesSlowPath) {
+  const PlanNode* fact = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 0, &arena_);
+  const PlanNode* dim = model_.MakeScan(
+      ScanConfig(OperatorType::kSeqScan, 1.0), 1, &arena_);
+  for (int config : registry_.join_configs()) {
+    const PlanNode slow = model_.JoinNode(config, fact, dim);
+    const PlanNode fast = model_.JoinNode(
+        config, fact, dim,
+        model_.AnalyzeSplit(fact->tables, dim->tables));
+    EXPECT_EQ(slow.cost, fast.cost);
+    EXPECT_DOUBLE_EQ(slow.cardinality, fast.cardinality);
+  }
+}
+
+// Lemma 1 sanity: costs stay finite and polynomially bounded on the
+// largest TPC-H query at full scale.
+TEST(CostModelScaleTest, CostsFiniteOnTpcHQ8) {
+  Catalog catalog = Catalog::TpcH(1.0);
+  Query query = MakeTpcHQuery(&catalog, 8);
+  OperatorRegistry registry;
+  CostModel model(&query, &registry, ObjectiveSet::All());
+  Arena arena;
+  // Chain all eight tables with hash joins.
+  const PlanNode* plan =
+      model.MakeScan(registry.scan_configs()[0], 0, &arena);
+  for (int t = 1; t < query.num_tables(); ++t) {
+    const PlanNode* scan =
+        model.MakeScan(registry.scan_configs()[0], t, &arena);
+    plan = model.MakeJoin(registry.join_configs()[0], plan, scan, &arena);
+  }
+  EXPECT_TRUE(plan->cost.IsValid());
+  EXPECT_GT(plan->cardinality, 0);
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,202 @@
+// Property tests for the Principle of Optimality (Definition 6) and the
+// Principle of Near-Optimality (Definition 7) of the cost model.
+//
+// Section 6.1 proves that the RTA's guarantee holds because every cost
+// formula is composed of sum / max / min / scale-by-constant plus the
+// tuple-loss composition. These tests verify the two principles directly on
+// CostModel::CombineJoinCost: for random operand statistics and random
+// child cost vectors, (approximately) dominating child costs must yield an
+// (approximately) dominated combined cost — for every join operator
+// configuration and every objective subset, swept via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "testing/test_helpers.h"
+#include "util/random.h"
+
+namespace moqo {
+namespace {
+
+struct PonoParam {
+  OperatorType join_type;
+  int dop;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<PonoParam>& info) {
+  return std::string(OperatorTypeName(info.param.join_type)) + "_dop" +
+         std::to_string(info.param.dop);
+}
+
+class PonoTest : public ::testing::TestWithParam<PonoParam> {
+ protected:
+  PonoTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        query_(testing::MakeStarQuery(&catalog_, 2)),
+        registry_(testing::SmallOperatorSpace()) {}
+
+  /// Random loss-valid cost vector: tuple-loss dimensions live in [0, 1].
+  CostVector RandomCost(Xoshiro256* rng, const ObjectiveSet& objectives) {
+    CostVector cost(objectives.size());
+    for (int i = 0; i < objectives.size(); ++i) {
+      cost[i] = objectives.at(i) == Objective::kTupleLoss
+                    ? rng->NextDouble()
+                    : rng->NextDouble() * 1000.0;
+    }
+    return cost;
+  }
+
+  /// Derives a vector approximately dominated by `base`: each component is
+  /// scaled by an independent factor in [1, alpha] (so base ⪯_alpha result,
+  /// i.e. the result is "worse by at most alpha"). Tuple-loss components
+  /// are clamped to 1.
+  CostVector InflateWithin(const CostVector& base, double alpha,
+                           const ObjectiveSet& objectives, Xoshiro256* rng) {
+    CostVector worse(base.size());
+    for (int i = 0; i < base.size(); ++i) {
+      worse[i] = base[i] * rng->NextDouble(1.0, alpha);
+      if (objectives.at(i) == Objective::kTupleLoss) {
+        worse[i] = std::min(worse[i], 1.0);
+      }
+    }
+    return worse;
+  }
+
+  OperatorConfig JoinConfig() {
+    return OperatorConfig{GetParam().join_type, 1.0, GetParam().dop};
+  }
+
+  Catalog catalog_;
+  Query query_;
+  OperatorRegistry registry_;
+};
+
+// Definition 6 (POO): improving sub-plan costs cannot worsen plan cost.
+TEST_P(PonoTest, PrincipleOfOptimalityAllObjectives) {
+  const ObjectiveSet objectives = ObjectiveSet::All();
+  CostModel model(&query_, &registry_, objectives);
+  Xoshiro256 rng(101);
+  const OperatorConfig op = JoinConfig();
+  for (int trial = 0; trial < 300; ++trial) {
+    const OperandStats left{rng.NextDouble() * 10000 + 1,
+                            rng.NextDouble() * 100 + 8};
+    const OperandStats right{rng.NextDouble() * 10000 + 1,
+                             rng.NextDouble() * 100 + 8};
+    const double output = rng.NextDouble() * 1e6 + 1;
+
+    const CostVector better_l = RandomCost(&rng, objectives);
+    const CostVector better_r = RandomCost(&rng, objectives);
+    // Component-wise inflation => better ⪯ worse.
+    const CostVector worse_l = InflateWithin(better_l, 3.0, objectives, &rng);
+    const CostVector worse_r = InflateWithin(better_r, 3.0, objectives, &rng);
+    ASSERT_TRUE(Dominates(better_l, worse_l));
+
+    const CostVector combined_better =
+        model.CombineJoinCost(op, left, better_l, right, better_r, output);
+    const CostVector combined_worse =
+        model.CombineJoinCost(op, left, worse_l, right, worse_r, output);
+    EXPECT_TRUE(Dominates(combined_better, combined_worse))
+        << "POO violated at trial " << trial << ": "
+        << combined_better.ToString() << " !<= " << combined_worse.ToString();
+  }
+}
+
+// Definition 7 (PONO): if sub-plan costs worsen by at most factor alpha,
+// the plan cost worsens by at most factor alpha.
+TEST_P(PonoTest, PrincipleOfNearOptimalityAllObjectives) {
+  const ObjectiveSet objectives = ObjectiveSet::All();
+  CostModel model(&query_, &registry_, objectives);
+  Xoshiro256 rng(202);
+  const OperatorConfig op = JoinConfig();
+  for (int trial = 0; trial < 300; ++trial) {
+    const double alpha = 1.0 + rng.NextDouble() * 1.5;
+    const OperandStats left{rng.NextDouble() * 10000 + 1,
+                            rng.NextDouble() * 100 + 8};
+    const OperandStats right{rng.NextDouble() * 10000 + 1,
+                             rng.NextDouble() * 100 + 8};
+    const double output = rng.NextDouble() * 1e6 + 1;
+
+    const CostVector base_l = RandomCost(&rng, objectives);
+    const CostVector base_r = RandomCost(&rng, objectives);
+    const CostVector near_l = InflateWithin(base_l, alpha, objectives, &rng);
+    const CostVector near_r = InflateWithin(base_r, alpha, objectives, &rng);
+    ASSERT_TRUE(ApproxDominates(base_l, near_l, 1.0));  // base <= near.
+
+    const CostVector combined_base =
+        model.CombineJoinCost(op, left, base_l, right, base_r, output);
+    const CostVector combined_near =
+        model.CombineJoinCost(op, left, near_l, right, near_r, output);
+    // c(P*) ⪯_alpha c(P): the near version exceeds the base by <= alpha.
+    EXPECT_TRUE(ApproxDominates(combined_base, combined_near, 1.0 + 1e-12))
+        << "sanity: base must dominate";
+    EXPECT_TRUE(ApproxDominates(combined_near, combined_base, alpha + 1e-9))
+        << "PONO violated at trial " << trial << " alpha=" << alpha << ": "
+        << combined_near.ToString() << " vs " << combined_base.ToString();
+  }
+}
+
+// PONO restricted to random objective subsets (the Section-8 setting).
+TEST_P(PonoTest, PonoHoldsOnRandomObjectiveSubsets) {
+  Xoshiro256 rng(303);
+  const OperatorConfig op = JoinConfig();
+  for (int subset_trial = 0; subset_trial < 20; ++subset_trial) {
+    const int l = rng.NextInt(2, kNumObjectives);
+    std::vector<Objective> chosen;
+    for (int idx : rng.SampleWithoutReplacement(kNumObjectives, l)) {
+      chosen.push_back(kAllObjectives[idx]);
+    }
+    const ObjectiveSet objectives(chosen);
+    CostModel model(&query_, &registry_, objectives);
+    for (int trial = 0; trial < 30; ++trial) {
+      const double alpha = 1.0 + rng.NextDouble();
+      const OperandStats left{rng.NextDouble() * 5000 + 1, 50};
+      const OperandStats right{rng.NextDouble() * 5000 + 1, 50};
+      const double output = rng.NextDouble() * 1e5 + 1;
+      const CostVector base_l = RandomCost(&rng, objectives);
+      const CostVector base_r = RandomCost(&rng, objectives);
+      const CostVector near_l =
+          InflateWithin(base_l, alpha, objectives, &rng);
+      const CostVector near_r =
+          InflateWithin(base_r, alpha, objectives, &rng);
+      const CostVector combined_base =
+          model.CombineJoinCost(op, left, base_l, right, base_r, output);
+      const CostVector combined_near =
+          model.CombineJoinCost(op, left, near_l, right, near_r, output);
+      EXPECT_TRUE(ApproxDominates(combined_near, combined_base, alpha + 1e-9))
+          << objectives.ToString() << " alpha=" << alpha;
+    }
+  }
+}
+
+// The tuple-loss composition: F(a,b) = 1-(1-a)(1-b) = a + b - ab satisfies
+// F(alpha*a, alpha*b) <= alpha*F(a, b) for a, b in [0,1] (Section 6.1).
+TEST(TupleLossFormulaTest, SatisfiesPonoScalarInequality) {
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    const double alpha = 1.0 + rng.NextDouble() * 4;
+    const double aa = std::min(alpha * a, 1.0);
+    const double ab = std::min(alpha * b, 1.0);
+    const double f = a + b - a * b;
+    const double f_scaled = aa + ab - aa * ab;
+    EXPECT_LE(f_scaled, alpha * f + 1e-12)
+        << "a=" << a << " b=" << b << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllJoinOperators, PonoTest,
+    ::testing::Values(PonoParam{OperatorType::kHashJoin, 1},
+                      PonoParam{OperatorType::kHashJoin, 2},
+                      PonoParam{OperatorType::kHashJoin, 4},
+                      PonoParam{OperatorType::kSortMergeJoin, 1},
+                      PonoParam{OperatorType::kSortMergeJoin, 4},
+                      PonoParam{OperatorType::kIndexNLJoin, 1},
+                      PonoParam{OperatorType::kIndexNLJoin, 4},
+                      PonoParam{OperatorType::kBlockNLJoin, 1},
+                      PonoParam{OperatorType::kBlockNLJoin, 2}),
+    ParamName);
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,129 @@
+// Tests for the operator registry, plan nodes, and plan printing.
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "plan/operators.h"
+#include "plan/plan_node.h"
+#include "plan/plan_printer.h"
+#include "testing/test_helpers.h"
+
+namespace moqo {
+namespace {
+
+TEST(OperatorRegistryTest, DefaultSpaceMatchesPaperFanOut) {
+  OperatorRegistry registry;
+  // Section 4: "over 10 different configurations are considered for the
+  // scan and for the join operator respectively".
+  EXPECT_GT(static_cast<int>(registry.scan_configs().size()), 10);
+  EXPECT_GT(static_cast<int>(registry.join_configs().size()), 10);
+  EXPECT_EQ(registry.OperatorCountJ(), registry.num_configs());
+}
+
+TEST(OperatorRegistryTest, DefaultSamplingRatesAre1To5Percent) {
+  OperatorRegistry registry;
+  std::set<double> rates;
+  for (int id : registry.scan_configs()) {
+    rates.insert(registry.config(id).sampling_rate);
+  }
+  EXPECT_EQ(rates, (std::set<double>{0.01, 0.02, 0.03, 0.04, 0.05, 1.0}));
+}
+
+TEST(OperatorRegistryTest, DopUpTo4Cores) {
+  OperatorRegistry registry;
+  int max_dop = 0;
+  for (int id : registry.join_configs()) {
+    max_dop = std::max(max_dop, registry.config(id).dop);
+  }
+  EXPECT_EQ(max_dop, 4);
+}
+
+TEST(OperatorRegistryTest, DisablingFeaturesShrinksSpace) {
+  OperatorRegistry::Options options;
+  options.enable_sampling = false;
+  options.enable_index_scan = false;
+  options.enable_parallelism = false;
+  OperatorRegistry registry(options);
+  EXPECT_EQ(registry.scan_configs().size(), 1u);   // SeqScan full only.
+  EXPECT_EQ(registry.join_configs().size(), 4u);   // 4 join types, DOP 1.
+}
+
+TEST(OperatorConfigTest, ToStringShowsParameters) {
+  EXPECT_EQ(OperatorConfig{OperatorType::kSeqScan}.ToString(), "SeqScan");
+  OperatorConfig sampled{OperatorType::kSeqScan, 0.05, 1};
+  EXPECT_EQ(sampled.ToString(), "SeqScan(sample=5%)");
+  OperatorConfig parallel{OperatorType::kHashJoin, 1.0, 4};
+  EXPECT_EQ(parallel.ToString(), "HashJ(dop=4)");
+}
+
+class PlanNodeTest : public ::testing::Test {
+ protected:
+  PlanNodeTest()
+      : catalog_(testing::MakeTinyCatalog()),
+        query_(testing::MakeStarQuery(&catalog_, 2)),
+        registry_(testing::SmallOperatorSpace()),
+        model_(&query_, &registry_,
+               ObjectiveSet({Objective::kTotalTime, Objective::kEnergy})) {}
+
+  const PlanNode* Scan(int table) {
+    return model_.MakeScan(registry_.scan_configs()[0], table, &arena_);
+  }
+  const PlanNode* Join(const PlanNode* l, const PlanNode* r) {
+    return model_.MakeJoin(registry_.join_configs()[0], l, r, &arena_);
+  }
+
+  Catalog catalog_;
+  Query query_;
+  OperatorRegistry registry_;
+  CostModel model_;
+  Arena arena_;
+};
+
+TEST_F(PlanNodeTest, ScanNodeProperties) {
+  const PlanNode* scan = Scan(0);
+  EXPECT_TRUE(scan->IsScan());
+  EXPECT_EQ(scan->NodeCount(), 1);
+  EXPECT_EQ(scan->Height(), 1);
+  EXPECT_TRUE(scan->IsLeftDeep());
+  EXPECT_EQ(scan->tables, TableSet::Singleton(0));
+  EXPECT_GT(scan->cardinality, 0);
+}
+
+TEST_F(PlanNodeTest, JoinShapePredicates) {
+  const PlanNode* left_deep = Join(Join(Scan(0), Scan(1)), Scan(2));
+  EXPECT_TRUE(left_deep->IsLeftDeep());
+  EXPECT_EQ(left_deep->NodeCount(), 5);
+  EXPECT_EQ(left_deep->Height(), 3);
+
+  const PlanNode* right_heavy = Join(Scan(2), Join(Scan(0), Scan(1)));
+  EXPECT_FALSE(right_heavy->IsLeftDeep());  // Bushy/right-deep shape.
+  EXPECT_EQ(right_heavy->tables, TableSet::Prefix(3));
+}
+
+TEST_F(PlanNodeTest, PlansEqualAndHash) {
+  const PlanNode* a = Join(Scan(0), Scan(1));
+  const PlanNode* b = Join(Scan(0), Scan(1));
+  const PlanNode* c = Join(Scan(1), Scan(0));
+  EXPECT_TRUE(PlansEqual(a, b));
+  EXPECT_EQ(PlanHash(a), PlanHash(b));
+  EXPECT_FALSE(PlansEqual(a, c));
+  EXPECT_NE(PlanHash(a), PlanHash(c));
+}
+
+TEST_F(PlanNodeTest, ExplainAndSignature) {
+  const PlanNode* plan = Join(Scan(0), Scan(1));
+  const std::string explain = ExplainPlan(plan, query_, registry_);
+  EXPECT_NE(explain.find("fact"), std::string::npos);
+  EXPECT_NE(explain.find("dim1"), std::string::npos);
+  EXPECT_NE(explain.find("rows="), std::string::npos);
+
+  const std::string signature = PlanSignature(plan, query_, registry_);
+  EXPECT_NE(signature.find("("), std::string::npos);
+  EXPECT_NE(signature.find("fact"), std::string::npos);
+
+  const std::string inventory = OperatorInventory(plan, registry_);
+  EXPECT_NE(inventory.find("SeqScan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moqo

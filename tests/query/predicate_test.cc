@@ -1,0 +1,45 @@
+// Tests for join and filter predicate primitives.
+
+#include "query/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace moqo {
+namespace {
+
+TEST(JoinPredicateTest, ConnectsRespectsSides) {
+  const JoinPredicate join{0, "a", 2, "b"};
+  const TableSet left = TableSet::Singleton(0).With(1);
+  const TableSet right = TableSet::Singleton(2).With(3);
+  EXPECT_TRUE(join.Connects(left, right));
+  EXPECT_TRUE(join.Connects(right, left));  // Symmetric.
+  // Both endpoints on the same side: not a connection between the sides.
+  EXPECT_FALSE(join.Connects(TableSet::Singleton(0).With(2),
+                             TableSet::Singleton(3)));
+  EXPECT_FALSE(join.Connects(TableSet::Singleton(1),
+                             TableSet::Singleton(3)));
+}
+
+TEST(JoinPredicateTest, ToStringShowsColumns) {
+  const JoinPredicate join{0, "c_custkey", 1, "o_custkey"};
+  EXPECT_EQ(join.ToString(), "t0.c_custkey = t1.o_custkey");
+}
+
+TEST(FilterPredicateTest, ToStringPerOperator) {
+  FilterPredicate f;
+  f.table = 2;
+  f.column = "x";
+  f.value = 5;
+  f.op = FilterOp::kEquals;
+  EXPECT_EQ(f.ToString(), "t2.x = 5");
+  f.op = FilterOp::kLess;
+  EXPECT_EQ(f.ToString(), "t2.x < 5");
+  f.op = FilterOp::kGreaterEquals;
+  EXPECT_EQ(f.ToString(), "t2.x >= 5");
+  f.op = FilterOp::kRange;
+  f.value_hi = 9;
+  EXPECT_EQ(f.ToString(), "t2.x in [5, 9]");
+}
+
+}  // namespace
+}  // namespace moqo

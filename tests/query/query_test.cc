@@ -1,0 +1,85 @@
+// Tests for Query: predicate bookkeeping, split connectivity, and induced
+// subgraph connectivity (the basis of the Cartesian-product heuristic).
+
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_helpers.h"
+
+namespace moqo {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = testing::MakeTinyCatalog();
+};
+
+TEST_F(QueryTest, AddTableAssignsLocalIndexes) {
+  Query q(&catalog_, "t");
+  EXPECT_EQ(q.AddTable("fact"), 0);
+  EXPECT_EQ(q.AddTable("dim1"), 1);
+  EXPECT_EQ(q.AddTable("dim1"), 2);  // Self-join occurrence.
+  EXPECT_EQ(q.num_tables(), 3);
+  EXPECT_EQ(q.table(1).name(), "dim1");
+  EXPECT_EQ(q.table(2).name(), "dim1");
+}
+
+TEST_F(QueryTest, SplitPredicateDetection) {
+  Query q = testing::MakeStarQuery(&catalog_, 3);  // fact=0, dims=1,2,3.
+  const TableSet fact = TableSet::Singleton(0);
+  const TableSet d1 = TableSet::Singleton(1);
+  const TableSet d23 = TableSet::Singleton(2).With(3);
+  EXPECT_TRUE(q.SplitHasJoinPredicate(fact, d1));
+  EXPECT_FALSE(q.SplitHasJoinPredicate(d1, d23));  // Dims are unconnected.
+  EXPECT_EQ(q.JoinsForSplit(fact, d1).size(), 1u);
+  EXPECT_EQ(q.JoinsForSplit(fact, d23).size(), 2u);
+}
+
+TEST_F(QueryTest, FiltersForTable) {
+  Query q = testing::MakeStarQuery(&catalog_, 1);
+  FilterPredicate f;
+  f.table = 0;
+  f.column = "f_value";
+  f.op = FilterOp::kLess;
+  f.value = 500;
+  q.AddFilter(f);
+  EXPECT_EQ(q.FiltersForTable(0).size(), 1u);
+  EXPECT_TRUE(q.FiltersForTable(1).empty());
+}
+
+TEST_F(QueryTest, StarGraphIsConnected) {
+  Query q = testing::MakeStarQuery(&catalog_, 3);
+  EXPECT_TRUE(q.JoinGraphConnected());
+}
+
+TEST_F(QueryTest, MissingEdgeDisconnects) {
+  Query q(&catalog_, "disconnected");
+  q.AddTable("fact");
+  q.AddTable("dim1");
+  EXPECT_FALSE(q.JoinGraphConnected());
+  q.AddJoin(0, "f_d1", 1, "d1_key");
+  EXPECT_TRUE(q.JoinGraphConnected());
+}
+
+TEST_F(QueryTest, InducedSubgraphConnectivity) {
+  // Star: fact(0) - dim1(1), fact - dim2(2), fact - dim3(3).
+  Query q = testing::MakeStarQuery(&catalog_, 3);
+  EXPECT_TRUE(q.InducedSubgraphConnected(TableSet::Singleton(1)));
+  EXPECT_TRUE(
+      q.InducedSubgraphConnected(TableSet::Singleton(0).With(1).With(2)));
+  // Two dimensions without the hub are disconnected.
+  EXPECT_FALSE(q.InducedSubgraphConnected(TableSet::Singleton(1).With(2)));
+  EXPECT_TRUE(q.InducedSubgraphConnected(q.AllTables()));
+}
+
+TEST_F(QueryTest, ToStringMentionsTablesAndPredicates) {
+  Query q = testing::MakeStarQuery(&catalog_, 1);
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("fact"), std::string::npos);
+  EXPECT_NE(s.find("dim1"), std::string::npos);
+  EXPECT_NE(s.find("f_d1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moqo

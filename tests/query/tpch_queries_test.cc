@@ -1,0 +1,96 @@
+// Tests for the TPC-H query definitions: table counts matching the paper's
+// x-axis annotation, graph connectivity, and predicate sanity.
+
+#include "query/tpch_queries.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace moqo {
+namespace {
+
+class TpcHQueriesTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = Catalog::TpcH(1.0);
+};
+
+TEST_F(TpcHQueriesTest, OrderCoversAll22QueriesOnce) {
+  const auto& order = TpcHQueryOrder();
+  ASSERT_EQ(order.size(), 22u);
+  std::set<int> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 22u);
+  for (int q : order) {
+    EXPECT_GE(q, 1);
+    EXPECT_LE(q, 22);
+  }
+}
+
+TEST_F(TpcHQueriesTest, OrderIsByAscendingTableCount) {
+  const auto& order = TpcHQueryOrder();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(TpcHQueryTableCount(order[i - 1]),
+              TpcHQueryTableCount(order[i]))
+        << "q" << order[i - 1] << " before q" << order[i];
+  }
+}
+
+TEST_F(TpcHQueriesTest, DeclaredTableCountsMatchDefinitions) {
+  for (int number = 1; number <= 22; ++number) {
+    const Query q = MakeTpcHQuery(&catalog_, number);
+    EXPECT_EQ(q.num_tables(), TpcHQueryTableCount(number)) << "q" << number;
+  }
+}
+
+TEST_F(TpcHQueriesTest, PaperXAxisExtremes) {
+  EXPECT_EQ(TpcHQueryTableCount(1), 1);
+  EXPECT_EQ(TpcHQueryTableCount(8), 8);   // Largest join.
+  EXPECT_EQ(TpcHQueryTableCount(5), 6);
+  EXPECT_EQ(TpcHQueryTableCount(3), 3);
+}
+
+TEST_F(TpcHQueriesTest, MultiTableQueriesAreConnected) {
+  for (int number = 1; number <= 22; ++number) {
+    const Query q = MakeTpcHQuery(&catalog_, number);
+    EXPECT_TRUE(q.JoinGraphConnected()) << "q" << number;
+  }
+}
+
+TEST_F(TpcHQueriesTest, JoinColumnsExistInSchema) {
+  for (int number = 1; number <= 22; ++number) {
+    const Query q = MakeTpcHQuery(&catalog_, number);
+    for (const JoinPredicate& join : q.joins()) {
+      EXPECT_NE(q.table(join.left_table).FindColumn(join.left_column),
+                nullptr)
+          << "q" << number << " " << join.ToString();
+      EXPECT_NE(q.table(join.right_table).FindColumn(join.right_column),
+                nullptr)
+          << "q" << number << " " << join.ToString();
+    }
+    for (const FilterPredicate& filter : q.filters()) {
+      EXPECT_NE(q.table(filter.table).FindColumn(filter.column), nullptr)
+          << "q" << number << " " << filter.ToString();
+    }
+  }
+}
+
+TEST_F(TpcHQueriesTest, Q7UsesTwoNationOccurrences) {
+  const Query q = MakeTpcHQuery(&catalog_, 7);
+  int nation_occurrences = 0;
+  for (int i = 0; i < q.num_tables(); ++i) {
+    if (q.table(i).name() == "nation") ++nation_occurrences;
+  }
+  EXPECT_EQ(nation_occurrences, 2);
+}
+
+TEST_F(TpcHQueriesTest, Q3MatchesFigure3Setting) {
+  // Figure 3 shows plans joining customers, orders, lineitem.
+  const Query q = MakeTpcHQuery(&catalog_, 3);
+  ASSERT_EQ(q.num_tables(), 3);
+  std::set<std::string> names;
+  for (int i = 0; i < q.num_tables(); ++i) names.insert(q.table(i).name());
+  EXPECT_EQ(names, (std::set<std::string>{"customer", "orders", "lineitem"}));
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,85 @@
+// Tests for the bump allocator backing plan-node storage.
+
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace moqo {
+namespace {
+
+TEST(ArenaTest, StartsEmpty) {
+  Arena arena;
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), 0u);
+}
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena;
+  std::vector<char*> chunks;
+  for (int i = 0; i < 100; ++i) {
+    char* chunk = static_cast<char*>(arena.Allocate(64));
+    std::memset(chunk, i, 64);
+    chunks.push_back(chunk);
+  }
+  // Earlier writes must survive later allocations.
+  for (int i = 0; i < 100; ++i) {
+    for (int b = 0; b < 64; ++b) {
+      ASSERT_EQ(chunks[i][b], static_cast<char>(i));
+    }
+  }
+  EXPECT_EQ(arena.allocated_bytes(), 6400u);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  arena.Allocate(1, 1);
+  void* p16 = arena.Allocate(8, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p16) % 16, 0u);
+  arena.Allocate(3, 1);
+  void* p64 = arena.Allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p64) % 64, 0u);
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena(/*block_bytes=*/1024);
+  void* big = arena.Allocate(10000);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xab, 10000);
+  EXPECT_GE(arena.reserved_bytes(), 10000u);
+}
+
+TEST(ArenaTest, NewConstructsObjects) {
+  struct Node {
+    int a;
+    double b;
+  };
+  Arena arena;
+  Node* node = arena.New<Node>(Node{7, 2.5});
+  EXPECT_EQ(node->a, 7);
+  EXPECT_DOUBLE_EQ(node->b, 2.5);
+}
+
+TEST(ArenaTest, ResetReleasesEverything) {
+  Arena arena;
+  arena.Allocate(1000);
+  EXPECT_GT(arena.reserved_bytes(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), 0u);
+  // Arena stays usable after Reset.
+  void* p = arena.Allocate(16);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(ArenaTest, ReservedCoversAllocated) {
+  Arena arena(256);
+  for (int i = 0; i < 50; ++i) arena.Allocate(100);
+  EXPECT_GE(arena.reserved_bytes(), arena.allocated_bytes());
+}
+
+}  // namespace
+}  // namespace moqo

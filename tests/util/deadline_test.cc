@@ -1,0 +1,48 @@
+// Tests for StopWatch and Deadline (optimizer timeout plumbing).
+
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace moqo {
+namespace {
+
+TEST(StopWatchTest, MeasuresElapsedTime) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.ElapsedMillis();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 5000.0);
+}
+
+TEST(StopWatchTest, RestartResets) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 15.0);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.IsInfinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  Deadline deadline = Deadline::AfterMillis(0);
+  EXPECT_FALSE(deadline.IsInfinite());
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineExpiresAfterSleep) {
+  Deadline deadline = Deadline::AfterMillis(10);
+  EXPECT_FALSE(deadline.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(deadline.Expired());
+}
+
+}  // namespace
+}  // namespace moqo

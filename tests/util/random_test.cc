@@ -1,0 +1,100 @@
+// Tests for the deterministic PRNG used by the workload generator.
+
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace moqo {
+namespace {
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro256Test, DoublesInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  // Mean of U[0,1) concentrates near 0.5.
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256Test, RangedDoubleRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(1.0, 2.0);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LT(x, 2.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextIntCoversRangeUniformly) {
+  Xoshiro256 rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.NextInt(uint64_t{10})];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Xoshiro256Test, InclusiveIntRange) {
+  Xoshiro256 rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int x = rng.NextInt(3, 5);
+    ASSERT_GE(x, 3);
+    ASSERT_LE(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // All of 3, 4, 5 appear.
+}
+
+TEST(Xoshiro256Test, SampleWithoutReplacementIsDistinct) {
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(9, 6);
+    ASSERT_EQ(sample.size(), 6u);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 6u);
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 9);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, SampleAllElements) {
+  Xoshiro256 rng(19);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Xoshiro256Test, SampleMoreThanUniverseClamps) {
+  Xoshiro256 rng(23);
+  EXPECT_EQ(rng.SampleWithoutReplacement(3, 10).size(), 3u);
+}
+
+}  // namespace
+}  // namespace moqo

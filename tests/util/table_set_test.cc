@@ -1,0 +1,105 @@
+// Tests for TableSet bit-set algebra and subset enumeration.
+
+#include "util/table_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace moqo {
+namespace {
+
+TEST(TableSetTest, EmptySet) {
+  TableSet empty;
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.Cardinality(), 0);
+  EXPECT_FALSE(empty.Contains(0));
+  EXPECT_EQ(empty.ToString(), "{}");
+}
+
+TEST(TableSetTest, SingletonProperties) {
+  for (int table : {0, 5, 63}) {
+    TableSet s = TableSet::Singleton(table);
+    EXPECT_EQ(s.Cardinality(), 1);
+    EXPECT_TRUE(s.Contains(table));
+    EXPECT_EQ(s.First(), table);
+  }
+}
+
+TEST(TableSetTest, PrefixBuildsLowBits) {
+  EXPECT_EQ(TableSet::Prefix(0).Cardinality(), 0);
+  EXPECT_EQ(TableSet::Prefix(3).mask(), 0b111u);
+  EXPECT_EQ(TableSet::Prefix(64).Cardinality(), 64);
+}
+
+TEST(TableSetTest, SetAlgebra) {
+  TableSet a = TableSet::Singleton(1).With(3).With(5);
+  TableSet b = TableSet::Singleton(3).With(7);
+  EXPECT_EQ(a.Union(b).Cardinality(), 4);
+  EXPECT_EQ(a.Intersect(b), TableSet::Singleton(3));
+  EXPECT_EQ(a.Minus(b), TableSet::Singleton(1).With(5));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(TableSet::Singleton(0)));
+  EXPECT_TRUE(a.ContainsAll(TableSet::Singleton(1).With(5)));
+  EXPECT_FALSE(a.ContainsAll(b));
+}
+
+TEST(TableSetTest, WithWithoutRoundTrip) {
+  TableSet s = TableSet::Prefix(4);
+  EXPECT_EQ(s.Without(2).With(2), s);
+  EXPECT_FALSE(s.Without(2).Contains(2));
+}
+
+TEST(TableSetTest, MembersEnumeratesInOrder) {
+  TableSet s = TableSet::Singleton(9).With(2).With(31);
+  EXPECT_EQ(s.Members(), (std::vector<int>{2, 9, 31}));
+}
+
+TEST(TableSetTest, SubsetIteratorVisitsAllProperNonEmptySubsets) {
+  TableSet s = TableSet::Prefix(4);
+  std::set<uint64_t> seen;
+  for (SubsetIterator it(s); !it.Done(); it.Next()) {
+    const TableSet sub = it.Current();
+    EXPECT_FALSE(sub.Empty());
+    EXPECT_NE(sub, s);
+    EXPECT_TRUE(s.ContainsAll(sub));
+    EXPECT_EQ(sub.Union(it.Complement()), s);
+    EXPECT_FALSE(sub.Intersects(it.Complement()));
+    seen.insert(sub.mask());
+  }
+  // 2^4 - 2 proper non-empty subsets.
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+TEST(TableSetTest, SubsetIteratorSparseUniverse) {
+  TableSet s = TableSet::Singleton(2).With(5).With(9);
+  int count = 0;
+  for (SubsetIterator it(s); !it.Done(); it.Next()) {
+    EXPECT_TRUE(s.ContainsAll(it.Current()));
+    ++count;
+  }
+  EXPECT_EQ(count, 6);  // 2^3 - 2.
+}
+
+TEST(TableSetTest, SubsetsOfSizeMatchesBinomial) {
+  TableSet s = TableSet::Prefix(6);
+  EXPECT_EQ(SubsetsOfSize(s, 0).size(), 1u);
+  EXPECT_EQ(SubsetsOfSize(s, 1).size(), 6u);
+  EXPECT_EQ(SubsetsOfSize(s, 2).size(), 15u);
+  EXPECT_EQ(SubsetsOfSize(s, 3).size(), 20u);
+  EXPECT_EQ(SubsetsOfSize(s, 6).size(), 1u);
+  EXPECT_EQ(SubsetsOfSize(s, 7).size(), 0u);
+  for (TableSet sub : SubsetsOfSize(s, 3)) {
+    EXPECT_EQ(sub.Cardinality(), 3);
+    EXPECT_TRUE(s.ContainsAll(sub));
+  }
+}
+
+TEST(TableSetTest, SubsetsOfSizeSparse) {
+  TableSet s = TableSet::Singleton(1).With(10).With(40).With(63);
+  const auto pairs = SubsetsOfSize(s, 2);
+  EXPECT_EQ(pairs.size(), 6u);
+}
+
+}  // namespace
+}  // namespace moqo
