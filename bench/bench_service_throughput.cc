@@ -1,0 +1,117 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Service throughput bench: quantifies what the serving layer adds on top
+// of the single-shot optimizers.
+//
+//   1. Cache amortization. A Section-8 style workload over TPC-H join
+//      graphs is driven through the service twice; the second (warm) pass
+//      resolves entirely from the plan-signature cache. Reported: cold vs
+//      warm mean latency and the speedup factor (expected >= 10x — a cache
+//      hit skips the whole Pareto-frontier DP).
+//   2. Worker scaling. The same workload, cache disabled, for increasing
+//      worker counts. On a multi-core host throughput rises with workers
+//      until the core count; on a single core it stays flat.
+//
+// Env knobs (see bench_config.h conventions):
+//   MOQO_SF          TPC-H scale factor        (default 0.01)
+//   MOQO_CASES       cases per query           (default 2)
+//   MOQO_OBJECTIVES  objectives per case       (default 6)
+//   MOQO_MAX_WORKERS scaling sweep upper bound (default 8)
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/service_experiment.h"
+#include "service/optimization_service.h"
+
+namespace moqo {
+namespace {
+
+OperatorRegistry::Options BenchOperatorSpace() {
+  OperatorRegistry::Options options;
+  options.sampling_rates = {0.05};
+  options.dops = {1, 2};
+  return options;
+}
+
+int Run() {
+  const double sf = EnvDouble("MOQO_SF", 0.01);
+  const int cases = EnvInt("MOQO_CASES", 2);
+  const int objectives = EnvInt("MOQO_OBJECTIVES", 6);
+  const int max_workers = EnvInt("MOQO_MAX_WORKERS", 8);
+
+  Catalog catalog = Catalog::TpcH(sf);
+  OptimizerOptions gen_options;
+  gen_options.operators = BenchOperatorSpace();
+  WorkloadGenerator generator(&catalog, gen_options);
+
+  ServiceWorkloadOptions workload_options;
+  // Mid-to-large queries (4-6 tables): large enough that optimization
+  // dominates dispatch, small enough that the cold pass stays in seconds.
+  workload_options.query_numbers = {10, 21, 2, 5, 7};
+  workload_options.cases_per_query = cases;
+  workload_options.num_objectives = objectives;
+  const std::vector<ServiceRequest> requests =
+      BuildServiceWorkload(&catalog, &generator, workload_options);
+
+  std::printf("== service throughput bench ==\n");
+  std::printf("workload: %zu requests (%zu TPC-H queries x %d cases, "
+              "%d objectives)\n\n",
+              requests.size(), workload_options.query_numbers.size(), cases,
+              objectives);
+
+  // Phase 1: cache amortization.
+  {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.operators = BenchOperatorSpace();
+    OptimizationService service(options);
+
+    const ServiceRunStats cold = DriveService(&service, requests);
+    const ServiceRunStats warm = DriveService(&service, requests);
+
+    std::printf("-- cache amortization (2 workers) --\n");
+    std::printf("cold: %s\n", cold.ToString().c_str());
+    std::printf("warm: %s\n", warm.ToString().c_str());
+    const double speedup = warm.mean_service_ms > 0
+                               ? cold.mean_service_ms / warm.mean_service_ms
+                               : 0;
+    std::printf("cached speedup: %.1fx (mean %.3f ms -> %.4f ms)\n",
+                speedup, cold.mean_service_ms, warm.mean_service_ms);
+    std::printf("stats: %s\n", service.Stats().ToString().c_str());
+    if (warm.cache_hits != warm.total) {
+      std::printf("ERROR: warm pass expected all cache hits\n");
+      return 1;
+    }
+    if (speedup < 10.0) {
+      std::printf("WARNING: cached speedup below 10x\n");
+    }
+  }
+
+  // Phase 2: worker scaling (cache off: every request runs the DP).
+  std::printf("\n-- worker scaling (cache disabled) --\n");
+  std::printf("%8s %12s %12s %12s\n", "workers", "wall_ms", "rps",
+              "mean_ms");
+  for (int workers = 1; workers <= max_workers; workers *= 2) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    options.enable_cache = false;
+    options.operators = BenchOperatorSpace();
+    OptimizationService service(options);
+    const ServiceRunStats stats = DriveService(&service, requests);
+    std::printf("%8d %12.1f %12.2f %12.3f\n", workers, stats.wall_ms,
+                stats.Throughput(), stats.mean_service_ms);
+    if (stats.null_plans != 0 || stats.rejected != 0) {
+      std::printf("ERROR: unexpected nulls/rejects at %d workers\n",
+                  workers);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace moqo
+
+int main() { return moqo::Run(); }

@@ -1,0 +1,40 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "core/algorithm.h"
+
+#include "core/exa.h"
+#include "core/ira.h"
+#include "core/rta.h"
+#include "core/selinger.h"
+
+namespace moqo {
+
+const char* AlgorithmName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kExa: return "EXA";
+    case AlgorithmKind::kRta: return "RTA";
+    case AlgorithmKind::kIra: return "IRA";
+    case AlgorithmKind::kSelinger: return "Selinger";
+    case AlgorithmKind::kWeightedSum: return "WeightedSum";
+  }
+  return "?";
+}
+
+std::unique_ptr<OptimizerBase> MakeOptimizer(AlgorithmKind kind,
+                                             const OptimizerOptions& options) {
+  switch (kind) {
+    case AlgorithmKind::kExa:
+      return std::make_unique<ExactMOQO>(options);
+    case AlgorithmKind::kRta:
+      return std::make_unique<RTAOptimizer>(options);
+    case AlgorithmKind::kIra:
+      return std::make_unique<IRAOptimizer>(options);
+    case AlgorithmKind::kSelinger:
+      return std::make_unique<SelingerOptimizer>(options);
+    case AlgorithmKind::kWeightedSum:
+      return std::make_unique<WeightedSumOptimizer>(options);
+  }
+  return nullptr;
+}
+
+}  // namespace moqo

@@ -1,0 +1,38 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// AlgorithmKind: the named optimization algorithms and their factory.
+// Lives in core (not the experiment harness) so the serving layer can
+// route requests without pulling in workload generation.
+
+#ifndef MOQO_CORE_ALGORITHM_H_
+#define MOQO_CORE_ALGORITHM_H_
+
+#include <memory>
+
+#include "core/optimizer.h"
+
+namespace moqo {
+
+/// The algorithms under comparison.
+enum class AlgorithmKind {
+  kExa,          ///< Exact algorithm (Ganguly et al.), Algorithm 1.
+  kRta,          ///< Representative-tradeoffs algorithm, Algorithm 2.
+  kIra,          ///< Iterative-refinement algorithm, Algorithm 3.
+  kSelinger,     ///< Single-objective DP baseline.
+  kWeightedSum,  ///< Scalarization heuristic (no guarantee), ablation.
+};
+
+/// Number of AlgorithmKind values, derived from the last enumerator so it
+/// cannot silently desynchronize (keep kWeightedSum last).
+inline constexpr int kNumAlgorithmKinds =
+    static_cast<int>(AlgorithmKind::kWeightedSum) + 1;
+
+const char* AlgorithmName(AlgorithmKind kind);
+
+/// Creates an optimizer instance of the given kind.
+std::unique_ptr<OptimizerBase> MakeOptimizer(AlgorithmKind kind,
+                                             const OptimizerOptions& options);
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_ALGORITHM_H_

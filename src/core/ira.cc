@@ -70,16 +70,26 @@ OptimizerResult IRAOptimizer::Optimize(const MOQOProblem& problem) {
     const ParetoSet& pareto = generator.Run(*problem.query, dp);
     const PlanNode* popt = pareto.SelectBest(problem.weights, bounds);
 
-    const bool stop =
+    // Converged: the alpha_U guarantee of Theorem 6 holds (the exact
+    // alpha <= 1 iteration trivially satisfies it).
+    const bool converged =
         StoppingConditionMet(pareto, problem.weights, bounds, popt, alpha,
                              options_.alpha) ||
-        alpha <= 1.0 || generator.stats().timed_out || deadline.Expired() ||
-        iteration >= options_.max_iterations;
+        alpha <= 1.0;
+    const bool out_of_time =
+        generator.stats().timed_out || deadline.Expired();
 
-    if (stop) {
+    // No max_iterations disjunct needed: at that iteration alpha is
+    // forced to 1.0 above, which makes `converged` true.
+    if (converged || out_of_time) {
       result = FinishResult(problem, generator, pareto, popt,
                             watch.ElapsedMillis());
       result.metrics.iterations = iteration;
+      // A deadline exit between iterations truncates refinement without
+      // the DP itself timing out; the result then carries no alpha_U
+      // guarantee and must be reported (and treated by caches) as
+      // timed out.
+      if (!converged && out_of_time) result.metrics.timed_out = true;
       return result;
     }
   }

@@ -11,24 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "core/algorithm.h"
 #include "harness/workload.h"
 
 namespace moqo {
-
-/// The algorithms under comparison.
-enum class AlgorithmKind {
-  kExa,          ///< Exact algorithm (Ganguly et al.), Algorithm 1.
-  kRta,          ///< Representative-tradeoffs algorithm, Algorithm 2.
-  kIra,          ///< Iterative-refinement algorithm, Algorithm 3.
-  kSelinger,     ///< Single-objective DP baseline.
-  kWeightedSum,  ///< Scalarization heuristic (no guarantee), ablation.
-};
-
-const char* AlgorithmName(AlgorithmKind kind);
-
-/// Creates an optimizer instance of the given kind.
-std::unique_ptr<OptimizerBase> MakeOptimizer(AlgorithmKind kind,
-                                             const OptimizerOptions& options);
 
 /// Plan-free record of one optimization run (plans die with the optimizer;
 /// experiments only need costs and counters).

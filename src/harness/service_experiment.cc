@@ -1,0 +1,94 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "harness/service_experiment.h"
+
+#include <future>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "util/deadline.h"
+
+namespace moqo {
+
+std::vector<ServiceRequest> BuildServiceWorkload(
+    const Catalog* catalog, WorkloadGenerator* generator,
+    const ServiceWorkloadOptions& options) {
+  const std::vector<int>& queries = options.query_numbers.empty()
+                                        ? TpcHQueryOrder()
+                                        : options.query_numbers;
+  std::vector<ServiceRequest> requests;
+  requests.reserve(queries.size() * options.cases_per_query);
+  uint64_t seed = options.seed;
+  for (int query_number : queries) {
+    for (int c = 0; c < options.cases_per_query; ++c) {
+      TestCase test_case =
+          options.bounded
+              ? generator->BoundedCase(query_number, options.num_bounds,
+                                       seed++)
+              : generator->WeightedCase(query_number, options.num_objectives,
+                                        seed++);
+      ServiceRequest request;
+      request.query = std::make_shared<Query>(
+          MakeTpcHQuery(catalog, query_number));
+      request.objectives = std::move(test_case.objectives);
+      request.weights = std::move(test_case.weights);
+      request.bounds = std::move(test_case.bounds);
+      request.deadline_ms = options.deadline_ms;
+      requests.push_back(std::move(request));
+    }
+  }
+  return requests;
+}
+
+ServiceRunStats DriveService(OptimizationService* service,
+                             const std::vector<ServiceRequest>& requests) {
+  ServiceRunStats stats;
+  stats.total = static_cast<int>(requests.size());
+
+  StopWatch watch;
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(requests.size());
+  for (const ServiceRequest& request : requests) {
+    futures.push_back(service->Submit(request));
+  }
+  double sum_service_ms = 0;
+  for (std::future<ServiceResponse>& future : futures) {
+    ServiceResponse response = future.get();
+    switch (response.status) {
+      case ResponseStatus::kCompleted:
+        ++stats.completed;
+        break;
+      case ResponseStatus::kCompletedQuick:
+        ++stats.quick;
+        break;
+      case ResponseStatus::kRejected:
+        ++stats.rejected;
+        continue;  // Latency of shed requests would deflate the mean.
+    }
+    if (response.result == nullptr || response.result->plan == nullptr) {
+      ++stats.null_plans;
+    }
+    if (response.cache_hit) ++stats.cache_hits;
+    sum_service_ms += response.service_ms;
+    if (response.service_ms > stats.max_service_ms) {
+      stats.max_service_ms = response.service_ms;
+    }
+  }
+  stats.wall_ms = watch.ElapsedMillis();
+  const int served = stats.completed + stats.quick;
+  stats.mean_service_ms = served == 0 ? 0 : sum_service_ms / served;
+  return stats;
+}
+
+std::string ServiceRunStats::ToString() const {
+  std::ostringstream out;
+  out << "total=" << total << " completed=" << completed << " quick=" << quick
+      << " rejected=" << rejected << " null_plans=" << null_plans
+      << " cache_hits=" << cache_hits << " wall_ms=" << wall_ms
+      << " throughput_rps=" << Throughput()
+      << " mean_ms=" << mean_service_ms << " max_ms=" << max_service_ms;
+  return out.str();
+}
+
+}  // namespace moqo

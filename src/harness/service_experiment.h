@@ -1,0 +1,66 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Service throughput experiment: drives an OptimizationService with
+// Section-8 workload instances (WorkloadGenerator test cases over the
+// TPC-H join graphs) and aggregates per-request outcomes. Used by
+// bench/bench_service_throughput and the service tests.
+
+#ifndef MOQO_HARNESS_SERVICE_EXPERIMENT_H_
+#define MOQO_HARNESS_SERVICE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/workload.h"
+#include "service/optimization_service.h"
+
+namespace moqo {
+
+struct ServiceWorkloadOptions {
+  /// TPC-H query numbers to draw from; empty = the Figure 5/9/10 x-axis
+  /// order (all 22).
+  std::vector<int> query_numbers;
+  int cases_per_query = 2;
+  int num_objectives = 3;
+  uint64_t seed = 1;
+  /// Per-request total budget; -1 = none.
+  int64_t deadline_ms = -1;
+  /// Generate bounded-MOQO cases (bounds on `num_bounds` objectives).
+  bool bounded = false;
+  int num_bounds = 2;
+};
+
+/// Materializes one ServiceRequest per (query, case) pair. Each request
+/// owns its Query object, so the returned vector is self-contained.
+std::vector<ServiceRequest> BuildServiceWorkload(
+    const Catalog* catalog, WorkloadGenerator* generator,
+    const ServiceWorkloadOptions& options);
+
+/// Outcome aggregate of one drive.
+struct ServiceRunStats {
+  int total = 0;
+  int completed = 0;       ///< Full-guarantee results (incl. cache hits).
+  int quick = 0;           ///< Deadline-degraded quick-mode results.
+  int rejected = 0;        ///< Shed by admission control.
+  int null_plans = 0;      ///< Non-rejected responses without a plan (bug!).
+  int cache_hits = 0;
+  double wall_ms = 0;      ///< Submit-all to last-future-resolved.
+  /// Over served (non-rejected) requests only.
+  double mean_service_ms = 0;
+  double max_service_ms = 0;
+
+  double Throughput() const {
+    return wall_ms <= 0 ? 0 : 1000.0 * total / wall_ms;
+  }
+
+  std::string ToString() const;
+};
+
+/// Submits every request, waits for all futures, and aggregates.
+ServiceRunStats DriveService(OptimizationService* service,
+                             const std::vector<ServiceRequest>& requests);
+
+}  // namespace moqo
+
+#endif  // MOQO_HARNESS_SERVICE_EXPERIMENT_H_

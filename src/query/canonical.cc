@@ -1,0 +1,126 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "query/canonical.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+namespace moqo {
+
+void AppendCanonicalString(std::string* out, const std::string& s) {
+  AppendCanonicalU64(out, s.size());
+  out->append(s);
+}
+
+void AppendCanonicalU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void AppendCanonicalDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendCanonicalU64(out, bits);
+}
+
+namespace {
+
+/// Catalog identity by content: the same table id over a differently
+/// scaled or differently distributed catalog must not share an encoding.
+/// Everything the cost model reads is covered — cardinality, widths,
+/// per-column statistics (histograms drive selectivities), and index
+/// availability (drives the physical plan space).
+void AppendCanonicalTable(std::string* out, const Table& table) {
+  AppendCanonicalString(out, table.name());
+  AppendCanonicalDouble(out, table.row_count());
+  AppendCanonicalDouble(out, table.row_width_bytes());
+  AppendCanonicalU64(out, table.columns().size());
+  for (const ColumnStats& column : table.columns()) {
+    AppendCanonicalString(out, column.name);
+    AppendCanonicalDouble(out, column.ndv);
+    AppendCanonicalDouble(out, column.min_value);
+    AppendCanonicalDouble(out, column.max_value);
+    AppendCanonicalDouble(out, column.null_fraction);
+    AppendCanonicalDouble(out, column.avg_width_bytes);
+    AppendCanonicalU64(out, table.HasIndexOn(column.name) ? 1 : 0);
+    const Histogram& histogram = column.histogram;
+    AppendCanonicalDouble(out, histogram.lo());
+    AppendCanonicalDouble(out, histogram.hi());
+    AppendCanonicalU64(out, static_cast<uint64_t>(histogram.num_buckets()));
+    for (int b = 0; b < histogram.num_buckets(); ++b) {
+      AppendCanonicalDouble(out, histogram.bucket_count(b));
+    }
+  }
+}
+
+}  // namespace
+
+void AppendCanonicalQuery(std::string* out, const Query& query) {
+  AppendCanonicalU64(out, static_cast<uint64_t>(query.num_tables()));
+  for (int i = 0; i < query.num_tables(); ++i) {
+    AppendCanonicalU64(out, static_cast<uint64_t>(query.table_id(i)));
+    AppendCanonicalTable(out, query.table(i));
+  }
+
+  // Normalize each edge so the lexicographically smaller (table, column)
+  // endpoint comes first, then sort the edge list: AddJoin(a, b) and
+  // AddJoin(b, a) in any order encode identically.
+  using Endpoint = std::pair<int, const std::string*>;
+  std::vector<std::pair<Endpoint, Endpoint>> edges;
+  edges.reserve(query.joins().size());
+  for (const JoinPredicate& join : query.joins()) {
+    Endpoint a{join.left_table, &join.left_column};
+    Endpoint b{join.right_table, &join.right_column};
+    if (std::tie(b.first, *b.second) < std::tie(a.first, *a.second)) {
+      std::swap(a, b);
+    }
+    edges.emplace_back(a, b);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& x, const auto& y) {
+              return std::tie(x.first.first, *x.first.second, x.second.first,
+                              *x.second.second) <
+                     std::tie(y.first.first, *y.first.second, y.second.first,
+                              *y.second.second);
+            });
+  AppendCanonicalU64(out, edges.size());
+  for (const auto& [a, b] : edges) {
+    AppendCanonicalU64(out, static_cast<uint64_t>(a.first));
+    AppendCanonicalString(out, *a.second);
+    AppendCanonicalU64(out, static_cast<uint64_t>(b.first));
+    AppendCanonicalString(out, *b.second);
+  }
+
+  std::vector<const FilterPredicate*> filters;
+  filters.reserve(query.filters().size());
+  for (const FilterPredicate& filter : query.filters()) {
+    filters.push_back(&filter);
+  }
+  std::sort(filters.begin(), filters.end(),
+            [](const FilterPredicate* x, const FilterPredicate* y) {
+              return std::tie(x->table, x->column, x->op, x->value,
+                              x->value_hi) < std::tie(y->table, y->column,
+                                                      y->op, y->value,
+                                                      y->value_hi);
+            });
+  AppendCanonicalU64(out, filters.size());
+  for (const FilterPredicate* filter : filters) {
+    AppendCanonicalU64(out, static_cast<uint64_t>(filter->table));
+    AppendCanonicalString(out, filter->column);
+    AppendCanonicalU64(out, static_cast<uint64_t>(filter->op));
+    AppendCanonicalDouble(out, filter->value);
+    AppendCanonicalDouble(out, filter->value_hi);
+  }
+}
+
+std::string CanonicalQueryEncoding(const Query& query) {
+  std::string out;
+  AppendCanonicalQuery(&out, query);
+  return out;
+}
+
+}  // namespace moqo

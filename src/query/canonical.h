@@ -1,0 +1,44 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Canonical binary encoding of a query's optimizer-relevant structure.
+//
+// Two Query objects that bind the same catalog tables with the same join
+// edges and filters — regardless of construction order of joins/filters or
+// the query's display name — produce byte-identical encodings. The service
+// layer keys its plan cache on this encoding (plus problem parameters), so
+// structurally identical requests share cached Pareto sets.
+
+#ifndef MOQO_QUERY_CANONICAL_H_
+#define MOQO_QUERY_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/query.h"
+
+namespace moqo {
+
+/// Appends a length-prefixed string to a canonical encoding.
+void AppendCanonicalString(std::string* out, const std::string& s);
+
+/// Appends a 64-bit value little-endian.
+void AppendCanonicalU64(std::string* out, uint64_t v);
+
+/// Appends a double bit-exactly (its IEEE-754 representation).
+void AppendCanonicalDouble(std::string* out, double v);
+
+/// Appends the canonical encoding of `query`'s structure to `out`:
+/// referenced tables in query-local order — including everything the cost
+/// model reads from the catalog (cardinality, widths, per-column
+/// statistics and histograms, index availability), so the same table ids
+/// over differently scaled or differently distributed catalogs encode
+/// differently — then join edges with endpoints ordered and the edge list
+/// sorted, then filters sorted. The query name is deliberately excluded.
+void AppendCanonicalQuery(std::string* out, const Query& query);
+
+/// Convenience wrapper returning the encoding of just the query structure.
+std::string CanonicalQueryEncoding(const Query& query);
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_CANONICAL_H_

@@ -1,0 +1,199 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/optimization_service.h"
+
+#include <thread>
+#include <utility>
+
+#include "util/deadline.h"
+
+namespace moqo {
+
+namespace {
+
+int ResolveWorkers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+/// Everything a worker needs to run one admitted request. Shared between
+/// the submit path (which owns the promise) and the pool task.
+struct OptimizationService::Admitted {
+  ServiceRequest request;
+  /// Built once at submit time; `problem.query` points into `request`.
+  MOQOProblem problem;
+  PolicyDecision decision;
+  ProblemSignature signature;
+  bool cacheable = false;
+  int64_t deadline_ms = -1;   ///< Total budget; -1 = none.
+  StopWatch since_submit;     ///< Started at Submit().
+  std::promise<ServiceResponse> promise;
+
+  /// Resolves the future as kRejected (no result).
+  void Reject() {
+    ServiceResponse response;
+    response.status = ResponseStatus::kRejected;
+    response.algorithm = decision.algorithm;
+    response.alpha = decision.alpha;
+    response.service_ms = since_submit.ElapsedMillis();
+    promise.set_value(std::move(response));
+  }
+};
+
+OptimizationService::OptimizationService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache),
+      pool_(ResolveWorkers(options_.num_workers)) {}
+
+OptimizationService::~OptimizationService() { pool_.Shutdown(); }
+
+OptimizerOptions OptimizationService::MakeOptimizerOptions(
+    double alpha, int64_t timeout_ms) const {
+  OptimizerOptions opts;
+  opts.alpha = alpha;
+  opts.timeout_ms = timeout_ms;
+  opts.operators = options_.operators;
+  opts.bushy = options_.bushy;
+  opts.cartesian_heuristic = options_.cartesian_heuristic;
+  return opts;
+}
+
+std::future<ServiceResponse> OptimizationService::Submit(
+    ServiceRequest request) {
+  stats_.RecordRequest();
+  auto admitted = std::make_shared<Admitted>();
+  std::future<ServiceResponse> future = admitted->promise.get_future();
+
+  admitted->deadline_ms = request.deadline_ms >= 0
+                              ? request.deadline_ms
+                              : options_.default_deadline_ms;
+  admitted->request = std::move(request);
+
+  if (admitted->request.query == nullptr) {
+    stats_.RecordInternalError();
+    admitted->Reject();
+    return future;
+  }
+
+  admitted->problem.query = admitted->request.query.get();
+  admitted->problem.objectives = admitted->request.objectives;
+  admitted->problem.weights = admitted->request.weights;
+  admitted->problem.bounds = admitted->request.bounds;
+
+  PolicyDecision decision = ChooseAlgorithm(
+      admitted->problem, admitted->deadline_ms, options_.policy);
+  if (admitted->request.algorithm) {
+    decision.algorithm = *admitted->request.algorithm;
+  }
+  if (admitted->request.alpha) decision.alpha = *admitted->request.alpha;
+  admitted->decision = decision;
+
+  if (options_.enable_cache) {
+    admitted->signature =
+        ComputeSignature(admitted->problem, decision.algorithm,
+                         decision.alpha,
+                         MakeOptimizerOptions(decision.alpha, -1),
+                         options_.signature);
+    admitted->cacheable = true;
+    if (std::shared_ptr<const OptimizerResult> cached =
+            cache_.Lookup(admitted->signature)) {
+      stats_.RecordCompleted();
+      ServiceResponse response;
+      response.status = ResponseStatus::kCompleted;
+      response.cache_hit = true;
+      response.algorithm = decision.algorithm;
+      response.alpha = decision.alpha;
+      response.result = std::move(cached);
+      response.service_ms = admitted->since_submit.ElapsedMillis();
+      admitted->promise.set_value(std::move(response));
+      return future;
+    }
+  }
+
+  // Admission control: bound queued + running work so overload sheds load
+  // instead of growing queue delay without limit.
+  const size_t prior = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (prior >= options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    stats_.RecordAdmissionRejected();
+    admitted->Reject();
+    return future;
+  }
+
+  const bool accepted =
+      pool_.Submit([this, admitted] { RunRequest(admitted); });
+  if (!accepted) {  // Shutdown raced the submit.
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    stats_.RecordAdmissionRejected();
+    admitted->Reject();
+  }
+  return future;
+}
+
+void OptimizationService::RunRequest(
+    const std::shared_ptr<Admitted>& admitted) {
+  const double queue_ms = admitted->since_submit.ElapsedMillis();
+
+  // Remaining budget after queueing. A spent budget degrades to quick mode
+  // (timeout 0): Section 5.1 still produces one valid plan per table set,
+  // so the caller never sees a null plan.
+  int64_t timeout_ms = -1;
+  if (admitted->deadline_ms >= 0) {
+    const int64_t remaining =
+        admitted->deadline_ms - static_cast<int64_t>(queue_ms);
+    timeout_ms = remaining > 0 ? remaining : 0;
+  }
+
+  const PolicyDecision& decision = admitted->decision;
+  ServiceResponse response;
+  response.algorithm = decision.algorithm;
+  response.alpha = decision.alpha;
+  response.queue_ms = queue_ms;
+
+  // The future must resolve and the inflight slot must come back even if
+  // the optimizer throws (the EXA can exhaust memory on large instances),
+  // so the whole optimization is fenced.
+  try {
+    OptimizerOptions opts = MakeOptimizerOptions(decision.alpha, timeout_ms);
+    std::unique_ptr<OptimizerBase> optimizer =
+        MakeOptimizer(decision.algorithm, opts);
+    StopWatch run_watch;
+    auto result = std::make_shared<OptimizerResult>(
+        optimizer->Optimize(admitted->problem));
+    const double run_ms = run_watch.ElapsedMillis();
+
+    const bool timed_out = result->metrics.timed_out;
+    if (admitted->cacheable && !timed_out) {
+      cache_.Insert(admitted->signature, result);
+    }
+    if (timed_out) stats_.RecordDeadlineTimeout();
+    stats_.RecordLatency(decision.algorithm, run_ms);
+    stats_.RecordCompleted();
+
+    response.status = timed_out ? ResponseStatus::kCompletedQuick
+                                : ResponseStatus::kCompleted;
+    response.result = std::move(result);
+  } catch (...) {
+    response.status = ResponseStatus::kRejected;
+    response.result = nullptr;
+    stats_.RecordInternalError();
+  }
+  response.service_ms = admitted->since_submit.ElapsedMillis();
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  admitted->promise.set_value(std::move(response));
+}
+
+ServiceStatsSnapshot OptimizationService::Stats() const {
+  ServiceStatsSnapshot snapshot = stats_.Snapshot();
+  // The cache is the single source of truth for its own counters.
+  const PlanCache::Stats cache_stats = cache_.GetStats();
+  snapshot.cache_hits = cache_stats.hits;
+  snapshot.cache_misses = cache_stats.misses;
+  snapshot.cache_evictions = cache_stats.evictions;
+  return snapshot;
+}
+
+}  // namespace moqo

@@ -1,0 +1,158 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// OptimizationService: the concurrent serving layer over the MOQO
+// optimizers.
+//
+// Requests flow through three stages:
+//
+//   1. Cache probe. The request's canonical ProblemSignature (query
+//      structure + objectives + bucketed weights/bounds + resolved
+//      algorithm/alpha + plan-space switches) is looked up in a sharded
+//      LRU PlanCache. Hits resolve the future immediately — the repeated
+//      Pareto-frontier computation is skipped entirely.
+//   2. Admission control. Misses are admitted only while fewer than
+//      `max_inflight` requests are queued or running; beyond that the
+//      service sheds load by rejecting up front (status kRejected) instead
+//      of letting queue delay eat every deadline.
+//   3. Worker pool. A fixed-size ThreadPool runs the optimizer chosen by
+//      the policy layer. The per-request deadline covers queue wait plus
+//      optimization: workers give the optimizer only the remaining budget,
+//      and an expired budget degrades to Section 5.1 quick mode — which
+//      still returns a valid plan, never a null one (status
+//      kCompletedQuick). Only complete (non-timed-out) results enter the
+//      cache, so a cached entry is valid for any later deadline.
+
+#ifndef MOQO_SERVICE_OPTIMIZATION_SERVICE_H_
+#define MOQO_SERVICE_OPTIMIZATION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+
+#include "core/optimizer.h"
+#include "core/algorithm.h"
+#include "service/plan_cache.h"
+#include "service/policy.h"
+#include "service/signature.h"
+#include "service/stats.h"
+#include "service/thread_pool.h"
+
+namespace moqo {
+
+struct ServiceOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  int num_workers = 0;
+  /// Admission limit: maximum requests queued or running at once.
+  size_t max_inflight = 256;
+  /// Budget applied when a request does not carry its own; < 0 = none.
+  int64_t default_deadline_ms = -1;
+  /// Set false to bypass the cache entirely (benchmarking cold paths).
+  bool enable_cache = true;
+  PlanCache::Options cache;
+  SignatureOptions signature;
+  PolicyOptions policy;
+  /// Plan space shared by every request the service runs.
+  OperatorRegistry::Options operators;
+  bool bushy = true;
+  bool cartesian_heuristic = true;
+};
+
+/// One optimization request. The service shares ownership of the query for
+/// the lifetime of the request (wrap long-lived queries the caller owns
+/// with UnownedQuery()).
+struct ServiceRequest {
+  std::shared_ptr<const Query> query;
+  ObjectiveSet objectives;
+  WeightVector weights;
+  BoundVector bounds;
+  /// Total budget (queue wait + optimization) in ms; -1 = service default.
+  int64_t deadline_ms = -1;
+  /// Overrides for the policy layer's auto-selection.
+  std::optional<AlgorithmKind> algorithm;
+  std::optional<double> alpha;
+};
+
+enum class ResponseStatus : uint8_t {
+  /// Full optimization (or cache hit): the guarantee of the chosen
+  /// algorithm holds.
+  kCompleted,
+  /// Deadline expired before or during optimization; the result carries
+  /// the Section 5.1 quick-mode plan (valid, but no approximation
+  /// guarantee).
+  kCompletedQuick,
+  /// Shed by admission control, submitted after shutdown, or failed with
+  /// an internal optimizer error (e.g. out of memory); no result.
+  kRejected,
+};
+
+struct ServiceResponse {
+  ResponseStatus status = ResponseStatus::kRejected;
+  bool cache_hit = false;
+  AlgorithmKind algorithm = AlgorithmKind::kRta;
+  double alpha = 1.0;
+  /// Never null unless status == kRejected.
+  std::shared_ptr<const OptimizerResult> result;
+  /// Time from Submit() to worker pickup (0 for cache hits / rejects).
+  double queue_ms = 0;
+  /// Total time from Submit() to response.
+  double service_ms = 0;
+};
+
+/// Wraps a caller-owned query (which must outlive all requests using it)
+/// in a non-owning shared_ptr.
+inline std::shared_ptr<const Query> UnownedQuery(const Query* query) {
+  return std::shared_ptr<const Query>(query, [](const Query*) {});
+}
+
+class OptimizationService {
+ public:
+  explicit OptimizationService(ServiceOptions options = {});
+
+  OptimizationService(const OptimizationService&) = delete;
+  OptimizationService& operator=(const OptimizationService&) = delete;
+
+  /// Drains accepted requests, then joins the workers.
+  ~OptimizationService();
+
+  /// Submits a request; the future always resolves (accepted requests run
+  /// to completion even during shutdown, rejected ones resolve
+  /// immediately). Never throws on load: overload surfaces as kRejected.
+  std::future<ServiceResponse> Submit(ServiceRequest request);
+
+  /// Convenience: Submit + wait.
+  ServiceResponse SubmitAndWait(ServiceRequest request) {
+    return Submit(std::move(request)).get();
+  }
+
+  /// Currently queued or running requests (cache hits never count).
+  size_t InFlight() const { return inflight_.load(std::memory_order_relaxed); }
+
+  int num_workers() const { return pool_.num_threads(); }
+
+  /// Counter snapshot including cache eviction counts.
+  ServiceStatsSnapshot Stats() const;
+  PlanCache::Stats CacheStats() const { return cache_.GetStats(); }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Admitted;  // One queued request's state.
+
+  /// Optimizer options for one request given its remaining budget.
+  OptimizerOptions MakeOptimizerOptions(double alpha,
+                                        int64_t timeout_ms) const;
+
+  void RunRequest(const std::shared_ptr<Admitted>& admitted);
+
+  ServiceOptions options_;
+  PlanCache cache_;
+  ServiceStatsRegistry stats_;
+  std::atomic<size_t> inflight_{0};
+  ThreadPool pool_;  ///< Last member: workers die before the state above.
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_OPTIMIZATION_SERVICE_H_

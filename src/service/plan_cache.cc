@@ -1,0 +1,88 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/plan_cache.h"
+
+#include <bit>
+
+namespace moqo {
+
+PlanCache::PlanCache() : PlanCache(Options{}) {}
+
+PlanCache::PlanCache(const Options& options) {
+  const int requested = options.shards < 1 ? 1 : options.shards;
+  const size_t num_shards = std::bit_ceil(static_cast<size_t>(requested));
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  // Every shard gets at least one slot so a tiny capacity still caches.
+  const size_t per_shard =
+      (options.capacity + num_shards - 1) / num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = per_shard < 1 ? 1 : per_shard;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::shared_ptr<const OptimizerResult> PlanCache::Lookup(
+    const ProblemSignature& signature) {
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(signature);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.result;
+}
+
+void PlanCache::Insert(const ProblemSignature& signature,
+                       std::shared_ptr<const OptimizerResult> result) {
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(signature);
+  if (it != shard.index.end()) {
+    it->second.result = std::move(result);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(*shard.lru.back());
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  it = shard.index.emplace(signature, Entry{std::move(result), {}}).first;
+  shard.lru.push_front(&it->first);
+  it->second.lru_pos = shard.lru.begin();
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.entries = size();
+  return stats;
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void PlanCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace moqo

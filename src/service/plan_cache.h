@@ -1,0 +1,111 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// PlanCache: a sharded, thread-safe LRU cache of optimization results keyed
+// by ProblemSignature.
+//
+// The Pareto-frontier computation that MOQO amortizes here is orders of
+// magnitude more expensive than a lookup, so the cache sits in front of the
+// worker pool and resolves repeated or structurally identical requests
+// without re-running the DP. Sharding bounds lock contention under
+// concurrent traffic: the signature hash routes each key to one of N
+// independently locked shards, each with its own LRU list and capacity
+// slice. Values are shared_ptr<const OptimizerResult>; results own their
+// plan storage via shared_ptr<Arena>, so a cached plan stays valid for as
+// long as any response still references it, even after eviction.
+
+#ifndef MOQO_SERVICE_PLAN_CACHE_H_
+#define MOQO_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "service/signature.h"
+
+namespace moqo {
+
+class PlanCache {
+ public:
+  struct Options {
+    /// Total entries across all shards.
+    size_t capacity = 1024;
+    /// Number of independently locked shards; rounded up to a power of two.
+    int shards = 8;
+  };
+
+  /// Counter snapshot for the stats registry / bench harness.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  PlanCache();  ///< Default Options.
+  explicit PlanCache(const Options& options);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached result for `signature` (promoting it to
+  /// most-recently-used) or nullptr on miss.
+  std::shared_ptr<const OptimizerResult> Lookup(
+      const ProblemSignature& signature);
+
+  /// Inserts (or refreshes) the result for `signature`, evicting the
+  /// least-recently-used entry of the target shard when its slice is full.
+  void Insert(const ProblemSignature& signature,
+              std::shared_ptr<const OptimizerResult> result);
+
+  Stats GetStats() const;
+  size_t size() const;
+  void Clear();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  /// Signatures embed the full canonical encoding (potentially KBs once
+  /// catalog statistics are included), so each is stored exactly once: as
+  /// the map key. The LRU list holds pointers to map keys — stable, since
+  /// unordered_map never moves nodes.
+  using LruList = std::list<const ProblemSignature*>;
+
+  struct Entry {
+    std::shared_ptr<const OptimizerResult> result;
+    LruList::iterator lru_pos;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    LruList lru;  ///< Front = most recently used.
+    std::unordered_map<ProblemSignature, Entry> index;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(const ProblemSignature& signature) {
+    // Multiply then fold the high bits down so every shard is reachable
+    // regardless of shard count, and shard choice stays decorrelated from
+    // the hash-table bucket choice inside the shard.
+    uint64_t mixed = signature.hash * 0x9E3779B97F4A7C15ull;
+    mixed ^= mixed >> 32;
+    return *shards_[mixed & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t shard_mask_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_PLAN_CACHE_H_

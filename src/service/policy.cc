@@ -1,0 +1,41 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/policy.h"
+
+namespace moqo {
+
+PolicyDecision ChooseAlgorithm(const MOQOProblem& problem,
+                               int64_t deadline_ms,
+                               const PolicyOptions& options) {
+  PolicyDecision decision;
+  const bool tight = deadline_ms >= 0 && deadline_ms <= options.tight_deadline_ms;
+  const int num_tables = problem.query->num_tables();
+  const int num_objectives = problem.objectives.size();
+
+  if (num_objectives <= 1) {
+    // Single-objective: the classic Selinger DP is exact and cheapest.
+    decision.algorithm = AlgorithmKind::kSelinger;
+    decision.alpha = 1.0;
+    return decision;
+  }
+
+  if (!problem.IsWeightedOnly()) {
+    // Bounds present: only the IRA honors them with a guarantee.
+    decision.algorithm = AlgorithmKind::kIra;
+    decision.alpha = tight ? options.tight_alpha : options.default_alpha;
+    return decision;
+  }
+
+  if (!tight && num_tables <= options.exa_max_tables &&
+      num_objectives <= options.exa_max_objectives) {
+    decision.algorithm = AlgorithmKind::kExa;
+    decision.alpha = 1.0;
+    return decision;
+  }
+
+  decision.algorithm = AlgorithmKind::kRta;
+  decision.alpha = tight ? options.tight_alpha : options.default_alpha;
+  return decision;
+}
+
+}  // namespace moqo

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// AlgorithmPolicy: per-request algorithm auto-selection.
+//
+// The paper's experiments (Sections 5-8) fix the trade-off the policy
+// automates: the EXA is exact but its Pareto sets explode with query size
+// and objective count (Figure 5); the RTA trades a bounded approximation
+// factor alpha_U for orders-of-magnitude speedups (Figure 9); the IRA is
+// the only scheme honoring cost bounds (Figure 10). The policy therefore
+// routes by problem shape — single-objective requests to the Selinger
+// baseline, small weighted instances to the EXA, bounded instances to the
+// IRA, everything else to the RTA — and coarsens alpha under tight
+// deadlines, where a looser precision keeps even large queries inside the
+// budget (Figure 9 shows alpha >= 2 rarely times out).
+
+#ifndef MOQO_SERVICE_POLICY_H_
+#define MOQO_SERVICE_POLICY_H_
+
+#include <cstdint>
+
+#include "core/optimizer.h"
+#include "core/algorithm.h"
+
+namespace moqo {
+
+struct PolicyOptions {
+  /// EXA handles queries up to this many tables / objectives exactly.
+  int exa_max_tables = 4;
+  int exa_max_objectives = 3;
+  /// Default user precision for the approximation schemes.
+  double default_alpha = 1.5;
+  /// Deadlines at or below this are "tight": prefer approximation over
+  /// exactness and coarsen alpha.
+  int64_t tight_deadline_ms = 250;
+  /// Precision used under tight deadlines.
+  double tight_alpha = 2.5;
+};
+
+/// The policy's resolved choice for one request.
+struct PolicyDecision {
+  AlgorithmKind algorithm = AlgorithmKind::kRta;
+  /// Effective user precision (1.0 for exact algorithms).
+  double alpha = 1.0;
+};
+
+/// Picks the algorithm and precision for `problem` under a total budget of
+/// `deadline_ms` (< 0 = unbounded). Deterministic: equal inputs yield equal
+/// decisions, which the cache signature relies on.
+PolicyDecision ChooseAlgorithm(const MOQOProblem& problem,
+                               int64_t deadline_ms,
+                               const PolicyOptions& options = {});
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_POLICY_H_

@@ -1,0 +1,126 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/signature.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "query/canonical.h"
+
+namespace moqo {
+namespace {
+
+constexpr uint64_t kUnboundedSentinel = std::numeric_limits<uint64_t>::max();
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Linear bucket index; bit-exact when `step` is 0.
+uint64_t LinearBucket(double v, double step) {
+  if (step <= 0) return DoubleBits(v);
+  return static_cast<uint64_t>(std::llround(v / step));
+}
+
+/// Relative (log-grid) bucket index; bit-exact when `rel` is 0. Values
+/// within a factor (1 + rel) of each other share a bucket.
+uint64_t RelativeBucket(double v, double rel) {
+  if (rel <= 0) return DoubleBits(v);
+  // Clamp away from zero: log of the intrinsic floor region. Bounds are
+  // non-negative by the model invariant.
+  const double clamped = v < 1e-30 ? 1e-30 : v;
+  const double step = std::log1p(rel);
+  return static_cast<uint64_t>(
+      std::llround(std::log(clamped) / step) +
+      (int64_t{1} << 32));  // Offset keeps the index positive.
+}
+
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ProblemSignature ComputeSignature(const MOQOProblem& problem,
+                                  AlgorithmKind algorithm, double alpha,
+                                  const OptimizerOptions& options,
+                                  const SignatureOptions& sig_options) {
+  assert(problem.query != nullptr);
+  std::string key;
+  key.reserve(256);
+
+  AppendCanonicalQuery(&key, *problem.query);
+
+  // Objective selection, in order: the order fixes CostVector dimensions.
+  AppendCanonicalU64(&key, static_cast<uint64_t>(problem.objectives.size()));
+  for (Objective objective : problem.objectives) {
+    AppendCanonicalU64(&key, static_cast<uint64_t>(objective));
+  }
+
+  AppendCanonicalU64(&key, static_cast<uint64_t>(problem.weights.size()));
+  for (int i = 0; i < problem.weights.size(); ++i) {
+    AppendCanonicalU64(&key,
+                       LinearBucket(problem.weights[i],
+                                    sig_options.weight_bucket));
+  }
+
+  // A default-constructed (size-0) BoundVector and an explicit
+  // all-unbounded one describe the same weighted-MOQO instance
+  // (MOQOProblem::IsWeightedOnly); canonicalize both to the empty
+  // encoding so they share cache entries.
+  if (problem.bounds.AllUnbounded()) {
+    AppendCanonicalU64(&key, 0);
+  } else {
+    AppendCanonicalU64(&key, static_cast<uint64_t>(problem.bounds.size()));
+    for (int i = 0; i < problem.bounds.size(); ++i) {
+      AppendCanonicalU64(&key,
+                         problem.bounds.IsUnbounded(i)
+                             ? kUnboundedSentinel
+                             : RelativeBucket(problem.bounds[i],
+                                              sig_options.bound_bucket_rel));
+    }
+  }
+
+  // Resolved algorithm + precision: an RTA result must never be served to
+  // a request the policy resolved to the EXA, and vice versa.
+  AppendCanonicalU64(&key, static_cast<uint64_t>(algorithm));
+  AppendCanonicalDouble(&key, alpha);
+
+  // Result-relevant optimizer switches (the timeout is deliberately
+  // excluded: only non-timed-out results are cached, so a cached entry is
+  // valid for any deadline).
+  uint64_t flags = 0;
+  flags |= options.bushy ? 1u : 0u;
+  flags |= options.cartesian_heuristic ? 2u : 0u;
+  flags |= options.aggressive_delete ? 4u : 0u;
+  flags |= options.operators.enable_sampling ? 8u : 0u;
+  flags |= options.operators.enable_index_scan ? 16u : 0u;
+  flags |= options.operators.enable_parallelism ? 32u : 0u;
+  AppendCanonicalU64(&key, flags);
+  AppendCanonicalU64(&key, static_cast<uint64_t>(options.max_iterations));
+  AppendCanonicalU64(&key, options.operators.sampling_rates.size());
+  for (double rate : options.operators.sampling_rates) {
+    AppendCanonicalDouble(&key, rate);
+  }
+  AppendCanonicalU64(&key, options.operators.dops.size());
+  for (int dop : options.operators.dops) {
+    AppendCanonicalU64(&key, static_cast<uint64_t>(dop));
+  }
+
+  ProblemSignature signature;
+  signature.hash = Fnv1a(key);
+  signature.key = std::move(key);
+  return signature;
+}
+
+}  // namespace moqo

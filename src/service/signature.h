@@ -1,0 +1,68 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// ProblemSignature: the canonical cache key of the optimization service.
+//
+// A signature captures everything that determines an optimizer's output:
+// the query structure (canonical join-graph encoding, src/query/canonical),
+// the active objective selection, weights and bounds (quantized into
+// buckets so near-identical parameter vectors share cached plans), the
+// resolved algorithm and its precision alpha, and the plan-space switches.
+// Requests with equal signatures are served the same cached result; the
+// full key participates in equality, so hash collisions can never return a
+// wrong plan.
+
+#ifndef MOQO_SERVICE_SIGNATURE_H_
+#define MOQO_SERVICE_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/optimizer.h"
+#include "core/algorithm.h"
+
+namespace moqo {
+
+/// Quantization of the continuous problem parameters. Weights live in a
+/// bounded range (Section 8 draws them from [0,1]), so they bucket on a
+/// linear grid; bounds span orders of magnitude (milliseconds to bytes), so
+/// they bucket on a relative (logarithmic) grid. A step of 0 disables
+/// bucketing for that component (bit-exact matching).
+struct SignatureOptions {
+  /// Linear grid step for weights: weights within the same step collapse
+  /// into one bucket. Default trades ~0.01% weighted-cost error for reuse.
+  double weight_bucket = 1e-4;
+  /// Relative grid for finite bounds: bounds within a factor of
+  /// (1 + bound_bucket_rel) of each other collapse into one bucket.
+  double bound_bucket_rel = 1e-4;
+};
+
+/// An equality-comparable canonical cache key with a precomputed hash.
+struct ProblemSignature {
+  std::string key;    ///< Canonical byte encoding; defines equality.
+  uint64_t hash = 0;  ///< FNV-1a of `key`; shard + hash-table routing.
+
+  bool operator==(const ProblemSignature& other) const {
+    return hash == other.hash && key == other.key;
+  }
+};
+
+/// Computes the signature of running `algorithm` with precision `alpha` on
+/// `problem` under `options` (only result-relevant switches are encoded:
+/// plan space, operator space, pruning mode — not the timeout).
+ProblemSignature ComputeSignature(const MOQOProblem& problem,
+                                  AlgorithmKind algorithm, double alpha,
+                                  const OptimizerOptions& options,
+                                  const SignatureOptions& sig_options = {});
+
+}  // namespace moqo
+
+namespace std {
+template <>
+struct hash<moqo::ProblemSignature> {
+  size_t operator()(const moqo::ProblemSignature& sig) const noexcept {
+    return static_cast<size_t>(sig.hash);
+  }
+};
+}  // namespace std
+
+#endif  // MOQO_SERVICE_SIGNATURE_H_

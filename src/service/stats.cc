@@ -1,0 +1,48 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/stats.h"
+
+#include <sstream>
+
+namespace moqo {
+
+void ServiceStatsRegistry::RecordLatency(AlgorithmKind algorithm, double ms) {
+  LatencyCell& cell = latency_[static_cast<int>(algorithm)];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  cell.stats.count += 1;
+  cell.stats.total_ms += ms;
+  if (ms > cell.stats.max_ms) cell.stats.max_ms = ms;
+}
+
+ServiceStatsSnapshot ServiceStatsRegistry::Snapshot() const {
+  ServiceStatsSnapshot snapshot;
+  snapshot.requests_total = requests_total_.load(kRelaxed);
+  snapshot.admissions_rejected = admissions_rejected_.load(kRelaxed);
+  snapshot.internal_errors = internal_errors_.load(kRelaxed);
+  snapshot.deadline_timeouts = deadline_timeouts_.load(kRelaxed);
+  snapshot.completed = completed_.load(kRelaxed);
+  for (int i = 0; i < kNumAlgorithms; ++i) {
+    std::lock_guard<std::mutex> lock(latency_[i].mu);
+    snapshot.latency_by_algorithm[i] = latency_[i].stats;
+  }
+  return snapshot;
+}
+
+std::string ServiceStatsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "requests=" << requests_total << " completed=" << completed
+      << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
+      << " hit_rate=" << CacheHitRate() << " rejected=" << admissions_rejected
+      << " errors=" << internal_errors << " timeouts=" << deadline_timeouts
+      << " evictions=" << cache_evictions << "\n";
+  for (int i = 0; i < static_cast<int>(latency_by_algorithm.size()); ++i) {
+    const LatencyStats& lat = latency_by_algorithm[i];
+    if (lat.count == 0) continue;
+    out << "  " << AlgorithmName(static_cast<AlgorithmKind>(i))
+        << ": runs=" << lat.count << " mean_ms=" << lat.MeanMs()
+        << " max_ms=" << lat.max_ms << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace moqo

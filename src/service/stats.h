@@ -1,0 +1,93 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// ServiceStatsRegistry: counters and per-algorithm latency aggregates of
+// the optimization service, consumed by the bench harness and exposed for
+// monitoring. Counters are lock-free atomics; latency recorders take one
+// uncontended mutex per algorithm (recording happens once per request, far
+// off the optimizer's hot path).
+
+#ifndef MOQO_SERVICE_STATS_H_
+#define MOQO_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/algorithm.h"
+
+namespace moqo {
+
+/// Latency aggregate for one algorithm.
+struct LatencyStats {
+  uint64_t count = 0;
+  double total_ms = 0;
+  double max_ms = 0;
+
+  double MeanMs() const { return count == 0 ? 0 : total_ms / count; }
+};
+
+/// Plain-value snapshot of the registry, safe to copy around.
+struct ServiceStatsSnapshot {
+  uint64_t requests_total = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t admissions_rejected = 0;
+  uint64_t deadline_timeouts = 0;  ///< Requests degraded to quick mode.
+  /// Invalid requests (null query) and optimizer failures (e.g. OOM) —
+  /// distinct from load shedding.
+  uint64_t internal_errors = 0;
+  uint64_t completed = 0;
+  uint64_t cache_evictions = 0;
+  /// Indexed by static_cast<int>(AlgorithmKind).
+  std::array<LatencyStats, kNumAlgorithmKinds> latency_by_algorithm;
+
+  double CacheHitRate() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0 : static_cast<double>(cache_hits) / lookups;
+  }
+
+  /// Multi-line human-readable rendering for the bench harness.
+  std::string ToString() const;
+};
+
+class ServiceStatsRegistry {
+ public:
+  static constexpr int kNumAlgorithms = kNumAlgorithmKinds;
+
+  void RecordRequest() { requests_total_.fetch_add(1, kRelaxed); }
+  void RecordAdmissionRejected() {
+    admissions_rejected_.fetch_add(1, kRelaxed);
+  }
+  void RecordInternalError() { internal_errors_.fetch_add(1, kRelaxed); }
+  void RecordDeadlineTimeout() { deadline_timeouts_.fetch_add(1, kRelaxed); }
+  void RecordCompleted() { completed_.fetch_add(1, kRelaxed); }
+
+  /// Records one fresh (non-cached) optimization's service-side latency.
+  void RecordLatency(AlgorithmKind algorithm, double ms);
+
+  /// The cache_* snapshot fields are sampled from the PlanCache (the
+  /// single source of truth for lookup counters) by the service at
+  /// snapshot time; this registry leaves them zero.
+  ServiceStatsSnapshot Snapshot() const;
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> admissions_rejected_{0};
+  std::atomic<uint64_t> internal_errors_{0};
+  std::atomic<uint64_t> deadline_timeouts_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  struct LatencyCell {
+    std::mutex mu;
+    LatencyStats stats;
+  };
+  mutable std::array<LatencyCell, kNumAlgorithms> latency_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_STATS_H_

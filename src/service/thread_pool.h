@@ -1,0 +1,95 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// ThreadPool: a fixed-size worker pool with a mutex-protected FIFO queue.
+//
+// One optimization run is CPU-bound for milliseconds to seconds, so a
+// simple condition-variable queue is nowhere near the bottleneck; the pool
+// exists to bound concurrency (workers = cores by default) while the
+// service queues bursts ahead of it. Shutdown drains the queue: tasks
+// already admitted run to completion, which lets the service guarantee
+// that every accepted request's future resolves.
+
+#ifndef MOQO_SERVICE_THREAD_POOL_H_
+#define MOQO_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moqo {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    if (num_threads < 1) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() { Shutdown(); }
+
+  /// Enqueues `task`; returns false (dropping the task) after Shutdown().
+  bool Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return false;
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Stops accepting tasks, drains the queue, and joins all workers.
+  /// Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown_ and drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_THREAD_POOL_H_

@@ -35,10 +35,12 @@ class Arena {
   /// Allocates `bytes` with `alignment`; memory is owned by the arena and
   /// released only on destruction or Reset().
   void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
-    size_t padded = (offset_ + alignment - 1) & ~(alignment - 1);
+    // Align the actual address, not the block-relative offset: block bases
+    // from new char[] only guarantee fundamental alignment.
+    size_t padded = blocks_.empty() ? 0 : AlignedOffset(alignment);
     if (blocks_.empty() || padded + bytes > blocks_.back().size) {
       NewBlock(bytes + alignment);
-      padded = (offset_ + alignment - 1) & ~(alignment - 1);
+      padded = AlignedOffset(alignment);
     }
     void* result = blocks_.back().data.get() + padded;
     offset_ = padded + bytes;
@@ -75,6 +77,15 @@ class Arena {
     std::unique_ptr<char[]> data;
     size_t size;
   };
+
+  /// Smallest block offset >= offset_ whose address is `alignment`-aligned.
+  size_t AlignedOffset(size_t alignment) const {
+    const uintptr_t base =
+        reinterpret_cast<uintptr_t>(blocks_.back().data.get());
+    const uintptr_t aligned =
+        (base + offset_ + alignment - 1) & ~(uintptr_t{alignment} - 1);
+    return static_cast<size_t>(aligned - base);
+  }
 
   void NewBlock(size_t min_bytes) {
     size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;

@@ -1,0 +1,142 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/plan_cache.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace moqo {
+namespace {
+
+ProblemSignature Sig(const std::string& key) {
+  ProblemSignature signature;
+  signature.key = key;
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  signature.hash = hash;
+  return signature;
+}
+
+std::shared_ptr<const OptimizerResult> Result(double weighted_cost) {
+  auto result = std::make_shared<OptimizerResult>();
+  result->weighted_cost = weighted_cost;
+  return result;
+}
+
+TEST(PlanCacheTest, InsertLookupRoundtrip) {
+  PlanCache cache;
+  EXPECT_EQ(cache.Lookup(Sig("a")), nullptr);
+  cache.Insert(Sig("a"), Result(1.0));
+  auto hit = cache.Lookup(Sig("a"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->weighted_cost, 1.0);
+
+  const PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheTest, LruEvictionOrder) {
+  PlanCache::Options options;
+  options.capacity = 2;
+  options.shards = 1;  // Single shard: eviction order is global LRU.
+  PlanCache cache(options);
+
+  cache.Insert(Sig("a"), Result(1));
+  cache.Insert(Sig("b"), Result(2));
+  ASSERT_NE(cache.Lookup(Sig("a")), nullptr);  // a is now most recent.
+  cache.Insert(Sig("c"), Result(3));           // Evicts b.
+
+  EXPECT_NE(cache.Lookup(Sig("a")), nullptr);
+  EXPECT_EQ(cache.Lookup(Sig("b")), nullptr);
+  EXPECT_NE(cache.Lookup(Sig("c")), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+}
+
+TEST(PlanCacheTest, ReinsertRefreshesValueWithoutEviction) {
+  PlanCache::Options options;
+  options.capacity = 2;
+  options.shards = 1;
+  PlanCache cache(options);
+
+  cache.Insert(Sig("a"), Result(1));
+  cache.Insert(Sig("b"), Result(2));
+  cache.Insert(Sig("a"), Result(10));  // Refresh, no eviction.
+
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+  auto hit = cache.Lookup(Sig("a"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->weighted_cost, 10.0);
+  EXPECT_NE(cache.Lookup(Sig("b")), nullptr);
+}
+
+TEST(PlanCacheTest, ShardCountRoundsToPowerOfTwo) {
+  PlanCache::Options options;
+  options.shards = 5;
+  PlanCache cache(options);
+  EXPECT_EQ(cache.num_shards(), 8);
+}
+
+TEST(PlanCacheTest, EvictedEntryStaysAliveThroughSharedPtr) {
+  PlanCache::Options options;
+  options.capacity = 1;
+  options.shards = 1;
+  PlanCache cache(options);
+
+  cache.Insert(Sig("a"), Result(1));
+  auto held = cache.Lookup(Sig("a"));
+  cache.Insert(Sig("b"), Result(2));  // Evicts a.
+  EXPECT_EQ(cache.Lookup(Sig("a")), nullptr);
+  ASSERT_NE(held, nullptr);  // The response's reference keeps it valid.
+  EXPECT_EQ(held->weighted_cost, 1.0);
+}
+
+TEST(PlanCacheTest, ConcurrentMixedTraffic) {
+  PlanCache::Options options;
+  options.capacity = 64;
+  options.shards = 8;
+  PlanCache cache(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "key" + std::to_string((t * 7 + i) % 100);
+        if (i % 3 == 0) {
+          cache.Insert(Sig(key), Result(i));
+        } else {
+          auto hit = cache.Lookup(Sig(key));
+          if (hit != nullptr) {
+            // Touch the value: TSan would flag unsynchronized access.
+            volatile double cost = hit->weighted_cost;
+            (void)cost;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Per thread, every i with i % 3 != 0 is a lookup.
+  const int lookups_per_thread = kOpsPerThread - (kOpsPerThread + 2) / 3;
+  const PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * lookups_per_thread);
+  EXPECT_LE(stats.entries, 64u + 8u);  // Capacity rounding headroom.
+}
+
+}  // namespace
+}  // namespace moqo

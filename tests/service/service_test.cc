@@ -1,0 +1,325 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/optimization_service.h"
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/service_experiment.h"
+#include "service/policy.h"
+#include "testing/test_helpers.h"
+
+namespace moqo {
+namespace {
+
+using testing::MakeStarQuery;
+using testing::MakeTinyCatalog;
+using testing::SmallOperatorSpace;
+using testing::SmallOptions;
+
+ServiceOptions SmallServiceOptions(int workers) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.operators = SmallOperatorSpace();
+  return options;
+}
+
+ServiceRequest StarRequest(const Catalog* catalog, int num_dims,
+                           int num_objectives) {
+  ServiceRequest request;
+  request.query =
+      std::make_shared<Query>(MakeStarQuery(catalog, num_dims));
+  std::vector<Objective> objectives(kAllObjectives.begin(),
+                                    kAllObjectives.begin() + num_objectives);
+  request.objectives = ObjectiveSet(objectives);
+  request.weights = WeightVector::Uniform(num_objectives);
+  return request;
+}
+
+TEST(PolicyTest, RoutesByProblemShape) {
+  Catalog catalog = MakeTinyCatalog();
+  Query small = MakeStarQuery(&catalog, 2);
+
+  MOQOProblem problem;
+  problem.query = &small;
+  problem.objectives = ObjectiveSet::Only(Objective::kTotalTime);
+  problem.weights = WeightVector::Uniform(1);
+  EXPECT_EQ(ChooseAlgorithm(problem, -1).algorithm, AlgorithmKind::kSelinger);
+
+  problem.objectives = ObjectiveSet(
+      {Objective::kTotalTime, Objective::kIOLoad, Objective::kEnergy});
+  problem.weights = WeightVector::Uniform(3);
+  EXPECT_EQ(ChooseAlgorithm(problem, -1).algorithm, AlgorithmKind::kExa);
+
+  // Bounds present: IRA.
+  problem.bounds = BoundVector::Unbounded(3);
+  problem.bounds[0] = 100.0;
+  EXPECT_EQ(ChooseAlgorithm(problem, -1).algorithm, AlgorithmKind::kIra);
+  problem.bounds = BoundVector();
+
+  // Many objectives: RTA with the default precision.
+  problem.objectives = ObjectiveSet::All();
+  problem.weights = WeightVector::Uniform(kNumObjectives);
+  PolicyDecision relaxed = ChooseAlgorithm(problem, -1);
+  EXPECT_EQ(relaxed.algorithm, AlgorithmKind::kRta);
+
+  // Tight deadline: still RTA but coarser.
+  PolicyDecision tight = ChooseAlgorithm(problem, 50);
+  EXPECT_EQ(tight.algorithm, AlgorithmKind::kRta);
+  EXPECT_GT(tight.alpha, relaxed.alpha);
+}
+
+TEST(ServiceTest, CacheHitIsBitIdenticalToFreshOptimization) {
+  Catalog catalog = MakeTinyCatalog();
+  OptimizationService service(SmallServiceOptions(2));
+  ServiceRequest request = StarRequest(&catalog, 3, 3);
+
+  const ServiceResponse cold = service.SubmitAndWait(request);
+  ASSERT_EQ(cold.status, ResponseStatus::kCompleted);
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_NE(cold.result, nullptr);
+  ASSERT_NE(cold.result->plan, nullptr);
+
+  const ServiceResponse warm = service.SubmitAndWait(request);
+  ASSERT_EQ(warm.status, ResponseStatus::kCompleted);
+  EXPECT_TRUE(warm.cache_hit);
+  ASSERT_NE(warm.result, nullptr);
+
+  // The cached result is the same complete result object: plan shape,
+  // cost vector, and frontier are bit-identical.
+  EXPECT_TRUE(PlansEqual(cold.result->plan, warm.result->plan));
+  EXPECT_EQ(cold.result->cost, warm.result->cost);
+  EXPECT_EQ(cold.result->weighted_cost, warm.result->weighted_cost);
+  EXPECT_EQ(cold.result->frontier, warm.result->frontier);
+
+  // And identical to a fresh single-shot optimization with the same
+  // resolved algorithm and options.
+  MOQOProblem problem;
+  problem.query = request.query.get();
+  problem.objectives = request.objectives;
+  problem.weights = request.weights;
+  problem.bounds = request.bounds;
+  OptimizerOptions opts = SmallOptions(warm.alpha);
+  std::unique_ptr<OptimizerBase> fresh = MakeOptimizer(warm.algorithm, opts);
+  const OptimizerResult reference = fresh->Optimize(problem);
+  ASSERT_NE(reference.plan, nullptr);
+  EXPECT_TRUE(PlansEqual(reference.plan, warm.result->plan));
+  EXPECT_EQ(reference.cost, warm.result->cost);
+  EXPECT_EQ(reference.frontier, warm.result->frontier);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests_total, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST(ServiceTest, ExpiredDeadlineReturnsQuickModePlanNeverNull) {
+  Catalog catalog = MakeTinyCatalog();
+  ServiceOptions options = SmallServiceOptions(1);
+  options.enable_cache = false;
+  OptimizationService service(options);
+
+  ServiceRequest request = StarRequest(&catalog, 3, 3);
+  request.deadline_ms = 0;  // Already expired at submit.
+  const ServiceResponse response = service.SubmitAndWait(request);
+
+  EXPECT_EQ(response.status, ResponseStatus::kCompletedQuick);
+  ASSERT_NE(response.result, nullptr);
+  ASSERT_NE(response.result->plan, nullptr);  // Quick-mode plan, not null.
+  EXPECT_TRUE(response.result->metrics.timed_out);
+  EXPECT_EQ(response.result->plan->tables.Cardinality(), 4);
+  EXPECT_GE(service.Stats().deadline_timeouts, 1u);
+}
+
+TEST(ServiceTest, TimedOutResultsAreNotCached) {
+  Catalog catalog = MakeTinyCatalog();
+  OptimizationService service(SmallServiceOptions(1));
+
+  ServiceRequest request = StarRequest(&catalog, 3, 3);
+  // Pin algorithm and alpha: otherwise the tight- and no-deadline requests
+  // resolve to different policy decisions and thus different cache keys,
+  // and the !timed_out cacheability guard would never be exercised.
+  request.algorithm = AlgorithmKind::kExa;
+  request.alpha = 1.0;
+  request.deadline_ms = 0;
+  const ServiceResponse quick = service.SubmitAndWait(request);
+  EXPECT_EQ(quick.status, ResponseStatus::kCompletedQuick);
+
+  // The same problem with no deadline must re-optimize, not serve the
+  // degraded quick-mode plan from the cache.
+  request.deadline_ms = -1;
+  const ServiceResponse full = service.SubmitAndWait(request);
+  EXPECT_EQ(full.status, ResponseStatus::kCompleted);
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_FALSE(full.result->metrics.timed_out);
+}
+
+TEST(ServiceTest, AdmissionControlShedsLoadBeyondMaxInflight) {
+  Catalog catalog = MakeTinyCatalog();
+  ServiceOptions options = SmallServiceOptions(1);
+  options.enable_cache = false;
+  options.max_inflight = 1;
+  OptimizationService service(options);
+
+  // Occupy the single worker long enough to observe rejections: EXA on the
+  // full star with all nine objectives, bounded by a deadline so the test
+  // finishes fast either way.
+  ServiceRequest heavy = StarRequest(&catalog, 3, 9);
+  heavy.algorithm = AlgorithmKind::kExa;
+  heavy.deadline_ms = 2000;
+  std::future<ServiceResponse> heavy_future = service.Submit(heavy);
+
+  // Admission counts queued + running, so these reject synchronously while
+  // the heavy request is in flight.
+  int rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    ServiceRequest light = StarRequest(&catalog, 2, 2);
+    const ServiceResponse response = service.SubmitAndWait(light);
+    if (response.status == ResponseStatus::kRejected) {
+      ++rejected;
+      EXPECT_EQ(response.result, nullptr);
+    }
+  }
+  EXPECT_GE(rejected, 1);
+  EXPECT_GE(service.Stats().admissions_rejected,
+            static_cast<uint64_t>(rejected));
+
+  const ServiceResponse heavy_response = heavy_future.get();
+  EXPECT_NE(heavy_response.status, ResponseStatus::kRejected);
+  ASSERT_NE(heavy_response.result, nullptr);
+  EXPECT_NE(heavy_response.result->plan, nullptr);
+}
+
+TEST(ServiceTest, ConcurrentMixedWorkloadCorrectPerRequestResults) {
+  Catalog catalog = MakeTinyCatalog();
+  ServiceOptions options = SmallServiceOptions(4);
+  OptimizationService service(options);
+
+  // Four distinct problems, each with a known fresh reference result.
+  struct Case {
+    ServiceRequest request;
+    OptimizerResult reference;
+  };
+  std::vector<Case> cases;
+  for (int dims = 1; dims <= 2; ++dims) {
+    for (int objectives = 2; objectives <= 3; ++objectives) {
+      Case c;
+      c.request = StarRequest(&catalog, dims, objectives);
+      MOQOProblem problem;
+      problem.query = c.request.query.get();
+      problem.objectives = c.request.objectives;
+      problem.weights = c.request.weights;
+      const PolicyDecision decision =
+          ChooseAlgorithm(problem, -1, options.policy);
+      std::unique_ptr<OptimizerBase> optimizer =
+          MakeOptimizer(decision.algorithm, SmallOptions(decision.alpha));
+      c.reference = optimizer->Optimize(problem);
+      cases.push_back(std::move(c));
+    }
+  }
+
+  // 8 client threads x 16 requests, round-robin over the cases.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Case& c = cases[(t + i) % cases.size()];
+        const ServiceResponse response =
+            service.SubmitAndWait(c.request);
+        if (response.status != ResponseStatus::kCompleted ||
+            response.result == nullptr ||
+            response.result->plan == nullptr ||
+            !(response.result->cost == c.reference.cost) ||
+            !PlansEqual(response.result->plan, c.reference.plan) ||
+            response.result->frontier != c.reference.frontier) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "client thread " << t;
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests_total,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, stats.requests_total);
+  // At least the first encounter of each distinct problem misses; racing
+  // first encounters may each miss before the first insert lands.
+  EXPECT_GE(stats.cache_misses, cases.size());
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.requests_total);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+TEST(ServiceTest, SustainsManyConcurrentInflightRequests) {
+  Catalog catalog = MakeTinyCatalog();
+  ServiceOptions options = SmallServiceOptions(4);
+  options.enable_cache = false;  // Force every request through the pool.
+  options.max_inflight = 256;
+  OptimizationService service(options);
+
+  constexpr int kRequests = 80;  // > 64 concurrently in flight.
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    ServiceRequest request = StarRequest(&catalog, 1 + i % 3, 2 + i % 2);
+    request.deadline_ms = 30000;
+    futures.push_back(service.Submit(request));
+  }
+
+  int resolved = 0;
+  for (std::future<ServiceResponse>& future : futures) {
+    const ServiceResponse response = future.get();
+    EXPECT_NE(response.status, ResponseStatus::kRejected);
+    ASSERT_NE(response.result, nullptr);
+    EXPECT_NE(response.result->plan, nullptr);
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, kRequests);
+  EXPECT_EQ(service.InFlight(), 0u);
+}
+
+TEST(ServiceTest, NullQueryIsRejectedNotCrashed) {
+  OptimizationService service(SmallServiceOptions(1));
+  ServiceRequest request;  // query == nullptr
+  const ServiceResponse response = service.SubmitAndWait(request);
+  EXPECT_EQ(response.status, ResponseStatus::kRejected);
+  EXPECT_EQ(response.result, nullptr);
+  EXPECT_EQ(service.Stats().internal_errors, 1u);
+}
+
+TEST(ServiceTest, WorkloadDriverEndToEnd) {
+  Catalog catalog = Catalog::TpcH(0.01);
+  OptimizerOptions gen_options = SmallOptions();
+  WorkloadGenerator generator(&catalog, gen_options);
+
+  ServiceWorkloadOptions workload_options;
+  workload_options.query_numbers = {3, 10};
+  workload_options.cases_per_query = 2;
+  workload_options.num_objectives = 3;
+  std::vector<ServiceRequest> requests =
+      BuildServiceWorkload(&catalog, &generator, workload_options);
+  ASSERT_EQ(requests.size(), 4u);
+
+  ServiceOptions options = SmallServiceOptions(2);
+  OptimizationService service(options);
+  const ServiceRunStats cold = DriveService(&service, requests);
+  EXPECT_EQ(cold.completed + cold.quick, cold.total);
+  EXPECT_EQ(cold.rejected, 0);
+  EXPECT_EQ(cold.null_plans, 0);
+
+  const ServiceRunStats warm = DriveService(&service, requests);
+  EXPECT_EQ(warm.cache_hits, warm.total);
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,183 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/signature.h"
+
+#include <gtest/gtest.h>
+
+#include "query/canonical.h"
+#include "query/tpch_queries.h"
+#include "testing/test_helpers.h"
+
+namespace moqo {
+namespace {
+
+using testing::MakeStarQuery;
+using testing::MakeTinyCatalog;
+using testing::SmallOptions;
+
+MOQOProblem MakeProblem(const Query* query, int num_objectives) {
+  MOQOProblem problem;
+  problem.query = query;
+  std::vector<Objective> objectives(kAllObjectives.begin(),
+                                    kAllObjectives.begin() + num_objectives);
+  problem.objectives = ObjectiveSet(objectives);
+  problem.weights = WeightVector::Uniform(num_objectives);
+  return problem;
+}
+
+TEST(SignatureTest, EqualProblemsEqualSignatures) {
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  MOQOProblem problem = MakeProblem(&query, 3);
+  const ProblemSignature a = ComputeSignature(
+      problem, AlgorithmKind::kRta, 1.5, SmallOptions(1.5));
+  const ProblemSignature b = ComputeSignature(
+      problem, AlgorithmKind::kRta, 1.5, SmallOptions(1.5));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(SignatureTest, QueryNameAndJoinOrderDoNotMatter) {
+  Catalog catalog = MakeTinyCatalog();
+
+  Query forward(&catalog, "forward");
+  int f1 = forward.AddTable("fact");
+  int d1 = forward.AddTable("dim1");
+  int d2 = forward.AddTable("dim2");
+  forward.AddJoin(f1, "f_d1", d1, "d1_key");
+  forward.AddJoin(f1, "f_d2", d2, "d2_key");
+
+  // Same structure, different name, joins added in reverse order and with
+  // swapped endpoint order.
+  Query reversed(&catalog, "reversed");
+  int f2 = reversed.AddTable("fact");
+  int e1 = reversed.AddTable("dim1");
+  int e2 = reversed.AddTable("dim2");
+  reversed.AddJoin(e2, "d2_key", f2, "f_d2");
+  reversed.AddJoin(e1, "d1_key", f2, "f_d1");
+
+  EXPECT_EQ(CanonicalQueryEncoding(forward), CanonicalQueryEncoding(reversed));
+
+  MOQOProblem pa = MakeProblem(&forward, 3);
+  MOQOProblem pb = MakeProblem(&reversed, 3);
+  EXPECT_EQ(ComputeSignature(pa, AlgorithmKind::kExa, 1.0, SmallOptions()),
+            ComputeSignature(pb, AlgorithmKind::kExa, 1.0, SmallOptions()));
+}
+
+TEST(SignatureTest, CatalogScaleChangesSignature) {
+  // Structurally identical queries over differently scaled catalogs must
+  // not share cached plans: cardinalities drive the cost model.
+  Catalog small = Catalog::TpcH(0.01);
+  Catalog large = Catalog::TpcH(1.0);
+  Query q_small = MakeTpcHQuery(&small, 3);
+  Query q_large = MakeTpcHQuery(&large, 3);
+  EXPECT_NE(CanonicalQueryEncoding(q_small), CanonicalQueryEncoding(q_large));
+
+  MOQOProblem pa = MakeProblem(&q_small, 3);
+  MOQOProblem pb = MakeProblem(&q_large, 3);
+  EXPECT_NE(ComputeSignature(pa, AlgorithmKind::kRta, 1.5, SmallOptions()),
+            ComputeSignature(pb, AlgorithmKind::kRta, 1.5, SmallOptions()));
+}
+
+TEST(SignatureTest, StructureChangesChangeSignature) {
+  Catalog catalog = MakeTinyCatalog();
+  Query two = MakeStarQuery(&catalog, 2);
+  Query three = MakeStarQuery(&catalog, 3);
+  MOQOProblem pa = MakeProblem(&two, 3);
+  MOQOProblem pb = MakeProblem(&three, 3);
+  EXPECT_NE(ComputeSignature(pa, AlgorithmKind::kRta, 1.5, SmallOptions()),
+            ComputeSignature(pb, AlgorithmKind::kRta, 1.5, SmallOptions()));
+}
+
+TEST(SignatureTest, ParametersChangeSignature) {
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  MOQOProblem base = MakeProblem(&query, 3);
+  const ProblemSignature ref =
+      ComputeSignature(base, AlgorithmKind::kRta, 1.5, SmallOptions());
+
+  MOQOProblem other_objectives = base;
+  other_objectives.objectives =
+      ObjectiveSet({Objective::kTotalTime, Objective::kEnergy,
+                    Objective::kBufferFootprint});
+  EXPECT_NE(ComputeSignature(other_objectives, AlgorithmKind::kRta, 1.5,
+                             SmallOptions()),
+            ref);
+
+  MOQOProblem other_weights = base;
+  other_weights.weights[1] = 7.0;
+  EXPECT_NE(ComputeSignature(other_weights, AlgorithmKind::kRta, 1.5,
+                             SmallOptions()),
+            ref);
+
+  MOQOProblem bounded = base;
+  bounded.bounds = BoundVector::Unbounded(3);
+  bounded.bounds[0] = 1234.5;
+  EXPECT_NE(ComputeSignature(bounded, AlgorithmKind::kRta, 1.5,
+                             SmallOptions()),
+            ref);
+
+  // Same problem, different resolved algorithm or alpha.
+  EXPECT_NE(ComputeSignature(base, AlgorithmKind::kExa, 1.5, SmallOptions()),
+            ref);
+  EXPECT_NE(ComputeSignature(base, AlgorithmKind::kRta, 2.0, SmallOptions()),
+            ref);
+}
+
+TEST(SignatureTest, AllUnboundedBoundsCanonicalizeToEmpty) {
+  // bounds absent and bounds explicitly all-unbounded are the same
+  // weighted-MOQO instance and must share cache entries.
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  MOQOProblem no_bounds = MakeProblem(&query, 3);
+  MOQOProblem explicit_unbounded = MakeProblem(&query, 3);
+  explicit_unbounded.bounds = BoundVector::Unbounded(3);
+  EXPECT_EQ(ComputeSignature(no_bounds, AlgorithmKind::kRta, 1.5,
+                             SmallOptions()),
+            ComputeSignature(explicit_unbounded, AlgorithmKind::kRta, 1.5,
+                             SmallOptions()));
+}
+
+TEST(SignatureTest, WeightBucketingCollapsesNearbyWeights) {
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  MOQOProblem a = MakeProblem(&query, 3);
+  MOQOProblem b = MakeProblem(&query, 3);
+  b.weights[0] += 1e-9;  // Far below the default 1e-4 bucket.
+
+  SignatureOptions bucketed;
+  EXPECT_EQ(ComputeSignature(a, AlgorithmKind::kRta, 1.5, SmallOptions(),
+                             bucketed),
+            ComputeSignature(b, AlgorithmKind::kRta, 1.5, SmallOptions(),
+                             bucketed));
+
+  SignatureOptions exact;
+  exact.weight_bucket = 0;
+  exact.bound_bucket_rel = 0;
+  EXPECT_NE(ComputeSignature(a, AlgorithmKind::kRta, 1.5, SmallOptions(),
+                             exact),
+            ComputeSignature(b, AlgorithmKind::kRta, 1.5, SmallOptions(),
+                             exact));
+}
+
+TEST(SignatureTest, PlanSpaceSwitchesChangeSignature) {
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  MOQOProblem problem = MakeProblem(&query, 3);
+  OptimizerOptions options = SmallOptions();
+  const ProblemSignature ref =
+      ComputeSignature(problem, AlgorithmKind::kRta, 1.5, options);
+
+  OptimizerOptions left_deep = options;
+  left_deep.bushy = false;
+  EXPECT_NE(ComputeSignature(problem, AlgorithmKind::kRta, 1.5, left_deep),
+            ref);
+
+  OptimizerOptions no_sampling = options;
+  no_sampling.operators.sampling_rates = {};
+  EXPECT_NE(ComputeSignature(problem, AlgorithmKind::kRta, 1.5, no_sampling),
+            ref);
+}
+
+}  // namespace
+}  // namespace moqo
