@@ -8,7 +8,12 @@
 //      resolves entirely from the plan-signature cache. Reported: cold vs
 //      warm mean latency and the speedup factor (expected >= 10x — a cache
 //      hit skips the whole Pareto-frontier DP).
-//   2. Worker scaling. The same workload, cache disabled, for increasing
+//   2. Weight sweep. The same queries with ROTATING preference weights:
+//      under the PR-2 weight-free signatures every weight variation after
+//      the first request per query is a frontier hit — O(|frontier|)
+//      SelectPlan, no optimizer run. Reported: frontier-hit rate and the
+//      speedup of a frontier hit over a cold optimization.
+//   3. Worker scaling. The same workload, cache disabled, for increasing
 //      worker counts. On a multi-core host throughput rises with workers
 //      until the core count; on a single core it stays flat.
 //
@@ -16,14 +21,18 @@
 //   MOQO_SF          TPC-H scale factor        (default 0.01)
 //   MOQO_CASES       cases per query           (default 2)
 //   MOQO_OBJECTIVES  objectives per case       (default 6)
+//   MOQO_SWEEPS      weight draws per query    (default 16)
 //   MOQO_MAX_WORKERS scaling sweep upper bound (default 8)
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/service_experiment.h"
+#include "query/tpch_queries.h"
 #include "service/optimization_service.h"
+#include "util/random.h"
 
 namespace moqo {
 namespace {
@@ -89,7 +98,84 @@ int Run() {
     }
   }
 
-  // Phase 2: worker scaling (cache off: every request runs the DP).
+  // Phase 2: weight sweep — same specs, rotating preferences. With
+  // weight-free signatures, each query optimizes once and every further
+  // weight draw is a frontier hit.
+  {
+    const int sweeps = EnvInt("MOQO_SWEEPS", 16);
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.operators = BenchOperatorSpace();
+    OptimizationService service(options);
+
+    std::vector<ServiceRequest> sweep_requests;
+    Xoshiro256 rng(7);
+    for (int query_number : workload_options.query_numbers) {
+      auto query = std::make_shared<Query>(
+          MakeTpcHQuery(&catalog, query_number));
+      std::vector<Objective> objective_pick(
+          kAllObjectives.begin(), kAllObjectives.begin() + objectives);
+      for (int s = 0; s < sweeps; ++s) {
+        ServiceRequest request;
+        request.spec.query = query;
+        request.spec.objectives = ObjectiveSet(objective_pick);
+        WeightVector weights(objectives);
+        for (int i = 0; i < objectives; ++i) {
+          weights[i] = rng.NextDouble();
+        }
+        request.preference.weights = weights;
+        sweep_requests.push_back(std::move(request));
+      }
+    }
+
+    // Sequential drive so each request's latency attributes cleanly to
+    // its outcome (miss = full DP, frontier hit = SelectPlan only).
+    double miss_ms = 0, hit_ms = 0;
+    int misses = 0, frontier_hits = 0, other = 0;
+    for (const ServiceRequest& request : sweep_requests) {
+      const ServiceResponse response = service.SubmitAndWait(request);
+      if (response.status == ResponseStatus::kRejected ||
+          response.result == nullptr || response.result->plan == nullptr) {
+        std::printf("ERROR: weight-sweep request failed\n");
+        return 1;
+      }
+      switch (response.cache) {
+        case CacheOutcome::kMiss:
+          ++misses;
+          miss_ms += response.service_ms;
+          break;
+        case CacheOutcome::kFrontierHit:
+          ++frontier_hits;
+          hit_ms += response.service_ms;
+          break;
+        default:  // Exact or coalesced: identical weights can't recur here.
+          ++other;
+          break;
+      }
+    }
+
+    const int total = static_cast<int>(sweep_requests.size());
+    const int queries =
+        static_cast<int>(workload_options.query_numbers.size());
+    const double cold_mean = misses == 0 ? 0 : miss_ms / misses;
+    const double hit_mean = frontier_hits == 0 ? 0 : hit_ms / frontier_hits;
+    std::printf("\n-- weight sweep (%d weight draws per query) --\n", sweeps);
+    std::printf("requests=%d optimizer_runs=%d frontier_hits=%d other=%d\n",
+                total, misses, frontier_hits, other);
+    std::printf("frontier-hit rate: %.3f\n",
+                total == 0 ? 0 : static_cast<double>(frontier_hits) / total);
+    std::printf("weight-change speedup: %.1fx (cold %.3f ms -> hit %.4f ms)\n",
+                hit_mean > 0 ? cold_mean / hit_mean : 0, cold_mean, hit_mean);
+    std::printf("stats: %s\n", service.Stats().ToString().c_str());
+    if (misses != queries || frontier_hits != total - queries) {
+      std::printf("ERROR: every weight draw after the first per query must "
+                  "be a frontier hit (expected %d runs, %d hits)\n",
+                  queries, total - queries);
+      return 1;
+    }
+  }
+
+  // Phase 3: worker scaling (cache off: every request runs the DP).
   std::printf("\n-- worker scaling (cache disabled) --\n");
   std::printf("%8s %12s %12s %12s\n", "workers", "wall_ms", "rps",
               "mean_ms");

@@ -42,13 +42,13 @@ int main() {
     RTAOptimizer rta(options);
     OptimizerResult result = rta.Optimize(problem);
     std::printf("--- alpha = %.2f: %d frontier points (%.1f ms, %s) ---\n",
-                alpha, result.metrics.frontier_size,
+                alpha, result.frontier_size(),
                 result.metrics.optimization_ms,
                 result.metrics.timed_out ? "TIMEOUT" : "complete");
     std::printf("%-10s %-14s %-12s\n", "tuple_loss", "buffer_bytes",
                 "time_units");
     // Print a bounded sample of the frontier, sorted by tuple loss.
-    std::vector<CostVector> frontier = result.frontier;
+    std::vector<CostVector> frontier = result.frontier();
     std::sort(frontier.begin(), frontier.end(),
               [](const CostVector& a, const CostVector& b) {
                 return a[0] != b[0] ? a[0] < b[0] : a[2] < b[2];

@@ -1,11 +1,18 @@
-// cloud_provider: Scenario 1 of the paper.
+// cloud_provider: Scenario 1 of the paper, served frontier-first.
 //
 // A Cloud provider bills users by accumulated processing time; sampling
 // reduces cost but loses result tuples. Users set weights (relative
 // importance) and optional hard bounds (budget, deadline) in their profile.
 // The provider must find a plan minimizing the weighted cost among plans
-// respecting all bounds — the bounded-weighted MOQO problem solved by the
-// IRA.
+// respecting all bounds — the bounded-weighted MOQO problem.
+//
+// Since PR 2 this is exactly the service's ProblemSpec/Preference split:
+// the query + objectives are ONE spec whose approximate Pareto set is
+// computed once, and each user profile is a Preference resolved from the
+// shared PlanSet by request-time SelectPlan — the second and third profile
+// below are frontier hits that never touch the optimizer. (Strict-bounds
+// iterative refinement, Algorithm 3, remains available per request via
+// ProblemSpec::algorithm = AlgorithmKind::kIra.)
 //
 // Monetary cost is modeled from the accumulated CPU/IO load (billed
 // core-seconds), an "accumulative cost objective calculated according to
@@ -15,30 +22,46 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/ira.h"
 #include "plan/plan_printer.h"
 #include "query/tpch_queries.h"
+#include "service/optimization_service.h"
 
 using namespace moqo;
 
 namespace {
 
-void RunProfile(const char* profile_name, const Query& query,
-                const MOQOProblem& problem, double alpha) {
-  OptimizerOptions options;
-  options.alpha = alpha;
-  options.timeout_ms = 30000;
-  IRAOptimizer ira(options);
-  OptimizerResult result = ira.Optimize(problem);
-  std::printf("=== profile: %s (alpha_U = %.2f) ===\n", profile_name, alpha);
-  std::cout << ExplainPlan(result.plan, query, ira.registry());
+const char* OutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kMiss: return "miss (optimizer ran)";
+    case CacheOutcome::kExactHit: return "exact hit";
+    case CacheOutcome::kFrontierHit: return "frontier hit (selection only)";
+    case CacheOutcome::kCoalescedHit: return "coalesced";
+  }
+  return "?";
+}
+
+void RunProfile(OptimizationService* service, const char* profile_name,
+                const Query& query, const ProblemSpec& spec,
+                const Preference& preference,
+                const OperatorRegistry& registry) {
+  ServiceRequest request;
+  request.spec = spec;
+  request.preference = preference;
+  const ServiceResponse response = service->SubmitAndWait(request);
+  std::printf("=== profile: %s ===\n", profile_name);
+  if (response.status == ResponseStatus::kRejected) {
+    std::printf("rejected\n\n");
+    return;
+  }
+  const OptimizerResult& result = *response.result;
+  std::cout << ExplainPlan(result.plan, query, registry);
   std::printf(
-      "cost %s\nweighted %.2f | bounds %s | %d iterations, %.1f ms, "
-      "frontier %d\n\n",
+      "cost %s\nweighted %.2f | bounds %s | %s, %.2f ms service time, "
+      "frontier %d plans\n\n",
       result.cost.ToString().c_str(), result.weighted_cost,
       result.respects_bounds ? "respected" : "VIOLATED (none feasible)",
-      result.metrics.iterations, result.metrics.optimization_ms,
-      result.metrics.frontier_size);
+      OutcomeName(response.cache), response.service_ms,
+      result.frontier_size());
 }
 
 }  // namespace
@@ -48,41 +71,56 @@ int main() {
   Query query = MakeTpcHQuery(&catalog, 10);  // Returned-item reporting.
   std::cout << "Cloud scenario on " << query.ToString() << "\n\n";
 
-  // Objectives: execution time (user-visible latency), monetary cost
-  // (billed work = cpu load), tuple loss (answer quality).
-  MOQOProblem problem;
-  problem.query = &query;
-  problem.objectives = ObjectiveSet(
+  ServiceOptions options;
+  options.num_workers = 2;
+  OptimizationService service(options);
+  const OperatorRegistry registry(options.operators);
+
+  // ONE spec: objectives are execution time (user-visible latency),
+  // monetary cost (billed work = cpu load), tuple loss (answer quality).
+  // All three profiles below share its frontier.
+  ProblemSpec spec;
+  spec.query = UnownedQuery(&query);
+  spec.objectives = ObjectiveSet(
       {Objective::kTotalTime, Objective::kCPULoad, Objective::kTupleLoss});
 
   // Profile 1: analyst — exact answers required (tuple loss bounded to 0),
-  // latency matters more than money.
-  problem.weights = WeightVector(3);
-  problem.weights[0] = 1.0;    // time
-  problem.weights[1] = 0.05;   // dollars per unit of work
-  problem.weights[2] = 0.0;
-  problem.bounds = BoundVector::Unbounded(3);
-  problem.bounds[2] = 0.0;     // No lost tuples.
-  RunProfile("analyst (exact answers, latency-sensitive)", query, problem,
-             1.15);
+  // latency matters more than money. First request: computes the frontier.
+  Preference analyst;
+  analyst.weights = WeightVector(3);
+  analyst.weights[0] = 1.0;    // time
+  analyst.weights[1] = 0.05;   // dollars per unit of work
+  analyst.weights[2] = 0.0;
+  analyst.bounds = BoundVector::Unbounded(3);
+  analyst.bounds[2] = 0.0;     // No lost tuples.
+  RunProfile(&service, "analyst (exact answers, latency-sensitive)", query,
+             spec, analyst, registry);
 
   // Profile 2: dashboard — approximate answers are fine (up to 96% loss
-  // via sampling), hard monetary budget, latency cheap.
-  problem.weights[0] = 0.2;
-  problem.weights[1] = 1.0;
-  problem.weights[2] = 100.0;  // Still prefer less loss, all else equal.
-  problem.bounds = BoundVector::Unbounded(3);
-  problem.bounds[2] = 0.96;
-  RunProfile("dashboard (sampled, budget-bound)", query, problem, 1.5);
+  // via sampling), money weighted heavily. Frontier hit: selection only.
+  Preference dashboard;
+  dashboard.weights = WeightVector(3);
+  dashboard.weights[0] = 0.2;
+  dashboard.weights[1] = 1.0;
+  dashboard.weights[2] = 100.0;  // Still prefer less loss, all else equal.
+  dashboard.bounds = BoundVector::Unbounded(3);
+  dashboard.bounds[2] = 0.96;
+  RunProfile(&service, "dashboard (sampled, budget-bound)", query, spec,
+             dashboard, registry);
 
   // Profile 3: batch report — deadline on execution time, minimize money.
-  problem.weights[0] = 0.0;
-  problem.weights[1] = 1.0;
-  problem.weights[2] = 0.0;
-  problem.bounds = BoundVector::Unbounded(3);
-  problem.bounds[2] = 0.0;
-  problem.bounds[0] = 1e6;     // Deadline in optimizer time units.
-  RunProfile("batch report (deadline, cost-minimizing)", query, problem,
-             2.0);
+  // Another frontier hit on the same cached PlanSet.
+  Preference batch;
+  batch.weights = WeightVector(3);
+  batch.weights[0] = 0.0;
+  batch.weights[1] = 1.0;
+  batch.weights[2] = 0.0;
+  batch.bounds = BoundVector::Unbounded(3);
+  batch.bounds[2] = 0.0;
+  batch.bounds[0] = 1e6;       // Deadline in optimizer time units.
+  RunProfile(&service, "batch report (deadline, cost-minimizing)", query,
+             spec, batch, registry);
+
+  std::printf("service stats:\n%s", service.Stats().ToString().c_str());
   return 0;
 }

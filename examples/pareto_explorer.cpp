@@ -2,16 +2,21 @@
 //
 // "Users cannot make optimal choices for bounds and weights if they are
 // not aware of the possible tradeoffs between different objectives."
-// (Section 4). All moqo optimizers produce an approximate Pareto frontier
-// as a byproduct; this example renders 2-D projections of it for a TPC-H
-// query at two approximation precisions, mirroring the prototype's
-// frontier visualization (Figure 4).
+// (Section 4). All moqo optimizers return the approximate Pareto frontier
+// as a PlanSet — cost vectors AND plans; this example renders 2-D
+// projections of it for a TPC-H query at two approximation precisions,
+// mirroring the prototype's frontier visualization (Figure 4), and then
+// walks the frontier itself: every preference below is answered by
+// SelectPlan over the already-computed PlanSet — plans come from the
+// frontier, nothing is re-optimized.
 
 #include <cstdio>
 #include <iostream>
 
+#include "core/plan_set.h"
 #include "core/rta.h"
 #include "frontier/frontier.h"
+#include "plan/plan_printer.h"
 #include "query/tpch_queries.h"
 
 using namespace moqo;
@@ -30,6 +35,7 @@ int main(int argc, char** argv) {
                                      Objective::kTotalTime});
   problem.weights = WeightVector::Uniform(3);
 
+  std::shared_ptr<const PlanSet> fine_set;
   for (double alpha : {2.0, 1.25}) {
     OptimizerOptions options;
     options.alpha = alpha;
@@ -38,20 +44,21 @@ int main(int argc, char** argv) {
     options.operators.dops = {1, 4};
     RTAOptimizer rta(options);
     OptimizerResult result = rta.Optimize(problem);
+    fine_set = result.plan_set;  // Last iteration = alpha 1.25.
 
-    std::printf("---- alpha = %.2f: %zu frontier points (%.0f ms) ----\n",
-                alpha, result.frontier.size(),
+    std::printf("---- alpha = %.2f: %d frontier points (%.0f ms) ----\n",
+                alpha, result.frontier_size(),
                 result.metrics.optimization_ms);
     std::printf("\ntuple_loss x total_time:\n%s",
-                AsciiScatter(Project(result.frontier, {0, 2}), 64, 14,
+                AsciiScatter(Project(result.frontier(), {0, 2}), 64, 14,
                              "tuple_loss", "time")
                     .c_str());
     std::printf("\ntuple_loss x buffer:\n%s",
-                AsciiScatter(Project(result.frontier, {0, 1}), 64, 14,
+                AsciiScatter(Project(result.frontier(), {0, 1}), 64, 14,
                              "tuple_loss", "buffer")
                     .c_str());
     // Frontier quality metric: hypervolume of the loss/time projection.
-    std::vector<CostVector> projected = Project(result.frontier, {0, 2});
+    std::vector<CostVector> projected = Project(result.frontier(), {0, 2});
     CostVector reference(2);
     reference[0] = 1.0;
     for (const CostVector& p : projected) {
@@ -60,6 +67,32 @@ int main(int argc, char** argv) {
     std::printf("\nhypervolume (loss x time, ref=(1, max*1.05)): %.3g\n\n",
                 Hypervolume2D(ExtractParetoFrontier(projected), reference));
   }
-  std::printf("finer alpha -> more points, closer to the true frontier\n");
+  std::printf("finer alpha -> more points, closer to the true frontier\n\n");
+
+  // Walk the frontier: three preferences, three plans — all selected from
+  // the SAME PlanSet in O(|frontier|) each. This is what the optimization
+  // service does on every frontier hit.
+  struct Profile {
+    const char* name;
+    double w_loss, w_buffer, w_time;
+  };
+  const Profile profiles[] = {
+      {"exactness-first (loss ~ priceless)", 1e6, 1e-9, 1.0},
+      {"balanced", 2e3, 1e-7, 1.0},
+      {"speed-first (sampling welcome)", 1.0, 1e-9, 50.0},
+  };
+  std::printf("request-time plan selection over the alpha=1.25 PlanSet:\n");
+  for (const Profile& profile : profiles) {
+    WeightVector weights(3);
+    weights[0] = profile.w_loss;
+    weights[1] = profile.w_buffer;
+    weights[2] = profile.w_time;
+    const PlanSelection pick = SelectPlan(*fine_set, weights);
+    std::printf(
+        "  %-36s -> frontier[%d]: loss %.4f, buffer %.2e, time %.1f "
+        "(%d ops, %s)\n",
+        profile.name, pick.index, pick.cost[0], pick.cost[1], pick.cost[2],
+        pick.plan->NodeCount(), pick.plan->IsLeftDeep() ? "left-deep" : "bushy");
+  }
   return 0;
 }

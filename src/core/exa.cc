@@ -12,12 +12,11 @@ OptimizerResult ExactMOQO::Optimize(const MOQOProblem& problem) {
                                MakeDeadline());
   const ParetoSet& pareto = generator.Run(*problem.query, dp);
 
-  const BoundVector bounds = problem.bounds.size() == problem.objectives.size()
-                                 ? problem.bounds
-                                 : BoundVector::Unbounded(
-                                       problem.objectives.size());
-  const PlanNode* best = pareto.SelectBest(problem.weights, bounds);
-  return FinishResult(problem, generator, pareto, best,
+  // SelectBest over the full frontier; mis-sized bounds mean "unbounded".
+  const BoundVector select_bounds =
+      problem.bounds.size() == problem.objectives.size() ? problem.bounds
+                                                         : BoundVector();
+  return FinishResult(problem, generator, pareto, select_bounds,
                       watch.ElapsedMillis());
 }
 

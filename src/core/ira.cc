@@ -82,7 +82,9 @@ OptimizerResult IRAOptimizer::Optimize(const MOQOProblem& problem) {
     // No max_iterations disjunct needed: at that iteration alpha is
     // forced to 1.0 above, which makes `converged` true.
     if (converged || out_of_time) {
-      result = FinishResult(problem, generator, pareto, popt,
+      // FinishResult's SelectPlan re-derives popt over the PlanSet copy:
+      // same weights, bounds, and iteration order, hence the same plan.
+      result = FinishResult(problem, generator, pareto, bounds,
                             watch.ElapsedMillis());
       result.metrics.iterations = iteration;
       // A deadline exit between iterations truncates refinement without

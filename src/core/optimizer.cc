@@ -4,30 +4,34 @@
 
 namespace moqo {
 
+const std::vector<CostVector>& OptimizerResult::frontier() const {
+  static const std::vector<CostVector> kEmpty;
+  return plan_set ? plan_set->costs() : kEmpty;
+}
+
 OptimizerResult OptimizerBase::FinishResult(const MOQOProblem& problem,
                                             const DPPlanGenerator& generator,
                                             const ParetoSet& final_set,
-                                            const PlanNode* plan,
+                                            const BoundVector& select_bounds,
                                             double elapsed_ms) const {
   OptimizerResult result;
-  if (plan != nullptr) {
-    result.plan_arena = std::make_shared<Arena>();
-    result.plan = DeepCopyPlan(plan, result.plan_arena.get());
-  }
-  if (plan != nullptr) {
-    result.cost = plan->cost;
-    result.weighted_cost = problem.weights.WeightedCost(plan->cost);
+  result.plan_set = PlanSet::FromParetoSet(final_set);
+  const PlanSelection selection =
+      SelectPlan(*result.plan_set, problem.weights, select_bounds);
+  if (selection.plan != nullptr) {
+    result.plan = selection.plan;
+    result.cost = selection.cost;
+    result.weighted_cost = selection.weighted_cost;
     result.respects_bounds = problem.bounds.size() == 0 ||
-                             problem.bounds.Respects(plan->cost);
+                             problem.bounds.Respects(selection.cost);
   }
-  result.frontier = final_set.Frontier();
   result.metrics.optimization_ms = elapsed_ms;
-  result.metrics.memory_bytes = generator.MemoryBytes();
+  result.metrics.memory_bytes =
+      generator.MemoryBytes() + result.plan_set->MemoryBytes();
   result.metrics.timed_out = generator.stats().timed_out;
   result.metrics.considered_plans = generator.stats().considered_plans;
   result.metrics.last_complete_pareto_count =
       generator.stats().last_complete_pareto_count;
-  result.metrics.frontier_size = final_set.size();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/dp_driver.h"
+#include "core/plan_set.h"
 #include "cost/cost_vector.h"
 #include "cost/objective.h"
 #include "plan/operators.h"
@@ -56,7 +57,9 @@ struct OptimizerOptions {
   int max_iterations = 64;
 };
 
-/// Measurements reported for Figures 5, 9 and 10.
+/// Measurements reported for Figures 5, 9 and 10. Frontier cardinality is
+/// NOT tracked here: it is derived from the result's PlanSet (the single
+/// source of truth) via OptimizerResult::frontier_size().
 struct OptimizerMetrics {
   double optimization_ms = 0;
   size_t memory_bytes = 0;     ///< Arena + plan-set footprint (last iter).
@@ -66,24 +69,31 @@ struct OptimizerMetrics {
   int last_complete_pareto_count = 0;
   /// Refinement iterations executed (1 for EXA/RTA; Figure 10 for IRA).
   int iterations = 1;
-  /// Cardinality of the final (approximate) Pareto set for Q.
-  int frontier_size = 0;
 };
 
-/// The outcome of one optimization. The winning plan tree is deep-copied
-/// into a result-owned arena, so results safely outlive (and may be moved
-/// around independently of) the optimizer that produced them.
+/// The outcome of one optimization: the full approximate Pareto set
+/// (`plan_set`, the real product per Figure 4) plus the scalarization the
+/// request's weights/bounds picked from it (SelectPlan). `plan` points into
+/// `plan_set`'s arena, which is shared — results are cheap to copy and
+/// safely outlive the optimizer, and any later preference can be answered
+/// by re-running SelectPlan over the same `plan_set` without a new DP run.
 struct OptimizerResult {
-  /// Owns the storage behind `plan`; shared so results are copyable.
-  std::shared_ptr<Arena> plan_arena;
+  /// The approximate Pareto set with plans. Never null after Optimize()
+  /// (empty for degenerate queries); null only in default-constructed
+  /// results.
+  std::shared_ptr<const PlanSet> plan_set;
+  /// The selected plan; never null for queries with at least one table.
   const PlanNode* plan = nullptr;
   CostVector cost;
   double weighted_cost = 0;
   bool respects_bounds = true;
-  /// Cost vectors of the final (approximate) Pareto set for Q — the
-  /// "byproduct of optimization" visualized in Figure 4.
-  std::vector<CostVector> frontier;
   OptimizerMetrics metrics;
+
+  /// Cost vectors of the final (approximate) Pareto set for Q — the
+  /// "byproduct of optimization" visualized in Figure 4. Derived from
+  /// `plan_set`; empty when `plan_set` is null.
+  const std::vector<CostVector>& frontier() const;
+  int frontier_size() const { return plan_set ? plan_set->size() : 0; }
 };
 
 /// Shared implementation scaffolding: owns the arena, the operator
@@ -120,11 +130,16 @@ class OptimizerBase {
     return dp;
   }
 
-  /// Packages the generator state into a result.
+  /// Packages the generator state into a result: snapshots `final_set`
+  /// into a shared PlanSet and scalarizes it with the problem's weights
+  /// under `select_bounds` (pass an empty BoundVector for pure weighted
+  /// selection; `respects_bounds` is always judged against
+  /// `problem.bounds`).
   OptimizerResult FinishResult(const MOQOProblem& problem,
                                const DPPlanGenerator& generator,
                                const ParetoSet& final_set,
-                               const PlanNode* plan, double elapsed_ms) const;
+                               const BoundVector& select_bounds,
+                               double elapsed_ms) const;
 
   OptimizerOptions options_;
   OperatorRegistry registry_;

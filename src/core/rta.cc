@@ -14,9 +14,14 @@ OptimizerResult RTAOptimizer::Optimize(const MOQOProblem& problem) {
   DPOptions dp = MakeDPOptions(problem, alpha_i, MakeDeadline());
   const ParetoSet& pareto = generator.Run(*problem.query, dp);
 
-  // SelectBest with infinite bounds: weighted MOQO only.
-  const PlanNode* best = pareto.SelectBestWeighted(problem.weights);
-  return FinishResult(problem, generator, pareto, best,
+  // The RTA's *pruning* is weighted-MOQO only (Algorithm 2), but selection
+  // honors any request bounds over the finished frontier — the same
+  // bounded SelectBest the service applies on frontier hits, so cold
+  // misses and cache hits agree. Mis-sized bounds mean "unbounded".
+  const BoundVector select_bounds =
+      problem.bounds.size() == problem.objectives.size() ? problem.bounds
+                                                         : BoundVector();
+  return FinishResult(problem, generator, pareto, select_bounds,
                       watch.ElapsedMillis());
 }
 

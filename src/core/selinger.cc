@@ -16,12 +16,10 @@ OptimizerResult SelingerOptimizer::Optimize(const MOQOProblem& problem) {
   DPOptions dp = MakeDPOptions(problem, /*internal_alpha=*/1.0,
                                MakeDeadline());
   const ParetoSet& best_set = generator.Run(*problem.query, dp);
-  const WeightVector weights = WeightVector::Uniform(1);
-  const PlanNode* best = best_set.SelectBestWeighted(weights);
 
   MOQOProblem normalized = problem;
-  normalized.weights = weights;
-  return FinishResult(normalized, generator, best_set, best,
+  normalized.weights = WeightVector::Uniform(1);
+  return FinishResult(normalized, generator, best_set, BoundVector(),
                       watch.ElapsedMillis());
 }
 
@@ -46,8 +44,7 @@ OptimizerResult WeightedSumOptimizer::Optimize(const MOQOProblem& problem) {
                                MakeDeadline());
   dp.single_plan_mode = true;  // Prune every table set down to argmin C_W.
   const ParetoSet& best_set = generator.Run(*problem.query, dp);
-  const PlanNode* best = best_set.SelectBestWeighted(problem.weights);
-  return FinishResult(problem, generator, best_set, best,
+  return FinishResult(problem, generator, best_set, BoundVector(),
                       watch.ElapsedMillis());
 }
 

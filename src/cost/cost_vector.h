@@ -129,6 +129,16 @@ class WeightVector {
     return sum;
   }
 
+  /// Bit-exact equality over the active dimensions (the service uses it to
+  /// tell exact cache hits from frontier hits).
+  bool operator==(const WeightVector& other) const {
+    if (size_ != other.size_) return false;
+    for (int i = 0; i < size_; ++i) {
+      if (weights_[i] != other.weights_[i]) return false;
+    }
+    return true;
+  }
+
   std::string ToString() const;
 
  private:
@@ -166,6 +176,18 @@ class BoundVector {
 
   /// Number of finite bounds.
   int NumFinite() const;
+
+  /// Equality up to the weighted-MOQO canonicalization: two bound vectors
+  /// are equivalent when both are all-unbounded (any size, including 0) or
+  /// when they match bit-exactly per dimension.
+  bool operator==(const BoundVector& other) const {
+    if (AllUnbounded() && other.AllUnbounded()) return true;
+    if (size_ != other.size_) return false;
+    for (int i = 0; i < size_; ++i) {
+      if (bounds_[i] != other.bounds_[i]) return false;
+    }
+    return true;
+  }
 
   std::string ToString() const;
 

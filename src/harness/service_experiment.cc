@@ -29,12 +29,12 @@ std::vector<ServiceRequest> BuildServiceWorkload(
               : generator->WeightedCase(query_number, options.num_objectives,
                                         seed++);
       ServiceRequest request;
-      request.query = std::make_shared<Query>(
+      request.spec.query = std::make_shared<Query>(
           MakeTpcHQuery(catalog, query_number));
-      request.objectives = std::move(test_case.objectives);
-      request.weights = std::move(test_case.weights);
-      request.bounds = std::move(test_case.bounds);
-      request.deadline_ms = options.deadline_ms;
+      request.spec.objectives = std::move(test_case.objectives);
+      request.preference.weights = std::move(test_case.weights);
+      request.preference.bounds = std::move(test_case.bounds);
+      request.preference.deadline_ms = options.deadline_ms;
       requests.push_back(std::move(request));
     }
   }
@@ -69,7 +69,10 @@ ServiceRunStats DriveService(OptimizationService* service,
     if (response.result == nullptr || response.result->plan == nullptr) {
       ++stats.null_plans;
     }
-    if (response.cache_hit) ++stats.cache_hits;
+    if (response.cache_hit()) ++stats.cache_hits;
+    if (response.cache == CacheOutcome::kExactHit) ++stats.exact_hits;
+    if (response.cache == CacheOutcome::kFrontierHit) ++stats.frontier_hits;
+    if (response.cache == CacheOutcome::kCoalescedHit) ++stats.coalesced;
     sum_service_ms += response.service_ms;
     if (response.service_ms > stats.max_service_ms) {
       stats.max_service_ms = response.service_ms;
@@ -85,7 +88,9 @@ std::string ServiceRunStats::ToString() const {
   std::ostringstream out;
   out << "total=" << total << " completed=" << completed << " quick=" << quick
       << " rejected=" << rejected << " null_plans=" << null_plans
-      << " cache_hits=" << cache_hits << " wall_ms=" << wall_ms
+      << " cache_hits=" << cache_hits << " (exact=" << exact_hits
+      << " frontier=" << frontier_hits << ") coalesced=" << coalesced
+      << " wall_ms=" << wall_ms
       << " throughput_rps=" << Throughput()
       << " mean_ms=" << mean_service_ms << " max_ms=" << max_service_ms;
   return out.str();

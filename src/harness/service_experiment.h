@@ -44,7 +44,10 @@ struct ServiceRunStats {
   int quick = 0;           ///< Deadline-degraded quick-mode results.
   int rejected = 0;        ///< Shed by admission control.
   int null_plans = 0;      ///< Non-rejected responses without a plan (bug!).
-  int cache_hits = 0;
+  int cache_hits = 0;      ///< Exact + frontier hits.
+  int exact_hits = 0;      ///< Same preference: cached selection reused.
+  int frontier_hits = 0;   ///< New preference: O(|frontier|) re-selection.
+  int coalesced = 0;       ///< Served by waiting on an in-flight miss.
   double wall_ms = 0;      ///< Submit-all to last-future-resolved.
   /// Over served (non-rejected) requests only.
   double mean_service_ms = 0;

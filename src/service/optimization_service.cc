@@ -17,17 +17,42 @@ int ResolveWorkers(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Scalarizes `base`'s shared PlanSet for a new preference: same frontier
+/// and cold-run metrics, re-selected plan. O(|frontier|), no optimizer.
+std::shared_ptr<const OptimizerResult> ReselectResult(
+    const std::shared_ptr<const OptimizerResult>& base,
+    const WeightVector& weights, const BoundVector& bounds) {
+  auto result = std::make_shared<OptimizerResult>();
+  result->plan_set = base->plan_set;
+  result->metrics = base->metrics;
+  const PlanSelection selection =
+      SelectPlan(*result->plan_set, weights, bounds);
+  if (selection.plan != nullptr) {
+    result->plan = selection.plan;
+    result->cost = selection.cost;
+    result->weighted_cost = selection.weighted_cost;
+    result->respects_bounds =
+        bounds.size() == 0 || bounds.Respects(selection.cost);
+  }
+  return result;
+}
+
 }  // namespace
 
 /// Everything a worker needs to run one admitted request. Shared between
-/// the submit path (which owns the promise) and the pool task.
+/// the submit path (which owns the promise), the pool task, and — for
+/// coalesced waiters — the primary that serves them.
 struct OptimizationService::Admitted {
-  ServiceRequest request;
-  /// Built once at submit time; `problem.query` points into `request`.
+  ProblemSpec spec;
+  Preference preference;      ///< Weights/bounds normalized at Submit().
+  /// Built once at submit time; `problem.query` points into `spec`.
   MOQOProblem problem;
   PolicyDecision decision;
   ProblemSignature signature;
   bool cacheable = false;
+  /// True iff this request registered the in-flight coalescing entry for
+  /// its signature (i.e. it is the primary later arrivals wait on).
+  bool coalesce_registered = false;
   int64_t deadline_ms = -1;   ///< Total budget; -1 = none.
   StopWatch since_submit;     ///< Started at Submit().
   std::promise<ServiceResponse> promise;
@@ -67,60 +92,120 @@ std::future<ServiceResponse> OptimizationService::Submit(
   auto admitted = std::make_shared<Admitted>();
   std::future<ServiceResponse> future = admitted->promise.get_future();
 
-  admitted->deadline_ms = request.deadline_ms >= 0
-                              ? request.deadline_ms
+  admitted->deadline_ms = request.preference.deadline_ms >= 0
+                              ? request.preference.deadline_ms
                               : options_.default_deadline_ms;
-  admitted->request = std::move(request);
+  admitted->spec = std::move(request.spec);
+  admitted->preference = std::move(request.preference);
 
-  if (admitted->request.query == nullptr) {
+  if (admitted->spec.query == nullptr) {
     stats_.RecordInternalError();
     admitted->Reject();
     return future;
   }
 
-  admitted->problem.query = admitted->request.query.get();
-  admitted->problem.objectives = admitted->request.objectives;
-  admitted->problem.weights = admitted->request.weights;
-  admitted->problem.bounds = admitted->request.bounds;
-
-  PolicyDecision decision = ChooseAlgorithm(
-      admitted->problem, admitted->deadline_ms, options_.policy);
-  if (admitted->request.algorithm) {
-    decision.algorithm = *admitted->request.algorithm;
+  // Normalize the preference against the spec: empty or mis-sized weights
+  // mean uniform, mis-sized bounds mean unbounded. The normalized form is
+  // what selection, caching, and hit classification all see.
+  const int dims = admitted->spec.objectives.size();
+  if (admitted->preference.weights.size() != dims) {
+    admitted->preference.weights = WeightVector::Uniform(dims);
   }
-  if (admitted->request.alpha) decision.alpha = *admitted->request.alpha;
+  if (admitted->preference.bounds.size() != dims) {
+    admitted->preference.bounds = BoundVector();
+  }
+
+  admitted->problem.query = admitted->spec.query.get();
+  admitted->problem.objectives = admitted->spec.objectives;
+  admitted->problem.weights = admitted->preference.weights;
+  admitted->problem.bounds = admitted->preference.bounds;
+
+  PolicyDecision decision =
+      ChooseAlgorithm(*admitted->spec.query, admitted->spec.objectives,
+                      admitted->deadline_ms, options_.policy);
+  if (admitted->spec.algorithm) {
+    decision.algorithm = *admitted->spec.algorithm;
+  }
+  if (admitted->spec.alpha) decision.alpha = *admitted->spec.alpha;
   admitted->decision = decision;
 
+  bool admission_held = false;
   if (options_.enable_cache) {
-    admitted->signature =
-        ComputeSignature(admitted->problem, decision.algorithm,
-                         decision.alpha,
-                         MakeOptimizerOptions(decision.alpha, -1),
-                         options_.signature);
+    admitted->signature = ComputeSignature(
+        *admitted->spec.query, admitted->spec.objectives, decision.algorithm,
+        decision.alpha, MakeOptimizerOptions(decision.alpha, -1),
+        &admitted->preference.weights, &admitted->preference.bounds);
     admitted->cacheable = true;
-    if (std::shared_ptr<const OptimizerResult> cached =
-            cache_.Lookup(admitted->signature)) {
-      stats_.RecordCompleted();
-      ServiceResponse response;
-      response.status = ResponseStatus::kCompleted;
-      response.cache_hit = true;
-      response.algorithm = decision.algorithm;
-      response.alpha = decision.alpha;
-      response.result = std::move(cached);
-      response.service_ms = admitted->since_submit.ElapsedMillis();
-      admitted->promise.set_value(std::move(response));
+    std::shared_ptr<const CachedFrontier> cached =
+        cache_.Lookup(admitted->signature);
+    if (cached == nullptr && options_.enable_coalescing) {
+      std::lock_guard<std::mutex> lock(coalesce_mu_);
+      auto it = inflight_by_signature_.find(admitted->signature);
+      if (it != inflight_by_signature_.end()) {
+        // An identical miss is already being optimized. Deadline-free
+        // requests wait on it instead of optimizing again (waiters hold
+        // admission slots so the pending population stays bounded);
+        // deadline-bounded ones run independently — a waiter cannot
+        // degrade to quick mode when its budget expires mid-wait, and the
+        // primary's run length is unknown.
+        if (admitted->deadline_ms < 0) {
+          const size_t prior =
+              inflight_.fetch_add(1, std::memory_order_acq_rel);
+          if (prior >= options_.max_inflight) {
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            stats_.RecordAdmissionRejected();
+            admitted->Reject();
+            return future;
+          }
+          it->second->waiters.push_back(admitted);
+          return future;
+        }
+      } else {
+        // No entry: either nothing is in flight or the primary just
+        // finished. The primary inserts into the cache *before* erasing
+        // its entry, so this second probe closes the race; the cache's
+        // miss counter is reclassified on a hit so each request still
+        // records exactly one lookup.
+        cached = cache_.Lookup(admitted->signature, /*record_stats=*/false);
+        if (cached != nullptr) {
+          cache_.ReclassifyMissAsHit();
+        } else {
+          // Admit the primary BEFORE exposing its entry: waiters may only
+          // park behind an admitted primary, so an admission reject here
+          // can never cascade onto parked waiters, and waiter slots never
+          // crowd out the primary's own slot.
+          const size_t prior =
+              inflight_.fetch_add(1, std::memory_order_acq_rel);
+          if (prior >= options_.max_inflight) {
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            stats_.RecordAdmissionRejected();
+            admitted->Reject();
+            return future;
+          }
+          admission_held = true;
+          inflight_by_signature_[admitted->signature] =
+              std::make_shared<CoalesceEntry>();
+          admitted->coalesce_registered = true;
+        }
+      }
+    }
+    if (cached != nullptr) {
+      ServeFromCache(admitted, cached);
       return future;
     }
   }
 
   // Admission control: bound queued + running work so overload sheds load
-  // instead of growing queue delay without limit.
-  const size_t prior = inflight_.fetch_add(1, std::memory_order_acq_rel);
-  if (prior >= options_.max_inflight) {
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    stats_.RecordAdmissionRejected();
-    admitted->Reject();
-    return future;
+  // instead of growing queue delay without limit. (Registered primaries
+  // were already admitted under the coalesce lock above.)
+  if (!admission_held) {
+    const size_t prior = inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (prior >= options_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      stats_.RecordAdmissionRejected();
+      AbandonPrimary(admitted);
+      return future;
+    }
   }
 
   const bool accepted =
@@ -128,9 +213,78 @@ std::future<ServiceResponse> OptimizationService::Submit(
   if (!accepted) {  // Shutdown raced the submit.
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
     stats_.RecordAdmissionRejected();
-    admitted->Reject();
+    AbandonPrimary(admitted);
   }
   return future;
+}
+
+void OptimizationService::AbandonPrimary(
+    const std::shared_ptr<Admitted>& admitted) {
+  // A primary that registered a coalescing entry but will never run must
+  // flush its waiters, or their futures would hang forever.
+  if (admitted->coalesce_registered) {
+    for (const std::shared_ptr<Admitted>& waiter :
+         TakeWaiters(admitted->signature)) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      stats_.RecordAdmissionRejected();
+      waiter->Reject();
+    }
+  }
+  admitted->Reject();
+}
+
+void OptimizationService::ServeFromCache(
+    const std::shared_ptr<Admitted>& admitted,
+    const std::shared_ptr<const CachedFrontier>& cached) {
+  ServiceResponse response;
+  response.status = ResponseStatus::kCompleted;
+  response.algorithm = admitted->decision.algorithm;
+  response.alpha = admitted->decision.alpha;
+  const bool same_preference =
+      cached->weights == admitted->preference.weights &&
+      cached->bounds == admitted->preference.bounds;
+  if (same_preference) {
+    response.cache = CacheOutcome::kExactHit;
+    response.result = cached->result;
+    stats_.RecordExactHit();
+  } else {
+    response.cache = CacheOutcome::kFrontierHit;
+    response.result =
+        ReselectResult(cached->result, admitted->preference.weights,
+                       admitted->preference.bounds);
+    stats_.RecordFrontierHit();
+  }
+  stats_.RecordCompleted();
+  response.service_ms = admitted->since_submit.ElapsedMillis();
+  admitted->promise.set_value(std::move(response));
+}
+
+void OptimizationService::ServeCoalesced(
+    const std::shared_ptr<Admitted>& waiter,
+    const std::shared_ptr<const OptimizerResult>& result) {
+  ServiceResponse response;
+  response.status = ResponseStatus::kCompleted;
+  response.cache = CacheOutcome::kCoalescedHit;
+  response.algorithm = waiter->decision.algorithm;
+  response.alpha = waiter->decision.alpha;
+  response.result = ReselectResult(result, waiter->preference.weights,
+                                   waiter->preference.bounds);
+  stats_.RecordCoalescedHit();
+  stats_.RecordCompleted();
+  response.service_ms = waiter->since_submit.ElapsedMillis();
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  waiter->promise.set_value(std::move(response));
+}
+
+std::vector<std::shared_ptr<OptimizationService::Admitted>>
+OptimizationService::TakeWaiters(const ProblemSignature& signature) {
+  std::lock_guard<std::mutex> lock(coalesce_mu_);
+  auto it = inflight_by_signature_.find(signature);
+  if (it == inflight_by_signature_.end()) return {};
+  std::vector<std::shared_ptr<Admitted>> waiters =
+      std::move(it->second->waiters);
+  inflight_by_signature_.erase(it);
+  return waiters;
 }
 
 void OptimizationService::RunRequest(
@@ -153,6 +307,9 @@ void OptimizationService::RunRequest(
   response.alpha = decision.alpha;
   response.queue_ms = queue_ms;
 
+  std::shared_ptr<const OptimizerResult> produced;
+  bool complete = false;  // True iff produced carries the full guarantee.
+
   // The future must resolve and the inflight slot must come back even if
   // the optimizer throws (the EXA can exhaust memory on large instances),
   // so the whole optimization is fenced.
@@ -166,8 +323,15 @@ void OptimizationService::RunRequest(
     const double run_ms = run_watch.ElapsedMillis();
 
     const bool timed_out = result->metrics.timed_out;
+    complete = !timed_out;
     if (admitted->cacheable && !timed_out) {
-      cache_.Insert(admitted->signature, result);
+      // Insert before the promise resolves and before waiters drain: the
+      // Submit() race-closing probe relies on insert-before-erase.
+      auto cached = std::make_shared<CachedFrontier>();
+      cached->result = result;
+      cached->weights = admitted->preference.weights;
+      cached->bounds = admitted->preference.bounds;
+      cache_.Insert(admitted->signature, std::move(cached));
     }
     if (timed_out) stats_.RecordDeadlineTimeout();
     stats_.RecordLatency(decision.algorithm, run_ms);
@@ -175,6 +339,7 @@ void OptimizationService::RunRequest(
 
     response.status = timed_out ? ResponseStatus::kCompletedQuick
                                 : ResponseStatus::kCompleted;
+    produced = result;
     response.result = std::move(result);
   } catch (...) {
     response.status = ResponseStatus::kRejected;
@@ -184,6 +349,48 @@ void OptimizationService::RunRequest(
   response.service_ms = admitted->since_submit.ElapsedMillis();
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
   admitted->promise.set_value(std::move(response));
+
+  // Serve requests that coalesced behind this signature. Only the
+  // registrant drains — a re-run ex-waiter must not steal a newer
+  // primary's entry. A complete result answers every waiter by selection
+  // over the shared PlanSet. A degraded or failed run (whose quick-mode
+  // plan depends on the primary's weights) promotes ONE waiter to a new
+  // primary and re-parks the rest behind it, so a failing signature never
+  // fans out into a thundering herd of identical DP runs.
+  if (admitted->coalesce_registered) {
+    std::vector<std::shared_ptr<Admitted>> waiters =
+        TakeWaiters(admitted->signature);
+    if (complete && produced != nullptr) {
+      for (const std::shared_ptr<Admitted>& waiter : waiters) {
+        ServeCoalesced(waiter, produced);
+      }
+    } else if (!waiters.empty()) {
+      std::shared_ptr<Admitted> promoted;
+      {
+        std::lock_guard<std::mutex> lock(coalesce_mu_);
+        auto it = inflight_by_signature_.find(admitted->signature);
+        if (it != inflight_by_signature_.end()) {
+          // A newer primary already took over: park everyone behind it.
+          for (std::shared_ptr<Admitted>& waiter : waiters) {
+            it->second->waiters.push_back(std::move(waiter));
+          }
+        } else {
+          promoted = waiters.front();
+          promoted->coalesce_registered = true;
+          auto entry = std::make_shared<CoalesceEntry>();
+          entry->waiters.assign(waiters.begin() + 1, waiters.end());
+          inflight_by_signature_[admitted->signature] = std::move(entry);
+        }
+      }
+      // Waiters are deadline-free, so a promoted primary runs without a
+      // timeout and can only fail outright (e.g. OOM) — each failure
+      // consumes one waiter, so promotion chains terminate.
+      if (promoted != nullptr &&
+          !pool_.Submit([this, promoted] { RunRequest(promoted); })) {
+        RunRequest(promoted);  // Shutdown drain: run inline, never hang.
+      }
+    }
+  }
 }
 
 ServiceStatsSnapshot OptimizationService::Stats() const {

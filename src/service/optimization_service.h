@@ -1,26 +1,39 @@
 // Copyright (c) 2026 moqo authors. MIT license.
 //
 // OptimizationService: the concurrent serving layer over the MOQO
-// optimizers.
+// optimizers, redesigned around the frontier (PR 2).
 //
-// Requests flow through three stages:
+// A request is a (ProblemSpec, Preference) pair. The spec — query +
+// objectives + algorithm/alpha — determines the *frontier* (the
+// approximate Pareto set); the preference — weights + bounds + deadline —
+// only determines which of its plans is selected. Requests flow through
+// four stages:
 //
-//   1. Cache probe. The request's canonical ProblemSignature (query
-//      structure + objectives + bucketed weights/bounds + resolved
-//      algorithm/alpha + plan-space switches) is looked up in a sharded
-//      LRU PlanCache. Hits resolve the future immediately — the repeated
-//      Pareto-frontier computation is skipped entirely.
-//   2. Admission control. Misses are admitted only while fewer than
-//      `max_inflight` requests are queued or running; beyond that the
-//      service sheds load by rejecting up front (status kRejected) instead
-//      of letting queue delay eat every deadline.
-//   3. Worker pool. A fixed-size ThreadPool runs the optimizer chosen by
+//   1. Cache probe. The spec's canonical ProblemSignature (weight-free for
+//      frontier-producing algorithms, see service/signature.h) is looked up
+//      in a sharded LRU PlanCache holding shared PlanSets. A hit with the
+//      same preference is an *exact hit* (stored selection reused); any
+//      other preference is a *frontier hit*: SelectPlan re-scalarizes the
+//      shared PlanSet in O(|frontier|) — no optimizer run, which is the
+//      whole point: a weight change on a cached query costs microseconds.
+//   2. Coalescing. A deadline-free miss whose signature is already being
+//      optimized does not optimize again: it registers as a waiter on the
+//      in-flight primary and is answered from the primary's PlanSet when
+//      it lands (falling back to its own optimizer run if the primary
+//      fails or times out). Deadline-bounded misses never wait — a waiter
+//      cannot degrade to quick mode mid-wait, so they keep their own
+//      optimizer run and its deadline guarantee.
+//   3. Admission control. Primaries and waiters are admitted only while
+//      fewer than `max_inflight` requests are pending; beyond that the
+//      service sheds load up front (status kRejected) instead of letting
+//      queue delay eat every deadline.
+//   4. Worker pool. A fixed-size ThreadPool runs the optimizer chosen by
 //      the policy layer. The per-request deadline covers queue wait plus
-//      optimization: workers give the optimizer only the remaining budget,
-//      and an expired budget degrades to Section 5.1 quick mode — which
-//      still returns a valid plan, never a null one (status
-//      kCompletedQuick). Only complete (non-timed-out) results enter the
-//      cache, so a cached entry is valid for any later deadline.
+//      optimization; an expired budget degrades to Section 5.1 quick mode —
+//      still a valid plan, never a null one (status kCompletedQuick). Only
+//      complete (non-timed-out) results enter the cache, so a cached entry
+//      is valid for any later deadline and, being preference-independent,
+//      for any later preference.
 
 #ifndef MOQO_SERVICE_OPTIMIZATION_SERVICE_H_
 #define MOQO_SERVICE_OPTIMIZATION_SERVICE_H_
@@ -29,10 +42,14 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "core/optimizer.h"
 #include "core/algorithm.h"
+#include "core/plan_set.h"
 #include "service/plan_cache.h"
 #include "service/policy.h"
 #include "service/signature.h"
@@ -50,8 +67,10 @@ struct ServiceOptions {
   int64_t default_deadline_ms = -1;
   /// Set false to bypass the cache entirely (benchmarking cold paths).
   bool enable_cache = true;
+  /// Set false to disable in-flight request coalescing (each duplicate
+  /// miss then runs its own optimization, as in PR 1).
+  bool enable_coalescing = true;
   PlanCache::Options cache;
-  SignatureOptions signature;
   PolicyOptions policy;
   /// Plan space shared by every request the service runs.
   OperatorRegistry::Options operators;
@@ -59,24 +78,43 @@ struct ServiceOptions {
   bool cartesian_heuristic = true;
 };
 
-/// One optimization request. The service shares ownership of the query for
-/// the lifetime of the request (wrap long-lived queries the caller owns
-/// with UnownedQuery()).
-struct ServiceRequest {
+/// WHAT to optimize: everything that determines the frontier, and nothing
+/// that merely picks a plan from it. Two requests with equal specs share
+/// one cached PlanSet regardless of their preferences. The service shares
+/// ownership of the query for the lifetime of the request (wrap long-lived
+/// queries the caller owns with UnownedQuery()).
+struct ProblemSpec {
   std::shared_ptr<const Query> query;
   ObjectiveSet objectives;
-  WeightVector weights;
-  BoundVector bounds;
-  /// Total budget (queue wait + optimization) in ms; -1 = service default.
-  int64_t deadline_ms = -1;
-  /// Overrides for the policy layer's auto-selection.
+  /// Overrides for the policy layer's auto-selection. Note: kIra and
+  /// kWeightedSum produce preference-dependent output, so their cache
+  /// entries are shared only between identical preferences.
   std::optional<AlgorithmKind> algorithm;
   std::optional<double> alpha;
 };
 
+/// HOW to choose from the frontier: the request-time scalarization inputs
+/// plus the latency budget. Changing only the preference on a cached spec
+/// is a frontier hit — O(|frontier|) SelectPlan, no optimizer run.
+struct Preference {
+  /// Defaults to uniform over the spec's objectives when empty.
+  WeightVector weights;
+  /// Empty or all-infinite = weighted MOQO; finite bounds are honored at
+  /// selection time (bounded SelectBest of Algorithm 1).
+  BoundVector bounds;
+  /// Total budget (queue wait + optimization) in ms; -1 = service default.
+  int64_t deadline_ms = -1;
+};
+
+/// One optimization request: a spec and a preference over its frontier.
+struct ServiceRequest {
+  ProblemSpec spec;
+  Preference preference;
+};
+
 enum class ResponseStatus : uint8_t {
-  /// Full optimization (or cache hit): the guarantee of the chosen
-  /// algorithm holds.
+  /// Full optimization (or cache/coalesced hit): the guarantee of the
+  /// chosen algorithm holds.
   kCompleted,
   /// Deadline expired before or during optimization; the result carries
   /// the Section 5.1 quick-mode plan (valid, but no approximation
@@ -87,17 +125,39 @@ enum class ResponseStatus : uint8_t {
   kRejected,
 };
 
+/// How (and whether) the cache answered the request.
+enum class CacheOutcome : uint8_t {
+  kMiss,          ///< Ran the optimizer.
+  kExactHit,      ///< Cached entry with the same preference: reused verbatim.
+  kFrontierHit,   ///< Cached PlanSet, new preference: O(|frontier|) selection.
+  kCoalescedHit,  ///< Waited on an identical in-flight miss, then selected.
+};
+
 struct ServiceResponse {
   ResponseStatus status = ResponseStatus::kRejected;
-  bool cache_hit = false;
+  CacheOutcome cache = CacheOutcome::kMiss;
   AlgorithmKind algorithm = AlgorithmKind::kRta;
   double alpha = 1.0;
-  /// Never null unless status == kRejected.
+  /// Never null unless status == kRejected. Carries the shared PlanSet
+  /// (result->plan_set) and the preference's selection from it.
   std::shared_ptr<const OptimizerResult> result;
   /// Time from Submit() to worker pickup (0 for cache hits / rejects).
   double queue_ms = 0;
   /// Total time from Submit() to response.
   double service_ms = 0;
+
+  /// True for exact and frontier hits (not for coalesced waits: those did
+  /// wait for an optimizer run, just not their own).
+  bool cache_hit() const {
+    return cache == CacheOutcome::kExactHit ||
+           cache == CacheOutcome::kFrontierHit;
+  }
+
+  /// The full approximate Pareto set behind this response, shared with the
+  /// cache and any sibling responses; null iff rejected.
+  std::shared_ptr<const PlanSet> plan_set() const {
+    return result ? result->plan_set : nullptr;
+  }
 };
 
 /// Wraps a caller-owned query (which must outlive all requests using it)
@@ -126,7 +186,8 @@ class OptimizationService {
     return Submit(std::move(request)).get();
   }
 
-  /// Currently queued or running requests (cache hits never count).
+  /// Currently queued or running requests, including coalesced waiters
+  /// (cache hits never count).
   size_t InFlight() const { return inflight_.load(std::memory_order_relaxed); }
 
   int num_workers() const { return pool_.num_threads(); }
@@ -140,9 +201,31 @@ class OptimizationService {
  private:
   struct Admitted;  // One queued request's state.
 
+  /// Waiters parked behind one in-flight signature.
+  struct CoalesceEntry {
+    std::vector<std::shared_ptr<Admitted>> waiters;
+  };
+
   /// Optimizer options for one request given its remaining budget.
   OptimizerOptions MakeOptimizerOptions(double alpha,
                                         int64_t timeout_ms) const;
+
+  /// Builds and resolves a response from a cached frontier (exact or
+  /// frontier hit).
+  void ServeFromCache(const std::shared_ptr<Admitted>& admitted,
+                      const std::shared_ptr<const CachedFrontier>& cached);
+
+  /// Rejects a primary that will never run (admission/shutdown), flushing
+  /// any waiters already parked on its coalescing entry.
+  void AbandonPrimary(const std::shared_ptr<Admitted>& admitted);
+
+  /// Resolves a coalesced waiter from the primary's completed result.
+  void ServeCoalesced(const std::shared_ptr<Admitted>& waiter,
+                      const std::shared_ptr<const OptimizerResult>& result);
+
+  /// Removes and returns the waiter list for `signature` (empty if none).
+  std::vector<std::shared_ptr<Admitted>> TakeWaiters(
+      const ProblemSignature& signature);
 
   void RunRequest(const std::shared_ptr<Admitted>& admitted);
 
@@ -150,6 +233,11 @@ class OptimizationService {
   PlanCache cache_;
   ServiceStatsRegistry stats_;
   std::atomic<size_t> inflight_{0};
+
+  std::mutex coalesce_mu_;
+  std::unordered_map<ProblemSignature, std::shared_ptr<CoalesceEntry>>
+      inflight_by_signature_;
+
   ThreadPool pool_;  ///< Last member: workers die before the state above.
 };
 

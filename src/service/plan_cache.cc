@@ -23,27 +23,27 @@ PlanCache::PlanCache(const Options& options) {
   }
 }
 
-std::shared_ptr<const OptimizerResult> PlanCache::Lookup(
-    const ProblemSignature& signature) {
+std::shared_ptr<const CachedFrontier> PlanCache::Lookup(
+    const ProblemSignature& signature, bool record_stats) {
   Shard& shard = ShardFor(signature);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(signature);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second.result;
+  if (record_stats) hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.frontier;
 }
 
 void PlanCache::Insert(const ProblemSignature& signature,
-                       std::shared_ptr<const OptimizerResult> result) {
+                       std::shared_ptr<const CachedFrontier> frontier) {
   Shard& shard = ShardFor(signature);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(signature);
   if (it != shard.index.end()) {
-    it->second.result = std::move(result);
+    it->second.frontier = std::move(frontier);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     return;
   }
@@ -52,7 +52,7 @@ void PlanCache::Insert(const ProblemSignature& signature,
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  it = shard.index.emplace(signature, Entry{std::move(result), {}}).first;
+  it = shard.index.emplace(signature, Entry{std::move(frontier), {}}).first;
   shard.lru.push_front(&it->first);
   it->second.lru_pos = shard.lru.begin();
   insertions_.fetch_add(1, std::memory_order_relaxed);

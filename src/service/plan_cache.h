@@ -1,17 +1,22 @@
 // Copyright (c) 2026 moqo authors. MIT license.
 //
-// PlanCache: a sharded, thread-safe LRU cache of optimization results keyed
-// by ProblemSignature.
+// PlanCache: a sharded, thread-safe LRU cache of optimization frontiers
+// keyed by ProblemSignature.
 //
 // The Pareto-frontier computation that MOQO amortizes here is orders of
 // magnitude more expensive than a lookup, so the cache sits in front of the
 // worker pool and resolves repeated or structurally identical requests
-// without re-running the DP. Sharding bounds lock contention under
-// concurrent traffic: the signature hash routes each key to one of N
-// independently locked shards, each with its own LRU list and capacity
-// slice. Values are shared_ptr<const OptimizerResult>; results own their
-// plan storage via shared_ptr<Arena>, so a cached plan stays valid for as
-// long as any response still references it, even after eviction.
+// without re-running the DP. Since PR 2 the cached value is a
+// CachedFrontier: the cold run's immutable OptimizerResult (which owns the
+// full PlanSet) plus the preference its stored selection answers — an equal
+// preference is an *exact hit* (the stored selection is reused verbatim),
+// any other preference is a *frontier hit* (O(|frontier|) SelectPlan over
+// the shared PlanSet). Sharding bounds lock contention under concurrent
+// traffic: the signature hash routes each key to one of N independently
+// locked shards, each with its own LRU list and capacity slice. Results
+// own their plan storage via shared_ptr<const PlanSet>, so a cached plan
+// stays valid for as long as any response still references it, even after
+// eviction.
 
 #ifndef MOQO_SERVICE_PLAN_CACHE_H_
 #define MOQO_SERVICE_PLAN_CACHE_H_
@@ -28,6 +33,16 @@
 #include "service/signature.h"
 
 namespace moqo {
+
+/// One cached optimization outcome: the cold run's result (sharing the
+/// PlanSet) plus the preference that produced its stored selection.
+struct CachedFrontier {
+  std::shared_ptr<const OptimizerResult> result;
+  /// The preference `result`'s plan/cost/weighted_cost answer. Requests
+  /// with a different preference re-select over result->plan_set.
+  WeightVector weights;
+  BoundVector bounds;
+};
 
 class PlanCache {
  public:
@@ -53,15 +68,27 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// Returns the cached result for `signature` (promoting it to
-  /// most-recently-used) or nullptr on miss.
-  std::shared_ptr<const OptimizerResult> Lookup(
-      const ProblemSignature& signature);
+  /// Returns the cached frontier for `signature` (promoting it to
+  /// most-recently-used) or nullptr on miss. `record_stats` = false skips
+  /// the hit/miss counters — used by the service's coalescing re-probe so
+  /// each request records exactly one lookup.
+  std::shared_ptr<const CachedFrontier> Lookup(
+      const ProblemSignature& signature, bool record_stats = true);
 
-  /// Inserts (or refreshes) the result for `signature`, evicting the
+  /// Converts one recorded miss into a hit. The service calls this when
+  /// its uncounted coalescing re-probe finds an entry inserted after the
+  /// request's first (miss-counted) lookup, so that request's net
+  /// contribution is one hit — preserving both
+  /// hits + misses == lookups and hits == exact_hits + frontier_hits.
+  void ReclassifyMissAsHit() {
+    misses_.fetch_sub(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Inserts (or refreshes) the frontier for `signature`, evicting the
   /// least-recently-used entry of the target shard when its slice is full.
   void Insert(const ProblemSignature& signature,
-              std::shared_ptr<const OptimizerResult> result);
+              std::shared_ptr<const CachedFrontier> frontier);
 
   Stats GetStats() const;
   size_t size() const;
@@ -77,7 +104,7 @@ class PlanCache {
   using LruList = std::list<const ProblemSignature*>;
 
   struct Entry {
-    std::shared_ptr<const OptimizerResult> result;
+    std::shared_ptr<const CachedFrontier> frontier;
     LruList::iterator lru_pos;
   };
 

@@ -4,25 +4,20 @@
 
 namespace moqo {
 
-PolicyDecision ChooseAlgorithm(const MOQOProblem& problem,
+PolicyDecision ChooseAlgorithm(const Query& query,
+                               const ObjectiveSet& objectives,
                                int64_t deadline_ms,
                                const PolicyOptions& options) {
   PolicyDecision decision;
-  const bool tight = deadline_ms >= 0 && deadline_ms <= options.tight_deadline_ms;
-  const int num_tables = problem.query->num_tables();
-  const int num_objectives = problem.objectives.size();
+  const bool tight =
+      deadline_ms >= 0 && deadline_ms <= options.tight_deadline_ms;
+  const int num_tables = query.num_tables();
+  const int num_objectives = objectives.size();
 
   if (num_objectives <= 1) {
     // Single-objective: the classic Selinger DP is exact and cheapest.
     decision.algorithm = AlgorithmKind::kSelinger;
     decision.alpha = 1.0;
-    return decision;
-  }
-
-  if (!problem.IsWeightedOnly()) {
-    // Bounds present: only the IRA honors them with a guarantee.
-    decision.algorithm = AlgorithmKind::kIra;
-    decision.alpha = tight ? options.tight_alpha : options.default_alpha;
     return decision;
   }
 

@@ -2,8 +2,6 @@
 
 #include "service/signature.h"
 
-#include <cassert>
-#include <cmath>
 #include <cstring>
 #include <limits>
 
@@ -21,25 +19,6 @@ uint64_t DoubleBits(double v) {
   return bits;
 }
 
-/// Linear bucket index; bit-exact when `step` is 0.
-uint64_t LinearBucket(double v, double step) {
-  if (step <= 0) return DoubleBits(v);
-  return static_cast<uint64_t>(std::llround(v / step));
-}
-
-/// Relative (log-grid) bucket index; bit-exact when `rel` is 0. Values
-/// within a factor (1 + rel) of each other share a bucket.
-uint64_t RelativeBucket(double v, double rel) {
-  if (rel <= 0) return DoubleBits(v);
-  // Clamp away from zero: log of the intrinsic floor region. Bounds are
-  // non-negative by the model invariant.
-  const double clamped = v < 1e-30 ? 1e-30 : v;
-  const double step = std::log1p(rel);
-  return static_cast<uint64_t>(
-      std::llround(std::log(clamped) / step) +
-      (int64_t{1} << 32));  // Offset keeps the index positive.
-}
-
 uint64_t Fnv1a(const std::string& data) {
   uint64_t hash = 14695981039346656037ull;
   for (unsigned char c : data) {
@@ -51,44 +30,21 @@ uint64_t Fnv1a(const std::string& data) {
 
 }  // namespace
 
-ProblemSignature ComputeSignature(const MOQOProblem& problem,
+ProblemSignature ComputeSignature(const Query& query,
+                                  const ObjectiveSet& objectives,
                                   AlgorithmKind algorithm, double alpha,
                                   const OptimizerOptions& options,
-                                  const SignatureOptions& sig_options) {
-  assert(problem.query != nullptr);
+                                  const WeightVector* weights,
+                                  const BoundVector* bounds) {
   std::string key;
   key.reserve(256);
 
-  AppendCanonicalQuery(&key, *problem.query);
+  AppendCanonicalQuery(&key, query);
 
   // Objective selection, in order: the order fixes CostVector dimensions.
-  AppendCanonicalU64(&key, static_cast<uint64_t>(problem.objectives.size()));
-  for (Objective objective : problem.objectives) {
+  AppendCanonicalU64(&key, static_cast<uint64_t>(objectives.size()));
+  for (Objective objective : objectives) {
     AppendCanonicalU64(&key, static_cast<uint64_t>(objective));
-  }
-
-  AppendCanonicalU64(&key, static_cast<uint64_t>(problem.weights.size()));
-  for (int i = 0; i < problem.weights.size(); ++i) {
-    AppendCanonicalU64(&key,
-                       LinearBucket(problem.weights[i],
-                                    sig_options.weight_bucket));
-  }
-
-  // A default-constructed (size-0) BoundVector and an explicit
-  // all-unbounded one describe the same weighted-MOQO instance
-  // (MOQOProblem::IsWeightedOnly); canonicalize both to the empty
-  // encoding so they share cache entries.
-  if (problem.bounds.AllUnbounded()) {
-    AppendCanonicalU64(&key, 0);
-  } else {
-    AppendCanonicalU64(&key, static_cast<uint64_t>(problem.bounds.size()));
-    for (int i = 0; i < problem.bounds.size(); ++i) {
-      AppendCanonicalU64(&key,
-                         problem.bounds.IsUnbounded(i)
-                             ? kUnboundedSentinel
-                             : RelativeBucket(problem.bounds[i],
-                                              sig_options.bound_bucket_rel));
-    }
   }
 
   // Resolved algorithm + precision: an RTA result must never be served to
@@ -115,6 +71,32 @@ ProblemSignature ComputeSignature(const MOQOProblem& problem,
   AppendCanonicalU64(&key, options.operators.dops.size());
   for (int dop : options.operators.dops) {
     AppendCanonicalU64(&key, static_cast<uint64_t>(dop));
+  }
+
+  // Preference-dependent algorithms only: their frontier is tailored to
+  // the given weights/bounds, so equal keys must mean equal preferences.
+  // Frontier-producing algorithms skip this block entirely — that is what
+  // makes a weight-only change a cache hit.
+  if (IsPreferenceDependent(algorithm)) {
+    const int num_weights = weights != nullptr ? weights->size() : 0;
+    AppendCanonicalU64(&key, static_cast<uint64_t>(num_weights));
+    for (int i = 0; i < num_weights; ++i) {
+      AppendCanonicalU64(&key, DoubleBits((*weights)[i]));
+    }
+    // A default-constructed (size-0) BoundVector and an explicit
+    // all-unbounded one describe the same weighted-MOQO instance
+    // (MOQOProblem::IsWeightedOnly); canonicalize both to the empty
+    // encoding so they share cache entries.
+    if (bounds == nullptr || bounds->AllUnbounded()) {
+      AppendCanonicalU64(&key, 0);
+    } else {
+      AppendCanonicalU64(&key, static_cast<uint64_t>(bounds->size()));
+      for (int i = 0; i < bounds->size(); ++i) {
+        AppendCanonicalU64(&key, bounds->IsUnbounded(i)
+                                     ? kUnboundedSentinel
+                                     : DoubleBits((*bounds)[i]));
+      }
+    }
   }
 
   ProblemSignature signature;

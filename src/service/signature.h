@@ -2,14 +2,19 @@
 //
 // ProblemSignature: the canonical cache key of the optimization service.
 //
-// A signature captures everything that determines an optimizer's output:
-// the query structure (canonical join-graph encoding, src/query/canonical),
-// the active objective selection, weights and bounds (quantized into
-// buckets so near-identical parameter vectors share cached plans), the
-// resolved algorithm and its precision alpha, and the plan-space switches.
-// Requests with equal signatures are served the same cached result; the
-// full key participates in equality, so hash collisions can never return a
-// wrong plan.
+// A signature captures everything that determines the *frontier* an
+// optimizer produces: the query structure (canonical join-graph encoding,
+// src/query/canonical), the active objective selection, the resolved
+// algorithm and its precision alpha, and the plan-space switches. It is
+// deliberately **weight-free**: for the frontier-producing algorithms
+// (EXA, RTA, Selinger) the approximate Pareto set does not depend on the
+// request's preference, so any weight or bound change on a cached query is
+// answered by O(|frontier|) SelectPlan over the shared PlanSet instead of
+// a new DP run. The two preference-dependent algorithms (the IRA refines
+// toward its bounds, the weighted-sum baseline prunes by weighted cost)
+// additionally encode the preference bit-exactly, so their entries are
+// reused only for identical requests. The full key participates in
+// equality, so hash collisions can never return a wrong plan.
 
 #ifndef MOQO_SERVICE_SIGNATURE_H_
 #define MOQO_SERVICE_SIGNATURE_H_
@@ -22,20 +27,6 @@
 
 namespace moqo {
 
-/// Quantization of the continuous problem parameters. Weights live in a
-/// bounded range (Section 8 draws them from [0,1]), so they bucket on a
-/// linear grid; bounds span orders of magnitude (milliseconds to bytes), so
-/// they bucket on a relative (logarithmic) grid. A step of 0 disables
-/// bucketing for that component (bit-exact matching).
-struct SignatureOptions {
-  /// Linear grid step for weights: weights within the same step collapse
-  /// into one bucket. Default trades ~0.01% weighted-cost error for reuse.
-  double weight_bucket = 1e-4;
-  /// Relative grid for finite bounds: bounds within a factor of
-  /// (1 + bound_bucket_rel) of each other collapse into one bucket.
-  double bound_bucket_rel = 1e-4;
-};
-
 /// An equality-comparable canonical cache key with a precomputed hash.
 struct ProblemSignature {
   std::string key;    ///< Canonical byte encoding; defines equality.
@@ -46,13 +37,26 @@ struct ProblemSignature {
   }
 };
 
+/// True iff the algorithm's full output — not just the selected plan —
+/// depends on the request's weights/bounds, making its cache entries
+/// preference-specific.
+inline bool IsPreferenceDependent(AlgorithmKind algorithm) {
+  return algorithm == AlgorithmKind::kIra ||
+         algorithm == AlgorithmKind::kWeightedSum;
+}
+
 /// Computes the signature of running `algorithm` with precision `alpha` on
-/// `problem` under `options` (only result-relevant switches are encoded:
-/// plan space, operator space, pruning mode — not the timeout).
-ProblemSignature ComputeSignature(const MOQOProblem& problem,
+/// `query` over `objectives` under `options` (only result-relevant
+/// switches are encoded: plan space, operator space, pruning mode — not
+/// the timeout). `weights`/`bounds` are encoded only when the algorithm
+/// IsPreferenceDependent; pass null otherwise (or always — they are
+/// ignored for frontier-producing algorithms).
+ProblemSignature ComputeSignature(const Query& query,
+                                  const ObjectiveSet& objectives,
                                   AlgorithmKind algorithm, double alpha,
                                   const OptimizerOptions& options,
-                                  const SignatureOptions& sig_options = {});
+                                  const WeightVector* weights = nullptr,
+                                  const BoundVector* bounds = nullptr);
 
 }  // namespace moqo
 

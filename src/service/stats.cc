@@ -17,6 +17,9 @@ void ServiceStatsRegistry::RecordLatency(AlgorithmKind algorithm, double ms) {
 ServiceStatsSnapshot ServiceStatsRegistry::Snapshot() const {
   ServiceStatsSnapshot snapshot;
   snapshot.requests_total = requests_total_.load(kRelaxed);
+  snapshot.exact_hits = exact_hits_.load(kRelaxed);
+  snapshot.frontier_hits = frontier_hits_.load(kRelaxed);
+  snapshot.coalesced_hits = coalesced_hits_.load(kRelaxed);
   snapshot.admissions_rejected = admissions_rejected_.load(kRelaxed);
   snapshot.internal_errors = internal_errors_.load(kRelaxed);
   snapshot.deadline_timeouts = deadline_timeouts_.load(kRelaxed);
@@ -32,7 +35,10 @@ std::string ServiceStatsSnapshot::ToString() const {
   std::ostringstream out;
   out << "requests=" << requests_total << " completed=" << completed
       << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
-      << " hit_rate=" << CacheHitRate() << " rejected=" << admissions_rejected
+      << " hit_rate=" << CacheHitRate() << " exact_hits=" << exact_hits
+      << " frontier_hits=" << frontier_hits
+      << " coalesced=" << coalesced_hits
+      << " rejected=" << admissions_rejected
       << " errors=" << internal_errors << " timeouts=" << deadline_timeouts
       << " evictions=" << cache_evictions << "\n";
   for (int i = 0; i < static_cast<int>(latency_by_algorithm.size()); ++i) {

@@ -33,6 +33,14 @@ struct ServiceStatsSnapshot {
   uint64_t requests_total = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Cache hits whose preference matched the cached selection verbatim.
+  uint64_t exact_hits = 0;
+  /// Cache hits resolved by SelectPlan over the shared PlanSet (the
+  /// preference — weights/bounds — differed from the cached one).
+  uint64_t frontier_hits = 0;
+  /// Requests that waited on an identical in-flight miss instead of
+  /// optimizing again, then selected from the primary's frontier.
+  uint64_t coalesced_hits = 0;
   uint64_t admissions_rejected = 0;
   uint64_t deadline_timeouts = 0;  ///< Requests degraded to quick mode.
   /// Invalid requests (null query) and optimizer failures (e.g. OOM) —
@@ -46,6 +54,12 @@ struct ServiceStatsSnapshot {
   double CacheHitRate() const {
     const uint64_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0 : static_cast<double>(cache_hits) / lookups;
+  }
+
+  /// Fraction of cache hits that needed only O(|frontier|) re-selection.
+  double FrontierHitRate() const {
+    const uint64_t hits = exact_hits + frontier_hits;
+    return hits == 0 ? 0 : static_cast<double>(frontier_hits) / hits;
   }
 
   /// Multi-line human-readable rendering for the bench harness.
@@ -63,6 +77,9 @@ class ServiceStatsRegistry {
   void RecordInternalError() { internal_errors_.fetch_add(1, kRelaxed); }
   void RecordDeadlineTimeout() { deadline_timeouts_.fetch_add(1, kRelaxed); }
   void RecordCompleted() { completed_.fetch_add(1, kRelaxed); }
+  void RecordExactHit() { exact_hits_.fetch_add(1, kRelaxed); }
+  void RecordFrontierHit() { frontier_hits_.fetch_add(1, kRelaxed); }
+  void RecordCoalescedHit() { coalesced_hits_.fetch_add(1, kRelaxed); }
 
   /// Records one fresh (non-cached) optimization's service-side latency.
   void RecordLatency(AlgorithmKind algorithm, double ms);
@@ -76,6 +93,9 @@ class ServiceStatsRegistry {
   static constexpr auto kRelaxed = std::memory_order_relaxed;
 
   std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> exact_hits_{0};
+  std::atomic<uint64_t> frontier_hits_{0};
+  std::atomic<uint64_t> coalesced_hits_{0};
   std::atomic<uint64_t> admissions_rejected_{0};
   std::atomic<uint64_t> internal_errors_{0};
   std::atomic<uint64_t> deadline_timeouts_{0};

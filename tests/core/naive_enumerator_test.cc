@@ -173,9 +173,9 @@ TEST_F(OracleTest, ExaFrontierEqualsTrueParetoFrontier) {
 
   // Mutual 1.0-coverage = same frontier (up to duplicates).
   EXPECT_FALSE(
-      FindUncoveredVector(result.frontier, truth, 1.0 + 1e-12).has_value());
+      FindUncoveredVector(result.frontier(), truth, 1.0 + 1e-12).has_value());
   EXPECT_FALSE(
-      FindUncoveredVector(truth, result.frontier, 1.0 + 1e-12).has_value());
+      FindUncoveredVector(truth, result.frontier(), 1.0 + 1e-12).has_value());
 }
 
 TEST_F(OracleTest, RtaGuaranteeHoldsAgainstTrueOptimum) {

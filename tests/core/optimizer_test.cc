@@ -53,7 +53,7 @@ TEST_F(OptimizerTest, ExaFindsPlanCoveringAllTables) {
   EXPECT_TRUE(result.cost.IsValid());
   EXPECT_FALSE(result.metrics.timed_out);
   EXPECT_GT(result.metrics.considered_plans, 0);
-  EXPECT_GE(result.metrics.frontier_size, 1);
+  EXPECT_GE(result.frontier_size(), 1);
 }
 
 TEST_F(OptimizerTest, ExaParetoFrontierIsMutuallyNonDominated) {
@@ -61,11 +61,11 @@ TEST_F(OptimizerTest, ExaParetoFrontierIsMutuallyNonDominated) {
   MOQOProblem problem = MakeProblem(&query, 4, 2);
   ExactMOQO exa(testing::SmallOptions());
   OptimizerResult result = exa.Optimize(problem);
-  for (size_t i = 0; i < result.frontier.size(); ++i) {
-    for (size_t j = 0; j < result.frontier.size(); ++j) {
+  for (size_t i = 0; i < result.frontier().size(); ++i) {
+    for (size_t j = 0; j < result.frontier().size(); ++j) {
       if (i == j) continue;
       EXPECT_FALSE(
-          StrictlyDominates(result.frontier[i], result.frontier[j]));
+          StrictlyDominates(result.frontier()[i], result.frontier()[j]));
     }
   }
 }
@@ -80,7 +80,7 @@ TEST_F(OptimizerTest, SingleObjectiveKeepsOnePlanPerSet) {
   problem.weights = WeightVector::Uniform(1);
   ExactMOQO exa(testing::SmallOptions());
   OptimizerResult result = exa.Optimize(problem);
-  EXPECT_EQ(result.metrics.frontier_size, 1);
+  EXPECT_EQ(result.frontier_size(), 1);
 }
 
 // Corollary 1 sweep: RTA weighted cost <= alpha_U * EXA weighted cost, for
@@ -118,7 +118,7 @@ TEST_P(RtaGuaranteeTest, WithinAlphaOfExactOptimum) {
         << "seed " << seed << ": RTA " << approx.weighted_cost << " vs EXA "
         << exact.weighted_cost;
     // The RTA never stores more plans than the EXA for the final set.
-    EXPECT_LE(approx.metrics.frontier_size, exact.metrics.frontier_size);
+    EXPECT_LE(approx.frontier_size(), exact.frontier_size());
   }
 }
 
@@ -142,7 +142,7 @@ TEST_F(OptimizerTest, RtaFrontierAlphaCoversExactFrontier) {
     RTAOptimizer rta(testing::SmallOptions(alpha));
     OptimizerResult approx = rta.Optimize(problem);
     const auto uncovered =
-        FindUncoveredVector(approx.frontier, exact.frontier, alpha + 1e-9);
+        FindUncoveredVector(approx.frontier(), exact.frontier(), alpha + 1e-9);
     EXPECT_FALSE(uncovered.has_value())
         << "alpha=" << alpha << " uncovered " << uncovered->ToString();
   }
@@ -180,9 +180,9 @@ TEST_F(OptimizerTest, IraRespectsSatisfiableBounds) {
   // mid-frontier plan's cost by 10%.
   ExactMOQO exa(testing::SmallOptions());
   OptimizerResult exact = exa.Optimize(problem);
-  ASSERT_GE(exact.frontier.size(), 1u);
+  ASSERT_GE(exact.frontier().size(), 1u);
   const CostVector& anchor =
-      exact.frontier[exact.frontier.size() / 2];
+      exact.frontier()[exact.frontier().size() / 2];
   problem.bounds = BoundVector(4);
   for (int i = 0; i < 4; ++i) problem.bounds[i] = anchor[i] * 1.1;
 
@@ -311,7 +311,7 @@ TEST_F(OptimizerTest, IraPrefersFeasiblePlanOverCheaperViolator) {
     OptimizerResult exact =
         ExactMOQO(testing::SmallOptions()).Optimize(problem);
     const CostVector& anchor =
-        exact.frontier[rng.NextInt(uint64_t{exact.frontier.size()})];
+        exact.frontier()[rng.NextInt(uint64_t{exact.frontier().size()})];
     problem.bounds = BoundVector(4);
     for (int i = 0; i < 4; ++i) problem.bounds[i] = anchor[i];
     OptimizerResult exact_bounded =

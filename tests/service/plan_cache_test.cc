@@ -24,10 +24,12 @@ ProblemSignature Sig(const std::string& key) {
   return signature;
 }
 
-std::shared_ptr<const OptimizerResult> Result(double weighted_cost) {
+std::shared_ptr<const CachedFrontier> Result(double weighted_cost) {
   auto result = std::make_shared<OptimizerResult>();
   result->weighted_cost = weighted_cost;
-  return result;
+  auto cached = std::make_shared<CachedFrontier>();
+  cached->result = std::move(result);
+  return cached;
 }
 
 TEST(PlanCacheTest, InsertLookupRoundtrip) {
@@ -36,7 +38,7 @@ TEST(PlanCacheTest, InsertLookupRoundtrip) {
   cache.Insert(Sig("a"), Result(1.0));
   auto hit = cache.Lookup(Sig("a"));
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->weighted_cost, 1.0);
+  EXPECT_EQ(hit->result->weighted_cost, 1.0);
 
   const PlanCache::Stats stats = cache.GetStats();
   EXPECT_EQ(stats.hits, 1u);
@@ -76,7 +78,7 @@ TEST(PlanCacheTest, ReinsertRefreshesValueWithoutEviction) {
   EXPECT_EQ(cache.GetStats().evictions, 0u);
   auto hit = cache.Lookup(Sig("a"));
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->weighted_cost, 10.0);
+  EXPECT_EQ(hit->result->weighted_cost, 10.0);
   EXPECT_NE(cache.Lookup(Sig("b")), nullptr);
 }
 
@@ -98,7 +100,7 @@ TEST(PlanCacheTest, EvictedEntryStaysAliveThroughSharedPtr) {
   cache.Insert(Sig("b"), Result(2));  // Evicts a.
   EXPECT_EQ(cache.Lookup(Sig("a")), nullptr);
   ASSERT_NE(held, nullptr);  // The response's reference keeps it valid.
-  EXPECT_EQ(held->weighted_cost, 1.0);
+  EXPECT_EQ(held->result->weighted_cost, 1.0);
 }
 
 TEST(PlanCacheTest, ConcurrentMixedTraffic) {
@@ -121,7 +123,7 @@ TEST(PlanCacheTest, ConcurrentMixedTraffic) {
           auto hit = cache.Lookup(Sig(key));
           if (hit != nullptr) {
             // Touch the value: TSan would flag unsynchronized access.
-            volatile double cost = hit->weighted_cost;
+            volatile double cost = hit->result->weighted_cost;
             (void)cost;
           }
         }

@@ -2,14 +2,18 @@
 
 #include "service/optimization_service.h"
 
+#include <algorithm>
 #include <future>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/exa.h"
 #include "harness/service_experiment.h"
+#include "query/tpch_queries.h"
 #include "service/policy.h"
 #include "testing/test_helpers.h"
 
@@ -28,93 +32,438 @@ ServiceOptions SmallServiceOptions(int workers) {
   return options;
 }
 
+ObjectiveSet FirstObjectives(int num_objectives) {
+  std::vector<Objective> objectives(kAllObjectives.begin(),
+                                    kAllObjectives.begin() + num_objectives);
+  return ObjectiveSet(objectives);
+}
+
 ServiceRequest StarRequest(const Catalog* catalog, int num_dims,
                            int num_objectives) {
   ServiceRequest request;
-  request.query =
+  request.spec.query =
       std::make_shared<Query>(MakeStarQuery(catalog, num_dims));
-  std::vector<Objective> objectives(kAllObjectives.begin(),
-                                    kAllObjectives.begin() + num_objectives);
-  request.objectives = ObjectiveSet(objectives);
-  request.weights = WeightVector::Uniform(num_objectives);
+  request.spec.objectives = FirstObjectives(num_objectives);
+  request.preference.weights = WeightVector::Uniform(num_objectives);
   return request;
 }
 
-TEST(PolicyTest, RoutesByProblemShape) {
+/// Total optimizer invocations recorded by the service (all algorithms).
+uint64_t OptimizerRuns(const OptimizationService& service) {
+  uint64_t runs = 0;
+  for (const LatencyStats& lat : service.Stats().latency_by_algorithm) {
+    runs += lat.count;
+  }
+  return runs;
+}
+
+/// Brute-force SelectBest over a PlanSet's frontier.
+double MinWeightedCost(const PlanSet& set, const WeightVector& weights) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < set.size(); ++i) {
+    best = std::min(best, weights.WeightedCost(set.cost(i)));
+  }
+  return best;
+}
+
+TEST(PolicyTest, RoutesBySpecShape) {
   Catalog catalog = MakeTinyCatalog();
   Query small = MakeStarQuery(&catalog, 2);
 
-  MOQOProblem problem;
-  problem.query = &small;
-  problem.objectives = ObjectiveSet::Only(Objective::kTotalTime);
-  problem.weights = WeightVector::Uniform(1);
-  EXPECT_EQ(ChooseAlgorithm(problem, -1).algorithm, AlgorithmKind::kSelinger);
+  // Single-objective: Selinger.
+  EXPECT_EQ(
+      ChooseAlgorithm(small, ObjectiveSet::Only(Objective::kTotalTime), -1)
+          .algorithm,
+      AlgorithmKind::kSelinger);
 
-  problem.objectives = ObjectiveSet(
-      {Objective::kTotalTime, Objective::kIOLoad, Objective::kEnergy});
-  problem.weights = WeightVector::Uniform(3);
-  EXPECT_EQ(ChooseAlgorithm(problem, -1).algorithm, AlgorithmKind::kExa);
-
-  // Bounds present: IRA.
-  problem.bounds = BoundVector::Unbounded(3);
-  problem.bounds[0] = 100.0;
-  EXPECT_EQ(ChooseAlgorithm(problem, -1).algorithm, AlgorithmKind::kIra);
-  problem.bounds = BoundVector();
+  // Small weighted instance: EXA.
+  EXPECT_EQ(ChooseAlgorithm(small,
+                            ObjectiveSet({Objective::kTotalTime,
+                                          Objective::kIOLoad,
+                                          Objective::kEnergy}),
+                            -1)
+                .algorithm,
+            AlgorithmKind::kExa);
 
   // Many objectives: RTA with the default precision.
-  problem.objectives = ObjectiveSet::All();
-  problem.weights = WeightVector::Uniform(kNumObjectives);
-  PolicyDecision relaxed = ChooseAlgorithm(problem, -1);
+  PolicyDecision relaxed = ChooseAlgorithm(small, ObjectiveSet::All(), -1);
   EXPECT_EQ(relaxed.algorithm, AlgorithmKind::kRta);
 
   // Tight deadline: still RTA but coarser.
-  PolicyDecision tight = ChooseAlgorithm(problem, 50);
+  PolicyDecision tight = ChooseAlgorithm(small, ObjectiveSet::All(), 50);
   EXPECT_EQ(tight.algorithm, AlgorithmKind::kRta);
   EXPECT_GT(tight.alpha, relaxed.alpha);
+
+  // Routing is a pure function of the spec: preferences (weights/bounds)
+  // are not even parameters, which keeps the cache key weight-free. The
+  // IRA is reachable via ProblemSpec::algorithm only.
 }
 
-TEST(ServiceTest, CacheHitIsBitIdenticalToFreshOptimization) {
+TEST(ServiceTest, ExactHitIsBitIdenticalToFreshOptimization) {
   Catalog catalog = MakeTinyCatalog();
   OptimizationService service(SmallServiceOptions(2));
   ServiceRequest request = StarRequest(&catalog, 3, 3);
 
   const ServiceResponse cold = service.SubmitAndWait(request);
   ASSERT_EQ(cold.status, ResponseStatus::kCompleted);
-  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.cache, CacheOutcome::kMiss);
+  EXPECT_FALSE(cold.cache_hit());
   ASSERT_NE(cold.result, nullptr);
   ASSERT_NE(cold.result->plan, nullptr);
+  ASSERT_NE(cold.plan_set(), nullptr);
 
   const ServiceResponse warm = service.SubmitAndWait(request);
   ASSERT_EQ(warm.status, ResponseStatus::kCompleted);
-  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.cache, CacheOutcome::kExactHit);
+  EXPECT_TRUE(warm.cache_hit());
   ASSERT_NE(warm.result, nullptr);
 
-  // The cached result is the same complete result object: plan shape,
-  // cost vector, and frontier are bit-identical.
+  // An exact hit is the same complete result object: plan shape, cost
+  // vector, and the shared PlanSet are identical.
+  EXPECT_EQ(warm.result.get(), cold.result.get());
   EXPECT_TRUE(PlansEqual(cold.result->plan, warm.result->plan));
   EXPECT_EQ(cold.result->cost, warm.result->cost);
   EXPECT_EQ(cold.result->weighted_cost, warm.result->weighted_cost);
-  EXPECT_EQ(cold.result->frontier, warm.result->frontier);
+  EXPECT_EQ(warm.plan_set().get(), cold.plan_set().get());
 
   // And identical to a fresh single-shot optimization with the same
   // resolved algorithm and options.
   MOQOProblem problem;
-  problem.query = request.query.get();
-  problem.objectives = request.objectives;
-  problem.weights = request.weights;
-  problem.bounds = request.bounds;
+  problem.query = request.spec.query.get();
+  problem.objectives = request.spec.objectives;
+  problem.weights = request.preference.weights;
   OptimizerOptions opts = SmallOptions(warm.alpha);
   std::unique_ptr<OptimizerBase> fresh = MakeOptimizer(warm.algorithm, opts);
   const OptimizerResult reference = fresh->Optimize(problem);
   ASSERT_NE(reference.plan, nullptr);
   EXPECT_TRUE(PlansEqual(reference.plan, warm.result->plan));
   EXPECT_EQ(reference.cost, warm.result->cost);
-  EXPECT_EQ(reference.frontier, warm.result->frontier);
+  EXPECT_EQ(reference.frontier(), warm.result->frontier());
 
   const ServiceStatsSnapshot stats = service.Stats();
   EXPECT_EQ(stats.requests_total, 2u);
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.exact_hits, 1u);
+  EXPECT_EQ(stats.frontier_hits, 0u);
+}
+
+// The PR-2 acceptance criterion: a weight-only change on a previously
+// optimized query is served from the cache — a frontier hit resolved by
+// SelectPlan, with NO optimizer invocation.
+TEST(ServiceTest, WeightOnlyChangeIsFrontierHitWithoutOptimizerRun) {
+  Catalog catalog = MakeTinyCatalog();
+  OptimizationService service(SmallServiceOptions(2));
+  ServiceRequest request = StarRequest(&catalog, 3, 3);
+
+  const ServiceResponse cold = service.SubmitAndWait(request);
+  ASSERT_EQ(cold.status, ResponseStatus::kCompleted);
+  ASSERT_EQ(OptimizerRuns(service), 1u);
+
+  Xoshiro256 rng(17);
+  constexpr int kSweeps = 8;
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    for (int i = 0; i < 3; ++i) {
+      request.preference.weights[i] = rng.NextDouble() + 1e-3;
+    }
+    const ServiceResponse response = service.SubmitAndWait(request);
+    ASSERT_EQ(response.status, ResponseStatus::kCompleted);
+    EXPECT_EQ(response.cache, CacheOutcome::kFrontierHit) << sweep;
+    EXPECT_TRUE(response.cache_hit());
+    ASSERT_NE(response.result, nullptr);
+    ASSERT_NE(response.result->plan, nullptr);
+
+    // The response aliases the SAME PlanSet the cold run produced...
+    EXPECT_EQ(response.plan_set().get(), cold.plan_set().get());
+    // ...and its plan is the weighted-cost minimizer over that frontier.
+    EXPECT_DOUBLE_EQ(
+        response.result->weighted_cost,
+        MinWeightedCost(*response.plan_set(), request.preference.weights));
+    EXPECT_EQ(response.result->weighted_cost,
+              request.preference.weights.WeightedCost(response.result->cost));
+  }
+
+  // The optimizer never ran again: every weight change was pure selection.
+  EXPECT_EQ(OptimizerRuns(service), 1u);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.frontier_hits, static_cast<uint64_t>(kSweeps));
+  EXPECT_EQ(stats.exact_hits, 0u);
+}
+
+// Property test: for randomized weight sweeps on TPC-H queries, SelectPlan
+// over the cached PlanSet returns a plan whose weighted cost is within
+// alpha of a cold-run (exact) optimum.
+TEST(ServiceTest, WeightSweepSelectionWithinAlphaOfColdOptimum) {
+  Catalog catalog = Catalog::TpcH(0.01);
+  const double alpha = 1.5;
+  for (int query_number : {3, 10}) {
+    OptimizationService service(SmallServiceOptions(2));
+    ServiceRequest request;
+    request.spec.query =
+        std::make_shared<Query>(MakeTpcHQuery(&catalog, query_number));
+    request.spec.objectives = FirstObjectives(3);
+    request.spec.algorithm = AlgorithmKind::kRta;
+    request.spec.alpha = alpha;
+
+    Xoshiro256 rng(100 + query_number);
+    for (int trial = 0; trial < 8; ++trial) {
+      WeightVector weights(3);
+      for (int i = 0; i < 3; ++i) weights[i] = rng.NextDouble() + 1e-3;
+      request.preference.weights = weights;
+      const ServiceResponse response = service.SubmitAndWait(request);
+      ASSERT_EQ(response.status, ResponseStatus::kCompleted);
+      if (trial > 0) {
+        EXPECT_EQ(response.cache, CacheOutcome::kFrontierHit)
+            << "q" << query_number << " trial " << trial;
+      }
+      ASSERT_NE(response.result, nullptr);
+      ASSERT_NE(response.result->plan, nullptr);
+
+      // Cold-run optimum for this preference.
+      MOQOProblem problem;
+      problem.query = request.spec.query.get();
+      problem.objectives = request.spec.objectives;
+      problem.weights = weights;
+      const OptimizerResult exact =
+          ExactMOQO(SmallOptions()).Optimize(problem);
+      ASSERT_NE(exact.plan, nullptr);
+      EXPECT_LE(response.result->weighted_cost,
+                exact.weighted_cost * alpha + 1e-9)
+          << "q" << query_number << " trial " << trial;
+    }
+    EXPECT_EQ(OptimizerRuns(service), 1u) << "q" << query_number;
+  }
+}
+
+TEST(ServiceTest, BoundedPreferenceHonoredAtSelectionTime) {
+  Catalog catalog = MakeTinyCatalog();
+  OptimizationService service(SmallServiceOptions(2));
+  ServiceRequest request = StarRequest(&catalog, 3, 3);
+
+  const ServiceResponse cold = service.SubmitAndWait(request);
+  ASSERT_EQ(cold.status, ResponseStatus::kCompleted);
+  std::shared_ptr<const PlanSet> frontier = cold.plan_set();
+  ASSERT_NE(frontier, nullptr);
+  ASSERT_GE(frontier->size(), 1);
+
+  // Feasible bounds anchored at a frontier plan's cost: the selection must
+  // respect them — resolved from the cached frontier, no optimizer run.
+  const CostVector anchor = frontier->cost(frontier->size() / 2);
+  request.preference.bounds = BoundVector::Unbounded(3);
+  for (int i = 0; i < 3; ++i) request.preference.bounds[i] = anchor[i];
+  const ServiceResponse bounded = service.SubmitAndWait(request);
+  ASSERT_EQ(bounded.status, ResponseStatus::kCompleted);
+  EXPECT_EQ(bounded.cache, CacheOutcome::kFrontierHit);
+  ASSERT_NE(bounded.result, nullptr);
+  EXPECT_TRUE(bounded.result->respects_bounds);
+  EXPECT_TRUE(request.preference.bounds.Respects(bounded.result->cost));
+
+  // Unsatisfiable bounds: falls back to the global weighted optimum and
+  // says so.
+  for (int i = 0; i < 3; ++i) request.preference.bounds[i] = 1e-15;
+  const ServiceResponse infeasible = service.SubmitAndWait(request);
+  ASSERT_EQ(infeasible.status, ResponseStatus::kCompleted);
+  ASSERT_NE(infeasible.result, nullptr);
+  EXPECT_FALSE(infeasible.result->respects_bounds);
+  EXPECT_DOUBLE_EQ(
+      infeasible.result->weighted_cost,
+      MinWeightedCost(*frontier, request.preference.weights));
+
+  EXPECT_EQ(OptimizerRuns(service), 1u);
+}
+
+TEST(ServiceTest, ColdBoundedRtaMissHonorsBoundsLikeFrontierHit) {
+  // Regression: a cold miss must apply the same bounded selection as a
+  // frontier hit — cache temperature never changes the answer.
+  Catalog catalog = MakeTinyCatalog();
+
+  // Derive feasible bounds from a library-level RTA run's frontier.
+  Query query = MakeStarQuery(&catalog, 3);
+  MOQOProblem problem;
+  problem.query = &query;
+  problem.objectives = FirstObjectives(3);
+  problem.weights = WeightVector::Uniform(3);
+  const OptimizerResult reference =
+      MakeOptimizer(AlgorithmKind::kRta, SmallOptions(1.5))->Optimize(problem);
+  ASSERT_GE(reference.frontier_size(), 1);
+  const CostVector anchor =
+      reference.plan_set->cost(reference.frontier_size() / 2);
+
+  OptimizationService service(SmallServiceOptions(2));
+  ServiceRequest request = StarRequest(&catalog, 3, 3);
+  request.spec.algorithm = AlgorithmKind::kRta;
+  request.spec.alpha = 1.5;
+  request.preference.bounds = BoundVector::Unbounded(3);
+  for (int i = 0; i < 3; ++i) request.preference.bounds[i] = anchor[i];
+
+  const ServiceResponse cold = service.SubmitAndWait(request);
+  ASSERT_EQ(cold.status, ResponseStatus::kCompleted);
+  EXPECT_EQ(cold.cache, CacheOutcome::kMiss);
+  ASSERT_NE(cold.result, nullptr);
+  EXPECT_TRUE(cold.result->respects_bounds);
+  EXPECT_TRUE(request.preference.bounds.Respects(cold.result->cost));
+
+  // The same preference resubmitted is an exact hit with the same plan.
+  const ServiceResponse warm = service.SubmitAndWait(request);
+  EXPECT_EQ(warm.cache, CacheOutcome::kExactHit);
+  EXPECT_TRUE(PlansEqual(warm.result->plan, cold.result->plan));
+}
+
+TEST(ServiceTest, ExplicitIraOverrideIsPreferenceKeyed) {
+  // The IRA's output is tailored to its weights/bounds, so its cache
+  // entries are shared only between identical preferences: same request
+  // twice = exact hit, any weight change = full re-optimization.
+  Catalog catalog = MakeTinyCatalog();
+  OptimizationService service(SmallServiceOptions(2));
+  ServiceRequest request = StarRequest(&catalog, 2, 3);
+  request.spec.algorithm = AlgorithmKind::kIra;
+  request.spec.alpha = 1.5;
+  request.preference.bounds = BoundVector::Unbounded(3);
+  request.preference.bounds[0] = 1e12;  // Loose finite bound.
+
+  const ServiceResponse first = service.SubmitAndWait(request);
+  ASSERT_EQ(first.status, ResponseStatus::kCompleted);
+  EXPECT_EQ(first.cache, CacheOutcome::kMiss);
+  EXPECT_EQ(first.algorithm, AlgorithmKind::kIra);
+
+  const ServiceResponse repeat = service.SubmitAndWait(request);
+  EXPECT_EQ(repeat.cache, CacheOutcome::kExactHit);
+
+  request.preference.weights[0] = 3.5;
+  const ServiceResponse reweighted = service.SubmitAndWait(request);
+  EXPECT_EQ(reweighted.cache, CacheOutcome::kMiss);
+  EXPECT_EQ(OptimizerRuns(service), 2u);
+}
+
+// Coalescing (TSan-covered): duplicate cache misses on one signature
+// optimize once — later arrivals wait on the first miss and are served
+// from its frontier by selection.
+TEST(ServiceTest, CoalescedDuplicateMissesOptimizeOnce) {
+  Catalog catalog = MakeTinyCatalog();
+  OptimizationService service(SmallServiceOptions(1));
+
+  // Occupy the single worker so the duplicate spec stays queued.
+  ServiceRequest heavy = StarRequest(&catalog, 3, 9);
+  heavy.spec.algorithm = AlgorithmKind::kExa;
+  heavy.preference.deadline_ms = 2000;
+  std::future<ServiceResponse> heavy_future = service.Submit(heavy);
+
+  // Identical spec, rotating weights: the first becomes the queued
+  // primary, the rest coalesce behind it.
+  constexpr int kDuplicates = 6;
+  ServiceRequest dup = StarRequest(&catalog, 2, 3);
+  std::vector<std::future<ServiceResponse>> futures;
+  std::vector<WeightVector> weights;
+  for (int i = 0; i < kDuplicates; ++i) {
+    ServiceRequest request = dup;
+    request.preference.weights = WeightVector::Uniform(3);
+    request.preference.weights[0] = 1.0 + i;
+    weights.push_back(request.preference.weights);
+    futures.push_back(service.Submit(request));
+  }
+
+  int misses = 0, coalesced = 0;
+  for (int i = 0; i < kDuplicates; ++i) {
+    const ServiceResponse response = futures[i].get();
+    ASSERT_EQ(response.status, ResponseStatus::kCompleted) << i;
+    ASSERT_NE(response.result, nullptr);
+    ASSERT_NE(response.result->plan, nullptr);
+    if (response.cache == CacheOutcome::kMiss) ++misses;
+    if (response.cache == CacheOutcome::kCoalescedHit) {
+      ++coalesced;
+      // Waiters get their own preference's selection from the shared set.
+      EXPECT_DOUBLE_EQ(response.result->weighted_cost,
+                       MinWeightedCost(*response.plan_set(), weights[i]));
+    }
+  }
+  EXPECT_EQ(misses, 1);
+  EXPECT_EQ(coalesced, kDuplicates - 1);
+
+  const ServiceResponse heavy_response = heavy_future.get();
+  EXPECT_NE(heavy_response.status, ResponseStatus::kRejected);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.coalesced_hits, static_cast<uint64_t>(kDuplicates - 1));
+  // Two optimizer runs total: the heavy blocker and ONE run for all six
+  // duplicate-spec requests.
+  EXPECT_EQ(OptimizerRuns(service), 2u);
+  EXPECT_EQ(service.InFlight(), 0u);
+}
+
+TEST(ServiceTest, DegradedPrimaryPromotesOneWaiterNotAll) {
+  // A primary that quick-modes cannot serve its waiters (its plan depends
+  // on its own weights and carries no guarantee): exactly ONE waiter is
+  // promoted to a fresh full run and the rest are served from that run —
+  // no thundering herd of identical DPs.
+  Catalog catalog = MakeTinyCatalog();
+  OptimizationService service(SmallServiceOptions(1));
+
+  ServiceRequest heavy = StarRequest(&catalog, 3, 9);
+  heavy.spec.algorithm = AlgorithmKind::kExa;
+  heavy.preference.deadline_ms = 1000;
+  std::future<ServiceResponse> heavy_future = service.Submit(heavy);
+
+  // Primary with an already-hopeless deadline: by the time the single
+  // worker reaches it, it degrades to quick mode and cannot be cached.
+  ServiceRequest dup = StarRequest(&catalog, 2, 3);
+  ServiceRequest doomed = dup;
+  doomed.preference.deadline_ms = 1;
+  std::future<ServiceResponse> doomed_future = service.Submit(doomed);
+
+  constexpr int kWaiters = 4;
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < kWaiters; ++i) {
+    ServiceRequest request = dup;  // Deadline-free: parks as waiter.
+    request.preference.weights = WeightVector::Uniform(3);
+    request.preference.weights[0] = 2.0 + i;
+    futures.push_back(service.Submit(request));
+  }
+
+  EXPECT_EQ(doomed_future.get().status, ResponseStatus::kCompletedQuick);
+  int promoted_misses = 0, coalesced = 0;
+  for (std::future<ServiceResponse>& future : futures) {
+    const ServiceResponse response = future.get();
+    ASSERT_EQ(response.status, ResponseStatus::kCompleted);
+    ASSERT_NE(response.result, nullptr);
+    EXPECT_NE(response.result->plan, nullptr);
+    if (response.cache == CacheOutcome::kMiss) ++promoted_misses;
+    if (response.cache == CacheOutcome::kCoalescedHit) ++coalesced;
+  }
+  EXPECT_EQ(promoted_misses, 1);
+  EXPECT_EQ(coalesced, kWaiters - 1);
+  heavy_future.get();
+  // heavy + doomed quick run + ONE promoted full run.
+  EXPECT_EQ(OptimizerRuns(service), 3u);
+  EXPECT_EQ(service.InFlight(), 0u);
+}
+
+TEST(ServiceTest, DeadlineBoundedDuplicatesDoNotCoalesce) {
+  // A waiter cannot degrade to quick mode while parked, so duplicates
+  // carrying a deadline must keep their own optimizer run.
+  Catalog catalog = MakeTinyCatalog();
+  OptimizationService service(SmallServiceOptions(1));
+
+  ServiceRequest heavy = StarRequest(&catalog, 3, 9);
+  heavy.spec.algorithm = AlgorithmKind::kExa;
+  heavy.preference.deadline_ms = 2000;
+  std::future<ServiceResponse> heavy_future = service.Submit(heavy);
+
+  ServiceRequest dup = StarRequest(&catalog, 2, 3);
+  std::future<ServiceResponse> primary_future = service.Submit(dup);
+  ServiceRequest bounded = dup;
+  bounded.preference.deadline_ms = 1;  // Must honor its own budget.
+  std::future<ServiceResponse> bounded_future = service.Submit(bounded);
+
+  const ServiceResponse bounded_response = bounded_future.get();
+  EXPECT_EQ(bounded_response.cache, CacheOutcome::kMiss);
+  ASSERT_NE(bounded_response.result, nullptr);
+  ASSERT_NE(bounded_response.result->plan, nullptr);  // Quick or full.
+
+  EXPECT_EQ(primary_future.get().status, ResponseStatus::kCompleted);
+  EXPECT_NE(heavy_future.get().status, ResponseStatus::kRejected);
+  EXPECT_EQ(service.Stats().coalesced_hits, 0u);
+  EXPECT_EQ(OptimizerRuns(service), 3u);  // heavy + primary + bounded dup.
 }
 
 TEST(ServiceTest, ExpiredDeadlineReturnsQuickModePlanNeverNull) {
@@ -124,7 +473,7 @@ TEST(ServiceTest, ExpiredDeadlineReturnsQuickModePlanNeverNull) {
   OptimizationService service(options);
 
   ServiceRequest request = StarRequest(&catalog, 3, 3);
-  request.deadline_ms = 0;  // Already expired at submit.
+  request.preference.deadline_ms = 0;  // Already expired at submit.
   const ServiceResponse response = service.SubmitAndWait(request);
 
   EXPECT_EQ(response.status, ResponseStatus::kCompletedQuick);
@@ -143,18 +492,18 @@ TEST(ServiceTest, TimedOutResultsAreNotCached) {
   // Pin algorithm and alpha: otherwise the tight- and no-deadline requests
   // resolve to different policy decisions and thus different cache keys,
   // and the !timed_out cacheability guard would never be exercised.
-  request.algorithm = AlgorithmKind::kExa;
-  request.alpha = 1.0;
-  request.deadline_ms = 0;
+  request.spec.algorithm = AlgorithmKind::kExa;
+  request.spec.alpha = 1.0;
+  request.preference.deadline_ms = 0;
   const ServiceResponse quick = service.SubmitAndWait(request);
   EXPECT_EQ(quick.status, ResponseStatus::kCompletedQuick);
 
   // The same problem with no deadline must re-optimize, not serve the
   // degraded quick-mode plan from the cache.
-  request.deadline_ms = -1;
+  request.preference.deadline_ms = -1;
   const ServiceResponse full = service.SubmitAndWait(request);
   EXPECT_EQ(full.status, ResponseStatus::kCompleted);
-  EXPECT_FALSE(full.cache_hit);
+  EXPECT_FALSE(full.cache_hit());
   EXPECT_FALSE(full.result->metrics.timed_out);
 }
 
@@ -169,8 +518,8 @@ TEST(ServiceTest, AdmissionControlShedsLoadBeyondMaxInflight) {
   // full star with all nine objectives, bounded by a deadline so the test
   // finishes fast either way.
   ServiceRequest heavy = StarRequest(&catalog, 3, 9);
-  heavy.algorithm = AlgorithmKind::kExa;
-  heavy.deadline_ms = 2000;
+  heavy.spec.algorithm = AlgorithmKind::kExa;
+  heavy.preference.deadline_ms = 2000;
   std::future<ServiceResponse> heavy_future = service.Submit(heavy);
 
   // Admission counts queued + running, so these reject synchronously while
@@ -210,11 +559,12 @@ TEST(ServiceTest, ConcurrentMixedWorkloadCorrectPerRequestResults) {
       Case c;
       c.request = StarRequest(&catalog, dims, objectives);
       MOQOProblem problem;
-      problem.query = c.request.query.get();
-      problem.objectives = c.request.objectives;
-      problem.weights = c.request.weights;
+      problem.query = c.request.spec.query.get();
+      problem.objectives = c.request.spec.objectives;
+      problem.weights = c.request.preference.weights;
       const PolicyDecision decision =
-          ChooseAlgorithm(problem, -1, options.policy);
+          ChooseAlgorithm(*c.request.spec.query, c.request.spec.objectives,
+                          -1, options.policy);
       std::unique_ptr<OptimizerBase> optimizer =
           MakeOptimizer(decision.algorithm, SmallOptions(decision.alpha));
       c.reference = optimizer->Optimize(problem);
@@ -238,7 +588,7 @@ TEST(ServiceTest, ConcurrentMixedWorkloadCorrectPerRequestResults) {
             response.result->plan == nullptr ||
             !(response.result->cost == c.reference.cost) ||
             !PlansEqual(response.result->plan, c.reference.plan) ||
-            response.result->frontier != c.reference.frontier) {
+            response.result->frontier() != c.reference.frontier()) {
           ++mismatches[t];
         }
       }
@@ -254,10 +604,13 @@ TEST(ServiceTest, ConcurrentMixedWorkloadCorrectPerRequestResults) {
             static_cast<uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(stats.completed, stats.requests_total);
   // At least the first encounter of each distinct problem misses; racing
-  // first encounters may each miss before the first insert lands.
+  // first encounters coalesce behind it instead of optimizing twice.
   EXPECT_GE(stats.cache_misses, cases.size());
+  // Every request does exactly one counted cache lookup (coalesced
+  // waiters record their miss, then wait).
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.requests_total);
   EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_hits, stats.exact_hits + stats.frontier_hits);
 }
 
 TEST(ServiceTest, SustainsManyConcurrentInflightRequests) {
@@ -272,7 +625,7 @@ TEST(ServiceTest, SustainsManyConcurrentInflightRequests) {
   futures.reserve(kRequests);
   for (int i = 0; i < kRequests; ++i) {
     ServiceRequest request = StarRequest(&catalog, 1 + i % 3, 2 + i % 2);
-    request.deadline_ms = 30000;
+    request.preference.deadline_ms = 30000;
     futures.push_back(service.Submit(request));
   }
 
@@ -290,10 +643,11 @@ TEST(ServiceTest, SustainsManyConcurrentInflightRequests) {
 
 TEST(ServiceTest, NullQueryIsRejectedNotCrashed) {
   OptimizationService service(SmallServiceOptions(1));
-  ServiceRequest request;  // query == nullptr
+  ServiceRequest request;  // spec.query == nullptr
   const ServiceResponse response = service.SubmitAndWait(request);
   EXPECT_EQ(response.status, ResponseStatus::kRejected);
   EXPECT_EQ(response.result, nullptr);
+  EXPECT_EQ(response.plan_set(), nullptr);
   EXPECT_EQ(service.Stats().internal_errors, 1u);
 }
 
@@ -317,6 +671,9 @@ TEST(ServiceTest, WorkloadDriverEndToEnd) {
   EXPECT_EQ(cold.rejected, 0);
   EXPECT_EQ(cold.null_plans, 0);
 
+  // Re-driving the same workload resolves every request from the cache
+  // (exact hits where the cached preference matches, frontier hits where a
+  // same-spec sibling's preference populated the entry).
   const ServiceRunStats warm = DriveService(&service, requests);
   EXPECT_EQ(warm.cache_hits, warm.total);
 }

@@ -15,24 +15,19 @@ using testing::MakeStarQuery;
 using testing::MakeTinyCatalog;
 using testing::SmallOptions;
 
-MOQOProblem MakeProblem(const Query* query, int num_objectives) {
-  MOQOProblem problem;
-  problem.query = query;
+ObjectiveSet FirstObjectives(int num_objectives) {
   std::vector<Objective> objectives(kAllObjectives.begin(),
                                     kAllObjectives.begin() + num_objectives);
-  problem.objectives = ObjectiveSet(objectives);
-  problem.weights = WeightVector::Uniform(num_objectives);
-  return problem;
+  return ObjectiveSet(objectives);
 }
 
-TEST(SignatureTest, EqualProblemsEqualSignatures) {
+TEST(SignatureTest, EqualSpecsEqualSignatures) {
   Catalog catalog = MakeTinyCatalog();
   Query query = MakeStarQuery(&catalog, 2);
-  MOQOProblem problem = MakeProblem(&query, 3);
   const ProblemSignature a = ComputeSignature(
-      problem, AlgorithmKind::kRta, 1.5, SmallOptions(1.5));
+      query, FirstObjectives(3), AlgorithmKind::kRta, 1.5, SmallOptions(1.5));
   const ProblemSignature b = ComputeSignature(
-      problem, AlgorithmKind::kRta, 1.5, SmallOptions(1.5));
+      query, FirstObjectives(3), AlgorithmKind::kRta, 1.5, SmallOptions(1.5));
   EXPECT_EQ(a, b);
   EXPECT_EQ(a.hash, b.hash);
 }
@@ -57,11 +52,10 @@ TEST(SignatureTest, QueryNameAndJoinOrderDoNotMatter) {
   reversed.AddJoin(e1, "d1_key", f2, "f_d1");
 
   EXPECT_EQ(CanonicalQueryEncoding(forward), CanonicalQueryEncoding(reversed));
-
-  MOQOProblem pa = MakeProblem(&forward, 3);
-  MOQOProblem pb = MakeProblem(&reversed, 3);
-  EXPECT_EQ(ComputeSignature(pa, AlgorithmKind::kExa, 1.0, SmallOptions()),
-            ComputeSignature(pb, AlgorithmKind::kExa, 1.0, SmallOptions()));
+  EXPECT_EQ(ComputeSignature(forward, FirstObjectives(3), AlgorithmKind::kExa,
+                             1.0, SmallOptions()),
+            ComputeSignature(reversed, FirstObjectives(3), AlgorithmKind::kExa,
+                             1.0, SmallOptions()));
 }
 
 TEST(SignatureTest, CatalogScaleChangesSignature) {
@@ -72,110 +66,135 @@ TEST(SignatureTest, CatalogScaleChangesSignature) {
   Query q_small = MakeTpcHQuery(&small, 3);
   Query q_large = MakeTpcHQuery(&large, 3);
   EXPECT_NE(CanonicalQueryEncoding(q_small), CanonicalQueryEncoding(q_large));
-
-  MOQOProblem pa = MakeProblem(&q_small, 3);
-  MOQOProblem pb = MakeProblem(&q_large, 3);
-  EXPECT_NE(ComputeSignature(pa, AlgorithmKind::kRta, 1.5, SmallOptions()),
-            ComputeSignature(pb, AlgorithmKind::kRta, 1.5, SmallOptions()));
+  EXPECT_NE(ComputeSignature(q_small, FirstObjectives(3), AlgorithmKind::kRta,
+                             1.5, SmallOptions()),
+            ComputeSignature(q_large, FirstObjectives(3), AlgorithmKind::kRta,
+                             1.5, SmallOptions()));
 }
 
 TEST(SignatureTest, StructureChangesChangeSignature) {
   Catalog catalog = MakeTinyCatalog();
   Query two = MakeStarQuery(&catalog, 2);
   Query three = MakeStarQuery(&catalog, 3);
-  MOQOProblem pa = MakeProblem(&two, 3);
-  MOQOProblem pb = MakeProblem(&three, 3);
-  EXPECT_NE(ComputeSignature(pa, AlgorithmKind::kRta, 1.5, SmallOptions()),
-            ComputeSignature(pb, AlgorithmKind::kRta, 1.5, SmallOptions()));
+  EXPECT_NE(ComputeSignature(two, FirstObjectives(3), AlgorithmKind::kRta,
+                             1.5, SmallOptions()),
+            ComputeSignature(three, FirstObjectives(3), AlgorithmKind::kRta,
+                             1.5, SmallOptions()));
 }
 
-TEST(SignatureTest, ParametersChangeSignature) {
+TEST(SignatureTest, SpecParametersChangeSignature) {
   Catalog catalog = MakeTinyCatalog();
   Query query = MakeStarQuery(&catalog, 2);
-  MOQOProblem base = MakeProblem(&query, 3);
-  const ProblemSignature ref =
-      ComputeSignature(base, AlgorithmKind::kRta, 1.5, SmallOptions());
+  const ProblemSignature ref = ComputeSignature(
+      query, FirstObjectives(3), AlgorithmKind::kRta, 1.5, SmallOptions());
 
-  MOQOProblem other_objectives = base;
-  other_objectives.objectives =
-      ObjectiveSet({Objective::kTotalTime, Objective::kEnergy,
-                    Objective::kBufferFootprint});
-  EXPECT_NE(ComputeSignature(other_objectives, AlgorithmKind::kRta, 1.5,
-                             SmallOptions()),
+  const ObjectiveSet other_objectives(
+      {Objective::kTotalTime, Objective::kEnergy,
+       Objective::kBufferFootprint});
+  EXPECT_NE(ComputeSignature(query, other_objectives, AlgorithmKind::kRta,
+                             1.5, SmallOptions()),
             ref);
 
-  MOQOProblem other_weights = base;
-  other_weights.weights[1] = 7.0;
-  EXPECT_NE(ComputeSignature(other_weights, AlgorithmKind::kRta, 1.5,
-                             SmallOptions()),
+  // Same spec, different resolved algorithm or alpha.
+  EXPECT_NE(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kExa,
+                             1.5, SmallOptions()),
             ref);
+  EXPECT_NE(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kRta,
+                             2.0, SmallOptions()),
+            ref);
+}
 
-  MOQOProblem bounded = base;
-  bounded.bounds = BoundVector::Unbounded(3);
-  bounded.bounds[0] = 1234.5;
-  EXPECT_NE(ComputeSignature(bounded, AlgorithmKind::kRta, 1.5,
-                             SmallOptions()),
-            ref);
+TEST(SignatureTest, WeightsDoNotChangeFrontierAlgorithmSignatures) {
+  // The core of the PR-2 redesign: for frontier-producing algorithms the
+  // key is weight-free, so ANY preference shares the cached PlanSet.
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  WeightVector uniform = WeightVector::Uniform(3);
+  WeightVector skewed = WeightVector::Uniform(3);
+  skewed[1] = 7.0;
+  BoundVector no_bounds;
+  BoundVector bounded = BoundVector::Unbounded(3);
+  bounded[0] = 1234.5;
 
-  // Same problem, different resolved algorithm or alpha.
-  EXPECT_NE(ComputeSignature(base, AlgorithmKind::kExa, 1.5, SmallOptions()),
-            ref);
-  EXPECT_NE(ComputeSignature(base, AlgorithmKind::kRta, 2.0, SmallOptions()),
-            ref);
+  for (AlgorithmKind kind : {AlgorithmKind::kExa, AlgorithmKind::kRta,
+                             AlgorithmKind::kSelinger}) {
+    EXPECT_FALSE(IsPreferenceDependent(kind));
+    const ProblemSignature a =
+        ComputeSignature(query, FirstObjectives(3), kind, 1.5, SmallOptions(),
+                         &uniform, &no_bounds);
+    const ProblemSignature b =
+        ComputeSignature(query, FirstObjectives(3), kind, 1.5, SmallOptions(),
+                         &skewed, &bounded);
+    EXPECT_EQ(a, b) << AlgorithmName(kind);
+  }
+}
+
+TEST(SignatureTest, PreferenceDependentAlgorithmsEncodePreference) {
+  // The IRA refines toward its bounds and the weighted-sum baseline prunes
+  // by weighted cost: their entries must be preference-specific.
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  WeightVector uniform = WeightVector::Uniform(3);
+  WeightVector skewed = WeightVector::Uniform(3);
+  skewed[1] = 7.0;
+  BoundVector no_bounds;
+  BoundVector bounded = BoundVector::Unbounded(3);
+  bounded[0] = 1234.5;
+
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kIra, AlgorithmKind::kWeightedSum}) {
+    EXPECT_TRUE(IsPreferenceDependent(kind));
+    const ProblemSignature ref =
+        ComputeSignature(query, FirstObjectives(3), kind, 1.5, SmallOptions(),
+                         &uniform, &no_bounds);
+    EXPECT_EQ(ComputeSignature(query, FirstObjectives(3), kind, 1.5,
+                               SmallOptions(), &uniform, &no_bounds),
+              ref)
+        << AlgorithmName(kind);
+    EXPECT_NE(ComputeSignature(query, FirstObjectives(3), kind, 1.5,
+                               SmallOptions(), &skewed, &no_bounds),
+              ref)
+        << AlgorithmName(kind);
+    EXPECT_NE(ComputeSignature(query, FirstObjectives(3), kind, 1.5,
+                               SmallOptions(), &uniform, &bounded),
+              ref)
+        << AlgorithmName(kind);
+  }
 }
 
 TEST(SignatureTest, AllUnboundedBoundsCanonicalizeToEmpty) {
   // bounds absent and bounds explicitly all-unbounded are the same
-  // weighted-MOQO instance and must share cache entries.
+  // weighted-MOQO instance and must share cache entries (relevant only
+  // for preference-dependent algorithms; frontier algorithms ignore
+  // bounds in the key entirely).
   Catalog catalog = MakeTinyCatalog();
   Query query = MakeStarQuery(&catalog, 2);
-  MOQOProblem no_bounds = MakeProblem(&query, 3);
-  MOQOProblem explicit_unbounded = MakeProblem(&query, 3);
-  explicit_unbounded.bounds = BoundVector::Unbounded(3);
-  EXPECT_EQ(ComputeSignature(no_bounds, AlgorithmKind::kRta, 1.5,
-                             SmallOptions()),
-            ComputeSignature(explicit_unbounded, AlgorithmKind::kRta, 1.5,
-                             SmallOptions()));
-}
-
-TEST(SignatureTest, WeightBucketingCollapsesNearbyWeights) {
-  Catalog catalog = MakeTinyCatalog();
-  Query query = MakeStarQuery(&catalog, 2);
-  MOQOProblem a = MakeProblem(&query, 3);
-  MOQOProblem b = MakeProblem(&query, 3);
-  b.weights[0] += 1e-9;  // Far below the default 1e-4 bucket.
-
-  SignatureOptions bucketed;
-  EXPECT_EQ(ComputeSignature(a, AlgorithmKind::kRta, 1.5, SmallOptions(),
-                             bucketed),
-            ComputeSignature(b, AlgorithmKind::kRta, 1.5, SmallOptions(),
-                             bucketed));
-
-  SignatureOptions exact;
-  exact.weight_bucket = 0;
-  exact.bound_bucket_rel = 0;
-  EXPECT_NE(ComputeSignature(a, AlgorithmKind::kRta, 1.5, SmallOptions(),
-                             exact),
-            ComputeSignature(b, AlgorithmKind::kRta, 1.5, SmallOptions(),
-                             exact));
+  WeightVector uniform = WeightVector::Uniform(3);
+  BoundVector explicit_unbounded = BoundVector::Unbounded(3);
+  EXPECT_EQ(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kIra,
+                             1.5, SmallOptions(), &uniform, nullptr),
+            ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kIra,
+                             1.5, SmallOptions(), &uniform,
+                             &explicit_unbounded));
 }
 
 TEST(SignatureTest, PlanSpaceSwitchesChangeSignature) {
   Catalog catalog = MakeTinyCatalog();
   Query query = MakeStarQuery(&catalog, 2);
-  MOQOProblem problem = MakeProblem(&query, 3);
   OptimizerOptions options = SmallOptions();
-  const ProblemSignature ref =
-      ComputeSignature(problem, AlgorithmKind::kRta, 1.5, options);
+  const ProblemSignature ref = ComputeSignature(
+      query, FirstObjectives(3), AlgorithmKind::kRta, 1.5, options);
 
   OptimizerOptions left_deep = options;
   left_deep.bushy = false;
-  EXPECT_NE(ComputeSignature(problem, AlgorithmKind::kRta, 1.5, left_deep),
+  EXPECT_NE(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kRta,
+                             1.5, left_deep),
             ref);
 
   OptimizerOptions no_sampling = options;
   no_sampling.operators.sampling_rates = {};
-  EXPECT_NE(ComputeSignature(problem, AlgorithmKind::kRta, 1.5, no_sampling),
+  EXPECT_NE(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kRta,
+                             1.5, no_sampling),
             ref);
 }
 
