@@ -1,0 +1,176 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Minimal ordered JSON document builder for the machine-readable
+// BENCH_*.json artifacts (ops/s, latency percentiles, speedups) that the
+// perf-trajectory tooling accumulates across commits. No external deps;
+// supports exactly what the benches need: objects (insertion-ordered),
+// arrays, numbers, strings, and booleans.
+
+#ifndef MOQO_BENCH_BENCH_JSON_H_
+#define MOQO_BENCH_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moqo {
+namespace bench {
+
+class Json {
+ public:
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+  static Json Str(std::string v) {
+    Json j(Kind::kString);
+    j.string_ = std::move(v);
+    return j;
+  }
+  static Json Num(double v) {
+    Json j(Kind::kNumber);
+    j.number_ = v;
+    return j;
+  }
+  static Json Int(long long v) {
+    Json j(Kind::kNumber);
+    j.number_ = static_cast<double>(v);
+    j.integral_ = true;
+    return j;
+  }
+  static Json Bool(bool v) {
+    Json j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  /// Object member (insertion order preserved). Returns *this for chaining.
+  Json& Set(const std::string& key, Json value) {
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  Json& Set(const std::string& key, double v) { return Set(key, Num(v)); }
+  Json& Set(const std::string& key, int v) { return Set(key, Int(v)); }
+  Json& Set(const std::string& key, long long v) { return Set(key, Int(v)); }
+  Json& Set(const std::string& key, size_t v) {
+    return Set(key, Int(static_cast<long long>(v)));
+  }
+  Json& Set(const std::string& key, bool v) { return Set(key, Bool(v)); }
+  Json& Set(const std::string& key, const char* v) {
+    return Set(key, Str(v));
+  }
+
+  /// Array element.
+  Json& Push(Json value) {
+    members_.emplace_back(std::string(), std::move(value));
+    return *this;
+  }
+
+  std::string Dump(int indent = 0) const {
+    std::string out;
+    Append(&out, indent);
+    out.push_back('\n');
+    return out;
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kString, kNumber, kBool };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static void AppendEscaped(std::string* out, const std::string& s) {
+    out->push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"': *out += "\\\""; break;
+        case '\\': *out += "\\\\"; break;
+        case '\n': *out += "\\n"; break;
+        case '\t': *out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            *out += buf;
+          } else {
+            out->push_back(c);
+          }
+      }
+    }
+    out->push_back('"');
+  }
+
+  void Append(std::string* out, int indent) const {
+    const std::string pad(indent, ' ');
+    const std::string inner_pad(indent + 2, ' ');
+    switch (kind_) {
+      case Kind::kString:
+        AppendEscaped(out, string_);
+        break;
+      case Kind::kBool:
+        *out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber: {
+        char buf[64];
+        if (integral_ || (std::floor(number_) == number_ &&
+                          std::fabs(number_) < 1e15)) {
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(number_));
+        } else if (std::isfinite(number_)) {
+          std::snprintf(buf, sizeof(buf), "%.6g", number_);
+        } else {
+          std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan.
+        }
+        *out += buf;
+        break;
+      }
+      case Kind::kObject:
+      case Kind::kArray: {
+        const char open = kind_ == Kind::kObject ? '{' : '[';
+        const char close = kind_ == Kind::kObject ? '}' : ']';
+        if (members_.empty()) {
+          out->push_back(open);
+          out->push_back(close);
+          break;
+        }
+        out->push_back(open);
+        *out += "\n";
+        for (size_t i = 0; i < members_.size(); ++i) {
+          *out += inner_pad;
+          if (kind_ == Kind::kObject) {
+            AppendEscaped(out, members_[i].first);
+            *out += ": ";
+          }
+          members_[i].second.Append(out, indent + 2);
+          if (i + 1 < members_.size()) *out += ",";
+          *out += "\n";
+        }
+        *out += pad;
+        out->push_back(close);
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  std::string string_;
+  double number_ = 0;
+  bool integral_ = false;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Writes `json` to `path` (overwriting); returns false on I/O failure.
+inline bool WriteJsonFile(const std::string& path, const Json& json) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = json.Dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) ==
+                  text.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace bench
+}  // namespace moqo
+
+#endif  // MOQO_BENCH_BENCH_JSON_H_

@@ -24,10 +24,12 @@
 //   MOQO_SWEEPS      weight draws per query    (default 16)
 //   MOQO_MAX_WORKERS scaling sweep upper bound (default 8)
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "harness/experiment.h"
 #include "harness/service_experiment.h"
 #include "query/tpch_queries.h"
@@ -44,10 +46,27 @@ OperatorRegistry::Options BenchOperatorSpace() {
   return options;
 }
 
+/// One drive's aggregate as a JSON object for the BENCH_service.json
+/// artifact.
+bench::Json RunJson(const ServiceRunStats& stats) {
+  bench::Json json = bench::Json::Object();
+  json.Set("requests", stats.total)
+      .Set("ops_per_s", stats.Throughput())
+      .Set("wall_ms", stats.wall_ms)
+      .Set("mean_ms", stats.mean_service_ms)
+      .Set("p50_ms", stats.PercentileMs(50))
+      .Set("p99_ms", stats.PercentileMs(99))
+      .Set("max_ms", stats.max_service_ms)
+      .Set("cache_hits", stats.cache_hits)
+      .Set("mean_frontier", stats.mean_frontier);
+  return json;
+}
+
 int Run() {
   const double sf = EnvDouble("MOQO_SF", 0.01);
   const int cases = EnvInt("MOQO_CASES", 2);
-  const int objectives = EnvInt("MOQO_OBJECTIVES", 6);
+  const int objectives =
+      std::clamp(EnvInt("MOQO_OBJECTIVES", 6), 1, kNumObjectives);
   const int max_workers = EnvInt("MOQO_MAX_WORKERS", 8);
 
   Catalog catalog = Catalog::TpcH(sf);
@@ -70,6 +89,11 @@ int Run() {
               requests.size(), workload_options.query_numbers.size(), cases,
               objectives);
 
+  bench::Json doc = bench::Json::Object();
+  doc.Set("bench", "service_throughput")
+      .Set("requests", static_cast<int>(requests.size()))
+      .Set("objectives", objectives);
+
   // Phase 1: cache amortization.
   {
     ServiceOptions options;
@@ -89,6 +113,13 @@ int Run() {
     std::printf("cached speedup: %.1fx (mean %.3f ms -> %.4f ms)\n",
                 speedup, cold.mean_service_ms, warm.mean_service_ms);
     std::printf("stats: %s\n", service.Stats().ToString().c_str());
+    bench::Json phase = bench::Json::Object();
+    phase.Set("cold", RunJson(cold))
+        .Set("warm", RunJson(warm))
+        .Set("cached_speedup", speedup)
+        .Set("cache_bytes", service.Stats().cache_bytes)
+        .Set("mean_cached_frontier", service.Stats().MeanCachedFrontier());
+    doc.Set("cache_amortization", std::move(phase));
     if (warm.cache_hits != warm.total) {
       std::printf("ERROR: warm pass expected all cache hits\n");
       return 1;
@@ -167,6 +198,17 @@ int Run() {
     std::printf("weight-change speedup: %.1fx (cold %.3f ms -> hit %.4f ms)\n",
                 hit_mean > 0 ? cold_mean / hit_mean : 0, cold_mean, hit_mean);
     std::printf("stats: %s\n", service.Stats().ToString().c_str());
+    bench::Json phase = bench::Json::Object();
+    phase.Set("requests", total)
+        .Set("optimizer_runs", misses)
+        .Set("frontier_hits", frontier_hits)
+        .Set("frontier_hit_rate",
+             total == 0 ? 0.0 : static_cast<double>(frontier_hits) / total)
+        .Set("cold_mean_ms", cold_mean)
+        .Set("hit_mean_ms", hit_mean)
+        .Set("weight_change_speedup",
+             hit_mean > 0 ? cold_mean / hit_mean : 0.0);
+    doc.Set("weight_sweep", std::move(phase));
     if (misses != queries || frontier_hits != total - queries) {
       std::printf("ERROR: every weight draw after the first per query must "
                   "be a frontier hit (expected %d runs, %d hits)\n",
@@ -177,8 +219,10 @@ int Run() {
 
   // Phase 3: worker scaling (cache off: every request runs the DP).
   std::printf("\n-- worker scaling (cache disabled) --\n");
-  std::printf("%8s %12s %12s %12s\n", "workers", "wall_ms", "rps",
-              "mean_ms");
+  std::printf("%8s %12s %12s %12s %9s\n", "workers", "wall_ms", "rps",
+              "mean_ms", "speedup");
+  bench::Json scaling = bench::Json::Array();
+  double base_wall = 0;
   for (int workers = 1; workers <= max_workers; workers *= 2) {
     ServiceOptions options;
     options.num_workers = workers;
@@ -186,14 +230,28 @@ int Run() {
     options.operators = BenchOperatorSpace();
     OptimizationService service(options);
     const ServiceRunStats stats = DriveService(&service, requests);
-    std::printf("%8d %12.1f %12.2f %12.3f\n", workers, stats.wall_ms,
-                stats.Throughput(), stats.mean_service_ms);
+    if (workers == 1) base_wall = stats.wall_ms;
+    const double speedup =
+        stats.wall_ms > 0 ? base_wall / stats.wall_ms : 0;
+    std::printf("%8d %12.1f %12.2f %12.3f %8.2fx\n", workers, stats.wall_ms,
+                stats.Throughput(), stats.mean_service_ms, speedup);
+    bench::Json row = RunJson(stats);
+    row.Set("workers", workers).Set("speedup_vs_1_worker", speedup);
+    scaling.Push(std::move(row));
     if (stats.null_plans != 0 || stats.rejected != 0) {
       std::printf("ERROR: unexpected nulls/rejects at %d workers\n",
                   workers);
       return 1;
     }
   }
+  doc.Set("worker_scaling", std::move(scaling));
+
+  const std::string path = "BENCH_service.json";
+  if (!bench::WriteJsonFile(path, doc)) {
+    std::printf("ERROR: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }
 

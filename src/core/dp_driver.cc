@@ -1,7 +1,10 @@
 #include "core/dp_driver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+
+#include "util/thread_pool.h"
 
 namespace moqo {
 
@@ -17,6 +20,7 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
                                       const DPOptions& options) {
   query_ = &query;
   memo_.clear();
+  slot_arenas_.clear();
   stats_ = DPStats();
 
   const TableSet all = query.AllTables();
@@ -29,30 +33,107 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
   // connected alternatives exist at every DP level (Postgres behaviour).
   const bool skip_disconnected =
       options.cartesian_heuristic && query.JoinGraphConnected();
+  const bool parallel = options.parallelism > 1 && options.pool != nullptr &&
+                        !options.single_plan_mode;
 
   ProcessSingletons(query, options);
   for (int k = 2; k <= n; ++k) {
+    std::vector<TableSet> level;
     for (TableSet tables : SubsetsOfSize(all, k)) {
       if (skip_disconnected && !query.InducedSubgraphConnected(tables)) {
         --stats_.total_sets;
         continue;
       }
+      level.push_back(tables);
+    }
+    if (level.empty()) continue;
+
+    if (parallel && level.size() > 1 && !stats_.timed_out &&
+        !options.deadline.Expired()) {
+      ProcessLevelParallel(query, level, options);
+      continue;
+    }
+
+    for (TableSet tables : level) {
       if (stats_.timed_out || options.deadline.Expired() ||
           options.single_plan_mode) {
         if (!options.single_plan_mode) stats_.timed_out = true;
         ProcessSetQuick(query, tables, options);
         continue;
       }
-      if (!ProcessSet(query, tables, options)) {
+      ParetoSet& set = memo_[tables.mask()];
+      if (ProcessSetInto(query, tables, options, arena_, &set, &stats_)) {
+        ++stats_.complete_sets;
+        stats_.last_complete_set = tables;
+        stats_.last_complete_pareto_count = set.size();
+      } else {
         // Deadline hit mid-set: discard the partial result and rebuild this
         // set (and all remaining ones) in quick mode.
         stats_.timed_out = true;
-        memo_[tables.mask()].clear();
+        set.clear();
         ProcessSetQuick(query, tables, options);
       }
     }
   }
   return SetFor(all);
+}
+
+void DPPlanGenerator::ProcessLevelParallel(const Query& query,
+                                           const std::vector<TableSet>& level,
+                                           const DPOptions& options) {
+  // Slots beyond the pool's helpers + the caller can never run, so cap
+  // here: parallelism is request-supplied and must not size allocations.
+  const int slots =
+      std::min(options.parallelism, options.pool->num_threads() + 1);
+  while (static_cast<int>(slot_arenas_.size()) < slots - 1) {
+    slot_arenas_.push_back(std::make_unique<Arena>());
+  }
+
+  // Create this level's memo entries up front, on this thread: tasks then
+  // only *read* the map (lower levels via SetFor, their own output through
+  // these pointers, which unordered_map keeps stable), so the batch never
+  // mutates shared structure.
+  std::vector<ParetoSet*> outputs;
+  outputs.reserve(level.size());
+  for (TableSet tables : level) outputs.push_back(&memo_[tables.mask()]);
+
+  std::vector<DPStats> slot_stats(slots);
+  std::vector<char> completed(level.size(), 0);
+  std::atomic<bool> expired{false};
+
+  options.pool->ParallelFor(
+      static_cast<int>(level.size()), slots - 1, [&](int index, int slot) {
+        // After the first expiry, unstarted sets are left empty and
+        // rebuilt in quick mode below — the Section 5.1 behaviour.
+        if (expired.load(std::memory_order_relaxed)) return;
+        Arena* arena =
+            slot == 0 ? arena_ : slot_arenas_[slot - 1].get();
+        if (ProcessSetInto(query, level[index], options, arena,
+                           outputs[index], &slot_stats[slot])) {
+          completed[index] = 1;
+        } else {
+          expired.store(true, std::memory_order_relaxed);
+        }
+      });
+
+  for (const DPStats& s : slot_stats) {
+    stats_.considered_plans += s.considered_plans;
+    stats_.inserted_plans += s.inserted_plans;
+  }
+  if (expired.load(std::memory_order_relaxed)) stats_.timed_out = true;
+  // Merge step: completion bookkeeping in level order (so the "last
+  // complete set" matches the serial engine), and quick rebuilds for sets
+  // the expiry interrupted or pre-empted.
+  for (size_t i = 0; i < level.size(); ++i) {
+    if (completed[i]) {
+      ++stats_.complete_sets;
+      stats_.last_complete_set = level[i];
+      stats_.last_complete_pareto_count = outputs[i]->size();
+    } else {
+      outputs[i]->clear();
+      ProcessSetQuick(query, level[i], options);
+    }
+  }
 }
 
 const ParetoSet& DPPlanGenerator::SetFor(TableSet tables) const {
@@ -62,6 +143,9 @@ const ParetoSet& DPPlanGenerator::SetFor(TableSet tables) const {
 
 size_t DPPlanGenerator::MemoryBytes() const {
   size_t bytes = arena_->reserved_bytes();
+  for (const std::unique_ptr<Arena>& arena : slot_arenas_) {
+    bytes += arena->reserved_bytes();
+  }
   for (const auto& [mask, set] : memo_) {
     bytes += set.MemoryBytes() + sizeof(mask);
   }
@@ -138,11 +222,11 @@ std::vector<DPPlanGenerator::Split> DPPlanGenerator::SplitsOf(
   return all;
 }
 
-bool DPPlanGenerator::ProcessSet(const Query& query, TableSet tables,
-                                 const DPOptions& options) {
+bool DPPlanGenerator::ProcessSetInto(const Query& query, TableSet tables,
+                                     const DPOptions& options, Arena* arena,
+                                     ParetoSet* set, DPStats* stats) const {
   const ParetoSet::PruneOptions prune{options.alpha,
                                       options.aggressive_delete};
-  ParetoSet& set = memo_[tables.mask()];
   long since_poll = 0;
   for (const Split& split : SplitsOf(query, tables, options)) {
     const ParetoSet& left_plans = SetFor(split.left);
@@ -160,19 +244,16 @@ bool DPPlanGenerator::ProcessSet(const Query& query, TableSet tables,
           if (!model_->JoinApplicableFast(op, split.info)) continue;
           PlanNode candidate =
               model_->JoinNode(config, left, right, split.info);
-          ++stats_.considered_plans;
-          if (set.WouldInsert(candidate.cost, prune)) {
-            set.Prune(arena_->New<PlanNode>(candidate), prune);
-            ++stats_.inserted_plans;
+          ++stats->considered_plans;
+          if (set->WouldInsert(candidate.cost, prune)) {
+            set->Prune(arena->New<PlanNode>(candidate), prune);
+            ++stats->inserted_plans;
           }
         }
       }
     }
   }
-  set.Seal();
-  ++stats_.complete_sets;
-  stats_.last_complete_set = tables;
-  stats_.last_complete_pareto_count = set.size();
+  set->Seal();
   return true;
 }
 

@@ -11,6 +11,17 @@
 // distinguishes the EXA (alpha = 1) from the RTA (alpha = |Q|-th root of
 // the user precision).
 //
+// Parallelism (PR 3): table sets of cardinality k depend only on sets of
+// cardinality < k, so each DP level is an embarrassingly parallel batch.
+// With parallelism > 1 and a pool, the driver partitions every level's
+// table sets across ThreadPool::ParallelFor — each set is built by exactly
+// one task, in the same split order as the serial engine, allocating
+// surviving plans from a per-slot scratch Arena — and seals the level at a
+// barrier before the next level starts. Because parallelism is across
+// sets (never within one set's insertion sequence), the sealed frontier of
+// every table set is byte-for-byte identical to the serial run's for any
+// thread count, exact or approximate pruning alike.
+//
 // Postgres heuristics kept in place per Section 4: Cartesian-product splits
 // are considered only for table sets where no predicate-connected split
 // exists.
@@ -23,6 +34,7 @@
 #ifndef MOQO_CORE_DP_DRIVER_H_
 #define MOQO_CORE_DP_DRIVER_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +44,8 @@
 #include "util/deadline.h"
 
 namespace moqo {
+
+class ThreadPool;
 
 /// Knobs of one dynamic-programming run.
 struct DPOptions {
@@ -56,6 +70,13 @@ struct DPOptions {
   /// Weights used to pick the representative plan in timeout quick-mode /
   /// single-plan mode. Defaults to uniform when empty.
   WeightVector quick_mode_weights;
+  /// Intra-query parallelism: cooperating threads per DP level (the caller
+  /// counts as one). 1 = serial; > 1 requires `pool`. The result is
+  /// independent of this value (see header comment).
+  int parallelism = 1;
+  /// Shared pool the level fan-out borrows helpers from; not owned. Null =
+  /// serial regardless of `parallelism`.
+  ThreadPool* pool = nullptr;
 };
 
 /// Counters and outcomes of one run, feeding the Figure 5/9/10 metrics.
@@ -74,7 +95,8 @@ struct DPStats {
 };
 
 /// The DP engine. One instance per optimization run; plans live in the
-/// provided arena.
+/// provided arena (plus per-slot scratch arenas owned by the generator
+/// when a run fans out).
 class DPPlanGenerator {
  public:
   DPPlanGenerator(const CostModel* model, const OperatorRegistry* registry,
@@ -91,16 +113,26 @@ class DPPlanGenerator {
 
   const DPStats& stats() const { return stats_; }
 
-  /// Memory metric: arena reservation plus plan-set container footprint.
+  /// Memory metric: arena reservations (run arena + parallel slot arenas)
+  /// plus plan-set container footprint.
   size_t MemoryBytes() const;
 
  private:
   void ProcessSingletons(const Query& query, const DPOptions& options);
 
-  /// Builds the plan set for `tables`; returns false if the deadline
-  /// expired mid-set (the partial set is discarded and rebuilt quickly).
-  bool ProcessSet(const Query& query, TableSet tables,
-                  const DPOptions& options);
+  /// Builds the plan set for `tables` into `set`, allocating survivors
+  /// from `arena` and counting into `stats`; seals the set on success.
+  /// Returns false if the deadline expired mid-set (the partial set is
+  /// discarded and rebuilt quickly by the caller).
+  bool ProcessSetInto(const Query& query, TableSet tables,
+                      const DPOptions& options, Arena* arena, ParetoSet* set,
+                      DPStats* stats) const;
+
+  /// Fans one level's table sets out over options.pool; merges stats and
+  /// seals every set at the closing barrier.
+  void ProcessLevelParallel(const Query& query,
+                            const std::vector<TableSet>& level,
+                            const DPOptions& options);
 
   /// Quick mode: single weighted-best plan for `tables`.
   void ProcessSetQuick(const Query& query, TableSet tables,
@@ -123,6 +155,9 @@ class DPPlanGenerator {
   const CostModel* model_;
   const OperatorRegistry* registry_;
   Arena* arena_;
+  /// Scratch arenas for parallel helper slots (slot 0 reuses arena_);
+  /// plans they hand out live until the next Run().
+  std::vector<std::unique_ptr<Arena>> slot_arenas_;
   const Query* query_;
   std::unordered_map<uint64_t, ParetoSet> memo_;
   DPStats stats_;

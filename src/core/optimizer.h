@@ -55,6 +55,13 @@ struct OptimizerOptions {
   /// IRA: hard cap on refinement iterations (safety net; Theorem 8
   /// guarantees termination well before this in practice).
   int max_iterations = 64;
+  /// Intra-query parallelism: threads cooperating on each DP level
+  /// (1 = serial; the calling thread counts as one). Requires `dp_pool`.
+  /// Frontiers are identical for every value (see dp_driver.h).
+  int parallelism = 1;
+  /// Shared pool the DP borrows helper threads from; not owned, must
+  /// outlive the optimizer. Null = serial regardless of `parallelism`.
+  ThreadPool* dp_pool = nullptr;
 };
 
 /// Measurements reported for Figures 5, 9 and 10. Frontier cardinality is
@@ -127,6 +134,8 @@ class OptimizerBase {
     dp.cartesian_heuristic = options_.cartesian_heuristic;
     dp.deadline = deadline;
     dp.quick_mode_weights = problem.weights;
+    dp.parallelism = options_.parallelism;
+    dp.pool = options_.dp_pool;
     return dp;
   }
 

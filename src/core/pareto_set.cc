@@ -1,16 +1,19 @@
 #include "core/pareto_set.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace moqo {
 
 namespace {
 
-/// True iff a[i] <= b[i] for every dimension (Dominates without the size
-/// assert, for summary vectors).
-inline bool AllLessEq(const CostVector& a, const CostVector& b) {
-  for (int i = 0; i < a.size(); ++i) {
-    if (a[i] > b[i]) return false;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True iff a[d] <= b[d] for every dimension — the dominance kernel, over
+/// raw SoA rows.
+inline bool RowLeq(const double* a, const double* b, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    if (a[d] > b[d]) return false;
   }
   return true;
 }
@@ -19,34 +22,45 @@ inline bool AllLessEq(const CostVector& a, const CostVector& b) {
 
 bool ParetoSet::WouldInsert(const CostVector& cost,
                             const PruneOptions& options) const {
-  // stored ⪯_alpha cost  <=>  stored ⪯ alpha*cost; scale the candidate once.
-  const CostVector threshold =
-      options.alpha <= 1.0 ? cost : cost.Scaled(options.alpha);
+  const int dims = cost.size();
+  // stored ⪯_alpha cost  <=>  stored ⪯ alpha*cost; the alpha multiply is
+  // hoisted out of the scans by scaling the candidate once into a
+  // stack-local threshold row.
+  double threshold[kNumObjectives];
+  if (options.alpha <= 1.0) {
+    for (int d = 0; d < dims; ++d) threshold[d] = cost[d];
+  } else {
+    for (int d = 0; d < dims; ++d) threshold[d] = cost[d] * options.alpha;
+  }
   // Recent-rejecter cache (sound only with the default deletion rule: a
   // tombstoned plan is plainly dominated by a live one, so its rejections
   // transfer; with aggressive deletion that implication weakens to alpha^2).
   const bool use_hot = !options.aggressive_delete;
   if (use_hot) {
     for (int h = 0; h < hot_used_; ++h) {
-      if (Dominates(hot_[h], threshold)) return false;
+      if (RowLeq(&hot_[h * kNumObjectives], threshold, dims)) return false;
     }
   }
   // Newest blocks first: consecutive candidates usually come from the same
   // split and are most often dominated by a recent insertion.
+  const double* costs = costs_.data();
   for (int b = NumBlocks() - 1; b >= 0; --b) {
     // A block can contain a dominator only if its component-wise min is
-    // below the threshold in every dimension.
-    if (block_min_[b].size() == 0 || !AllLessEq(block_min_[b], threshold)) {
+    // below the threshold in every dimension (+inf mins — dead blocks —
+    // never pass).
+    if (!RowLeq(&block_min_[static_cast<size_t>(b) * dims_], threshold,
+                dims)) {
       continue;
     }
     const int begin = b * kBlockSize;
-    const int end =
-        std::min<int>(begin + kBlockSize, static_cast<int>(entries_.size()));
+    const int end = std::min(begin + kBlockSize, rows());
     for (int i = end - 1; i >= begin; --i) {
-      if (entries_[i].plan != nullptr &&
-          Dominates(entries_[i].cost, threshold)) {
+      if (plans_[i] != nullptr &&
+          RowLeq(costs + static_cast<size_t>(i) * dims_, threshold, dims)) {
         if (use_hot) {
-          hot_[hot_next_] = entries_[i].cost;
+          const double* row = costs + static_cast<size_t>(i) * dims_;
+          double* hot = &hot_[hot_next_ * kNumObjectives];
+          for (int d = 0; d < dims; ++d) hot[d] = row[d];
           hot_next_ = (hot_next_ + 1) % kHotSlots;
           hot_used_ = std::min(hot_used_ + 1, kHotSlots);
         }
@@ -60,27 +74,44 @@ bool ParetoSet::WouldInsert(const CostVector& cost,
 bool ParetoSet::Prune(const PlanNode* plan, const PruneOptions& options) {
   if (!WouldInsert(plan->cost, options)) return false;
 
+  const CostVector& cost = plan->cost;
+  const int dims = cost.size();
+  if (dims_ == 0) dims_ = dims;
+  double row[kNumObjectives];
+  for (int d = 0; d < dims; ++d) row[d] = cost[d];
+
   // Deletion: tombstone stored plans the new plan dominates. Plain
   // dominance by default (see header); approximate dominance only in the
   // ablation mode.
-  const CostVector& cost = plan->cost;
   const bool aggressive = options.aggressive_delete && options.alpha > 1.0;
+  double* costs = costs_.data();
   for (int b = 0; b < NumBlocks(); ++b) {
-    if (block_min_[b].size() == 0) continue;  // No live entries.
-    // The new plan can dominate a member only if cost <= block_max.
-    if (!aggressive && !AllLessEq(cost, block_max_[b])) continue;
+    // The new plan can dominate a block member only if row <= block_max
+    // (-inf maxes — dead blocks — never pass).
+    if (!aggressive &&
+        !RowLeq(row, &block_max_[static_cast<size_t>(b) * dims_], dims)) {
+      continue;
+    }
     const int begin = b * kBlockSize;
-    const int end =
-        std::min<int>(begin + kBlockSize, static_cast<int>(entries_.size()));
+    const int end = std::min(begin + kBlockSize, rows());
     bool removed_any = false;
     for (int i = begin; i < end; ++i) {
-      if (entries_[i].plan == nullptr) continue;
-      const bool remove =
-          aggressive
-              ? ApproxDominates(cost, entries_[i].cost, options.alpha)
-              : Dominates(cost, entries_[i].cost);
+      if (plans_[i] == nullptr) continue;
+      const double* stored = costs + static_cast<size_t>(i) * dims_;
+      bool remove;
+      if (aggressive) {
+        remove = true;
+        for (int d = 0; d < dims; ++d) {
+          if (row[d] > stored[d] * options.alpha) {
+            remove = false;
+            break;
+          }
+        }
+      } else {
+        remove = RowLeq(row, stored, dims);
+      }
       if (remove) {
-        entries_[i].plan = nullptr;
+        plans_[i] = nullptr;
         --live_;
         removed_any = true;
       }
@@ -89,82 +120,90 @@ bool ParetoSet::Prune(const PlanNode* plan, const PruneOptions& options) {
   }
 
   // Compact when tombstones dominate the storage.
-  if (live_ * 2 < static_cast<int>(entries_.size())) Compact();
+  if (live_ * 2 < rows()) Compact();
 
-  // Append and fold into the last block's summaries.
-  entries_.push_back(Entry{cost, plan});
+  // Append the row and fold it into the last block's summaries.
+  plans_.push_back(plan);
+  costs_.insert(costs_.end(), row, row + dims);
   ++live_;
-  const int last = NumBlocks() - 1;
-  if (static_cast<int>(block_min_.size()) < NumBlocks()) {
-    block_min_.push_back(cost);
-    block_max_.push_back(cost);
-  } else if (block_min_[last].size() == 0) {
-    block_min_[last] = cost;
-    block_max_[last] = cost;
-  } else {
-    for (int i = 0; i < cost.size(); ++i) {
-      block_min_[last][i] = std::min(block_min_[last][i], cost[i]);
-      block_max_[last][i] = std::max(block_max_[last][i], cost[i]);
-    }
+  if (static_cast<int>(block_min_.size()) <
+      NumBlocks() * static_cast<int>(dims_)) {
+    block_min_.insert(block_min_.end(), dims, kInf);
+    block_max_.insert(block_max_.end(), dims, -kInf);
+  }
+  double* bmin = &block_min_[static_cast<size_t>(NumBlocks() - 1) * dims_];
+  double* bmax = &block_max_[static_cast<size_t>(NumBlocks() - 1) * dims_];
+  for (int d = 0; d < dims; ++d) {
+    bmin[d] = std::min(bmin[d], row[d]);
+    bmax[d] = std::max(bmax[d], row[d]);
   }
   return true;
 }
 
 void ParetoSet::RebuildBlock(int b) {
   const int begin = b * kBlockSize;
-  const int end =
-      std::min<int>(begin + kBlockSize, static_cast<int>(entries_.size()));
-  CostVector min_v, max_v;
-  bool any = false;
+  const int end = std::min(begin + kBlockSize, rows());
+  double* bmin = &block_min_[static_cast<size_t>(b) * dims_];
+  double* bmax = &block_max_[static_cast<size_t>(b) * dims_];
+  for (int d = 0; d < dims_; ++d) {
+    bmin[d] = kInf;
+    bmax[d] = -kInf;
+  }
+  const double* costs = costs_.data();
   for (int i = begin; i < end; ++i) {
-    if (entries_[i].plan == nullptr) continue;
-    const CostVector& c = entries_[i].cost;
-    if (!any) {
-      min_v = c;
-      max_v = c;
-      any = true;
-    } else {
-      for (int d = 0; d < c.size(); ++d) {
-        min_v[d] = std::min(min_v[d], c[d]);
-        max_v[d] = std::max(max_v[d], c[d]);
-      }
+    if (plans_[i] == nullptr) continue;
+    const double* row = costs + static_cast<size_t>(i) * dims_;
+    for (int d = 0; d < dims_; ++d) {
+      bmin[d] = std::min(bmin[d], row[d]);
+      bmax[d] = std::max(bmax[d], row[d]);
     }
   }
-  block_min_[b] = any ? min_v : CostVector();
-  block_max_[b] = any ? max_v : CostVector();
 }
 
 void ParetoSet::Compact() {
   size_t kept = 0;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].plan != nullptr) {
-      if (kept != i) entries_[kept] = entries_[i];
-      ++kept;
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    if (plans_[i] == nullptr) continue;
+    if (kept != i) {
+      plans_[kept] = plans_[i];
+      std::copy_n(costs_.begin() + i * dims_, dims_,
+                  costs_.begin() + kept * dims_);
     }
+    ++kept;
   }
-  entries_.resize(kept);
+  plans_.resize(kept);
+  costs_.resize(kept * dims_);
   live_ = static_cast<int>(kept);
-  block_min_.assign(NumBlocks(), CostVector());
-  block_max_.assign(NumBlocks(), CostVector());
+  block_min_.assign(static_cast<size_t>(NumBlocks()) * dims_, kInf);
+  block_max_.assign(static_cast<size_t>(NumBlocks()) * dims_, -kInf);
   for (int b = 0; b < NumBlocks(); ++b) RebuildBlock(b);
 }
 
 void ParetoSet::Seal() { Compact(); }
 
 void ParetoSet::clear() {
-  entries_.clear();
+  plans_.clear();
+  costs_.clear();
   block_min_.clear();
   block_max_.clear();
+  dims_ = 0;
   live_ = 0;
   hot_used_ = 0;
   hot_next_ = 0;
 }
 
+CostVector ParetoSet::cost_at(int i) const {
+  CostVector cost(dims_);
+  const double* row = costs_.data() + static_cast<size_t>(i) * dims_;
+  for (int d = 0; d < dims_; ++d) cost[d] = row[d];
+  return cost;
+}
+
 std::vector<const PlanNode*> ParetoSet::plans() const {
   std::vector<const PlanNode*> result;
   result.reserve(live_);
-  for (const Entry& entry : entries_) {
-    if (entry.plan != nullptr) result.push_back(entry.plan);
+  for (const PlanNode* plan : plans_) {
+    if (plan != nullptr) result.push_back(plan);
   }
   return result;
 }
@@ -172,19 +211,32 @@ std::vector<const PlanNode*> ParetoSet::plans() const {
 const PlanNode* ParetoSet::SelectBest(const WeightVector& weights,
                                       const BoundVector& bounds) const {
   const PlanNode* best_bounded = nullptr;
-  double best_bounded_cost = std::numeric_limits<double>::infinity();
+  double best_bounded_cost = kInf;
   const PlanNode* best_any = nullptr;
-  double best_any_cost = std::numeric_limits<double>::infinity();
-  for (const Entry& entry : entries_) {
-    if (entry.plan == nullptr) continue;
-    const double weighted = weights.WeightedCost(entry.cost);
+  double best_any_cost = kInf;
+  const double* costs = costs_.data();
+  const int bound_dims = std::min(dims_, bounds.size());
+  for (int i = 0; i < rows(); ++i) {
+    if (plans_[i] == nullptr) continue;
+    const double* row = costs + static_cast<size_t>(i) * dims_;
+    double weighted = 0;
+    for (int d = 0; d < dims_; ++d) weighted += weights[d] * row[d];
     if (weighted < best_any_cost) {
       best_any_cost = weighted;
-      best_any = entry.plan;
+      best_any = plans_[i];
     }
-    if (bounds.Respects(entry.cost) && weighted < best_bounded_cost) {
-      best_bounded_cost = weighted;
-      best_bounded = entry.plan;
+    if (weighted < best_bounded_cost) {
+      bool respects = true;
+      for (int d = 0; d < bound_dims; ++d) {
+        if (row[d] > bounds[d]) {
+          respects = false;
+          break;
+        }
+      }
+      if (respects) {
+        best_bounded_cost = weighted;
+        best_bounded = plans_[i];
+      }
     }
   }
   return best_bounded != nullptr ? best_bounded : best_any;
@@ -198,8 +250,8 @@ const PlanNode* ParetoSet::SelectBestWeighted(
 std::vector<CostVector> ParetoSet::Frontier() const {
   std::vector<CostVector> frontier;
   frontier.reserve(live_);
-  for (const Entry& entry : entries_) {
-    if (entry.plan != nullptr) frontier.push_back(entry.cost);
+  for (int i = 0; i < rows(); ++i) {
+    if (plans_[i] != nullptr) frontier.push_back(cost_at(i));
   }
   return frontier;
 }

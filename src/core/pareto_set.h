@@ -18,23 +18,37 @@
 //
 // Performance: dominance checks are the optimizer's innermost loop — every
 // candidate is compared against every stored plan, and sets grow into the
-// tens of thousands for many-objective instances (Section 5.1). Two
-// optimizations keep this tractable without changing semantics:
+// tens of thousands for many-objective instances (Section 5.1). Storage is
+// struct-of-arrays: one contiguous row-major double matrix of cost
+// components plus a parallel plan-pointer array, so the dominance scans
+// stream over dense doubles without dragging plan pointers through the
+// cache. Three further optimizations keep the scans tractable without
+// changing semantics:
 //
-//  * Block summaries. Entries are grouped into blocks of kBlockSize; each
-//    block keeps the component-wise min and max of its live cost vectors.
-//    A block can contain a dominator of candidate c only if
-//    block_min <= alpha*c component-wise, and the new plan can dominate a
-//    block member only if c <= block_max component-wise — one vector
-//    comparison skips up to kBlockSize entries.
-//  * Tombstone deletion. Dominated entries are unlinked lazily
-//    (plan = nullptr) instead of compacting the vector on every insert;
-//    compaction runs when tombstones exceed half the slots, and the DP
+//  * Hoisted precision. The alpha multiply of approximate dominance is
+//    applied once per candidate (scaling it into a stack-local threshold
+//    row), not once per stored-plan comparison.
+//  * Block summaries. Rows are grouped into blocks of kBlockSize; each
+//    block keeps the component-wise min and max of its live cost rows
+//    (+inf/-inf when the block has none). A block can contain a dominator
+//    of candidate c only if block_min <= alpha*c component-wise, and the
+//    new plan can dominate a block member only if c <= block_max
+//    component-wise — one row comparison skips up to kBlockSize rows.
+//  * Tombstone deletion. Dominated rows are unlinked lazily
+//    (plan = nullptr) instead of compacting the matrix on every insert;
+//    compaction runs when tombstones exceed half the rows, and the DP
 //    driver Seal()s a set once its table set is fully processed.
+//
+// Thread-safety: none while mutating, but every const member is genuinely
+// read-only except WouldInsert (which touches the mutable hot-rejecter
+// cache). The parallel DP driver therefore shares *sealed* sets across
+// threads freely and calls WouldInsert/Prune only on the one unsealed set
+// its task owns.
 
 #ifndef MOQO_CORE_PARETO_SET_H_
 #define MOQO_CORE_PARETO_SET_H_
 
+#include <array>
 #include <vector>
 
 #include "cost/cost_vector.h"
@@ -74,8 +88,9 @@ class ParetoSet {
   /// Dense access; valid only after Seal() (the DP driver seals every
   /// completed table set; freshly built sets must be sealed before
   /// iteration).
-  const PlanNode* at(int i) const { return entries_[i].plan; }
-  const CostVector& cost_at(int i) const { return entries_[i].cost; }
+  const PlanNode* at(int i) const { return plans_[i]; }
+  /// Gathers row `i` of the cost matrix into a value-type vector.
+  CostVector cost_at(int i) const;
 
   /// Compacts tombstones and rebuilds block summaries; afterwards
   /// entries 0..size()-1 are exactly the live plans.
@@ -88,8 +103,11 @@ class ParetoSet {
 
   /// Bytes used by this container (for the memory metric of Figs. 5/9/10).
   size_t MemoryBytes() const {
-    return entries_.capacity() * sizeof(Entry) +
-           block_min_.capacity() * 2 * sizeof(CostVector) + sizeof(*this);
+    return plans_.capacity() * sizeof(const PlanNode*) +
+           (costs_.capacity() + block_min_.capacity() +
+            block_max_.capacity()) *
+               sizeof(double) +
+           sizeof(*this);
   }
 
   /// SelectBest of Algorithm 1: the plan minimizing weighted cost among
@@ -105,38 +123,41 @@ class ParetoSet {
   std::vector<CostVector> Frontier() const;
 
  private:
-  struct Entry {
-    CostVector cost;  ///< Copy of plan->cost, contiguous for fast scans.
-    const PlanNode* plan;  ///< nullptr = tombstone.
-  };
-
   static constexpr int kBlockSize = 32;
 
+  int rows() const { return static_cast<int>(plans_.size()); }
+
   int NumBlocks() const {
-    return static_cast<int>((entries_.size() + kBlockSize - 1) / kBlockSize);
+    return (rows() + kBlockSize - 1) / kBlockSize;
   }
 
-  /// Recomputes min/max summaries of block `b` from its live entries.
+  /// Recomputes min/max summaries of block `b` from its live rows.
   void RebuildBlock(int b);
 
   /// Drops tombstones and rebuilds all blocks.
   void Compact();
 
-  std::vector<Entry> entries_;
-  /// Component-wise min/max over live entries per block; empty vectors for
-  /// blocks with no live entries.
-  std::vector<CostVector> block_min_;
-  std::vector<CostVector> block_max_;
+  /// Active cost dimensions; fixed by the first insert.
+  int dims_ = 0;
   int live_ = 0;
+  /// Row i's plan; nullptr = tombstone. Parallel to costs_ rows.
+  std::vector<const PlanNode*> plans_;
+  /// Row-major rows() x dims_ matrix of cost components (tombstoned rows
+  /// keep their stale values; plans_ is the liveness authority).
+  std::vector<double> costs_;
+  /// Component-wise min/max over live rows per block, NumBlocks() x dims_;
+  /// +inf / -inf for blocks with no live rows.
+  std::vector<double> block_min_;
+  std::vector<double> block_max_;
 
-  /// Move-to-front cache of recently rejecting cost vectors: consecutive
+  /// Move-to-front cache of recently rejecting cost rows: consecutive
   /// candidates usually come from the same split and are rejected by the
   /// same stored plan. Purely an accelerator; stale copies are harmless
-  /// because every cached vector belonged to a stored plan whose dominance
+  /// because every cached row belonged to a stored plan whose dominance
   /// already implied rejection (tombstoning only ever happens to plans
   /// dominated by a *kept* plan, which then dominates the same candidates).
   static constexpr int kHotSlots = 4;
-  mutable CostVector hot_[kHotSlots];
+  mutable std::array<double, kHotSlots * kNumObjectives> hot_{};
   mutable int hot_used_ = 0;
   mutable int hot_next_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -96,6 +97,19 @@ int EnvInt(const char* name, int default_value) {
 double EnvDouble(const char* name, double default_value) {
   const char* value = std::getenv(name);
   return value != nullptr ? std::atof(value) : default_value;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0) return values.front();
+  if (p >= 100) return values.back();
+  const double rank = p / 100.0 * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - lo;
+  return lo + 1 < values.size()
+             ? values[lo] * (1 - frac) + values[lo + 1] * frac
+             : values[lo];
 }
 
 }  // namespace moqo

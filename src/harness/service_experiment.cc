@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "harness/experiment.h"
 #include "util/deadline.h"
 
 namespace moqo {
@@ -53,6 +54,7 @@ ServiceRunStats DriveService(OptimizationService* service,
     futures.push_back(service->Submit(request));
   }
   double sum_service_ms = 0;
+  long frontier_plans = 0;
   for (std::future<ServiceResponse>& future : futures) {
     ServiceResponse response = future.get();
     switch (response.status) {
@@ -74,6 +76,10 @@ ServiceRunStats DriveService(OptimizationService* service,
     if (response.cache == CacheOutcome::kFrontierHit) ++stats.frontier_hits;
     if (response.cache == CacheOutcome::kCoalescedHit) ++stats.coalesced;
     sum_service_ms += response.service_ms;
+    stats.service_ms_samples.push_back(response.service_ms);
+    if (response.result != nullptr) {
+      frontier_plans += response.result->frontier_size();
+    }
     if (response.service_ms > stats.max_service_ms) {
       stats.max_service_ms = response.service_ms;
     }
@@ -81,7 +87,13 @@ ServiceRunStats DriveService(OptimizationService* service,
   stats.wall_ms = watch.ElapsedMillis();
   const int served = stats.completed + stats.quick;
   stats.mean_service_ms = served == 0 ? 0 : sum_service_ms / served;
+  stats.mean_frontier =
+      served == 0 ? 0 : static_cast<double>(frontier_plans) / served;
   return stats;
+}
+
+double ServiceRunStats::PercentileMs(double p) const {
+  return Percentile(service_ms_samples, p);
 }
 
 std::string ServiceRunStats::ToString() const {
@@ -92,7 +104,9 @@ std::string ServiceRunStats::ToString() const {
       << " frontier=" << frontier_hits << ") coalesced=" << coalesced
       << " wall_ms=" << wall_ms
       << " throughput_rps=" << Throughput()
-      << " mean_ms=" << mean_service_ms << " max_ms=" << max_service_ms;
+      << " mean_ms=" << mean_service_ms << " p50_ms=" << PercentileMs(50)
+      << " p99_ms=" << PercentileMs(99) << " max_ms=" << max_service_ms
+      << " mean_frontier=" << mean_frontier;
   return out.str();
 }
 

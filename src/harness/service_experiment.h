@@ -52,10 +52,19 @@ struct ServiceRunStats {
   /// Over served (non-rejected) requests only.
   double mean_service_ms = 0;
   double max_service_ms = 0;
+  /// Mean frontier size of served responses (plans per PlanSet).
+  double mean_frontier = 0;
+  /// Per-request service latencies of served requests, in completion
+  /// order; feeds the percentile accessors and the BENCH_*.json artifacts.
+  std::vector<double> service_ms_samples;
 
   double Throughput() const {
     return wall_ms <= 0 ? 0 : 1000.0 * total / wall_ms;
   }
+
+  /// Latency percentile over served requests (p in [0, 100]); 0 when none
+  /// were served.
+  double PercentileMs(double p) const;
 
   std::string ToString() const;
 };

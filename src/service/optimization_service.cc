@@ -17,13 +17,14 @@ int ResolveWorkers(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-/// Scalarizes `base`'s shared PlanSet for a new preference: same frontier
-/// and cold-run metrics, re-selected plan. O(|frontier|), no optimizer.
-std::shared_ptr<const OptimizerResult> ReselectResult(
+/// Builds a result over `plan_set` with `base`'s cold-run metrics and the
+/// plan the preference selects from it. O(|plan_set|), no optimizer.
+std::shared_ptr<const OptimizerResult> ResultOverPlanSet(
     const std::shared_ptr<const OptimizerResult>& base,
-    const WeightVector& weights, const BoundVector& bounds) {
+    std::shared_ptr<const PlanSet> plan_set, const WeightVector& weights,
+    const BoundVector& bounds) {
   auto result = std::make_shared<OptimizerResult>();
-  result->plan_set = base->plan_set;
+  result->plan_set = std::move(plan_set);
   result->metrics = base->metrics;
   const PlanSelection selection =
       SelectPlan(*result->plan_set, weights, bounds);
@@ -35,6 +36,14 @@ std::shared_ptr<const OptimizerResult> ReselectResult(
         bounds.size() == 0 || bounds.Respects(selection.cost);
   }
   return result;
+}
+
+/// Scalarizes `base`'s shared PlanSet for a new preference: same frontier
+/// and cold-run metrics, re-selected plan. O(|frontier|), no optimizer.
+std::shared_ptr<const OptimizerResult> ReselectResult(
+    const std::shared_ptr<const OptimizerResult>& base,
+    const WeightVector& weights, const BoundVector& bounds) {
+  return ResultOverPlanSet(base, base->plan_set, weights, bounds);
 }
 
 }  // namespace
@@ -76,13 +85,21 @@ OptimizationService::OptimizationService(ServiceOptions options)
 OptimizationService::~OptimizationService() { pool_.Shutdown(); }
 
 OptimizerOptions OptimizationService::MakeOptimizerOptions(
-    double alpha, int64_t timeout_ms) const {
+    double alpha, int64_t timeout_ms, int parallelism) {
   OptimizerOptions opts;
   opts.alpha = alpha;
   opts.timeout_ms = timeout_ms;
   opts.operators = options_.operators;
   opts.bushy = options_.bushy;
   opts.cartesian_heuristic = options_.cartesian_heuristic;
+  if (parallelism > 1) {
+    std::call_once(dp_pool_once_, [this] {
+      dp_pool_ = std::make_unique<ThreadPool>(
+          ResolveWorkers(options_.num_dp_helpers));
+    });
+    opts.parallelism = parallelism;
+    opts.dp_pool = dp_pool_.get();
+  }
   return opts;
 }
 
@@ -127,13 +144,18 @@ std::future<ServiceResponse> OptimizationService::Submit(
     decision.algorithm = *admitted->spec.algorithm;
   }
   if (admitted->spec.alpha) decision.alpha = *admitted->spec.alpha;
+  if (admitted->spec.parallelism) {
+    decision.parallelism =
+        *admitted->spec.parallelism < 1 ? 1 : *admitted->spec.parallelism;
+  }
   admitted->decision = decision;
 
   bool admission_held = false;
   if (options_.enable_cache) {
     admitted->signature = ComputeSignature(
         *admitted->spec.query, admitted->spec.objectives, decision.algorithm,
-        decision.alpha, MakeOptimizerOptions(decision.alpha, -1),
+        decision.alpha,
+        MakeOptimizerOptions(decision.alpha, -1, /*parallelism=*/1),
         &admitted->preference.weights, &admitted->preference.bounds);
     admitted->cacheable = true;
     std::shared_ptr<const CachedFrontier> cached =
@@ -314,7 +336,8 @@ void OptimizationService::RunRequest(
   // the optimizer throws (the EXA can exhaust memory on large instances),
   // so the whole optimization is fenced.
   try {
-    OptimizerOptions opts = MakeOptimizerOptions(decision.alpha, timeout_ms);
+    OptimizerOptions opts = MakeOptimizerOptions(decision.alpha, timeout_ms,
+                                                 decision.parallelism);
     std::unique_ptr<OptimizerBase> optimizer =
         MakeOptimizer(decision.algorithm, opts);
     StopWatch run_watch;
@@ -329,6 +352,18 @@ void OptimizationService::RunRequest(
       // Submit() race-closing probe relies on insert-before-erase.
       auto cached = std::make_shared<CachedFrontier>();
       cached->result = result;
+      if (options_.max_cached_frontier > 0 && result->plan_set != nullptr &&
+          result->plan_set->size() > options_.max_cached_frontier) {
+        // Cache a compacted epsilon-coverage copy so many-objective specs
+        // do not pin huge PlanSets; the selection stored with it must come
+        // from the compacted set (exact hits serve it verbatim).
+        cached->result = ResultOverPlanSet(
+            result,
+            CompactPlanSet(result->plan_set,
+                           options_.cache_compaction_epsilon,
+                           options_.max_cached_frontier),
+            admitted->preference.weights, admitted->preference.bounds);
+      }
       cached->weights = admitted->preference.weights;
       cached->bounds = admitted->preference.bounds;
       cache_.Insert(admitted->signature, std::move(cached));
@@ -400,6 +435,9 @@ ServiceStatsSnapshot OptimizationService::Stats() const {
   snapshot.cache_hits = cache_stats.hits;
   snapshot.cache_misses = cache_stats.misses;
   snapshot.cache_evictions = cache_stats.evictions;
+  snapshot.cache_entries = cache_stats.entries;
+  snapshot.cache_bytes = cache_stats.bytes;
+  snapshot.cached_frontier_plans = cache_stats.frontier_plans;
   return snapshot;
 }
 

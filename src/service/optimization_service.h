@@ -54,13 +54,19 @@
 #include "service/policy.h"
 #include "service/signature.h"
 #include "service/stats.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace moqo {
 
 struct ServiceOptions {
   /// Worker threads; 0 = one per hardware thread.
   int num_workers = 0;
+  /// Helper threads of the shared intra-query DP pool (0 = one per
+  /// hardware thread). Big queries fan each DP level out over this pool
+  /// (see PolicyOptions::parallel_min_tables / max_parallelism); the pool
+  /// is shared by all in-flight requests and sized independently of the
+  /// request workers.
+  int num_dp_helpers = 0;
   /// Admission limit: maximum requests queued or running at once.
   size_t max_inflight = 256;
   /// Budget applied when a request does not carry its own; < 0 = none.
@@ -70,6 +76,16 @@ struct ServiceOptions {
   /// Set false to disable in-flight request coalescing (each duplicate
   /// miss then runs its own optimization, as in PR 1).
   bool enable_coalescing = true;
+  /// Frontier compaction before caching: PlanSets larger than this are
+  /// shrunk to an epsilon-coverage subset (CompactPlanSet) before the
+  /// cache insert; 0 = cache the full frontier. The *response* that ran
+  /// the optimizer always carries the full frontier — only the cached
+  /// copy shrinks (its guarantee degrades from alpha to
+  /// alpha*(1+epsilon)).
+  int max_cached_frontier = 0;
+  /// Starting coverage slack for that compaction; doubled until the
+  /// frontier fits max_cached_frontier.
+  double cache_compaction_epsilon = 0.05;
   PlanCache::Options cache;
   PolicyOptions policy;
   /// Plan space shared by every request the service runs.
@@ -91,6 +107,10 @@ struct ProblemSpec {
   /// entries are shared only between identical preferences.
   std::optional<AlgorithmKind> algorithm;
   std::optional<double> alpha;
+  /// Override for the policy's intra-query DP parallelism (1 = force
+  /// serial). Never part of the cache key: the frontier is identical for
+  /// every value.
+  std::optional<int> parallelism;
 };
 
 /// HOW to choose from the frontier: the request-time scalarization inputs
@@ -206,9 +226,10 @@ class OptimizationService {
     std::vector<std::shared_ptr<Admitted>> waiters;
   };
 
-  /// Optimizer options for one request given its remaining budget.
-  OptimizerOptions MakeOptimizerOptions(double alpha,
-                                        int64_t timeout_ms) const;
+  /// Optimizer options for one request given its remaining budget and its
+  /// resolved intra-query parallelism (1 = serial, no pool attached).
+  OptimizerOptions MakeOptimizerOptions(double alpha, int64_t timeout_ms,
+                                        int parallelism);
 
   /// Builds and resolves a response from a cached frontier (exact or
   /// frontier hit).
@@ -238,6 +259,13 @@ class OptimizationService {
   std::unordered_map<ProblemSignature, std::shared_ptr<CoalesceEntry>>
       inflight_by_signature_;
 
+  /// Intra-query DP helpers, shared by all requests and spawned lazily on
+  /// the first request that actually fans out — a service whose policy
+  /// keeps everything serial never pays the helper threads. Declared
+  /// before pool_: request workers submit into it, so it must outlive
+  /// them (destruction runs in reverse order).
+  std::once_flag dp_pool_once_;
+  std::unique_ptr<ThreadPool> dp_pool_;
   ThreadPool pool_;  ///< Last member: workers die before the state above.
 };
 

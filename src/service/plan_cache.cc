@@ -6,6 +6,32 @@
 
 namespace moqo {
 
+namespace {
+
+/// Accounted footprint of one cache entry: the shared PlanSet (the
+/// dominant term — plans plus cost matrix), the stored key, and the
+/// index/list bookkeeping around them.
+size_t EntryBytes(const ProblemSignature& signature,
+                  const CachedFrontier& frontier) {
+  size_t bytes = signature.key.capacity() + sizeof(ProblemSignature) +
+                 sizeof(CachedFrontier) + sizeof(void*) * 4;
+  if (frontier.result != nullptr) {
+    bytes += sizeof(OptimizerResult);
+    if (frontier.result->plan_set != nullptr) {
+      bytes += frontier.result->plan_set->ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
+int FrontierSize(const CachedFrontier& frontier) {
+  return frontier.result != nullptr && frontier.result->plan_set != nullptr
+             ? frontier.result->plan_set->size()
+             : 0;
+}
+
+}  // namespace
+
 PlanCache::PlanCache() : PlanCache(Options{}) {}
 
 PlanCache::PlanCache(const Options& options) {
@@ -16,9 +42,14 @@ PlanCache::PlanCache(const Options& options) {
   // Every shard gets at least one slot so a tiny capacity still caches.
   const size_t per_shard =
       (options.capacity + num_shards - 1) / num_shards;
+  const size_t bytes_per_shard =
+      options.capacity_bytes == 0
+          ? 0
+          : (options.capacity_bytes + num_shards - 1) / num_shards;
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->capacity = per_shard < 1 ? 1 : per_shard;
+    shard->capacity_bytes = bytes_per_shard;
     shards_.push_back(std::move(shard));
   }
 }
@@ -37,24 +68,63 @@ std::shared_ptr<const CachedFrontier> PlanCache::Lookup(
   return it->second.frontier;
 }
 
+void PlanCache::EvictBack(Shard* shard) {
+  auto victim = shard->index.find(*shard->lru.back());
+  shard->bytes -= victim->second.bytes;
+  shard->frontier_plans -= static_cast<size_t>(victim->second.frontier_size);
+  shard->index.erase(victim);
+  shard->lru.pop_back();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlanCache::EvictForSpace(Shard* shard, size_t incoming_bytes) {
+  // Evict LRU-first until the incoming entry fits within the byte budget
+  // (primary) and the entry cap (secondary). An entry larger than the
+  // whole shard budget empties the shard and is stored anyway: refusing it
+  // would make the most expensive frontiers — the ones worth caching most
+  // — permanently uncacheable.
+  while (!shard->lru.empty() &&
+         (shard->lru.size() >= shard->capacity ||
+          (shard->capacity_bytes != 0 &&
+           shard->bytes + incoming_bytes > shard->capacity_bytes))) {
+    EvictBack(shard);
+  }
+}
+
 void PlanCache::Insert(const ProblemSignature& signature,
                        std::shared_ptr<const CachedFrontier> frontier) {
+  const size_t bytes =
+      frontier != nullptr ? EntryBytes(signature, *frontier) : 0;
+  const int frontier_size = frontier != nullptr ? FrontierSize(*frontier) : 0;
   Shard& shard = ShardFor(signature);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(signature);
   if (it != shard.index.end()) {
+    shard.bytes = shard.bytes - it->second.bytes + bytes;
+    shard.frontier_plans = shard.frontier_plans -
+                           static_cast<size_t>(it->second.frontier_size) +
+                           static_cast<size_t>(frontier_size);
     it->second.frontier = std::move(frontier);
+    it->second.bytes = bytes;
+    it->second.frontier_size = frontier_size;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    // A grown replacement can push the shard over its byte budget; shed
+    // colder entries, but never the just-refreshed one (at the front).
+    while (shard.capacity_bytes != 0 && shard.bytes > shard.capacity_bytes &&
+           shard.lru.size() > 1) {
+      EvictBack(&shard);
+    }
     return;
   }
-  if (shard.lru.size() >= shard.capacity) {
-    shard.index.erase(*shard.lru.back());
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  it = shard.index.emplace(signature, Entry{std::move(frontier), {}}).first;
+  EvictForSpace(&shard, bytes);
+  it = shard.index
+           .emplace(signature, Entry{std::move(frontier), {}, bytes,
+                                     frontier_size})
+           .first;
   shard.lru.push_front(&it->first);
   it->second.lru_pos = shard.lru.begin();
+  shard.bytes += bytes;
+  shard.frontier_plans += static_cast<size_t>(frontier_size);
   insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -64,7 +134,12 @@ PlanCache::Stats PlanCache::GetStats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.entries = size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+    stats.frontier_plans += shard->frontier_plans;
+  }
   return stats;
 }
 
@@ -82,6 +157,8 @@ void PlanCache::Clear() {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
+    shard->bytes = 0;
+    shard->frontier_plans = 0;
   }
 }
 

@@ -47,8 +47,16 @@ struct CachedFrontier {
 class PlanCache {
  public:
   struct Options {
-    /// Total entries across all shards.
+    /// Total entries across all shards (secondary limit; see
+    /// capacity_bytes).
     size_t capacity = 1024;
+    /// Byte budget across all shards, accounted by the entries' PlanSet
+    /// ApproxBytes() plus key/index overhead; 0 = unlimited (entry-count
+    /// eviction only). A PlanSet footprint is proportional to its frontier,
+    /// so this bounds resident memory where an entry cap cannot: frontier
+    /// sizes vary by orders of magnitude across specs (Section 5.1). The
+    /// primary limit when set; the entry cap stays as a secondary limit.
+    size_t capacity_bytes = 0;
     /// Number of independently locked shards; rounded up to a power of two.
     int shards = 8;
   };
@@ -60,6 +68,12 @@ class PlanCache {
     uint64_t insertions = 0;
     uint64_t evictions = 0;
     size_t entries = 0;
+    /// Accounted bytes of all resident entries.
+    size_t bytes = 0;
+    /// Sum of resident entries' frontier sizes (plans per cached PlanSet);
+    /// bytes / entries and frontier_plans / entries give the per-entry
+    /// means the stats registry surfaces.
+    size_t frontier_plans = 0;
   };
 
   PlanCache();  ///< Default Options.
@@ -106,6 +120,8 @@ class PlanCache {
   struct Entry {
     std::shared_ptr<const CachedFrontier> frontier;
     LruList::iterator lru_pos;
+    size_t bytes = 0;          ///< Accounted at insert time.
+    int frontier_size = 0;     ///< Plans in the entry's PlanSet.
   };
 
   struct Shard {
@@ -113,7 +129,18 @@ class PlanCache {
     LruList lru;  ///< Front = most recently used.
     std::unordered_map<ProblemSignature, Entry> index;
     size_t capacity = 0;
+    size_t capacity_bytes = 0;  ///< 0 = no byte limit for this shard.
+    size_t bytes = 0;           ///< Accounted bytes of resident entries.
+    size_t frontier_plans = 0;  ///< Sum of resident frontier sizes.
   };
+
+  /// Removes `shard`'s LRU entry, maintaining the byte/frontier accounting
+  /// and the eviction counter. Caller holds the shard lock; lru non-empty.
+  void EvictBack(Shard* shard);
+
+  /// Evicts LRU entries until `incoming_bytes` more fit within both
+  /// limits. Caller holds the shard lock.
+  void EvictForSpace(Shard* shard, size_t incoming_bytes);
 
   Shard& ShardFor(const ProblemSignature& signature) {
     // Multiply then fold the high bits down so every shard is reachable

@@ -2,7 +2,26 @@
 
 #include "service/policy.h"
 
+#include <thread>
+
 namespace moqo {
+
+namespace {
+
+/// Deterministic for a fixed host: hardware concurrency only enters when
+/// max_parallelism = 0, and parallelism never affects the frontier (or the
+/// cache signature), so routing stays reproducible where it matters.
+int ResolveParallelism(const Query& query, const PolicyOptions& options) {
+  if (query.num_tables() < options.parallel_min_tables) return 1;
+  int cap = options.max_parallelism;
+  if (cap == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    cap = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return cap < 1 ? 1 : cap;
+}
+
+}  // namespace
 
 PolicyDecision ChooseAlgorithm(const Query& query,
                                const ObjectiveSet& objectives,
@@ -13,6 +32,7 @@ PolicyDecision ChooseAlgorithm(const Query& query,
       deadline_ms >= 0 && deadline_ms <= options.tight_deadline_ms;
   const int num_tables = query.num_tables();
   const int num_objectives = objectives.size();
+  decision.parallelism = ResolveParallelism(query, options);
 
   if (num_objectives <= 1) {
     // Single-objective: the classic Selinger DP is exact and cheapest.

@@ -43,6 +43,14 @@ struct PolicyOptions {
   int64_t tight_deadline_ms = 250;
   /// Precision used under tight deadlines.
   double tight_alpha = 2.5;
+  /// Queries with at least this many tables fan their DP levels out over
+  /// the intra-query pool; smaller ones stay serial (their levels are too
+  /// shallow to amortize the fan-out).
+  int parallel_min_tables = 7;
+  /// Cap on intra-query DP threads (the optimizing worker counts as one).
+  /// 0 = hardware concurrency, 1 = parallelism off. The frontier is
+  /// identical for every value, so this never enters the cache key.
+  int max_parallelism = 0;
 };
 
 /// The policy's resolved choice for one spec.
@@ -50,6 +58,8 @@ struct PolicyDecision {
   AlgorithmKind algorithm = AlgorithmKind::kRta;
   /// Effective user precision (1.0 for exact algorithms).
   double alpha = 1.0;
+  /// Intra-query DP threads for this spec (1 = serial).
+  int parallelism = 1;
 };
 
 /// Picks the algorithm and precision for optimizing `query` over

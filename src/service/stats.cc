@@ -40,7 +40,10 @@ std::string ServiceStatsSnapshot::ToString() const {
       << " coalesced=" << coalesced_hits
       << " rejected=" << admissions_rejected
       << " errors=" << internal_errors << " timeouts=" << deadline_timeouts
-      << " evictions=" << cache_evictions << "\n";
+      << " evictions=" << cache_evictions << "\n"
+      << "  cache: entries=" << cache_entries << " bytes=" << cache_bytes
+      << " frontier_plans=" << cached_frontier_plans
+      << " mean_frontier=" << MeanCachedFrontier() << "\n";
   for (int i = 0; i < static_cast<int>(latency_by_algorithm.size()); ++i) {
     const LatencyStats& lat = latency_by_algorithm[i];
     if (lat.count == 0) continue;

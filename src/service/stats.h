@@ -48,6 +48,12 @@ struct ServiceStatsSnapshot {
   uint64_t internal_errors = 0;
   uint64_t completed = 0;
   uint64_t cache_evictions = 0;
+  /// Resident cache footprint (sampled from the PlanCache at snapshot
+  /// time): entry count, accounted bytes, and the summed frontier sizes of
+  /// the cached PlanSets.
+  size_t cache_entries = 0;
+  size_t cache_bytes = 0;
+  size_t cached_frontier_plans = 0;
   /// Indexed by static_cast<int>(AlgorithmKind).
   std::array<LatencyStats, kNumAlgorithmKinds> latency_by_algorithm;
 
@@ -60,6 +66,13 @@ struct ServiceStatsSnapshot {
   double FrontierHitRate() const {
     const uint64_t hits = exact_hits + frontier_hits;
     return hits == 0 ? 0 : static_cast<double>(frontier_hits) / hits;
+  }
+
+  /// Mean plans per cached entry (how big the resident frontiers are).
+  double MeanCachedFrontier() const {
+    return cache_entries == 0
+               ? 0
+               : static_cast<double>(cached_frontier_plans) / cache_entries;
   }
 
   /// Multi-line human-readable rendering for the bench harness.

@@ -1,0 +1,181 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// ThreadPool: a fixed-size worker pool with a mutex-protected FIFO queue.
+//
+// One optimization run is CPU-bound for milliseconds to seconds, so a
+// simple condition-variable queue is nowhere near the bottleneck; the pool
+// exists to bound concurrency (workers = cores by default) while the
+// service queues bursts ahead of it. Shutdown drains the queue: tasks
+// already admitted run to completion, which lets the service guarantee
+// that every accepted request's future resolves.
+//
+// Lives in util (not service) since PR 3: the DP engine fans each memo
+// level out over the same pool type via ParallelFor, and core must not
+// depend on the serving layer.
+
+#ifndef MOQO_UTIL_THREAD_POOL_H_
+#define MOQO_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moqo {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    if (num_threads < 1) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() { Shutdown(); }
+
+  /// Enqueues `task`; returns false (dropping the task) after Shutdown().
+  bool Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return false;
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Runs fn(index, slot) for every index in [0, n), cooperatively: the
+  /// calling thread participates as slot 0 and up to `max_helpers` pool
+  /// workers join as slots 1..max_helpers. Blocks until every index has
+  /// finished. Indices are claimed dynamically from a shared counter, so
+  /// unevenly sized tasks load-balance.
+  ///
+  /// Progress never depends on pool capacity: the caller alone can drain
+  /// the whole batch, so concurrent batches from independent callers (or a
+  /// shut-down pool) cannot deadlock — helpers that arrive after the index
+  /// space is exhausted return without touching `fn`. Slot values are
+  /// distinct per concurrent participant and bounded by max_helpers + 1,
+  /// letting callers attach per-slot scratch state (e.g. one Arena each).
+  ///
+  /// Exception safety: a throw from `fn` (any slot) is captured, the batch
+  /// still runs to the barrier (so no participant outlives the caller's
+  /// stack), and the *first* captured exception is rethrown on the calling
+  /// thread — callers fence ParallelFor exactly like a serial loop.
+  void ParallelFor(int n, int max_helpers,
+                   const std::function<void(int index, int slot)>& fn) {
+    if (n <= 0) return;
+    if (max_helpers > static_cast<int>(workers_.size())) {
+      max_helpers = static_cast<int>(workers_.size());
+    }
+    if (max_helpers > n - 1) max_helpers = n - 1;
+    if (max_helpers <= 0) {
+      for (int i = 0; i < n; ++i) fn(i, 0);
+      return;
+    }
+
+    struct Batch {
+      std::atomic<int> next{0};
+      std::atomic<int> done{0};
+      int n = 0;
+      const std::function<void(int, int)>* fn = nullptr;
+      std::mutex mu;
+      std::condition_variable cv;
+      std::exception_ptr error;  ///< First throw from any slot; mu-guarded.
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+
+    // `fn` is only dereferenced for claimed indices < n; the caller cannot
+    // return (invalidating it) before all such indices are done.
+    auto drain = [](const std::shared_ptr<Batch>& b, int slot) {
+      for (;;) {
+        const int index = b->next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= b->n) return;
+        try {
+          (*b->fn)(index, slot);
+        } catch (...) {
+          // Contain it (a throw escaping into WorkerLoop would terminate
+          // the process); the caller rethrows after the barrier.
+          std::lock_guard<std::mutex> lock(b->mu);
+          if (!b->error) b->error = std::current_exception();
+        }
+        if (b->done.fetch_add(1, std::memory_order_acq_rel) + 1 == b->n) {
+          // Last finisher wakes the (possibly already waiting) caller.
+          std::lock_guard<std::mutex> lock(b->mu);
+          b->cv.notify_all();
+        }
+      }
+    };
+
+    for (int helper = 1; helper <= max_helpers; ++helper) {
+      // A failed Submit (shutdown race) just means fewer helpers; the
+      // caller still completes the batch below.
+      Submit([batch, drain, helper] { drain(batch, helper); });
+    }
+    drain(batch, /*slot=*/0);
+    {
+      std::unique_lock<std::mutex> lock(batch->mu);
+      batch->cv.wait(lock, [&batch] {
+        return batch->done.load(std::memory_order_acquire) >= batch->n;
+      });
+    }
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+
+  /// Stops accepting tasks, drains the queue, and joins all workers.
+  /// Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown_ and drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_THREAD_POOL_H_

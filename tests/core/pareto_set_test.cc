@@ -166,6 +166,90 @@ TEST(ParetoSetTest, NoStoredPlanStrictlyDominatesAnother) {
   }
 }
 
+TEST(ParetoSetTest, SealCompactsTombstonesAcrossBlocks) {
+  // 100 mutually incomparable plans span four blocks; a final dominator
+  // tombstones all of them, and Seal must leave exactly the survivor with
+  // consistent dense accessors.
+  Arena arena;
+  ParetoSet set;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        set.Prune(MakePlan(&arena, {1.0 + i, 100.0 - i})));
+  }
+  EXPECT_EQ(set.size(), 100);
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {0.5, 0.5})));
+  EXPECT_EQ(set.size(), 1);
+  set.Seal();
+  ASSERT_EQ(set.plans().size(), 1u);
+  EXPECT_EQ(set.cost_at(0)[0], 0.5);
+  EXPECT_EQ(set.cost_at(0)[1], 0.5);
+  EXPECT_EQ(set.at(0)->cost[0], 0.5);
+}
+
+TEST(ParetoSetTest, BlockSummariesSurviveCrossBlockDeletion) {
+  // Delete from a *middle* block only (one row dominated there), then
+  // verify the summaries still reject/accept candidates correctly: a
+  // candidate dominated by a neighbouring survivor is rejected, a
+  // candidate in the freed region is accepted.
+  Arena arena;
+  ParetoSet set;
+  for (int i = 0; i < 96; ++i) {
+    ASSERT_TRUE(set.Prune(MakePlan(&arena, {10.0 + i, 200.0 - i})));
+  }
+  // Dominates the i=40 row (50, 160) and the i=41 row (51, 159) in the
+  // middle block.
+  EXPECT_TRUE(set.Prune(MakePlan(&arena, {50, 159})));
+  EXPECT_EQ(set.size(), 95);
+  ParetoSet::PruneOptions exact;
+  // (50, 160) is now dominated by the stored (50, 159).
+  CostVector dominated(2);
+  dominated[0] = 50;
+  dominated[1] = 160;
+  EXPECT_FALSE(set.WouldInsert(dominated, exact));
+  // (9, 300): nothing dominates it (all first components >= 10).
+  CostVector fresh(2);
+  fresh[0] = 9;
+  fresh[1] = 300;
+  EXPECT_TRUE(set.WouldInsert(fresh, exact));
+}
+
+TEST(ParetoSetTest, SealedOrderIsInsertionOrderOfSurvivors) {
+  Arena arena;
+  ParetoSet set;
+  set.Prune(MakePlan(&arena, {5, 5}));
+  set.Prune(MakePlan(&arena, {1, 9}));
+  set.Prune(MakePlan(&arena, {9, 1}));
+  set.Seal();
+  ASSERT_EQ(set.size(), 3);
+  EXPECT_EQ(set.cost_at(0)[0], 5);
+  EXPECT_EQ(set.cost_at(1)[0], 1);
+  EXPECT_EQ(set.cost_at(2)[0], 9);
+}
+
+TEST(ParetoSetTest, ClearResetsForReuseWithDifferentDims) {
+  Arena arena;
+  ParetoSet set;
+  set.Prune(MakePlan(&arena, {1, 2, 3}));
+  EXPECT_EQ(set.size(), 1);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  // Re-use with a different dimensionality must work after clear().
+  set.Prune(MakePlan(&arena, {4, 4}));
+  set.Seal();
+  ASSERT_EQ(set.size(), 1);
+  EXPECT_EQ(set.cost_at(0).size(), 2);
+}
+
+TEST(ParetoSetTest, MemoryBytesGrowsWithInsertions) {
+  Arena arena;
+  ParetoSet set;
+  const size_t empty_bytes = set.MemoryBytes();
+  for (int i = 0; i < 64; ++i) {
+    set.Prune(MakePlan(&arena, {1.0 + i, 100.0 - i}));
+  }
+  EXPECT_GT(set.MemoryBytes(), empty_bytes);
+}
+
 // The randomized cross-check: the optimized implementation must keep
 // exactly the same plan set as the naive pseudo-code, for exact and
 // approximate pruning, across dimensions — sweeping insert counts large

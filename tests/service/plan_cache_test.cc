@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/plan_set.h"
+#include "util/arena.h"
+
 namespace moqo {
 namespace {
 
@@ -101,6 +104,125 @@ TEST(PlanCacheTest, EvictedEntryStaysAliveThroughSharedPtr) {
   EXPECT_EQ(cache.Lookup(Sig("a")), nullptr);
   ASSERT_NE(held, nullptr);  // The response's reference keeps it valid.
   EXPECT_EQ(held->result->weighted_cost, 1.0);
+}
+
+/// A CachedFrontier holding a real PlanSet with `plans` frontier entries
+/// (one arena block each, so ApproxBytes is dominated by the 64 KiB
+/// default block — a convenient, predictable unit for budget tests).
+std::shared_ptr<const CachedFrontier> SizedResult(int plans) {
+  Arena arena;
+  ParetoSet set;
+  for (int i = 0; i < plans; ++i) {
+    PlanNode* plan = arena.New<PlanNode>();
+    plan->cost = CostVector(2);
+    plan->cost[0] = 1.0 + i;
+    plan->cost[1] = 100.0 - i;
+    set.Prune(plan);
+  }
+  set.Seal();
+  auto result = std::make_shared<OptimizerResult>();
+  result->plan_set = PlanSet::FromParetoSet(set);
+  auto cached = std::make_shared<CachedFrontier>();
+  cached->result = std::move(result);
+  return cached;
+}
+
+TEST(PlanCacheTest, ByteBudgetEvictsLruBeforeEntryCap) {
+  auto probe = SizedResult(4);
+  const size_t unit = probe->result->plan_set->ApproxBytes();
+  ASSERT_GT(unit, 0u);
+
+  PlanCache::Options options;
+  options.capacity = 1024;  // Entry cap far away: bytes must drive.
+  options.capacity_bytes = 5 * unit / 2;  // Room for two entries, not three.
+  options.shards = 1;
+  PlanCache cache(options);
+
+  cache.Insert(Sig("a"), SizedResult(4));
+  cache.Insert(Sig("b"), SizedResult(4));
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+  ASSERT_NE(cache.Lookup(Sig("a")), nullptr);  // a most recent.
+  cache.Insert(Sig("c"), SizedResult(4));      // Evicts b (LRU) by bytes.
+
+  EXPECT_NE(cache.Lookup(Sig("a")), nullptr);
+  EXPECT_EQ(cache.Lookup(Sig("b")), nullptr);
+  EXPECT_NE(cache.Lookup(Sig("c")), nullptr);
+  const PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, options.capacity_bytes);
+}
+
+TEST(PlanCacheTest, OversizedEntryStillCachedAlone) {
+  auto probe = SizedResult(4);
+  const size_t unit = probe->result->plan_set->ApproxBytes();
+
+  PlanCache::Options options;
+  options.capacity = 1024;
+  options.capacity_bytes = unit / 2;  // Smaller than any single entry.
+  options.shards = 1;
+  PlanCache cache(options);
+
+  cache.Insert(Sig("a"), SizedResult(4));
+  EXPECT_NE(cache.Lookup(Sig("a")), nullptr);
+  cache.Insert(Sig("b"), SizedResult(4));  // Evicts a, stored anyway.
+  EXPECT_EQ(cache.Lookup(Sig("a")), nullptr);
+  EXPECT_NE(cache.Lookup(Sig("b")), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(PlanCacheTest, GrownRefreshShedsColderEntriesToStayInBudget) {
+  auto probe = SizedResult(4);
+  const size_t unit = probe->result->plan_set->ApproxBytes();
+
+  PlanCache::Options options;
+  options.capacity = 1024;
+  options.capacity_bytes = 5 * unit / 2;  // Two units fit, three do not.
+  options.shards = 1;
+  PlanCache cache(options);
+
+  cache.Insert(Sig("a"), SizedResult(4));
+  cache.Insert(Sig("b"), SizedResult(4));
+  // Refresh b with a ~2x bigger value (two arena blocks): a must be shed
+  // to keep the shard within budget; the refreshed entry itself survives.
+  cache.Insert(Sig("b"), SizedResult(800));
+  EXPECT_EQ(cache.Lookup(Sig("a")), nullptr);
+  EXPECT_NE(cache.Lookup(Sig("b")), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(PlanCacheTest, EntryCapRemainsSecondaryLimit) {
+  PlanCache::Options options;
+  options.capacity = 2;
+  options.capacity_bytes = size_t{1} << 40;  // Bytes never bind.
+  options.shards = 1;
+  PlanCache cache(options);
+
+  cache.Insert(Sig("a"), SizedResult(1));
+  cache.Insert(Sig("b"), SizedResult(1));
+  cache.Insert(Sig("c"), SizedResult(1));  // Entry cap evicts a.
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup(Sig("a")), nullptr);
+}
+
+TEST(PlanCacheTest, StatsTrackBytesAndFrontierPlans) {
+  PlanCache cache;
+  cache.Insert(Sig("a"), SizedResult(3));
+  cache.Insert(Sig("b"), SizedResult(5));
+  const PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.frontier_plans, 8u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // Refresh replaces the accounted size instead of double-counting.
+  cache.Insert(Sig("b"), SizedResult(2));
+  const PlanCache::Stats after = cache.GetStats();
+  EXPECT_EQ(after.entries, 2u);
+  EXPECT_EQ(after.frontier_plans, 5u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.GetStats().bytes, 0u);
+  EXPECT_EQ(cache.GetStats().frontier_plans, 0u);
 }
 
 TEST(PlanCacheTest, ConcurrentMixedTraffic) {

@@ -97,6 +97,23 @@ TEST(PolicyTest, RoutesBySpecShape) {
   // Routing is a pure function of the spec: preferences (weights/bounds)
   // are not even parameters, which keeps the cache key weight-free. The
   // IRA is reachable via ProblemSpec::algorithm only.
+
+  // Intra-query parallelism gates on table count: small specs stay serial,
+  // big ones fan out up to the configured cap.
+  PolicyOptions fan_out;
+  fan_out.parallel_min_tables = 4;
+  fan_out.max_parallelism = 4;
+  EXPECT_EQ(ChooseAlgorithm(small, ObjectiveSet::All(), -1, fan_out)
+                .parallelism,
+            1);  // star(2) = 3 tables, below the threshold.
+  Query big = MakeStarQuery(&catalog, 3);  // 4 tables: fans out.
+  EXPECT_EQ(ChooseAlgorithm(big, ObjectiveSet::All(), -1, fan_out)
+                .parallelism,
+            4);
+  fan_out.max_parallelism = 1;  // Cap 1 = parallelism off everywhere.
+  EXPECT_EQ(ChooseAlgorithm(big, ObjectiveSet::All(), -1, fan_out)
+                .parallelism,
+            1);
 }
 
 TEST(ServiceTest, ExactHitIsBitIdenticalToFreshOptimization) {
@@ -339,6 +356,46 @@ TEST(ServiceTest, ExplicitIraOverrideIsPreferenceKeyed) {
 // Coalescing (TSan-covered): duplicate cache misses on one signature
 // optimize once — later arrivals wait on the first miss and are served
 // from its frontier by selection.
+TEST(ServiceTest, CachedFrontierCompactedToEpsilonCover) {
+  Catalog catalog = MakeTinyCatalog();
+  ServiceOptions options = SmallServiceOptions(2);
+  options.max_cached_frontier = 4;
+  options.cache_compaction_epsilon = 0.1;
+  OptimizationService service(options);
+
+  ServiceRequest request = StarRequest(&catalog, 3, 3);
+  const ServiceResponse cold = service.SubmitAndWait(request);
+  ASSERT_EQ(cold.status, ResponseStatus::kCompleted);
+  ASSERT_NE(cold.result, nullptr);
+  // The cold response carries the full frontier...
+  const int full_size = cold.result->frontier_size();
+  ASSERT_GT(full_size, 4) << "fixture frontier too small to compact";
+
+  // ...while the cached copy was compacted: an exact hit serves a PlanSet
+  // within the cap whose plan is still a valid selection from it.
+  const ServiceResponse warm = service.SubmitAndWait(request);
+  ASSERT_EQ(warm.cache, CacheOutcome::kExactHit);
+  ASSERT_NE(warm.result, nullptr);
+  EXPECT_LE(warm.result->frontier_size(), 4);
+  EXPECT_GE(warm.result->frontier_size(), 1);
+  ASSERT_NE(warm.result->plan, nullptr);
+  EXPECT_EQ(warm.result->weighted_cost,
+            MinWeightedCost(*warm.result->plan_set,
+                            request.preference.weights));
+
+  // Every full-frontier plan is epsilon-covered by some cached plan at the
+  // epsilon CompactPlanSet settled on — spot-check the weighted optimum:
+  // compaction cannot cost more than the final coverage factor, which the
+  // stats registry sees as a small weighted-cost regression only.
+  EXPECT_GE(warm.result->weighted_cost,
+            MinWeightedCost(*cold.result->plan_set,
+                            request.preference.weights));
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_LE(stats.MeanCachedFrontier(), 4.0);
+  EXPECT_GT(stats.cache_bytes, 0u);
+}
+
 TEST(ServiceTest, CoalescedDuplicateMissesOptimizeOnce) {
   Catalog catalog = MakeTinyCatalog();
   OptimizationService service(SmallServiceOptions(1));
