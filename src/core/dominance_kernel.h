@@ -1,0 +1,64 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// The dominance kernel: RowLeq(a, b, dims) <=> a[d] <= b[d] for every d.
+//
+// This predicate is the innermost loop of every optimizer — each candidate
+// plan is compared against stored cost rows (and block min/max summaries)
+// until a dominator is found — so it gets a SIMD path: AVX2 compares four
+// doubles per instruction over the ParetoSet's contiguous SoA rows.
+//
+// Guards: the AVX2 body is compiled behind a compile-time check (x86-64
+// gcc/clang, via the `target("avx2")` function attribute, so the rest of
+// the binary needs no -mavx2) and selected behind a one-time *runtime*
+// CPUID check. Dispatch is a single predictable branch; rows shorter than
+// one vector stay on the scalar path outright. Both paths are pure
+// predicates over the same IEEE comparisons (the +/-inf block sentinels
+// compare identically), so kernel choice can never change optimizer
+// output — tests/core/pareto_set_test.cc asserts scalar/AVX2 agreement.
+
+#ifndef MOQO_CORE_DOMINANCE_KERNEL_H_
+#define MOQO_CORE_DOMINANCE_KERNEL_H_
+
+namespace moqo {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MOQO_DOMINANCE_AVX2 1
+#else
+#define MOQO_DOMINANCE_AVX2 0
+#endif
+
+/// Portable reference kernel; always available.
+inline bool RowLeqScalar(const double* a, const double* b, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    if (a[d] > b[d]) return false;
+  }
+  return true;
+}
+
+#if MOQO_DOMINANCE_AVX2
+/// AVX2 kernel; call only when RowLeqKernelIsAvx2() (CPU support) holds.
+/// Semantically identical to RowLeqScalar for all non-NaN inputs
+/// (cost components are finite or the +/-inf summary sentinels).
+bool RowLeqAvx2(const double* a, const double* b, int dims);
+#endif
+
+/// True iff dispatch below uses the AVX2 kernel for wide-enough rows
+/// (compile-time support and the running CPU advertises AVX2).
+bool RowLeqKernelIsAvx2();
+
+namespace internal {
+extern const bool kRowLeqUseAvx2;  ///< Resolved once at static init.
+}  // namespace internal
+
+/// Dispatching kernel used by the hot scans. Rows narrower than one AVX2
+/// vector (dims < 4) take the inline scalar path without a dispatch test.
+inline bool RowLeq(const double* a, const double* b, int dims) {
+#if MOQO_DOMINANCE_AVX2
+  if (dims >= 4 && internal::kRowLeqUseAvx2) return RowLeqAvx2(a, b, dims);
+#endif
+  return RowLeqScalar(a, b, dims);
+}
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_DOMINANCE_KERNEL_H_

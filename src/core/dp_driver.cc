@@ -4,6 +4,8 @@
 #include <atomic>
 #include <limits>
 
+#include "core/plan_set.h"
+#include "memo/subplan_memo.h"
 #include "util/thread_pool.h"
 
 namespace moqo {
@@ -36,6 +38,20 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
   const bool parallel = options.parallelism > 1 && options.pool != nullptr &&
                         !options.single_plan_mode;
 
+  // Cross-query memo: single_plan_mode is excluded (its per-set output
+  // depends on the request's weights, not just the sub-problem). The key
+  // context encodes everything a table set's frontier depends on,
+  // including skip_disconnected — it changes which splits have sub-plans.
+  SubplanMemo* shared_memo =
+      options.single_plan_mode ? nullptr : options.subplan_memo;
+  key_context_.reset();
+  if (shared_memo != nullptr) {
+    key_context_ = std::make_unique<SubplanKeyContext>(
+        query, model_->objectives(), options.alpha, registry_->options(),
+        options.bushy, options.cartesian_heuristic, options.aggressive_delete,
+        skip_disconnected);
+  }
+
   ProcessSingletons(query, options);
   for (int k = 2; k <= n; ++k) {
     std::vector<TableSet> level;
@@ -48,39 +64,134 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
     }
     if (level.empty()) continue;
 
-    if (parallel && level.size() > 1 && !stats_.timed_out &&
-        !options.deadline.Expired()) {
-      ProcessLevelParallel(query, level, options);
-      continue;
+    // Memo probe, on the caller thread before any of this level's sets is
+    // built: hits seal their entry directly from the shared snapshot;
+    // misses remember their signature so publish-after-seal below needs no
+    // re-encoding. Probing is skipped once the run is in quick mode —
+    // quick-mode sets are weight-dependent and must not come from (or go
+    // into) the memo.
+    std::vector<char> from_memo(level.size(), 0);
+    std::vector<SubplanSignature> signatures;
+    const bool memo_level = shared_memo != nullptr &&
+                            k >= shared_memo->min_tables() &&
+                            !stats_.timed_out && !options.deadline.Expired();
+    if (memo_level) {
+      signatures.resize(level.size());
+      for (size_t i = 0; i < level.size(); ++i) {
+        // Per-set deadline poll: signature encoding and hit
+        // materialization are real work, and an expired run must fall to
+        // quick mode as promptly as the build loops do. Expiry is
+        // monotone, so the processing loops below see it too; un-probed
+        // sets simply stay misses (their `built` flag can never be set,
+        // so the publish loop skips their empty signatures).
+        if (options.deadline.Expired()) break;
+        signatures[i] = key_context_->SignatureFor(level[i]);
+        const std::shared_ptr<const PlanSet> entry =
+            shared_memo->Lookup(signatures[i]);
+        if (entry != nullptr) {
+          MaterializeFromMemo(level[i], *entry);
+          from_memo[i] = 1;
+          ++stats_.memo_hits;
+        } else {
+          ++stats_.memo_misses;
+        }
+      }
     }
 
-    for (TableSet tables : level) {
-      if (stats_.timed_out || options.deadline.Expired() ||
-          options.single_plan_mode) {
-        if (!options.single_plan_mode) stats_.timed_out = true;
-        ProcessSetQuick(query, tables, options);
-        continue;
+    std::vector<char> built(level.size(), 0);
+    if (parallel && level.size() > 1 && !stats_.timed_out &&
+        !options.deadline.Expired()) {
+      ProcessLevelParallel(query, level, options, from_memo, &built);
+    } else {
+      for (size_t i = 0; i < level.size(); ++i) {
+        const TableSet tables = level[i];
+        if (from_memo[i]) {
+          // Sealed from the memo during the probe; only bookkeeping is
+          // left, in level order like a local build's.
+          ++stats_.complete_sets;
+          stats_.last_complete_set = tables;
+          stats_.last_complete_pareto_count = SetFor(tables).size();
+          continue;
+        }
+        if (stats_.timed_out || options.deadline.Expired() ||
+            options.single_plan_mode) {
+          if (!options.single_plan_mode) stats_.timed_out = true;
+          ProcessSetQuick(query, tables, options);
+          continue;
+        }
+        ParetoSet& set = memo_[tables.mask()];
+        if (ProcessSetInto(query, tables, options, arena_, &set, &stats_)) {
+          built[i] = 1;
+          ++stats_.complete_sets;
+          stats_.last_complete_set = tables;
+          stats_.last_complete_pareto_count = set.size();
+        } else {
+          // Deadline hit mid-set: discard the partial result and rebuild
+          // this set (and all remaining ones) in quick mode.
+          stats_.timed_out = true;
+          set.clear();
+          ProcessSetQuick(query, tables, options);
+        }
       }
-      ParetoSet& set = memo_[tables.mask()];
-      if (ProcessSetInto(query, tables, options, arena_, &set, &stats_)) {
-        ++stats_.complete_sets;
-        stats_.last_complete_set = tables;
-        stats_.last_complete_pareto_count = set.size();
-      } else {
-        // Deadline hit mid-set: discard the partial result and rebuild this
-        // set (and all remaining ones) in quick mode.
-        stats_.timed_out = true;
-        set.clear();
-        ProcessSetQuick(query, tables, options);
+    }
+
+    // Publish-after-seal: every set built completely by THIS run (never
+    // re-published hits, never quick-mode rebuilds) is offered to the
+    // memo, rebased into its canonical dense-rank space. Running after the
+    // level barrier on the caller thread keeps the parallel batch free of
+    // shared-structure writes.
+    if (memo_level) {
+      for (size_t i = 0; i < level.size(); ++i) {
+        if (!built[i]) continue;
+        const ParetoSet& set = SetFor(level[i]);
+        if (!shared_memo->Admits(set, options.alpha)) continue;
+        std::vector<int> local_to_rank(query.num_tables(), -1);
+        const std::vector<int> members = level[i].Members();
+        for (size_t r = 0; r < members.size(); ++r) {
+          local_to_rank[members[r]] = static_cast<int>(r);
+        }
+        shared_memo->Insert(signatures[i],
+                            PlanSet::FromParetoSetRemapped(set,
+                                                           local_to_rank));
+        ++stats_.memo_publishes;
       }
     }
   }
   return SetFor(all);
 }
 
+void DPPlanGenerator::MaterializeFromMemo(TableSet tables,
+                                          const PlanSet& entry) {
+  // rank -> local: the entry stores plans over dense ranks 0..k-1 in the
+  // set's ascending member order; Members() is exactly that mapping.
+  const std::vector<int> rank_to_local = tables.Members();
+  std::unordered_map<const PlanNode*, const PlanNode*> copied;
+  copied.reserve(static_cast<size_t>(entry.size()) * 2);
+  std::vector<const PlanNode*> plans;
+  plans.reserve(entry.size());
+  for (int i = 0; i < entry.size(); ++i) {
+    plans.push_back(
+        DeepCopyPlanRemapped(entry.plan(i), arena_, rank_to_local, &copied));
+  }
+  memo_[tables.mask()].LoadSealed(plans);
+}
+
+uint64_t DPPlanGenerator::SplitWorkProxy(TableSet tables,
+                                         const DPOptions& options) const {
+  uint64_t work = 0;
+  for (SubsetIterator it(tables); !it.Done(); it.Next()) {
+    if (!options.bushy && it.Complement().Cardinality() != 1) continue;
+    work += static_cast<uint64_t>(SetFor(it.Current()).size()) *
+            static_cast<uint64_t>(SetFor(it.Complement()).size());
+  }
+  return work;
+}
+
 void DPPlanGenerator::ProcessLevelParallel(const Query& query,
                                            const std::vector<TableSet>& level,
-                                           const DPOptions& options) {
+                                           const DPOptions& options,
+                                           const std::vector<char>& from_memo,
+                                           std::vector<char>* built) {
   // Slots beyond the pool's helpers + the caller can never run, so cap
   // here: parallelism is request-supplied and must not size allocations.
   const int slots =
@@ -92,20 +203,38 @@ void DPPlanGenerator::ProcessLevelParallel(const Query& query,
   // Create this level's memo entries up front, on this thread: tasks then
   // only *read* the map (lower levels via SetFor, their own output through
   // these pointers, which unordered_map keeps stable), so the batch never
-  // mutates shared structure.
+  // mutates shared structure. Memo-hit entries already exist and are
+  // sealed; operator[] just returns them.
   std::vector<ParetoSet*> outputs;
   outputs.reserve(level.size());
   for (TableSet tables : level) outputs.push_back(&memo_[tables.mask()]);
+
+  // Work list: the memo-miss sets, largest estimated work first. The level
+  // ends at a barrier, so a huge set claimed last would serialize the tail
+  // behind one thread; issuing big sets first lets the small ones pack the
+  // stragglers. Stable sort on the precomputed proxy keeps the schedule
+  // deterministic (results never depend on it — one task per set).
+  std::vector<int> work;
+  work.reserve(level.size());
+  for (size_t i = 0; i < level.size(); ++i) {
+    if (!from_memo[i]) work.push_back(static_cast<int>(i));
+  }
+  std::vector<uint64_t> proxy(level.size(), 0);
+  for (int index : work) proxy[index] = SplitWorkProxy(level[index], options);
+  std::stable_sort(work.begin(), work.end(), [&proxy](int a, int b) {
+    return proxy[a] > proxy[b];
+  });
 
   std::vector<DPStats> slot_stats(slots);
   std::vector<char> completed(level.size(), 0);
   std::atomic<bool> expired{false};
 
   options.pool->ParallelFor(
-      static_cast<int>(level.size()), slots - 1, [&](int index, int slot) {
+      static_cast<int>(work.size()), slots - 1, [&](int wi, int slot) {
         // After the first expiry, unstarted sets are left empty and
         // rebuilt in quick mode below — the Section 5.1 behaviour.
         if (expired.load(std::memory_order_relaxed)) return;
+        const int index = work[wi];
         Arena* arena =
             slot == 0 ? arena_ : slot_arenas_[slot - 1].get();
         if (ProcessSetInto(query, level[index], options, arena,
@@ -125,7 +254,12 @@ void DPPlanGenerator::ProcessLevelParallel(const Query& query,
   // complete set" matches the serial engine), and quick rebuilds for sets
   // the expiry interrupted or pre-empted.
   for (size_t i = 0; i < level.size(); ++i) {
-    if (completed[i]) {
+    if (from_memo[i]) {
+      ++stats_.complete_sets;
+      stats_.last_complete_set = level[i];
+      stats_.last_complete_pareto_count = outputs[i]->size();
+    } else if (completed[i]) {
+      (*built)[i] = 1;
       ++stats_.complete_sets;
       stats_.last_complete_set = level[i];
       stats_.last_complete_pareto_count = outputs[i]->size();

@@ -22,6 +22,16 @@
 // every table set is byte-for-byte identical to the serial run's for any
 // thread count, exact or approximate pruning alike.
 //
+// Cross-query subplan memo (PR 4): with DPOptions::subplan_memo set, the
+// driver probes a shared SubplanMemo before building a table set — keyed
+// by the set's canonical signature (memo/subplan_key.h), which guarantees
+// byte-identical frontiers for equal keys — and on a hit seals the level
+// entry directly from the shared snapshot (plans rebased into this query's
+// table indices, costs verbatim). Newly sealed sets are published back
+// *after* the level barrier, on the caller thread, so in-flight tasks only
+// ever read immutable memo state and the frontiers of a cold run are
+// byte-identical with the memo on or off.
+//
 // Postgres heuristics kept in place per Section 4: Cartesian-product splits
 // are considered only for table sets where no predicate-connected split
 // exists.
@@ -34,17 +44,21 @@
 #ifndef MOQO_CORE_DP_DRIVER_H_
 #define MOQO_CORE_DP_DRIVER_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "core/pareto_set.h"
+#include "memo/subplan_key.h"
 #include "model/cost_model.h"
 #include "util/arena.h"
 #include "util/deadline.h"
 
 namespace moqo {
 
+class PlanSet;
+class SubplanMemo;
 class ThreadPool;
 
 /// Knobs of one dynamic-programming run.
@@ -77,6 +91,11 @@ struct DPOptions {
   /// Shared pool the level fan-out borrows helpers from; not owned. Null =
   /// serial regardless of `parallelism`.
   ThreadPool* pool = nullptr;
+  /// Cross-query memo of sealed table-set frontiers, shared between runs
+  /// and requests; not owned. Null = no cross-query reuse. Ignored in
+  /// single_plan_mode (its per-set "frontier" depends on the weights) and
+  /// for quick-mode (timed-out) sets, which are never published.
+  SubplanMemo* subplan_memo = nullptr;
 };
 
 /// Counters and outcomes of one run, feeding the Figure 5/9/10 metrics.
@@ -92,6 +111,12 @@ struct DPStats {
   /// Table sets fully processed before the deadline.
   int complete_sets = 0;
   int total_sets = 0;
+  /// Cross-query subplan memo traffic of this run (0 when no memo is
+  /// attached): sets sealed from a shared snapshot, sets probed without an
+  /// entry, and sets published after their level's barrier.
+  long memo_hits = 0;
+  long memo_misses = 0;
+  long memo_publishes = 0;
 };
 
 /// The DP engine. One instance per optimization run; plans live in the
@@ -128,11 +153,27 @@ class DPPlanGenerator {
                       const DPOptions& options, Arena* arena, ParetoSet* set,
                       DPStats* stats) const;
 
-  /// Fans one level's table sets out over options.pool; merges stats and
-  /// seals every set at the closing barrier.
+  /// Fans one level's memo-miss table sets out over options.pool (largest
+  /// estimated sets first, to shorten the barrier tail); merges stats and
+  /// seals every set at the closing barrier. `from_memo[i]` marks sets
+  /// already sealed by a memo hit; `built[i]` is set for sets completely
+  /// built locally (the publish candidates).
   void ProcessLevelParallel(const Query& query,
                             const std::vector<TableSet>& level,
-                            const DPOptions& options);
+                            const DPOptions& options,
+                            const std::vector<char>& from_memo,
+                            std::vector<char>* built);
+
+  /// Seals memo_[tables] from a shared memo snapshot: plans are deep-copied
+  /// into the run arena with their table references rebased from the
+  /// entry's dense-rank space to this query's local indices.
+  void MaterializeFromMemo(TableSet tables, const PlanSet& entry);
+
+  /// Estimated candidate count of building `tables`: sum over its splits
+  /// of |left frontier| * |right frontier|. Cheap (frontiers of lower
+  /// levels are sealed) and only a *scheduling* hint — results never
+  /// depend on task order.
+  uint64_t SplitWorkProxy(TableSet tables, const DPOptions& options) const;
 
   /// Quick mode: single weighted-best plan for `tables`.
   void ProcessSetQuick(const Query& query, TableSet tables,
@@ -160,6 +201,9 @@ class DPPlanGenerator {
   std::vector<std::unique_ptr<Arena>> slot_arenas_;
   const Query* query_;
   std::unordered_map<uint64_t, ParetoSet> memo_;
+  /// Canonical-signature builder of the current run; set iff a subplan
+  /// memo is attached and active.
+  std::unique_ptr<SubplanKeyContext> key_context_;
   DPStats stats_;
   ParetoSet empty_set_;
 };

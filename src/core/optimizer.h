@@ -62,6 +62,11 @@ struct OptimizerOptions {
   /// Shared pool the DP borrows helper threads from; not owned, must
   /// outlive the optimizer. Null = serial regardless of `parallelism`.
   ThreadPool* dp_pool = nullptr;
+  /// Cross-query memo of table-set-level Pareto frontiers, shared between
+  /// optimizer runs; not owned, must outlive the optimizer. Null = no
+  /// cross-query reuse. Frontiers are byte-identical with the memo on or
+  /// off; only the work to build them is shared (see memo/subplan_memo.h).
+  SubplanMemo* subplan_memo = nullptr;
 };
 
 /// Measurements reported for Figures 5, 9 and 10. Frontier cardinality is
@@ -136,6 +141,7 @@ class OptimizerBase {
     dp.quick_mode_weights = problem.weights;
     dp.parallelism = options_.parallelism;
     dp.pool = options_.dp_pool;
+    dp.subplan_memo = options_.subplan_memo;
     return dp;
   }
 

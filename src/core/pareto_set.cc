@@ -1,22 +1,16 @@
 #include "core/pareto_set.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
+
+#include "core/dominance_kernel.h"
 
 namespace moqo {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// True iff a[d] <= b[d] for every dimension — the dominance kernel, over
-/// raw SoA rows.
-inline bool RowLeq(const double* a, const double* b, int dims) {
-  for (int d = 0; d < dims; ++d) {
-    if (a[d] > b[d]) return false;
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -180,6 +174,23 @@ void ParetoSet::Compact() {
 }
 
 void ParetoSet::Seal() { Compact(); }
+
+void ParetoSet::LoadSealed(const std::vector<const PlanNode*>& plans) {
+  clear();
+  if (plans.empty()) return;
+  dims_ = plans.front()->cost.size();
+  plans_.reserve(plans.size());
+  costs_.reserve(plans.size() * static_cast<size_t>(dims_));
+  for (const PlanNode* plan : plans) {
+    assert(plan != nullptr && plan->cost.size() == dims_);
+    plans_.push_back(plan);
+    for (int d = 0; d < dims_; ++d) costs_.push_back(plan->cost[d]);
+  }
+  live_ = static_cast<int>(plans.size());
+  // Compact is a no-op row-wise (no tombstones) but rebuilds the block
+  // min/max summaries exactly as a local build's Seal would.
+  Seal();
+}
 
 void ParetoSet::clear() {
   plans_.clear();

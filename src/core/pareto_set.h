@@ -22,8 +22,10 @@
 // struct-of-arrays: one contiguous row-major double matrix of cost
 // components plus a parallel plan-pointer array, so the dominance scans
 // stream over dense doubles without dragging plan pointers through the
-// cache. Three further optimizations keep the scans tractable without
-// changing semantics:
+// cache — and so the RowLeq kernel (core/dominance_kernel.h) can compare
+// four components per AVX2 instruction where the CPU supports it. Three
+// further optimizations keep the scans tractable without changing
+// semantics:
 //
 //  * Hoisted precision. The alpha multiply of approximate dominance is
 //    applied once per candidate (scaling it into a stack-local threshold
@@ -95,6 +97,17 @@ class ParetoSet {
   /// Compacts tombstones and rebuilds block summaries; afterwards
   /// entries 0..size()-1 are exactly the live plans.
   void Seal();
+
+  /// Replaces the contents with `plans` (all non-null, each carrying its
+  /// cost), already known to be a valid sealed frontier in its original
+  /// insertion order, and seals. No dominance checks run: this is the
+  /// cross-query subplan memo's hit path — re-running Prune over a frontier
+  /// that survived pruning once reproduces the identical set (no final plan
+  /// plainly dominates another, and no final plan is alpha-dominated by an
+  /// earlier one), so the scans are skipped outright. The resulting sealed
+  /// state is byte-identical to re-building: same rows, same order, same
+  /// block summaries.
+  void LoadSealed(const std::vector<const PlanNode*>& plans);
 
   /// Stored live plans, oldest first.
   std::vector<const PlanNode*> plans() const;

@@ -46,6 +46,24 @@ std::shared_ptr<const PlanSet> PlanSet::FromParetoSet(const ParetoSet& set) {
   return result;
 }
 
+std::shared_ptr<const PlanSet> PlanSet::FromParetoSetRemapped(
+    const ParetoSet& set, const std::vector<int>& table_map) {
+  if (set.empty()) return Empty();
+  struct Constructible : PlanSet {};
+  auto result = std::make_shared<Constructible>();
+  std::unordered_map<const PlanNode*, const PlanNode*> copied;
+  copied.reserve(static_cast<size_t>(set.size()) * 2);
+  const std::vector<const PlanNode*> plans = set.plans();
+  result->plans_.reserve(plans.size());
+  result->costs_.reserve(plans.size());
+  for (const PlanNode* plan : plans) {
+    result->plans_.push_back(
+        DeepCopyPlanRemapped(plan, &result->arena_, table_map, &copied));
+    result->costs_.push_back(plan->cost);
+  }
+  return result;
+}
+
 std::shared_ptr<const PlanSet> PlanSet::Empty() {
   struct Constructible : PlanSet {};
   static const std::shared_ptr<const PlanSet> empty =

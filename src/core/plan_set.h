@@ -40,6 +40,15 @@ class PlanSet {
   /// Shared empty singleton (no arena blocks).
   static std::shared_ptr<const PlanSet> Empty();
 
+  /// FromParetoSet with table renumbering: every copied node's table
+  /// references are rewritten through `table_map` (new = table_map[old];
+  /// see DeepCopyPlanRemapped). DAG sharing is preserved. The cross-query
+  /// subplan memo publishes sealed per-table-set frontiers through this,
+  /// rebasing plans from query-local indices into the set's canonical
+  /// dense-rank space; costs are copied verbatim (they are index-free).
+  static std::shared_ptr<const PlanSet> FromParetoSetRemapped(
+      const ParetoSet& set, const std::vector<int>& table_map);
+
   /// Deep-copies the plans at `indices` (in the given order) into a new
   /// set, preserving DAG sharing among them. Building block of
   /// CompactPlanSet; `indices` must be valid and duplicate-free.

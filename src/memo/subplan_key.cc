@@ -1,0 +1,160 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "memo/subplan_key.h"
+
+#include <algorithm>
+#include <array>
+#include <tuple>
+
+#include "query/canonical.h"
+
+namespace moqo {
+
+SubplanKeyContext::SubplanKeyContext(
+    const Query& query, const ObjectiveSet& objectives, double alpha,
+    const OperatorRegistry::Options& operators, bool bushy,
+    bool cartesian_heuristic, bool aggressive_delete,
+    bool skip_disconnected) {
+  // Per-table fragments: content, filters (sorted, table index elided —
+  // membership is positional), and the sorted set of join columns incident
+  // to this occurrence anywhere in the query (IndexScan applicability and
+  // hence the singleton frontier depend on them; see header).
+  table_fragments_.resize(query.num_tables());
+  for (int t = 0; t < query.num_tables(); ++t) {
+    std::string* fragment = &table_fragments_[t];
+    AppendCanonicalTable(fragment, query.table(t));
+
+    std::vector<const FilterPredicate*> filters =
+        query.FiltersForTable(t);
+    std::sort(filters.begin(), filters.end(),
+              [](const FilterPredicate* x, const FilterPredicate* y) {
+                return std::tie(x->column, x->op, x->value, x->value_hi) <
+                       std::tie(y->column, y->op, y->value, y->value_hi);
+              });
+    AppendCanonicalU64(fragment, filters.size());
+    for (const FilterPredicate* filter : filters) {
+      AppendCanonicalString(fragment, filter->column);
+      AppendCanonicalU64(fragment, static_cast<uint64_t>(filter->op));
+      AppendCanonicalDouble(fragment, filter->value);
+      AppendCanonicalDouble(fragment, filter->value_hi);
+    }
+
+    std::vector<const std::string*> incident;
+    for (const JoinPredicate& join : query.joins()) {
+      if (join.left_table == t) incident.push_back(&join.left_column);
+      if (join.right_table == t) incident.push_back(&join.right_column);
+    }
+    std::sort(incident.begin(), incident.end(),
+              [](const std::string* x, const std::string* y) {
+                return *x < *y;
+              });
+    incident.erase(std::unique(incident.begin(), incident.end(),
+                               [](const std::string* x,
+                                  const std::string* y) { return *x == *y; }),
+                   incident.end());
+    AppendCanonicalU64(fragment, incident.size());
+    for (const std::string* column : incident) {
+      AppendCanonicalString(fragment, *column);
+    }
+  }
+
+  // Edges, normalized (lexicographically smaller endpoint first) and
+  // sorted — AddJoin(a, b) vs AddJoin(b, a) and join insertion order wash
+  // out here, exactly as in the whole-query encoding.
+  edges_.reserve(query.joins().size());
+  for (const JoinPredicate& join : query.joins()) {
+    Edge edge{join.left_table, join.right_table, &join.left_column,
+              &join.right_column};
+    if (std::tie(edge.right_table, *edge.right_column) <
+        std::tie(edge.left_table, *edge.left_column)) {
+      std::swap(edge.left_table, edge.right_table);
+      std::swap(edge.left_column, edge.right_column);
+    }
+    edges_.push_back(edge);
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& x, const Edge& y) {
+    return std::tie(x.left_table, *x.left_column, x.right_table,
+                    *x.right_column) < std::tie(y.left_table, *y.left_column,
+                                                y.right_table,
+                                                *y.right_column);
+  });
+
+  // Run-wide suffix. alpha_i is encoded bit-exactly: the sealed frontier
+  // of every table set depends on the pruning precision, so "close" alphas
+  // must not share entries. CostModelParams are not encoded — every
+  // optimizer constructs the defaults; revisit if they become a knob on
+  // the service path.
+  AppendCanonicalU64(&suffix_, static_cast<uint64_t>(objectives.size()));
+  for (Objective objective : objectives) {
+    AppendCanonicalU64(&suffix_, static_cast<uint64_t>(objective));
+  }
+  AppendCanonicalDouble(&suffix_, alpha);
+  uint64_t flags = 0;
+  flags |= bushy ? 1u : 0u;
+  flags |= cartesian_heuristic ? 2u : 0u;
+  flags |= aggressive_delete ? 4u : 0u;
+  flags |= skip_disconnected ? 8u : 0u;
+  flags |= operators.enable_sampling ? 16u : 0u;
+  flags |= operators.enable_index_scan ? 32u : 0u;
+  flags |= operators.enable_parallelism ? 64u : 0u;
+  AppendCanonicalU64(&suffix_, flags);
+  AppendCanonicalU64(&suffix_, operators.sampling_rates.size());
+  for (double rate : operators.sampling_rates) {
+    AppendCanonicalDouble(&suffix_, rate);
+  }
+  AppendCanonicalU64(&suffix_, operators.dops.size());
+  for (int dop : operators.dops) {
+    AppendCanonicalU64(&suffix_, static_cast<uint64_t>(dop));
+  }
+}
+
+SubplanSignature SubplanKeyContext::SignatureFor(TableSet tables) const {
+  // Dense ranks: member local index -> position in ascending member order.
+  // Order-preserving, so split enumeration (mask order) and hence the
+  // approximate frontier's insertion order are identical in rank space.
+  std::array<int, TableSet::kMaxTables> rank_of;
+  const std::vector<int> members = tables.Members();
+  for (size_t r = 0; r < members.size(); ++r) {
+    rank_of[members[r]] = static_cast<int>(r);
+  }
+
+  SubplanSignature signature;
+  std::string& key = signature.key;
+  size_t reserve = suffix_.size() + 64;
+  for (int member : members) reserve += table_fragments_[member].size();
+  key.reserve(reserve);
+
+  AppendCanonicalU64(&key, members.size());
+  for (int member : members) {
+    key.append(table_fragments_[member]);
+  }
+
+  // Induced edges in rank space. edges_ is sorted and rank mapping is
+  // monotone in both endpoints, so the filtered sequence is already in
+  // canonical order.
+  const auto edge_count_pos = key.size();
+  AppendCanonicalU64(&key, 0);  // Patched below.
+  uint64_t induced = 0;
+  for (const Edge& edge : edges_) {
+    if (!tables.Contains(edge.left_table) ||
+        !tables.Contains(edge.right_table)) {
+      continue;
+    }
+    ++induced;
+    AppendCanonicalU64(&key,
+                       static_cast<uint64_t>(rank_of[edge.left_table]));
+    AppendCanonicalString(&key, *edge.left_column);
+    AppendCanonicalU64(&key,
+                       static_cast<uint64_t>(rank_of[edge.right_table]));
+    AppendCanonicalString(&key, *edge.right_column);
+  }
+  for (int i = 0; i < 8; ++i) {
+    key[edge_count_pos + i] = static_cast<char>(induced >> (8 * i));
+  }
+
+  key.append(suffix_);
+  signature.hash = Fnv1aHash(key);
+  return signature;
+}
+
+}  // namespace moqo

@@ -1,0 +1,113 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Canonical table-set signatures: the cache key of the cross-query
+// SubplanMemo (memo/subplan_memo.h).
+//
+// A signature captures *everything* that determines the sealed approximate
+// Pareto set the DP builds for one table set — so that equal keys imply
+// byte-identical frontiers, across requests and across queries:
+//
+//   * Per member table, in ascending query-local order: the table's full
+//     canonical content (statistics, histograms, indexes — from
+//     query/canonical), its filter predicates, and the set of join columns
+//     incident to it ANYWHERE in the query. The last part is easy to get
+//     wrong: IndexScan applicability consults every join predicate touching
+//     a table, including joins to tables outside the set, so two
+//     occurrences of the same table joined on different columns have
+//     different singleton frontiers.
+//   * The join-predicate subgraph induced by the set, with member tables
+//     renumbered to dense ranks 0..k-1 (rank = position in ascending
+//     local-index order) and edges normalized and sorted, exactly like the
+//     whole-query encoding.
+//   * The objective set in order (fixes cost dimensions), the DP's
+//     *internal* pruning precision alpha_i bit-exactly (approximate
+//     frontiers depend on it — note the RTA derives alpha_i from the WHOLE
+//     query's table count, so only same-sized queries share RTA entries;
+//     exact runs share across all sizes), the plan-space switches
+//     (bushy, Cartesian heuristic, aggressive deletion), the operator
+//     space options (they determine the dense config-id mapping plans
+//     embed), and whether the run skips disconnected subsets (derived from
+//     whole-query connectivity, which changes which splits have sub-plans).
+//
+// Invariances (tested in tests/memo/subplan_memo_test.cc): signatures are
+// independent of the query name, of join/filter *insertion order*, of
+// AddJoin argument order, and of index *translation* — the same subgraph
+// embedded at different local indices with the same relative order keys
+// identically (dense ranks). They are deliberately NOT invariant under
+// member *reordering*: the DP enumerates splits in mask order, approximate
+// pruning depends on that insertion order, and equal keys must guarantee
+// byte-identical frontiers — a reordered embedding builds a (equally
+// valid, but different) frontier and must therefore key differently.
+
+#ifndef MOQO_MEMO_SUBPLAN_KEY_H_
+#define MOQO_MEMO_SUBPLAN_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/objective.h"
+#include "plan/operators.h"
+#include "query/query.h"
+#include "util/table_set.h"
+
+namespace moqo {
+
+/// An equality-comparable canonical table-set key with precomputed hash.
+/// Equality compares the full key, so hash collisions can never alias two
+/// different sub-problems.
+struct SubplanSignature {
+  std::string key;
+  uint64_t hash = 0;
+
+  bool operator==(const SubplanSignature& other) const {
+    return hash == other.hash && key == other.key;
+  }
+};
+
+/// Per-run context for building table-set signatures: the per-table and
+/// per-edge canonical fragments are encoded once per DP run, so each
+/// SignatureFor() is a concatenation plus one hash, not a re-encoding of
+/// catalog statistics. Bound to the query; must not outlive it.
+class SubplanKeyContext {
+ public:
+  SubplanKeyContext(const Query& query, const ObjectiveSet& objectives,
+                    double alpha, const OperatorRegistry::Options& operators,
+                    bool bushy, bool cartesian_heuristic,
+                    bool aggressive_delete, bool skip_disconnected);
+
+  /// The canonical signature of optimizing `tables` under this context.
+  SubplanSignature SignatureFor(TableSet tables) const;
+
+ private:
+  /// One canonical, pre-normalized join edge (smaller endpoint first).
+  struct Edge {
+    int left_table;
+    int right_table;
+    const std::string* left_column;
+    const std::string* right_column;
+  };
+
+  /// Canonical fragment of local table t: content + filters + incident
+  /// join columns.
+  std::vector<std::string> table_fragments_;
+  /// Normalized edges sorted by (left, left_col, right, right_col); the
+  /// induced subgraph of any set is a sorted subsequence, and dense-rank
+  /// renumbering is order-preserving, so per-set edges need no re-sort.
+  std::vector<Edge> edges_;
+  /// Objectives, alpha_i, plan-space/operator-space switches.
+  std::string suffix_;
+};
+
+}  // namespace moqo
+
+namespace std {
+template <>
+struct hash<moqo::SubplanSignature> {
+  size_t operator()(const moqo::SubplanSignature& sig) const noexcept {
+    return static_cast<size_t>(sig.hash);
+  }
+};
+}  // namespace std
+
+#endif  // MOQO_MEMO_SUBPLAN_KEY_H_

@@ -1,0 +1,188 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "memo/subplan_memo.h"
+
+#include <bit>
+
+namespace moqo {
+
+namespace {
+
+/// Accounted footprint of one memo entry: the shared PlanSet (dominant
+/// term), the stored key, and the index/list bookkeeping around them.
+size_t EntryBytes(const SubplanSignature& signature, const PlanSet& frontier) {
+  return signature.key.capacity() + sizeof(SubplanSignature) +
+         sizeof(void*) * 4 + frontier.ApproxBytes();
+}
+
+}  // namespace
+
+SubplanMemo::SubplanMemo() : SubplanMemo(Options{}) {}
+
+SubplanMemo::SubplanMemo(const Options& options) : options_(options) {
+  if (options_.min_tables < 2) options_.min_tables = 2;
+  const int requested = options_.shards < 1 ? 1 : options_.shards;
+  const size_t num_shards = std::bit_ceil(static_cast<size_t>(requested));
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  const size_t per_shard = (options_.capacity + num_shards - 1) / num_shards;
+  const size_t bytes_per_shard =
+      options_.capacity_bytes == 0
+          ? 0
+          : (options_.capacity_bytes + num_shards - 1) / num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = per_shard < 1 ? 1 : per_shard;
+    shard->capacity_bytes = bytes_per_shard;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::shared_ptr<const PlanSet> SubplanMemo::Lookup(
+    const SubplanSignature& signature) {
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(signature);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.frontier;
+}
+
+bool SubplanMemo::Admits(const ParetoSet& frontier, double alpha) {
+  if (frontier.empty()) return false;
+  const size_t plans = static_cast<size_t>(frontier.size());
+  if (options_.max_entry_plans != 0 && plans > options_.max_entry_plans) {
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Epsilon compactness: reject if any plan is (1+eps)-dominated by an
+  // earlier one — the greedy cover of CompactPlanSet would drop it, so the
+  // frontier is denser than the service resolves anyway. Approximate
+  // frontiers are compact at alpha - 1 by construction (the DP refused
+  // every candidate alpha-dominated by a stored plan), which caps the
+  // effective epsilon — so the scan is skipped for alpha > 1 and only
+  // exact frontiers pay it (early-out on the first dense pair; the accept
+  // path is O(n^2 * dims) over frontiers that passed the size cut).
+  if (options_.admission_epsilon > 0 && alpha <= 1.0) {
+    const double factor = 1.0 + options_.admission_epsilon;
+    for (int i = 1; i < frontier.size(); ++i) {
+      const CostVector cost = frontier.cost_at(i);
+      for (int k = 0; k < i; ++k) {
+        if (ApproxDominates(frontier.cost_at(k), cost, factor)) {
+          admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void SubplanMemo::EvictBack(Shard* shard) {
+  auto victim = shard->index.find(*shard->lru.back());
+  shard->bytes -= victim->second.bytes;
+  shard->frontier_plans -= static_cast<size_t>(victim->second.frontier_size);
+  shard->index.erase(victim);
+  shard->lru.pop_back();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SubplanMemo::Insert(const SubplanSignature& signature,
+                         std::shared_ptr<const PlanSet> frontier) {
+  if (frontier == nullptr) return;
+  const size_t bytes = EntryBytes(signature, *frontier);
+  const int frontier_size = frontier->size();
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(signature);
+  if (it != shard.index.end()) {
+    // Equal keys imply byte-identical frontiers, so a refresh only touches
+    // recency and (capacity-dependent) accounting.
+    shard.bytes = shard.bytes - it->second.bytes + bytes;
+    shard.frontier_plans = shard.frontier_plans -
+                           static_cast<size_t>(it->second.frontier_size) +
+                           static_cast<size_t>(frontier_size);
+    it->second.frontier = std::move(frontier);
+    it->second.bytes = bytes;
+    it->second.frontier_size = frontier_size;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  // Evict LRU-first until the incoming entry fits within the byte budget
+  // (primary) and the entry cap (secondary). An entry larger than the
+  // whole shard budget empties the shard and is stored anyway — the
+  // biggest sub-frontiers are the ones most worth sharing.
+  while (!shard.lru.empty() &&
+         (shard.lru.size() >= shard.capacity ||
+          (shard.capacity_bytes != 0 &&
+           shard.bytes + bytes > shard.capacity_bytes))) {
+    EvictBack(&shard);
+  }
+  it = shard.index
+           .emplace(signature,
+                    Entry{std::move(frontier), {}, bytes, frontier_size})
+           .first;
+  shard.lru.push_front(&it->first);
+  it->second.lru_pos = shard.lru.begin();
+  shard.bytes += bytes;
+  shard.frontier_plans += static_cast<size_t>(frontier_size);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SubplanMemo::ObserveCatalog(const void* catalog, uint64_t epoch) {
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  auto [it, first_sighting] = catalog_epochs_.try_emplace(catalog, epoch);
+  if (first_sighting || it->second == epoch) return;
+  it->second = epoch;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+    shard->frontier_plans = 0;
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SubplanMemo::Stats SubplanMemo::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.admission_rejects =
+      admission_rejects_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+    stats.frontier_plans += shard->frontier_plans;
+  }
+  return stats;
+}
+
+size_t SubplanMemo::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void SubplanMemo::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+    shard->frontier_plans = 0;
+  }
+}
+
+}  // namespace moqo

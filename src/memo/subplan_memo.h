@@ -1,0 +1,191 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// SubplanMemo: a concurrent, byte-budgeted, cross-query memo of
+// table-set-level Pareto frontiers.
+//
+// The whole-query PlanCache (service/plan_cache.h) only amortizes repeats
+// of the *same* query; real workloads share join subgraphs far more often
+// than whole queries. This memo shares work at the granularity the DP
+// actually spends its time on: the sealed approximate Pareto set of one
+// table set. Keys are canonical table-set signatures (memo/subplan_key.h —
+// equal keys imply byte-identical frontiers); values are immutable shared
+// PlanSet snapshots holding the frontier's plans in the set's canonical
+// dense-rank space (costs verbatim, plans DAG-shared, rebased on a hit via
+// DeepCopyPlanRemapped). The DP driver probes before building a table set
+// and seals the level entry directly on a hit; after the level barrier it
+// publishes newly sealed sets — publish-after-seal, so in-flight parallel
+// tasks only ever read immutable entries and a cold run's frontiers are
+// byte-identical with the memo on or off.
+//
+// Structure mirrors the PlanCache: N independently locked shards, each
+// with its own LRU list and byte-budget slice; entries are accounted by
+// their PlanSet footprint plus key/index overhead. Admission is
+// shaped by three knobs: `min_tables` (small sets are cheaper to rebuild
+// than to copy), `admission_epsilon` (only frontiers already compact at
+// the service's cache epsilon are worth pinning — a denser frontier would
+// be compacted away at the whole-query cache anyway; entries are never
+// stored compacted, since hits must reproduce the exact frontier), and
+// `max_entry_plans` (a hard per-entry size cut). Per-catalog epochs keep
+// the memo tidy: ObserveCatalog flushes all entries when a known
+// catalog's epoch advances (Catalog::BumpEpoch after an in-place
+// statistics refresh), evicting entries whose content-derived keys just
+// became unreachable.
+
+#ifndef MOQO_MEMO_SUBPLAN_MEMO_H_
+#define MOQO_MEMO_SUBPLAN_MEMO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan_set.h"
+#include "memo/subplan_key.h"
+
+namespace moqo {
+
+class SubplanMemo {
+ public:
+  struct Options {
+    /// Byte budget across all shards (entries accounted by PlanSet
+    /// footprint + key/index overhead); 0 = unlimited.
+    size_t capacity_bytes = size_t{64} << 20;  // 64 MiB
+    /// Entry cap across all shards (secondary limit).
+    size_t capacity = 65536;
+    /// Independently locked shards; rounded up to a power of two.
+    int shards = 8;
+    /// Only table sets with at least this many members are probed or
+    /// published (floored at 2: singletons are cheaper to rebuild than to
+    /// look up). The DP skips memo work below this size entirely.
+    int min_tables = 3;
+    /// Epsilon-aware admission: a frontier is published only if it is
+    /// already compact at this epsilon — no plan (1+epsilon)-dominated by
+    /// an earlier one. 0 disables the check; a negative value means "use
+    /// the owner's default" (the service substitutes its cache-compaction
+    /// epsilon; a bare SubplanMemo treats it as disabled).
+    double admission_epsilon = -1.0;
+    /// Frontiers with more plans than this are never published; 0 = no cap.
+    size_t max_entry_plans = 0;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    /// Publishes refused by admission (epsilon density / entry size).
+    uint64_t admission_rejects = 0;
+    /// Epoch changes that flushed the memo.
+    uint64_t invalidations = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    /// Sum of resident entries' frontier sizes.
+    size_t frontier_plans = 0;
+
+    double HitRate() const {
+      const uint64_t lookups = hits + misses;
+      return lookups == 0 ? 0 : static_cast<double>(hits) / lookups;
+    }
+  };
+
+  SubplanMemo();  ///< Default Options.
+  explicit SubplanMemo(const Options& options);
+
+  SubplanMemo(const SubplanMemo&) = delete;
+  SubplanMemo& operator=(const SubplanMemo&) = delete;
+
+  const Options& options() const { return options_; }
+  int min_tables() const { return options_.min_tables; }
+
+  /// Returns the shared frontier for `signature` (promoting it to
+  /// most-recently-used) or nullptr on miss.
+  std::shared_ptr<const PlanSet> Lookup(const SubplanSignature& signature);
+
+  /// True iff `frontier` passes the admission policy (size cap and epsilon
+  /// compactness); counts rejects. `alpha` is the pruning precision the
+  /// frontier was built with: approximate pruning already guarantees
+  /// compactness at alpha - 1 (no stored plan is alpha-dominated by an
+  /// earlier one), so the effective admission epsilon is capped there and
+  /// the O(n^2) density scan only ever runs — and prunes — for *exact*
+  /// frontiers, the ones whose density is actually unbounded. The DP
+  /// checks this before paying for the deep copy a publish requires.
+  bool Admits(const ParetoSet& frontier, double alpha);
+
+  /// Inserts (or refreshes) an admitted frontier, evicting LRU entries of
+  /// the target shard until it fits the byte budget and entry cap.
+  void Insert(const SubplanSignature& signature,
+              std::shared_ptr<const PlanSet> frontier);
+
+  /// Declares that the catalog identified by `catalog` (any stable
+  /// identity token — the service passes the Catalog address) is now at
+  /// `epoch`. The first observation of an identity is adopted silently;
+  /// observing a *changed* epoch for a known identity flushes every shard
+  /// (counted as one invalidation). Thread-safe; cheap when unchanged.
+  ///
+  /// Note the flush is hygiene, not a correctness requirement: keys encode
+  /// full table content read at run start, so a run after an in-place
+  /// statistics change (Catalog::BumpEpoch) derives different keys and can
+  /// never be answered from pre-change entries — the flush just evicts the
+  /// newly unreachable ones instead of letting them rot until LRU
+  /// eviction. Scoping per identity keeps a service juggling several
+  /// catalogs (whose unrelated epoch counters differ) from flushing valid
+  /// entries on every alternation.
+  void ObserveCatalog(const void* catalog, uint64_t epoch);
+
+  Stats GetStats() const;
+  size_t size() const;
+  void Clear();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  using LruList = std::list<const SubplanSignature*>;
+
+  struct Entry {
+    std::shared_ptr<const PlanSet> frontier;
+    LruList::iterator lru_pos;
+    size_t bytes = 0;
+    int frontier_size = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    LruList lru;  ///< Front = most recently used.
+    std::unordered_map<SubplanSignature, Entry> index;
+    size_t capacity = 0;
+    size_t capacity_bytes = 0;  ///< 0 = no byte limit for this shard.
+    size_t bytes = 0;
+    size_t frontier_plans = 0;
+  };
+
+  void EvictBack(Shard* shard);
+
+  Shard& ShardFor(const SubplanSignature& signature) {
+    uint64_t mixed = signature.hash * 0x9E3779B97F4A7C15ull;
+    mixed ^= mixed >> 32;
+    return *shards_[mixed & shard_mask_];
+  }
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t shard_mask_ = 0;
+
+  /// Last-seen epoch per catalog identity; guarded by epoch_mu_, which
+  /// also serializes the flush an epoch change triggers.
+  std::mutex epoch_mu_;
+  std::unordered_map<const void*, uint64_t> catalog_epochs_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_MEMO_SUBPLAN_MEMO_H_

@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace moqo {
+
+double OrderedSelectivityProduct(double initial,
+                                 std::vector<double> factors) {
+  std::sort(factors.begin(), factors.end());
+  double product = initial;
+  for (double factor : factors) product *= factor;
+  return product;
+}
 
 double CardinalityEstimator::FilterSelectivity(
     const FilterPredicate& filter) const {
@@ -35,11 +44,11 @@ double CardinalityEstimator::FilterSelectivity(
 }
 
 double CardinalityEstimator::TableFilterSelectivity(int local_table) const {
-  double sel = 1.0;
+  std::vector<double> selectivities;
   for (const FilterPredicate* filter : query_->FiltersForTable(local_table)) {
-    sel *= FilterSelectivity(*filter);
+    selectivities.push_back(FilterSelectivity(*filter));
   }
-  return sel;
+  return OrderedSelectivityProduct(1.0, std::move(selectivities));
 }
 
 double CardinalityEstimator::ScanOutputRows(int local_table,
@@ -64,12 +73,15 @@ double CardinalityEstimator::JoinOutputRows(TableSet left_set,
                                             double left_rows,
                                             TableSet right_set,
                                             double right_rows) const {
-  double rows = left_rows * right_rows;
+  std::vector<double> selectivities;
   for (const JoinPredicate* join :
        query_->JoinsForSplit(left_set, right_set)) {
-    rows *= JoinPredicateSelectivity(*join);
+    selectivities.push_back(JoinPredicateSelectivity(*join));
   }
-  return std::max(rows, 1e-3);
+  return std::max(
+      OrderedSelectivityProduct(left_rows * right_rows,
+                                std::move(selectivities)),
+      1e-3);
 }
 
 }  // namespace moqo

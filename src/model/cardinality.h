@@ -8,10 +8,22 @@
 #ifndef MOQO_MODEL_CARDINALITY_H_
 #define MOQO_MODEL_CARDINALITY_H_
 
+#include <vector>
+
 #include "query/query.h"
 #include "util/table_set.h"
 
 namespace moqo {
+
+/// initial * product(factors), folded in ascending factor order.
+/// Floating-point multiplication is not associative, so folding
+/// selectivities in predicate *insertion order* would make estimates — and
+/// therefore plan cost bytes — depend on the order a query listed its
+/// filters/joins in. The canonical cache keys (whole-query signatures,
+/// table-set subplan keys) deliberately erase that order, so every
+/// selectivity product must be a function of the factor multiset alone;
+/// this helper is the one folding rule they all share.
+double OrderedSelectivityProduct(double initial, std::vector<double> factors);
 
 /// Estimates base-table and join cardinalities for one query.
 class CardinalityEstimator {

@@ -301,10 +301,11 @@ PlanNode CostModel::ScanNode(int config_id, int local_table) const {
 CostModel::SplitInfo CostModel::AnalyzeSplit(TableSet left_set,
                                              TableSet right_set) const {
   SplitInfo info;
+  std::vector<double> selectivities;
   for (const JoinPredicate& join : query_->joins()) {
     if (!join.Connects(left_set, right_set)) continue;
     info.has_predicate = true;
-    info.selectivity *= estimator_.JoinPredicateSelectivity(join);
+    selectivities.push_back(estimator_.JoinPredicateSelectivity(join));
     // Index-nested-loop: inner must be a single base table with an index on
     // its side of a connecting predicate.
     if (right_set.Cardinality() == 1) {
@@ -318,6 +319,10 @@ CostModel::SplitInfo CostModel::AnalyzeSplit(TableSet left_set,
       }
     }
   }
+  // Canonical fold: join insertion order must not leak into cost bytes
+  // (see OrderedSelectivityProduct).
+  info.selectivity =
+      OrderedSelectivityProduct(info.selectivity, std::move(selectivities));
   return info;
 }
 

@@ -29,7 +29,8 @@ std::string OperatorConfig::ToString() const {
   return out.str();
 }
 
-OperatorRegistry::OperatorRegistry(const Options& options) {
+OperatorRegistry::OperatorRegistry(const Options& options)
+    : options_(options) {
   auto add = [this](OperatorConfig config) {
     configs_.push_back(config);
     const int id = static_cast<int>(configs_.size()) - 1;

@@ -67,6 +67,12 @@ class OperatorRegistry {
   OperatorRegistry() : OperatorRegistry(Options()) {}
   explicit OperatorRegistry(const Options& options);
 
+  /// The options this registry was built from. The dense config id space
+  /// is a deterministic function of them, which is what lets canonical
+  /// cache keys (service signatures, subplan memo keys) encode the options
+  /// instead of the id mapping itself.
+  const Options& options() const { return options_; }
+
   int num_configs() const { return static_cast<int>(configs_.size()); }
   const OperatorConfig& config(int id) const { return configs_[id]; }
 
@@ -82,6 +88,7 @@ class OperatorRegistry {
   int OperatorCountJ() const { return num_configs(); }
 
  private:
+  Options options_;
   std::vector<OperatorConfig> configs_;
   std::vector<int> scan_configs_;
   std::vector<int> join_configs_;

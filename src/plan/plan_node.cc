@@ -22,6 +22,25 @@ const PlanNode* DeepCopyPlan(const PlanNode* plan, Arena* arena) {
   return copy;
 }
 
+const PlanNode* DeepCopyPlanRemapped(
+    const PlanNode* plan, Arena* arena, const std::vector<int>& table_map,
+    std::unordered_map<const PlanNode*, const PlanNode*>* copied) {
+  if (plan == nullptr) return nullptr;
+  auto it = copied->find(plan);
+  if (it != copied->end()) return it->second;
+  PlanNode* copy = arena->New<PlanNode>(*plan);
+  if (plan->table >= 0) copy->table = table_map[plan->table];
+  TableSet mapped;
+  for (int table : plan->tables.Members()) {
+    mapped = mapped.With(table_map[table]);
+  }
+  copy->tables = mapped;
+  copy->left = DeepCopyPlanRemapped(plan->left, arena, table_map, copied);
+  copy->right = DeepCopyPlanRemapped(plan->right, arena, table_map, copied);
+  (*copied)[plan] = copy;
+  return copy;
+}
+
 bool PlansEqual(const PlanNode* a, const PlanNode* b) {
   if (a == b) return true;
   if (a == nullptr || b == nullptr) return false;

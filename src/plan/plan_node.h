@@ -13,6 +13,8 @@
 #define MOQO_PLAN_PLAN_NODE_H_
 
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "cost/cost_vector.h"
 #include "util/arena.h"
@@ -62,6 +64,18 @@ static_assert(std::is_trivially_destructible_v<PlanNode>,
 /// new root. Used to hand plans to callers that outlive the optimizer run
 /// that produced them.
 const PlanNode* DeepCopyPlan(const PlanNode* plan, Arena* arena);
+
+/// DAG-sharing deep copy that additionally *renumbers* table references:
+/// every node's `table` and `tables` are rewritten through `table_map`
+/// (new_index = table_map[old_index]; every referenced old index must have
+/// a valid mapping). `copied` carries the source-node -> copy mapping, so
+/// copies of several roots through one map preserve sub-plan sharing among
+/// them. The cross-query subplan memo uses this in both directions: plans
+/// are stored in the table set's canonical dense-rank space and rebound to
+/// a query's local indices on a hit.
+const PlanNode* DeepCopyPlanRemapped(
+    const PlanNode* plan, Arena* arena, const std::vector<int>& table_map,
+    std::unordered_map<const PlanNode*, const PlanNode*>* copied);
 
 /// Structural equality of two plans (same operators, tables, and shape).
 bool PlansEqual(const PlanNode* a, const PlanNode* b);

@@ -27,7 +27,14 @@ void AppendCanonicalDouble(std::string* out, double v) {
   AppendCanonicalU64(out, bits);
 }
 
-namespace {
+uint64_t Fnv1aHash(const std::string& data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 /// Catalog identity by content: the same table id over a differently
 /// scaled or differently distributed catalog must not share an encoding.
@@ -56,8 +63,6 @@ void AppendCanonicalTable(std::string* out, const Table& table) {
     }
   }
 }
-
-}  // namespace
 
 void AppendCanonicalQuery(std::string* out, const Query& query) {
   AppendCanonicalU64(out, static_cast<uint64_t>(query.num_tables()));

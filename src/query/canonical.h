@@ -27,6 +27,18 @@ void AppendCanonicalU64(std::string* out, uint64_t v);
 /// Appends a double bit-exactly (its IEEE-754 representation).
 void AppendCanonicalDouble(std::string* out, double v);
 
+/// FNV-1a over a canonical encoding; the hash every canonical cache key
+/// (service/signature, memo/subplan_key) derives its routing value from.
+uint64_t Fnv1aHash(const std::string& data);
+
+/// Appends the canonical *content* encoding of one catalog table:
+/// everything the cost model reads (name, cardinality, widths, per-column
+/// statistics and histograms, index availability). Identity is by content,
+/// so the same table id over a differently scaled or differently
+/// distributed catalog encodes differently. Shared by the whole-query
+/// encoding below and the table-set-level subplan memo keys.
+void AppendCanonicalTable(std::string* out, const Table& table);
+
 /// Appends the canonical encoding of `query`'s structure to `out`:
 /// referenced tables in query-local order — including everything the cost
 /// model reads from the catalog (cardinality, widths, per-column

@@ -80,12 +80,22 @@ struct OptimizationService::Admitted {
 OptimizationService::OptimizationService(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache),
-      pool_(ResolveWorkers(options_.num_workers)) {}
+      pool_(ResolveWorkers(options_.num_workers)) {
+  if (options_.enable_subplan_memo) {
+    SubplanMemo::Options memo_options = options_.subplan_memo;
+    if (memo_options.admission_epsilon < 0) {
+      // Inherit the whole-query cache's compaction resolution: frontiers
+      // denser than what the PlanCache would keep are not worth pinning.
+      memo_options.admission_epsilon = options_.cache_compaction_epsilon;
+    }
+    subplan_memo_ = std::make_unique<SubplanMemo>(memo_options);
+  }
+}
 
 OptimizationService::~OptimizationService() { pool_.Shutdown(); }
 
 OptimizerOptions OptimizationService::MakeOptimizerOptions(
-    double alpha, int64_t timeout_ms, int parallelism) {
+    double alpha, int64_t timeout_ms, int parallelism, bool use_memo) {
   OptimizerOptions opts;
   opts.alpha = alpha;
   opts.timeout_ms = timeout_ms;
@@ -100,6 +110,7 @@ OptimizerOptions OptimizationService::MakeOptimizerOptions(
     opts.parallelism = parallelism;
     opts.dp_pool = dp_pool_.get();
   }
+  if (use_memo) opts.subplan_memo = subplan_memo_.get();
   return opts;
 }
 
@@ -148,6 +159,11 @@ std::future<ServiceResponse> OptimizationService::Submit(
     decision.parallelism =
         *admitted->spec.parallelism < 1 ? 1 : *admitted->spec.parallelism;
   }
+  // An explicit weighted-sum override runs the single-plan DP, whose
+  // per-set output is preference-dependent — never memo-shared.
+  if (decision.algorithm == AlgorithmKind::kWeightedSum) {
+    decision.use_subplan_memo = false;
+  }
   admitted->decision = decision;
 
   bool admission_held = false;
@@ -155,7 +171,8 @@ std::future<ServiceResponse> OptimizationService::Submit(
     admitted->signature = ComputeSignature(
         *admitted->spec.query, admitted->spec.objectives, decision.algorithm,
         decision.alpha,
-        MakeOptimizerOptions(decision.alpha, -1, /*parallelism=*/1),
+        MakeOptimizerOptions(decision.alpha, -1, /*parallelism=*/1,
+                             /*use_memo=*/false),
         &admitted->preference.weights, &admitted->preference.bounds);
     admitted->cacheable = true;
     std::shared_ptr<const CachedFrontier> cached =
@@ -336,8 +353,16 @@ void OptimizationService::RunRequest(
   // the optimizer throws (the EXA can exhaust memory on large instances),
   // so the whole optimization is fenced.
   try {
-    OptimizerOptions opts = MakeOptimizerOptions(decision.alpha, timeout_ms,
-                                                 decision.parallelism);
+    // Epoch guard before the memo is read: a catalog whose statistics
+    // were bumped since the memo's entries were published flushes them
+    // (per-catalog tracking, so serving several catalogs does not thrash).
+    if (subplan_memo_ != nullptr && decision.use_subplan_memo) {
+      const Catalog& catalog = admitted->spec.query->catalog();
+      subplan_memo_->ObserveCatalog(&catalog, catalog.epoch());
+    }
+    OptimizerOptions opts = MakeOptimizerOptions(
+        decision.alpha, timeout_ms, decision.parallelism,
+        decision.use_subplan_memo);
     std::unique_ptr<OptimizerBase> optimizer =
         MakeOptimizer(decision.algorithm, opts);
     StopWatch run_watch;
@@ -438,6 +463,17 @@ ServiceStatsSnapshot OptimizationService::Stats() const {
   snapshot.cache_entries = cache_stats.entries;
   snapshot.cache_bytes = cache_stats.bytes;
   snapshot.cached_frontier_plans = cache_stats.frontier_plans;
+  if (subplan_memo_ != nullptr) {
+    const SubplanMemo::Stats memo_stats = subplan_memo_->GetStats();
+    snapshot.memo_hits = memo_stats.hits;
+    snapshot.memo_misses = memo_stats.misses;
+    snapshot.memo_insertions = memo_stats.insertions;
+    snapshot.memo_evictions = memo_stats.evictions;
+    snapshot.memo_admission_rejects = memo_stats.admission_rejects;
+    snapshot.memo_invalidations = memo_stats.invalidations;
+    snapshot.memo_entries = memo_stats.entries;
+    snapshot.memo_bytes = memo_stats.bytes;
+  }
   return snapshot;
 }
 

@@ -50,6 +50,7 @@
 #include "core/optimizer.h"
 #include "core/algorithm.h"
 #include "core/plan_set.h"
+#include "memo/subplan_memo.h"
 #include "service/plan_cache.h"
 #include "service/policy.h"
 #include "service/signature.h"
@@ -86,6 +87,19 @@ struct ServiceOptions {
   /// Starting coverage slack for that compaction; doubled until the
   /// frontier fits max_cached_frontier.
   double cache_compaction_epsilon = 0.05;
+  /// Cross-query subplan memo: a service-wide, byte-budgeted cache of
+  /// table-set-level Pareto frontiers shared by ALL requests' DP runs, so
+  /// structurally overlapping queries (same join subgraph, objectives,
+  /// precision) stop rebuilding identical sub-frontiers. Orthogonal to the
+  /// whole-query PlanCache: that one short-circuits repeated *queries*,
+  /// this one shares work between *different* queries. Frontiers are
+  /// byte-identical with the memo on or off.
+  bool enable_subplan_memo = true;
+  /// Capacity/sharding/admission knobs (capacity_bytes, min_tables, ...).
+  /// A negative admission_epsilon (the SubplanMemo default) inherits
+  /// cache_compaction_epsilon: sub-frontiers denser than the service's
+  /// cache resolution are not worth pinning.
+  SubplanMemo::Options subplan_memo;
   PlanCache::Options cache;
   PolicyOptions policy;
   /// Plan space shared by every request the service runs.
@@ -216,6 +230,14 @@ class OptimizationService {
   ServiceStatsSnapshot Stats() const;
   PlanCache::Stats CacheStats() const { return cache_.GetStats(); }
 
+  /// Cross-query memo counters; all-zero when the memo is disabled.
+  SubplanMemo::Stats MemoStats() const {
+    return subplan_memo_ ? subplan_memo_->GetStats() : SubplanMemo::Stats{};
+  }
+
+  /// The shared memo, or null when disabled. Exposed for tests/benches.
+  SubplanMemo* subplan_memo() const { return subplan_memo_.get(); }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -226,10 +248,11 @@ class OptimizationService {
     std::vector<std::shared_ptr<Admitted>> waiters;
   };
 
-  /// Optimizer options for one request given its remaining budget and its
-  /// resolved intra-query parallelism (1 = serial, no pool attached).
+  /// Optimizer options for one request given its remaining budget, its
+  /// resolved intra-query parallelism (1 = serial, no pool attached), and
+  /// whether its DP may use the cross-query subplan memo.
   OptimizerOptions MakeOptimizerOptions(double alpha, int64_t timeout_ms,
-                                        int parallelism);
+                                        int parallelism, bool use_memo);
 
   /// Builds and resolves a response from a cached frontier (exact or
   /// frontier hit).
@@ -252,6 +275,9 @@ class OptimizationService {
 
   ServiceOptions options_;
   PlanCache cache_;
+  /// Cross-query subplan memo shared by every request's DP run; null when
+  /// disabled. Declared before pool_ so workers never outlive it.
+  std::unique_ptr<SubplanMemo> subplan_memo_;
   ServiceStatsRegistry stats_;
   std::atomic<size_t> inflight_{0};
 

@@ -19,15 +19,6 @@ uint64_t DoubleBits(double v) {
   return bits;
 }
 
-uint64_t Fnv1a(const std::string& data) {
-  uint64_t hash = 14695981039346656037ull;
-  for (unsigned char c : data) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
 }  // namespace
 
 ProblemSignature ComputeSignature(const Query& query,
@@ -100,7 +91,7 @@ ProblemSignature ComputeSignature(const Query& query,
   }
 
   ProblemSignature signature;
-  signature.hash = Fnv1a(key);
+  signature.hash = Fnv1aHash(key);
   signature.key = std::move(key);
   return signature;
 }

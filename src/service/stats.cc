@@ -43,7 +43,13 @@ std::string ServiceStatsSnapshot::ToString() const {
       << " evictions=" << cache_evictions << "\n"
       << "  cache: entries=" << cache_entries << " bytes=" << cache_bytes
       << " frontier_plans=" << cached_frontier_plans
-      << " mean_frontier=" << MeanCachedFrontier() << "\n";
+      << " mean_frontier=" << MeanCachedFrontier() << "\n"
+      << "  memo: hits=" << memo_hits << " misses=" << memo_misses
+      << " hit_rate=" << MemoHitRate() << " entries=" << memo_entries
+      << " bytes=" << memo_bytes << " inserted=" << memo_insertions
+      << " evicted=" << memo_evictions
+      << " admission_rejects=" << memo_admission_rejects
+      << " invalidations=" << memo_invalidations << "\n";
   for (int i = 0; i < static_cast<int>(latency_by_algorithm.size()); ++i) {
     const LatencyStats& lat = latency_by_algorithm[i];
     if (lat.count == 0) continue;

@@ -54,6 +54,18 @@ struct ServiceStatsSnapshot {
   size_t cache_entries = 0;
   size_t cache_bytes = 0;
   size_t cached_frontier_plans = 0;
+  /// Cross-query subplan memo counters (sampled from the SubplanMemo at
+  /// snapshot time; all zero when the memo is disabled). Hits/misses are
+  /// per *table set*, not per request — one optimization probes once per
+  /// big-enough table set of its DP.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t memo_insertions = 0;
+  uint64_t memo_evictions = 0;
+  uint64_t memo_admission_rejects = 0;
+  uint64_t memo_invalidations = 0;
+  size_t memo_entries = 0;
+  size_t memo_bytes = 0;
   /// Indexed by static_cast<int>(AlgorithmKind).
   std::array<LatencyStats, kNumAlgorithmKinds> latency_by_algorithm;
 
@@ -66,6 +78,12 @@ struct ServiceStatsSnapshot {
   double FrontierHitRate() const {
     const uint64_t hits = exact_hits + frontier_hits;
     return hits == 0 ? 0 : static_cast<double>(frontier_hits) / hits;
+  }
+
+  /// Fraction of table-set probes answered by the cross-query memo.
+  double MemoHitRate() const {
+    const uint64_t lookups = memo_hits + memo_misses;
+    return lookups == 0 ? 0 : static_cast<double>(memo_hits) / lookups;
   }
 
   /// Mean plans per cached entry (how big the resident frontiers are).

@@ -454,12 +454,28 @@ TEST(ServiceTest, DegradedPrimaryPromotesOneWaiterNotAll) {
   // promoted to a fresh full run and the rest are served from that run —
   // no thundering herd of identical DPs.
   Catalog catalog = MakeTinyCatalog();
-  OptimizationService service(SmallServiceOptions(1));
+  ServiceOptions options = SmallServiceOptions(1);
+  // The subplan memo would let the heavy runs below share their DP work
+  // (their alpha overrides distinguish *cache* keys, but EXA's internal
+  // alpha — what the memo keys on — is always 1), collapsing the runway
+  // this test depends on. Coalescing, not the memo, is under test here.
+  options.enable_subplan_memo = false;
+  OptimizationService service(options);
 
-  ServiceRequest heavy = StarRequest(&catalog, 3, 9);
-  heavy.spec.algorithm = AlgorithmKind::kExa;
-  heavy.preference.deadline_ms = 1000;
-  std::future<ServiceResponse> heavy_future = service.Submit(heavy);
+  // Pin the single worker behind a queue of heavy runs (distinct alpha
+  // overrides = distinct signatures, so they neither coalesce nor hit the
+  // cache): one ~5 ms EXA is not enough runway under a loaded parallel
+  // test host — the submit loop below must finish parking every waiter
+  // before the worker reaches the doomed primary.
+  constexpr int kHeavy = 10;
+  std::vector<std::future<ServiceResponse>> heavy_futures;
+  for (int i = 0; i < kHeavy; ++i) {
+    ServiceRequest heavy = StarRequest(&catalog, 3, 9);
+    heavy.spec.algorithm = AlgorithmKind::kExa;
+    heavy.spec.alpha = 1.0 + 0.01 * i;  // Key-distinct, EXA ignores it.
+    heavy.preference.deadline_ms = 10000;
+    heavy_futures.push_back(service.Submit(heavy));
+  }
 
   // Primary with an already-hopeless deadline: by the time the single
   // worker reaches it, it degrades to quick mode and cannot be cached.
@@ -489,9 +505,9 @@ TEST(ServiceTest, DegradedPrimaryPromotesOneWaiterNotAll) {
   }
   EXPECT_EQ(promoted_misses, 1);
   EXPECT_EQ(coalesced, kWaiters - 1);
-  heavy_future.get();
-  // heavy + doomed quick run + ONE promoted full run.
-  EXPECT_EQ(OptimizerRuns(service), 3u);
+  for (std::future<ServiceResponse>& future : heavy_futures) future.get();
+  // kHeavy heavies + doomed quick run + ONE promoted full run.
+  EXPECT_EQ(OptimizerRuns(service), kHeavy + 2u);
   EXPECT_EQ(service.InFlight(), 0u);
 }
 
@@ -733,6 +749,106 @@ TEST(ServiceTest, WorkloadDriverEndToEnd) {
   // same-spec sibling's preference populated the entry).
   const ServiceRunStats warm = DriveService(&service, requests);
   EXPECT_EQ(warm.cache_hits, warm.total);
+}
+
+// --------------------------------------------------------------------------
+// Cross-query subplan memo through the service.
+
+/// Chain catalog for overlap tests: distinct cardinalities, indexed key.
+Catalog MakeServiceChainCatalog(int tables) {
+  Catalog catalog;
+  for (int i = 0; i < tables; ++i) {
+    const long rows = 300 * (1 + (i * 3) % 5);
+    Table table("c" + std::to_string(i), rows, 40);
+    ColumnStats key;
+    key.name = "k";
+    key.ndv = 40;
+    key.min_value = 0;
+    key.max_value = 39;
+    key.histogram = Histogram::Uniform(0, 39, 8, rows);
+    table.AddColumn(key);
+    table.AddIndex("k");
+    catalog.AddTable(std::move(table));
+  }
+  return catalog;
+}
+
+ServiceRequest ChainRequest(const Catalog* catalog, int lo, int hi) {
+  auto query = std::make_shared<Query>(
+      Query(catalog, "chain" + std::to_string(lo) + std::to_string(hi)));
+  std::vector<int> locals;
+  for (int i = lo; i <= hi; ++i) {
+    locals.push_back(query->AddTable("c" + std::to_string(i)));
+  }
+  for (size_t i = 0; i + 1 < locals.size(); ++i) {
+    query->AddJoin(locals[i], "k", locals[i + 1], "k");
+  }
+  ServiceRequest request;
+  request.spec.query = std::move(query);
+  request.spec.objectives = FirstObjectives(3);
+  request.preference.weights = WeightVector::Uniform(3);
+  return request;
+}
+
+TEST(ServiceTest, SubplanMemoSharesAcrossOverlappingQueries) {
+  Catalog catalog = MakeServiceChainCatalog(6);
+  // Same-length chains (the memo key carries the resolved precision, and
+  // RTA's internal alpha depends on query size): both route identically.
+  const ServiceRequest a = ChainRequest(&catalog, 0, 3);
+  const ServiceRequest b = ChainRequest(&catalog, 1, 4);
+
+  ServiceOptions memo_on = SmallServiceOptions(1);
+  memo_on.subplan_memo.min_tables = 2;
+  memo_on.subplan_memo.admission_epsilon = 0;  // Deterministic admission.
+  OptimizationService service(memo_on);
+  ASSERT_NE(service.subplan_memo(), nullptr);
+
+  const ServiceResponse response_a = service.SubmitAndWait(a);
+  ASSERT_EQ(response_a.status, ResponseStatus::kCompleted);
+  EXPECT_EQ(service.Stats().memo_hits, 0u);
+  EXPECT_GT(service.Stats().memo_insertions, 0u);
+
+  const ServiceResponse response_b = service.SubmitAndWait(b);
+  ASSERT_EQ(response_b.status, ResponseStatus::kCompleted);
+  // Distinct specs: the whole-query cache cannot help, the memo does.
+  EXPECT_EQ(response_b.cache, CacheOutcome::kMiss);
+  EXPECT_GT(service.Stats().memo_hits, 0u);
+  EXPECT_GT(service.Stats().MemoHitRate(), 0.0);
+
+  // The frontier served with memo sharing is byte-identical to a
+  // memo-disabled service's.
+  ServiceOptions memo_off = SmallServiceOptions(1);
+  memo_off.enable_subplan_memo = false;
+  OptimizationService reference(memo_off);
+  EXPECT_EQ(reference.subplan_memo(), nullptr);
+  const ServiceResponse reference_b = reference.SubmitAndWait(b);
+  ASSERT_EQ(reference_b.status, ResponseStatus::kCompleted);
+  ASSERT_NE(response_b.plan_set(), nullptr);
+  ASSERT_NE(reference_b.plan_set(), nullptr);
+  EXPECT_EQ(response_b.plan_set()->costs(), reference_b.plan_set()->costs());
+  EXPECT_EQ(response_b.result->cost, reference_b.result->cost);
+  EXPECT_EQ(reference.Stats().memo_hits, 0u);
+}
+
+TEST(ServiceTest, SubplanMemoInvalidatedOnCatalogEpochBump) {
+  Catalog catalog = MakeServiceChainCatalog(5);
+  ServiceOptions options = SmallServiceOptions(1);
+  options.subplan_memo.min_tables = 2;
+  options.subplan_memo.admission_epsilon = 0;
+  OptimizationService service(options);
+
+  ASSERT_EQ(service.SubmitAndWait(ChainRequest(&catalog, 0, 3)).status,
+            ResponseStatus::kCompleted);
+  ASSERT_GT(service.Stats().memo_entries, 0u);
+
+  // Statistics refreshed in place: the next request must flush the memo
+  // before probing, so stale sub-frontiers can never be served.
+  catalog.BumpEpoch();
+  ASSERT_EQ(service.SubmitAndWait(ChainRequest(&catalog, 1, 4)).status,
+            ResponseStatus::kCompleted);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.memo_invalidations, 1u);
+  EXPECT_EQ(stats.memo_hits, 0u);
 }
 
 }  // namespace
