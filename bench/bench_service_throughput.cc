@@ -20,7 +20,15 @@
 //      seals the shared table sets from the memo instead of rebuilding
 //      them. Reported: memo hit rate (must exceed 50%) and the p50 latency
 //      with the memo on vs off (on must be lower).
-//   4. Worker scaling. The same workload, cache disabled, for increasing
+//   4. Anytime frontier sessions. The same shared-subgraph workload
+//      driven through OpenFrontier with a multi-rung alpha ladder: each
+//      session publishes a quick-mode frontier at open, then refines
+//      toward the target. Reported: time-to-first-frontier, per-rung p50
+//      latencies, and the SubplanMemo hit rate across ladder steps
+//      (sessions over overlapping queries reuse each other's same-alpha
+//      sub-frontiers; must be > 0). Monotone alpha per session is a hard
+//      check.
+//   5. Worker scaling. The same workload, cache disabled, for increasing
 //      worker counts. On a multi-core host throughput rises with workers
 //      until the core count; on a single core it stays flat.
 //
@@ -33,6 +41,9 @@
 //   MOQO_OVERLAP_TABLES      tables per overlapping query    (default 10)
 //   MOQO_OVERLAP_QUERIES     sliding-window query count      (default 8)
 //   MOQO_OVERLAP_OBJECTIVES  objectives in the overlap phase (default 3)
+//   MOQO_SESSION_QUERIES     sessions in the anytime phase   (default 6)
+//   MOQO_SESSION_TABLES      tables per session query        (default 9)
+//   MOQO_SESSION_STEPS       ladder rungs per session        (default 3)
 
 #include <algorithm>
 #include <cstdio>
@@ -42,6 +53,7 @@
 #include "bench/bench_json.h"
 #include "harness/experiment.h"
 #include "harness/service_experiment.h"
+#include "harness/workload.h"
 #include "query/tpch_queries.h"
 #include "service/optimization_service.h"
 #include "util/random.h"
@@ -54,56 +66,6 @@ OperatorRegistry::Options BenchOperatorSpace() {
   options.sampling_rates = {0.05};
   options.dops = {1, 2};
   return options;
-}
-
-/// Chain catalog for the overlapping-query phase: per-table cardinalities
-/// vary so sub-frontier shapes differ across the chain.
-Catalog MakeOverlapCatalog(int tables) {
-  Catalog catalog;
-  for (int i = 0; i < tables; ++i) {
-    const long rows = 500 * (1 + (i * 7) % 13);
-    Table table("r" + std::to_string(i), rows, 48);
-    ColumnStats key;
-    key.name = "k";
-    key.ndv = 100;
-    key.min_value = 0;
-    key.max_value = 99;
-    key.histogram = Histogram::Uniform(0, 99, 8, rows);
-    table.AddColumn(key);
-    table.AddIndex("k");
-    catalog.AddTable(std::move(table));
-  }
-  return catalog;
-}
-
-/// The sliding-window workload: query i joins the chain r_i .. r_{i+L-1}.
-/// Every query is distinct (plan-cache misses) while consecutive windows
-/// share an (L-1)-table subchain — the shape production workloads take
-/// when dashboards and reports all join the same core tables.
-std::vector<ServiceRequest> BuildOverlapWorkload(const Catalog* catalog,
-                                                 int queries, int tables,
-                                                 int objectives) {
-  std::vector<Objective> objective_pick(
-      kAllObjectives.begin(), kAllObjectives.begin() + objectives);
-  std::vector<ServiceRequest> requests;
-  requests.reserve(queries);
-  for (int q = 0; q < queries; ++q) {
-    auto query = std::make_shared<Query>(
-        Query(catalog, "window" + std::to_string(q)));
-    std::vector<int> locals;
-    for (int i = q; i < q + tables; ++i) {
-      locals.push_back(query->AddTable("r" + std::to_string(i)));
-    }
-    for (size_t i = 0; i + 1 < locals.size(); ++i) {
-      query->AddJoin(locals[i], "k", locals[i + 1], "k");
-    }
-    ServiceRequest request;
-    request.spec.query = std::move(query);
-    request.spec.objectives = ObjectiveSet(objective_pick);
-    request.preference.weights = WeightVector::Uniform(objectives);
-    requests.push_back(std::move(request));
-  }
-  return requests;
 }
 
 /// Drives the overlap workload sequentially, returning per-request
@@ -305,11 +267,13 @@ int Run() {
     const int overlap_queries = EnvInt("MOQO_OVERLAP_QUERIES", 8);
     const int overlap_objectives =
         std::clamp(EnvInt("MOQO_OVERLAP_OBJECTIVES", 3), 1, kNumObjectives);
-    Catalog overlap_catalog =
-        MakeOverlapCatalog(overlap_tables + overlap_queries - 1);
-    const std::vector<ServiceRequest> overlap_requests = BuildOverlapWorkload(
-        &overlap_catalog, overlap_queries, overlap_tables,
-        overlap_objectives);
+    SharedSubgraphOptions overlap_workload;
+    overlap_workload.num_queries = overlap_queries;
+    overlap_workload.tables_per_query = overlap_tables;
+    overlap_workload.num_objectives = overlap_objectives;
+    Catalog overlap_catalog = MakeSharedSubgraphCatalog(overlap_workload);
+    const std::vector<ServiceRequest> overlap_requests =
+        BuildSharedSubgraphWorkload(&overlap_catalog, overlap_workload);
 
     // Serial DP so each request's latency measures exactly one engine's
     // work; one worker so the memo warms in submission order.
@@ -389,7 +353,124 @@ int Run() {
     }
   }
 
-  // Phase 4: worker scaling (cache off: every request runs the DP).
+  // Phase 4: anytime frontier sessions — the PR-5 serving shape. Each
+  // session opens with a quick-mode frontier, refines over an alpha
+  // ladder, and publishes every rung; overlapping sessions reuse each
+  // other's same-alpha table-set frontiers through the SubplanMemo, so
+  // ladder steps get cheaper as the stream progresses.
+  {
+    const int session_queries = EnvInt("MOQO_SESSION_QUERIES", 6);
+    const int session_tables = EnvInt("MOQO_SESSION_TABLES", 9);
+    const int session_steps = std::max(EnvInt("MOQO_SESSION_STEPS", 3), 1);
+    SharedSubgraphOptions session_workload;
+    session_workload.num_queries = session_queries;
+    session_workload.tables_per_query = session_tables;
+    session_workload.num_objectives = 3;
+    Catalog session_catalog = MakeSharedSubgraphCatalog(session_workload);
+    std::vector<ProblemSpec> specs =
+        BuildSharedSubgraphSpecs(&session_catalog, session_workload);
+    for (ProblemSpec& spec : specs) {
+      spec.algorithm = AlgorithmKind::kRta;
+      spec.alpha = 1.25;
+      spec.parallelism = 1;  // Serial DP: latencies attribute cleanly.
+    }
+
+    ServiceOptions options;
+    options.num_workers = 1;  // The memo warms in submission order.
+    options.operators = BenchOperatorSpace();
+    options.policy.max_parallelism = 1;
+    OptimizationService service(options);
+
+    SessionOptions session_options;
+    session_options.alpha_start = 2.5;
+    session_options.max_steps = session_steps;
+
+    bool ok = true;
+    std::vector<double> first_frontier_ms;       // Open -> first plan.
+    std::vector<double> target_ms;               // Open -> target alpha.
+    std::vector<std::vector<double>> step_ms;    // [rung][session].
+    for (const ProblemSpec& spec : specs) {
+      StopWatch watch;
+      auto session = service.OpenFrontier(spec, session_options);
+      // Anytime contract: a valid plan exists when OpenFrontier returns.
+      if (session->BestFrontier() == nullptr ||
+          session->Select(Preference{}).selection.plan == nullptr) {
+        std::printf("ERROR: session returned without a first frontier\n");
+        ok = false;
+        break;
+      }
+      first_frontier_ms.push_back(watch.ElapsedMillis());
+      if (!session->AwaitTarget()) {
+        std::printf("ERROR: session failed to reach its target alpha\n");
+        ok = false;
+        break;
+      }
+      target_ms.push_back(watch.ElapsedMillis());
+      const std::vector<RefinedFrontier> history = session->History();
+      int rung = 0;
+      for (size_t i = 0; i < history.size(); ++i) {
+        if (i > 0 && history[i].alpha >= history[i - 1].alpha) {
+          std::printf("ERROR: published alpha did not decrease at step "
+                      "%zu\n", i);
+          ok = false;
+        }
+        if (history[i].from_cache) continue;  // Seeded, not a rung.
+        if (std::isinf(history[i].alpha)) continue;  // Quick prelude.
+        if (static_cast<size_t>(rung) >= step_ms.size()) {
+          step_ms.emplace_back();
+        }
+        step_ms[rung++].push_back(history[i].step_ms);
+      }
+      session->Cancel();
+    }
+    if (!ok) return 1;
+
+    const ServiceStatsSnapshot stats = service.Stats();
+    const double memo_hit_rate = stats.MemoHitRate();
+    std::printf("\n-- anytime sessions (%d windows x %d tables, ladder "
+                "2.5 -> 1.25 in %d steps) --\n",
+                session_queries, session_tables, session_steps);
+    std::printf("first frontier: p50 %.2f ms; target: p50 %.2f ms\n",
+                Percentile(first_frontier_ms, 50),
+                Percentile(target_ms, 50));
+    bench::Json steps = bench::Json::Array();
+    for (size_t rung = 0; rung < step_ms.size(); ++rung) {
+      const double p50 = Percentile(step_ms[rung], 50);
+      std::printf("rung %zu: p50 %.2f ms over %zu sessions\n", rung, p50,
+                  step_ms[rung].size());
+      bench::Json row = bench::Json::Object();
+      row.Set("rung", static_cast<int>(rung))
+          .Set("sessions", static_cast<int>(step_ms[rung].size()))
+          .Set("p50_ms", p50);
+      steps.Push(std::move(row));
+    }
+    std::printf("memo across ladder steps: hits=%llu misses=%llu "
+                "hit_rate=%.3f; refinement_steps=%llu\n",
+                static_cast<unsigned long long>(stats.memo_hits),
+                static_cast<unsigned long long>(stats.memo_misses),
+                memo_hit_rate,
+                static_cast<unsigned long long>(stats.refinement_steps));
+    bench::Json phase = bench::Json::Object();
+    phase.Set("sessions", session_queries)
+        .Set("tables_per_query", session_tables)
+        .Set("ladder_steps", session_steps)
+        .Set("first_frontier_p50_ms", Percentile(first_frontier_ms, 50))
+        .Set("target_p50_ms", Percentile(target_ms, 50))
+        .Set("per_step_p50", std::move(steps))
+        .Set("memo_hits", static_cast<long long>(stats.memo_hits))
+        .Set("memo_hit_rate", memo_hit_rate)
+        .Set("refinement_steps",
+             static_cast<long long>(stats.refinement_steps))
+        .Set("sessions_opened",
+             static_cast<long long>(stats.sessions_opened));
+    doc.Set("anytime_sessions", std::move(phase));
+    if (stats.memo_hits == 0) {
+      std::printf("ERROR: ladder steps never reused the subplan memo\n");
+      return 1;
+    }
+  }
+
+  // Phase 5: worker scaling (cache off: every request runs the DP).
   std::printf("\n-- worker scaling (cache disabled) --\n");
   std::printf("%8s %12s %12s %12s %9s\n", "workers", "wall_ms", "rps",
               "mean_ms", "speedup");

@@ -7,7 +7,9 @@
 #ifndef MOQO_CORE_OPTIMIZER_H_
 #define MOQO_CORE_OPTIMIZER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -36,6 +38,8 @@ struct MOQOProblem {
     return bounds.size() == 0 || bounds.AllUnbounded();
   }
 };
+
+struct OptimizerResult;
 
 /// Optimizer configuration shared by all algorithms.
 struct OptimizerOptions {
@@ -67,6 +71,35 @@ struct OptimizerOptions {
   /// cross-query reuse. Frontiers are byte-identical with the memo on or
   /// off; only the work to build them is shared (see memo/subplan_memo.h).
   SubplanMemo* subplan_memo = nullptr;
+  /// Anytime refinement ladder (RTA only; ignored by the other
+  /// algorithms): user precisions to run in order, strictly decreasing
+  /// toward the target. Each rung is one full DP at that precision; after
+  /// a rung completes, `on_rung` (if set) receives its result — the
+  /// intermediate-frontier publish hook the service's FrontierSessions are
+  /// built on. Rungs share the attached `subplan_memo`, so a rung probes
+  /// (and republishes) the table-set frontiers that same-alpha rungs of
+  /// overlapping queries already sealed, and each rung's PlanSet is
+  /// byte-identical to a standalone run at its alpha. When non-empty,
+  /// `alpha` is superseded by the ladder's last entry. Empty = classic
+  /// single-run behaviour.
+  std::vector<double> alpha_ladder;
+  /// Called after every completed (non-timed-out) ladder rung with the
+  /// rung index, that rung's user precision, and its result (whose PlanSet
+  /// the callee may share — it survives the optimizer). Return false to
+  /// stop refining; the rung's result then becomes the final one. Invoked
+  /// on the optimizing thread.
+  std::function<bool(int rung, double alpha, const OptimizerResult& result)>
+      on_rung;
+  /// Per-rung wall budget in ms (< 0 = none), combined with the overall
+  /// `timeout_ms`. A rung that exceeds it terminates the ladder; the last
+  /// completed rung's result is returned (marked timed out only when no
+  /// rung ever completed).
+  int64_t step_timeout_ms = -1;
+  /// External cancellation flag, polled wherever the deadline is (see
+  /// Deadline::WithCancel); not owned, must outlive the run. Cancellation
+  /// behaves like deadline expiry: the run degrades to a quick finish and
+  /// reports timed_out.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Measurements reported for Figures 5, 9 and 10. Frontier cardinality is
@@ -125,9 +158,10 @@ class OptimizerBase {
 
  protected:
   Deadline MakeDeadline() const {
-    return options_.timeout_ms < 0
-               ? Deadline::Infinite()
-               : Deadline::AfterMillis(options_.timeout_ms);
+    const Deadline base = options_.timeout_ms < 0
+                              ? Deadline::Infinite()
+                              : Deadline::AfterMillis(options_.timeout_ms);
+    return base.WithCancel(options_.cancel);
   }
 
   DPOptions MakeDPOptions(const MOQOProblem& problem, double internal_alpha,

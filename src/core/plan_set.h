@@ -81,7 +81,13 @@ class PlanSet {
  private:
   PlanSet() = default;
 
-  Arena arena_;
+  /// First block sized for a handful of nodes, doubling up to the default
+  /// block size: snapshots live as long as a cache/memo entry references
+  /// them, and most frontiers are far smaller than one 64 KiB block —
+  /// pinning one per entry would waste most of a byte-budgeted cache's
+  /// capacity on slack (the ApproxBytes the caches account is reserved,
+  /// not allocated, bytes).
+  Arena arena_{size_t{1} << 10, Arena::kDefaultBlockBytes};
   std::vector<const PlanNode*> plans_;
   std::vector<CostVector> costs_;
 };

@@ -62,6 +62,69 @@ TestCase WorkloadGenerator::BoundedCase(int query_number, int num_bounds,
   return test_case;
 }
 
+Catalog MakeSharedSubgraphCatalog(const SharedSubgraphOptions& options) {
+  const int stride = options.stride < 1 ? 1 : options.stride;
+  const int tables =
+      options.tables_per_query + stride * (options.num_queries - 1);
+  Catalog catalog;
+  for (int i = 0; i < tables; ++i) {
+    // Deterministic cardinality variation so sub-frontier shapes differ
+    // along the chain (7 and 13 are coprime: a long repeat period).
+    const long rows = options.base_rows * (1 + (i * 7) % 13);
+    Table table("r" + std::to_string(i), rows, 48);
+    ColumnStats key;
+    key.name = "k";
+    key.ndv = 100;
+    key.min_value = 0;
+    key.max_value = 99;
+    key.histogram = Histogram::Uniform(0, 99, 8, rows);
+    table.AddColumn(key);
+    table.AddIndex("k");
+    catalog.AddTable(std::move(table));
+  }
+  return catalog;
+}
+
+std::vector<ProblemSpec> BuildSharedSubgraphSpecs(
+    const Catalog* catalog, const SharedSubgraphOptions& options) {
+  const int stride = options.stride < 1 ? 1 : options.stride;
+  std::vector<Objective> objective_pick(
+      kAllObjectives.begin(), kAllObjectives.begin() + options.num_objectives);
+  std::vector<ProblemSpec> specs;
+  specs.reserve(options.num_queries);
+  for (int q = 0; q < options.num_queries; ++q) {
+    auto query = std::make_shared<Query>(
+        Query(catalog, "window" + std::to_string(q)));
+    std::vector<int> locals;
+    const int first = q * stride;
+    for (int i = first; i < first + options.tables_per_query; ++i) {
+      locals.push_back(query->AddTable("r" + std::to_string(i)));
+    }
+    for (size_t i = 0; i + 1 < locals.size(); ++i) {
+      query->AddJoin(locals[i], "k", locals[i + 1], "k");
+    }
+    ProblemSpec spec;
+    spec.query = std::move(query);
+    spec.objectives = ObjectiveSet(objective_pick);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<ServiceRequest> BuildSharedSubgraphWorkload(
+    const Catalog* catalog, const SharedSubgraphOptions& options) {
+  std::vector<ServiceRequest> requests;
+  std::vector<ProblemSpec> specs = BuildSharedSubgraphSpecs(catalog, options);
+  requests.reserve(specs.size());
+  for (ProblemSpec& spec : specs) {
+    ServiceRequest request;
+    request.spec = std::move(spec);
+    request.preference.weights = WeightVector::Uniform(options.num_objectives);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
 double WorkloadGenerator::ObjectiveMinimum(int query_number,
                                            Objective objective) {
   const auto key = std::make_pair(query_number, static_cast<int>(objective));

@@ -18,9 +18,11 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/optimizer.h"
 #include "query/tpch_queries.h"
+#include "service/request.h"
 #include "util/random.h"
 
 namespace moqo {
@@ -61,6 +63,51 @@ class WorkloadGenerator {
   OptimizerOptions options_;
   std::map<std::pair<int, int>, double> minimum_cache_;
 };
+
+// ---------------------------------------------------------------------------
+// Shared-subgraph workloads.
+//
+// Production query streams rarely repeat whole queries, but they join the
+// same core tables over and over — dashboards, reports, and exploration
+// sessions all orbit a shared backbone. This generator models that shape
+// deterministically: a long chain of tables, and one query per window of
+// `tables_per_query` consecutive tables, each window shifted by `stride`
+// tables from the previous one. Every query is *distinct* (distinct
+// whole-query signature — the plan cache never hits), while consecutive
+// queries share a (tables_per_query - stride)-table subchain whose table
+// sets have identical canonical subplan signatures — exactly what the
+// cross-query SubplanMemo (and the session bench's ladder steps) feed on.
+// All joins use one column name so the globally-incident-column component
+// of the memo keys matches across windows, and per-table cardinalities
+// vary so sub-frontier shapes differ along the chain.
+
+struct SharedSubgraphOptions {
+  int num_queries = 8;
+  int tables_per_query = 10;
+  /// Window shift between consecutive queries; overlap = tables_per_query
+  /// - stride. 1 = the classic sliding-window chain.
+  int stride = 1;
+  /// Leading objectives from kAllObjectives used by every query (equal
+  /// objective sets are part of subplan-signature equality).
+  int num_objectives = 3;
+  /// Base row count; per-table cardinalities vary deterministically
+  /// around it.
+  long base_rows = 500;
+};
+
+/// Chain catalog long enough for the windows: tables r0..r{n-1} with
+/// varying cardinalities, one indexed join column "k" each.
+Catalog MakeSharedSubgraphCatalog(const SharedSubgraphOptions& options);
+
+/// One uniform-weight ServiceRequest per window over `catalog` (which
+/// must come from MakeSharedSubgraphCatalog with the same options). Each
+/// request owns its Query, so the vector is self-contained.
+std::vector<ServiceRequest> BuildSharedSubgraphWorkload(
+    const Catalog* catalog, const SharedSubgraphOptions& options);
+
+/// The ProblemSpecs alone (for session-based drivers).
+std::vector<ProblemSpec> BuildSharedSubgraphSpecs(
+    const Catalog* catalog, const SharedSubgraphOptions& options);
 
 }  // namespace moqo
 

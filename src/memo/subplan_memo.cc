@@ -2,8 +2,6 @@
 
 #include "memo/subplan_memo.h"
 
-#include <bit>
-
 namespace moqo {
 
 namespace {
@@ -15,41 +13,27 @@ size_t EntryBytes(const SubplanSignature& signature, const PlanSet& frontier) {
          sizeof(void*) * 4 + frontier.ApproxBytes();
 }
 
+ShardedLru<SubplanSignature, std::shared_ptr<const PlanSet>>::Options
+LruOptions(const SubplanMemo::Options& options) {
+  ShardedLru<SubplanSignature, std::shared_ptr<const PlanSet>>::Options lru;
+  lru.capacity = options.capacity;
+  lru.capacity_bytes = options.capacity_bytes;
+  lru.shards = options.shards;
+  return lru;
+}
+
 }  // namespace
 
 SubplanMemo::SubplanMemo() : SubplanMemo(Options{}) {}
 
-SubplanMemo::SubplanMemo(const Options& options) : options_(options) {
+SubplanMemo::SubplanMemo(const Options& options)
+    : options_(options), lru_(LruOptions(options)) {
   if (options_.min_tables < 2) options_.min_tables = 2;
-  const int requested = options_.shards < 1 ? 1 : options_.shards;
-  const size_t num_shards = std::bit_ceil(static_cast<size_t>(requested));
-  shard_mask_ = num_shards - 1;
-  shards_.reserve(num_shards);
-  const size_t per_shard = (options_.capacity + num_shards - 1) / num_shards;
-  const size_t bytes_per_shard =
-      options_.capacity_bytes == 0
-          ? 0
-          : (options_.capacity_bytes + num_shards - 1) / num_shards;
-  for (size_t i = 0; i < num_shards; ++i) {
-    auto shard = std::make_unique<Shard>();
-    shard->capacity = per_shard < 1 ? 1 : per_shard;
-    shard->capacity_bytes = bytes_per_shard;
-    shards_.push_back(std::move(shard));
-  }
 }
 
 std::shared_ptr<const PlanSet> SubplanMemo::Lookup(
     const SubplanSignature& signature) {
-  Shard& shard = ShardFor(signature);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(signature);
-  if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second.frontier;
+  return lru_.Lookup(signature);
 }
 
 bool SubplanMemo::Admits(const ParetoSet& frontier, double alpha) {
@@ -82,55 +66,14 @@ bool SubplanMemo::Admits(const ParetoSet& frontier, double alpha) {
   return true;
 }
 
-void SubplanMemo::EvictBack(Shard* shard) {
-  auto victim = shard->index.find(*shard->lru.back());
-  shard->bytes -= victim->second.bytes;
-  shard->frontier_plans -= static_cast<size_t>(victim->second.frontier_size);
-  shard->index.erase(victim);
-  shard->lru.pop_back();
-  evictions_.fetch_add(1, std::memory_order_relaxed);
-}
-
 void SubplanMemo::Insert(const SubplanSignature& signature,
                          std::shared_ptr<const PlanSet> frontier) {
   if (frontier == nullptr) return;
   const size_t bytes = EntryBytes(signature, *frontier);
-  const int frontier_size = frontier->size();
-  Shard& shard = ShardFor(signature);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(signature);
-  if (it != shard.index.end()) {
-    // Equal keys imply byte-identical frontiers, so a refresh only touches
-    // recency and (capacity-dependent) accounting.
-    shard.bytes = shard.bytes - it->second.bytes + bytes;
-    shard.frontier_plans = shard.frontier_plans -
-                           static_cast<size_t>(it->second.frontier_size) +
-                           static_cast<size_t>(frontier_size);
-    it->second.frontier = std::move(frontier);
-    it->second.bytes = bytes;
-    it->second.frontier_size = frontier_size;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-    return;
-  }
-  // Evict LRU-first until the incoming entry fits within the byte budget
-  // (primary) and the entry cap (secondary). An entry larger than the
-  // whole shard budget empties the shard and is stored anyway — the
-  // biggest sub-frontiers are the ones most worth sharing.
-  while (!shard.lru.empty() &&
-         (shard.lru.size() >= shard.capacity ||
-          (shard.capacity_bytes != 0 &&
-           shard.bytes + bytes > shard.capacity_bytes))) {
-    EvictBack(&shard);
-  }
-  it = shard.index
-           .emplace(signature,
-                    Entry{std::move(frontier), {}, bytes, frontier_size})
-           .first;
-  shard.lru.push_front(&it->first);
-  it->second.lru_pos = shard.lru.begin();
-  shard.bytes += bytes;
-  shard.frontier_plans += static_cast<size_t>(frontier_size);
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  const size_t frontier_size = static_cast<size_t>(frontier->size());
+  // Equal keys imply byte-identical frontiers, so a refresh only touches
+  // recency and (capacity-dependent) accounting.
+  lru_.Insert(signature, std::move(frontier), bytes, frontier_size);
 }
 
 void SubplanMemo::ObserveCatalog(const void* catalog, uint64_t epoch) {
@@ -138,51 +81,24 @@ void SubplanMemo::ObserveCatalog(const void* catalog, uint64_t epoch) {
   auto [it, first_sighting] = catalog_epochs_.try_emplace(catalog, epoch);
   if (first_sighting || it->second == epoch) return;
   it->second = epoch;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->lru.clear();
-    shard->index.clear();
-    shard->bytes = 0;
-    shard->frontier_plans = 0;
-  }
+  lru_.Clear();
   invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 SubplanMemo::Stats SubplanMemo::GetStats() const {
+  const auto counters = lru_.GetCounters();
   Stats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.hits = counters.hits;
+  stats.misses = counters.misses;
+  stats.insertions = counters.insertions;
+  stats.evictions = counters.evictions;
   stats.admission_rejects =
       admission_rejects_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    stats.entries += shard->lru.size();
-    stats.bytes += shard->bytes;
-    stats.frontier_plans += shard->frontier_plans;
-  }
+  stats.entries = counters.entries;
+  stats.bytes = counters.bytes;
+  stats.frontier_plans = counters.weight;
   return stats;
-}
-
-size_t SubplanMemo::size() const {
-  size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->lru.size();
-  }
-  return total;
-}
-
-void SubplanMemo::Clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->lru.clear();
-    shard->index.clear();
-    shard->bytes = 0;
-    shard->frontier_plans = 0;
-  }
 }
 
 }  // namespace moqo

@@ -17,9 +17,10 @@
 // tasks only ever read immutable entries and a cold run's frontiers are
 // byte-identical with the memo on or off.
 //
-// Structure mirrors the PlanCache: N independently locked shards, each
-// with its own LRU list and byte-budget slice; entries are accounted by
-// their PlanSet footprint plus key/index overhead. Admission is
+// Storage is the same ShardedLru machinery the PlanCache uses
+// (util/sharded_lru.h): N independently locked shards, each with its own
+// LRU list and byte-budget slice; entries are accounted by their PlanSet
+// footprint plus key/index overhead. Admission is
 // shaped by three knobs: `min_tables` (small sets are cheaper to rebuild
 // than to copy), `admission_epsilon` (only frontiers already compact at
 // the service's cache epsilon are worth pinning — a denser frontier would
@@ -36,14 +37,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "core/plan_set.h"
 #include "memo/subplan_key.h"
+#include "util/sharded_lru.h"
 
 namespace moqo {
 
@@ -136,52 +136,20 @@ class SubplanMemo {
   void ObserveCatalog(const void* catalog, uint64_t epoch);
 
   Stats GetStats() const;
-  size_t size() const;
-  void Clear();
+  size_t size() const { return lru_.size(); }
+  void Clear() { lru_.Clear(); }
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const { return lru_.num_shards(); }
 
  private:
-  using LruList = std::list<const SubplanSignature*>;
-
-  struct Entry {
-    std::shared_ptr<const PlanSet> frontier;
-    LruList::iterator lru_pos;
-    size_t bytes = 0;
-    int frontier_size = 0;
-  };
-
-  struct Shard {
-    std::mutex mu;
-    LruList lru;  ///< Front = most recently used.
-    std::unordered_map<SubplanSignature, Entry> index;
-    size_t capacity = 0;
-    size_t capacity_bytes = 0;  ///< 0 = no byte limit for this shard.
-    size_t bytes = 0;
-    size_t frontier_plans = 0;
-  };
-
-  void EvictBack(Shard* shard);
-
-  Shard& ShardFor(const SubplanSignature& signature) {
-    uint64_t mixed = signature.hash * 0x9E3779B97F4A7C15ull;
-    mixed ^= mixed >> 32;
-    return *shards_[mixed & shard_mask_];
-  }
-
   Options options_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  uint64_t shard_mask_ = 0;
+  ShardedLru<SubplanSignature, std::shared_ptr<const PlanSet>> lru_;
 
   /// Last-seen epoch per catalog identity; guarded by epoch_mu_, which
   /// also serializes the flush an epoch change triggers.
   std::mutex epoch_mu_;
   std::unordered_map<const void*, uint64_t> catalog_epochs_;
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> admission_rejects_{0};
   std::atomic<uint64_t> invalidations_{0};
 };

@@ -1,0 +1,194 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "service/frontier_session.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace moqo {
+
+std::shared_ptr<const PlanSet> FrontierSession::BestFrontier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_;
+}
+
+double FrontierSession::BestAlpha() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_alpha_;
+}
+
+SessionSelection FrontierSession::Select(const Preference& preference) const {
+  SessionSelection result;
+  std::shared_ptr<const PlanSet> frontier;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (best_ == nullptr) return result;
+    frontier = best_;
+    result.alpha = best_alpha_;
+    result.step = static_cast<int>(history_.size()) - 1;
+  }
+  // Selection runs outside the lock over the immutable snapshot: a rung
+  // landing concurrently swaps best_ but never mutates this PlanSet.
+  WeightVector weights = preference.weights;
+  if (weights.size() != problem_.objectives.size()) {
+    weights = WeightVector::Uniform(problem_.objectives.size());
+  }
+  BoundVector bounds = preference.bounds;
+  if (bounds.size() != problem_.objectives.size()) bounds = BoundVector();
+  result.selection = SelectPlan(*frontier, weights, bounds);
+  result.plan_set = std::move(frontier);
+  return result;
+}
+
+std::vector<RefinedFrontier> FrontierSession::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+int FrontierSession::StepsPublished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(history_.size());
+}
+
+bool FrontierSession::Done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+bool FrontierSession::TargetReached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return target_reached_;
+}
+
+bool FrontierSession::Cancelled() const { return CancelRequested(); }
+
+void FrontierSession::Attach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++open_handles_;
+}
+
+void FrontierSession::Cancel() {
+  bool cancel_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_handles_ > 0) --open_handles_;
+    cancel_now = open_handles_ == 0;
+  }
+  if (cancel_now) {
+    // The runner observes the flag at its next deadline poll (mid-rung)
+    // or rung boundary and completes the session with what it has.
+    cancel_flag_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+}
+
+bool FrontierSession::AwaitTarget() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return target_reached_;
+}
+
+bool FrontierSession::AwaitFor(int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_ms < 0) {
+    cv_.wait(lock, [this] { return done_; });
+  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [this] { return done_; })) {
+    return false;
+  }
+  return target_reached_;
+}
+
+bool FrontierSession::AwaitFrontier(int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto published = [this] { return best_ != nullptr || done_; };
+  if (timeout_ms < 0) {
+    cv_.wait(lock, published);
+  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           published)) {
+    return false;
+  }
+  return best_ != nullptr;
+}
+
+int FrontierSession::OnRefined(RefinedCallback callback) {
+  // callback_mu_ is taken first so no publish can deliver to the new
+  // callback between the history snapshot and the replay: a publisher
+  // either copied the callback list before registration (it will not call
+  // us; the snapshot taken after its history append covers its step) or
+  // blocks on callback_mu_ until the replay finished. Either way this
+  // callback sees every step exactly once, in order.
+  std::lock_guard<std::mutex> delivery(callback_mu_);
+  std::vector<RefinedFrontier> replay;
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_callback_id_++;
+    replay = history_;
+    callbacks_.emplace_back(id, std::move(callback));
+  }
+  const RefinedCallback& registered = callbacks_.back().second;
+  for (const RefinedFrontier& frontier : replay) registered(frontier);
+  return id;
+}
+
+void FrontierSession::RemoveCallback(int id) {
+  // Block until in-flight deliveries finish so a removed callback is never
+  // invoked after RemoveCallback returns.
+  std::lock_guard<std::mutex> delivery(callback_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(
+      std::remove_if(callbacks_.begin(), callbacks_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      callbacks_.end());
+}
+
+bool FrontierSession::Publish(double alpha,
+                              std::shared_ptr<const PlanSet> plan_set,
+                              double step_ms, bool from_cache) {
+  if (plan_set == nullptr) return false;
+  // callback_mu_ is held across BOTH the callback-list snapshot and the
+  // delivery (same order as OnRefined/RemoveCallback take the locks): a
+  // RemoveCallback cannot slip between snapshot and delivery, so a
+  // removed callback is provably never invoked after removal returns.
+  std::lock_guard<std::mutex> delivery(callback_mu_);
+  RefinedFrontier frontier;
+  std::vector<std::pair<int, RefinedCallback>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Monotonicity guard: after the first publish (which may be the
+    // guarantee-free quick frontier at +infinity), every further frontier
+    // must strictly tighten the guarantee. The ladder is strictly
+    // decreasing by construction, so this only drops genuinely redundant
+    // publishes (e.g. a rung at the alpha a cache seed already provided).
+    if (failed_ || (best_ != nullptr && alpha >= best_alpha_)) return false;
+    frontier.step = static_cast<int>(history_.size());
+    frontier.alpha = alpha;
+    frontier.plan_set = plan_set;
+    frontier.step_ms = step_ms;
+    frontier.from_cache = from_cache;
+    history_.push_back(frontier);
+    best_ = std::move(plan_set);
+    best_alpha_ = alpha;
+    if (alpha <= target_alpha_) target_reached_ = true;
+    callbacks = callbacks_;
+  }
+  cv_.notify_all();
+  for (const auto& [id, callback] : callbacks) callback(frontier);
+  return true;
+}
+
+void FrontierSession::MarkDone(
+    std::shared_ptr<const OptimizerResult> final_result, bool degraded,
+    bool failed) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (final_result != nullptr) final_result_ = std::move(final_result);
+    degraded_ = degraded;
+    failed_ = failed;
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace moqo

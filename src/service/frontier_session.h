@@ -1,0 +1,263 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// FrontierSession: the anytime, progressively refining frontier API of the
+// optimization service (PR 5).
+//
+// The paper's IRA (Section 6) rests on one observation: a coarse
+// (large-alpha) approximate Pareto set is cheap, and precision can be
+// bought *incrementally*. A FrontierSession turns that into the service's
+// primary serving shape. OptimizationService::OpenFrontier(spec, options)
+// returns immediately with a session that
+//
+//   1. already holds a first frontier — a cached one when the PlanCache
+//      has an entry at (or tighter than) the target alpha, otherwise a
+//      Section 5.1 quick-mode frontier computed synchronously at open, so
+//      the first valid plan arrives within quick-mode latency;
+//   2. refines in the background over a geometric alpha ladder
+//      (alpha_start -> ... -> alpha_target), publishing each completed
+//      rung's PlanSet — every published frontier carries an alpha <= the
+//      previous one — through BestFrontier(), History(), and OnRefined
+//      callbacks;
+//   3. answers Select(preference) at ANY time in O(|frontier|) from the
+//      best frontier so far — the anytime property: a user dragging a
+//      weight slider gets instant answers that silently sharpen as rungs
+//      land;
+//   4. supports Cancel() (mid-rung, via the cancellation token the DP
+//      polls alongside its deadline), AwaitTarget()/AwaitFor(), and
+//      per-rung deadlines.
+//
+// Sessions are integrated with the rest of the service: every completed
+// rung is inserted into the PlanCache tagged with its achieved alpha (so
+// one-shot requests and later sessions reuse it under the relaxed alpha
+// identity), rungs share the cross-query SubplanMemo (ladder steps of
+// overlapping sessions reuse each other's table-set frontiers), sessions
+// with identical spec + ladder coalesce onto one runner, and a refining
+// ladder occupies one admission-controlled in-flight slot.
+//
+// Sessions are preference-free: the spec determines the ladder, and every
+// preference is a selection over published frontiers. The
+// preference-dependent algorithms (IRA, weighted-sum) therefore cannot
+// back a session; SubmitAndWait falls back to the classic path for them.
+//
+// Thread safety: all public members are safe to call from any thread, and
+// a session handle remains valid (it just stops refining) after the
+// service that opened it is destroyed.
+
+#ifndef MOQO_SERVICE_FRONTIER_SESSION_H_
+#define MOQO_SERVICE_FRONTIER_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/plan_set.h"
+#include "service/plan_cache.h"
+#include "service/policy.h"
+#include "service/request.h"
+#include "service/signature.h"
+#include "util/deadline.h"
+
+namespace moqo {
+
+class OptimizationService;
+
+/// Knobs of one refinement session.
+struct SessionOptions {
+  /// First (coarsest) rung of the alpha ladder. Values <= the target
+  /// collapse the ladder to a single rung at the target — that is how
+  /// SubmitAndWait becomes a one-step session.
+  double alpha_start = 4.0;
+  /// Final precision; <= 0 derives it from the spec's alpha override or
+  /// the policy default.
+  double alpha_target = -1;
+  /// Maximum ladder rungs from alpha_start down to alpha_target
+  /// (geometric in log space; >= 1).
+  int max_steps = 4;
+  /// Per-rung wall budget in ms; < 0 = none. A rung that exceeds it ends
+  /// the ladder — the session keeps the guarantees it already published.
+  int64_t step_deadline_ms = -1;
+  /// Publish a synchronous quick-mode frontier at open when the cache
+  /// cannot seed one; the session then always has a valid plan before
+  /// OpenFrontier returns.
+  bool quick_first = true;
+};
+
+/// One published frontier: a refinement step's output.
+struct RefinedFrontier {
+  /// Publish index within the session (0 = the open-time quick/cached
+  /// frontier when one exists).
+  int step = 0;
+  /// The approximation guarantee of `plan_set`; +infinity for the
+  /// quick-mode frontier (valid plans, no guarantee). Strictly decreasing
+  /// over a session's published steps.
+  double alpha = std::numeric_limits<double>::infinity();
+  std::shared_ptr<const PlanSet> plan_set;
+  /// Wall time of the step that produced it (0 for cache-served steps).
+  double step_ms = 0;
+  /// Served or seeded from the PlanCache rather than computed here.
+  bool from_cache = false;
+};
+
+/// One scalarization of a session's best frontier at some instant.
+struct SessionSelection {
+  /// The selected plan and its derived quantities; plan is null iff the
+  /// session has not published any frontier yet.
+  PlanSelection selection;
+  /// The frontier the selection came from — hold it as long as the plan
+  /// is used.
+  std::shared_ptr<const PlanSet> plan_set;
+  /// Guarantee of that frontier (+infinity for quick-mode).
+  double alpha = std::numeric_limits<double>::infinity();
+  /// Publish index of that frontier; -1 if none yet.
+  int step = -1;
+};
+
+class FrontierSession {
+ public:
+  using RefinedCallback = std::function<void(const RefinedFrontier&)>;
+
+  FrontierSession(const FrontierSession&) = delete;
+  FrontierSession& operator=(const FrontierSession&) = delete;
+
+  /// The best (tightest-alpha) frontier published so far; null until the
+  /// first publish (which, with quick_first or a cache seed, happens
+  /// before OpenFrontier returns).
+  std::shared_ptr<const PlanSet> BestFrontier() const;
+
+  /// Guarantee of BestFrontier(): +infinity while only the quick-mode
+  /// frontier exists, then the latest rung's alpha.
+  double BestAlpha() const;
+
+  /// The precision the ladder refines toward.
+  double target_alpha() const { return target_alpha_; }
+  /// The resolved rung precisions, coarsest first.
+  const std::vector<double>& ladder() const { return ladder_; }
+  AlgorithmKind algorithm() const { return decision_.algorithm; }
+
+  /// Scalarizes the best frontier so far for `preference` —
+  /// O(|frontier|), never blocks, callable at any time from any thread
+  /// (including concurrently with refinement). Bounds are honored at
+  /// selection (bounded SelectBest); the deadline field is ignored.
+  SessionSelection Select(const Preference& preference) const;
+
+  /// All published frontiers, oldest first; alphas strictly decrease.
+  std::vector<RefinedFrontier> History() const;
+  int StepsPublished() const;
+
+  /// Ladder finished, failed, was cancelled, or was born satisfied.
+  bool Done() const;
+  /// Refinement reached alpha_target.
+  bool TargetReached() const;
+  bool Cancelled() const;
+
+  /// Releases this opener's interest. When every OpenFrontier call that
+  /// returned this session has cancelled, the runner aborts mid-rung (the
+  /// DP's cancellation token) and the session completes with what it
+  /// already published. Extra calls are no-ops.
+  void Cancel();
+
+  /// Blocks until the session is done; true iff the target was reached.
+  bool AwaitTarget();
+  /// Same with a timeout; false also when the wait timed out.
+  bool AwaitFor(int64_t timeout_ms);
+  /// Blocks until at least one frontier is published (immediately true
+  /// for quick_first/cache-seeded sessions); false on timeout
+  /// (timeout_ms < 0 = wait forever).
+  bool AwaitFrontier(int64_t timeout_ms = -1);
+
+  /// Registers a callback invoked for every published frontier. Already-
+  /// published steps are replayed synchronously before registration
+  /// returns, so a late subscriber misses nothing; per callback, delivery
+  /// order is publish order. Returns an id for RemoveCallback. Callbacks
+  /// run on the refining (or registering, during replay) thread and must
+  /// not block.
+  int OnRefined(RefinedCallback callback);
+  void RemoveCallback(int id);
+
+ private:
+  friend class OptimizationService;
+
+  FrontierSession() = default;
+
+  /// Appends a frontier (strictly tighter than the current best; looser
+  /// ones are dropped), updates the best snapshot, wakes waiters, and
+  /// delivers callbacks. Returns false if the frontier was dropped.
+  bool Publish(double alpha, std::shared_ptr<const PlanSet> plan_set,
+               double step_ms, bool from_cache);
+
+  /// Marks the session finished and wakes every waiter.
+  void MarkDone(std::shared_ptr<const OptimizerResult> final_result,
+                bool degraded, bool failed);
+
+  void Attach();  ///< One more OpenFrontier call returned this session.
+  bool CancelRequested() const {
+    return cancel_flag_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Immutable after OpenFrontier (set by the service). ----
+  ProblemSpec spec_;
+  /// Points into spec_; weights resolved to the opener's preference (or
+  /// uniform) for quick-mode and stored-selection purposes.
+  MOQOProblem problem_;
+  PolicyDecision decision_;
+  /// Alpha-free cache key of the spec (relaxed identity).
+  ProblemSignature cache_signature_;
+  /// Exact identity of this refinement: cache key + ladder + step budget;
+  /// what identical sessions coalesce on.
+  ProblemSignature session_key_;
+  std::vector<double> ladder_;
+  double target_alpha_ = 1.0;
+  SessionOptions session_options_;
+  /// Preference stored with cache inserts (the opener's, or uniform);
+  /// also the weights quick mode optimizes for.
+  Preference insert_preference_;
+  /// Total budget from open in ms (< 0 = none); used by the one-step
+  /// SubmitAndWait shim so queue wait counts against the deadline.
+  int64_t total_deadline_ms_ = -1;
+  bool registered_ = false;   ///< In the service's session registry.
+  bool holds_slot_ = false;   ///< Owns one admission (in-flight) slot.
+  StopWatch since_open_;
+
+  // ---- Mutable session state. ----
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<RefinedFrontier> history_;
+  std::shared_ptr<const PlanSet> best_;
+  double best_alpha_ = std::numeric_limits<double>::infinity();
+  bool done_ = false;
+  bool target_reached_ = false;
+  bool failed_ = false;     ///< Optimizer error; no further publishes.
+  bool rejected_ = false;   ///< Shed by admission control at open.
+  bool degraded_ = false;   ///< A rung timed out before the target.
+  /// How the PlanCache answered the opener (kMiss when a ladder ran).
+  CacheOutcome open_outcome_ = CacheOutcome::kMiss;
+  /// The cache entry a born-done session was served from (exact-hit
+  /// classification needs its stored preference).
+  std::shared_ptr<const CachedFrontier> cached_entry_;
+  /// The last completed rung's full result (or the degraded quick result
+  /// when nothing completed); what the SubmitAndWait shim answers from.
+  std::shared_ptr<const OptimizerResult> final_result_;
+  double queue_ms_ = 0;  ///< Open-to-ladder-pickup wall time.
+  int open_handles_ = 0;
+  std::vector<std::pair<int, RefinedCallback>> callbacks_;
+  int next_callback_id_ = 0;
+
+  /// Serializes callback delivery so each callback sees publishes in
+  /// order, including the OnRefined replay.
+  std::mutex callback_mu_;
+
+  /// Set when every opener has cancelled; polled by the DP through its
+  /// Deadline (mid-rung cancellation point).
+  std::atomic<bool> cancel_flag_{false};
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_FRONTIER_SESSION_H_

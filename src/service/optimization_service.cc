@@ -2,6 +2,8 @@
 
 #include "service/optimization_service.h"
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -11,10 +13,54 @@ namespace moqo {
 
 namespace {
 
+constexpr double kInfiniteAlpha = std::numeric_limits<double>::infinity();
+
 int ResolveWorkers(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// EXA and Selinger are exact regardless of the requested precision, so
+/// their cache entries are tagged alpha = 1 — maximally reusable under the
+/// relaxed identity.
+double AchievedAlpha(AlgorithmKind algorithm, double alpha) {
+  const bool exact = algorithm == AlgorithmKind::kExa ||
+                     algorithm == AlgorithmKind::kSelinger;
+  return exact ? 1.0 : alpha;
+}
+
+/// The session's precision schedule: geometric in log-alpha from `start`
+/// down to `target` in at most `max_steps` rungs, strictly decreasing,
+/// ending bit-exactly at the target. start <= target collapses to the
+/// single-rung {target} ladder (the SubmitAndWait shim).
+std::vector<double> MakeAlphaLadder(double start, double target,
+                                    int max_steps) {
+  if (target < 1.0) target = 1.0;
+  if (max_steps < 1) max_steps = 1;
+  if (start <= target || max_steps == 1) return {target};
+  std::vector<double> ladder;
+  ladder.reserve(max_steps);
+  const double log_start = std::log(start);
+  const double log_target = std::log(target);
+  for (int i = 0; i < max_steps; ++i) {
+    const double t = static_cast<double>(i) / (max_steps - 1);
+    ladder.push_back(std::exp(log_start + (log_target - log_start) * t));
+  }
+  ladder.back() = target;
+  return ladder;
+}
+
+/// Exact identity of one refinement: the alpha-free cache key extended
+/// with every rung precision and the per-rung budget. Sessions coalesce
+/// only when the whole schedule matches — sharing a ladder that refines
+/// differently would change what a caller observes.
+ProblemSignature SessionKey(const ProblemSignature& base,
+                            const std::vector<double>& ladder,
+                            int64_t step_deadline_ms) {
+  ProblemSignature key = base;
+  for (double alpha : ladder) key = ExtendSignature(key, alpha);
+  return ExtendSignature(key, static_cast<double>(step_deadline_ms));
 }
 
 /// Builds a result over `plan_set` with `base`'s cold-run metrics and the
@@ -57,10 +103,13 @@ struct OptimizationService::Admitted {
   /// Built once at submit time; `problem.query` points into `spec`.
   MOQOProblem problem;
   PolicyDecision decision;
+  /// Alpha-free cache key (relaxed identity).
   ProblemSignature signature;
+  /// Alpha-extended exact identity: what in-flight duplicates coalesce on.
+  ProblemSignature coalesce_key;
   bool cacheable = false;
   /// True iff this request registered the in-flight coalescing entry for
-  /// its signature (i.e. it is the primary later arrivals wait on).
+  /// its coalesce key (i.e. it is the primary later arrivals wait on).
   bool coalesce_registered = false;
   int64_t deadline_ms = -1;   ///< Total budget; -1 = none.
   StopWatch since_submit;     ///< Started at Submit().
@@ -113,6 +162,539 @@ OptimizerOptions OptimizationService::MakeOptimizerOptions(
   if (use_memo) opts.subplan_memo = subplan_memo_.get();
   return opts;
 }
+
+std::shared_ptr<const CachedFrontier> OptimizationService::MakeCacheEntry(
+    const std::shared_ptr<const OptimizerResult>& result,
+    const WeightVector& weights, const BoundVector& bounds,
+    double achieved_alpha) {
+  auto cached = std::make_shared<CachedFrontier>();
+  cached->result = result;
+  if (options_.max_cached_frontier > 0 && result->plan_set != nullptr &&
+      result->plan_set->size() > options_.max_cached_frontier) {
+    // Cache a compacted epsilon-coverage copy so many-objective specs do
+    // not pin huge PlanSets; the selection stored with it must come from
+    // the compacted set (exact hits serve it verbatim). The entry keeps
+    // the UNcompacted run's alpha tag even though compaction degrades the
+    // true guarantee to alpha*(1+epsilon) — the documented PR-3 tradeoff
+    // of max_cached_frontier, unchanged by the relaxed alpha identity:
+    // a same-alpha hit (which must keep working, or compacted entries
+    // could never serve their own spec) overstates by exactly as much as
+    // any looser-alpha hit, and requests looser than alpha*(1+epsilon)
+    // are served within their actual tolerance.
+    cached->result = ResultOverPlanSet(
+        result,
+        CompactPlanSet(result->plan_set, options_.cache_compaction_epsilon,
+                       options_.max_cached_frontier),
+        weights, bounds);
+  }
+  cached->weights = weights;
+  cached->bounds = bounds;
+  cached->achieved_alpha = achieved_alpha;
+  return cached;
+}
+
+// ---------------------------------------------------------------------------
+// Anytime frontier sessions.
+
+std::shared_ptr<FrontierSession> OptimizationService::OpenFrontier(
+    ProblemSpec spec, SessionOptions options) {
+  stats_.RecordSessionOpened();
+  OpenInfo info;
+  return OpenSession(std::move(spec), options, /*preference=*/nullptr,
+                     /*deadline_ms=*/-1, /*coalescable=*/true,
+                     /*hold_slot_if_joined=*/false, &info);
+}
+
+std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
+    ProblemSpec spec, const SessionOptions& session_options,
+    const Preference* preference, int64_t deadline_ms, bool coalescable,
+    bool hold_slot_if_joined, OpenInfo* info) {
+  std::shared_ptr<FrontierSession> session(new FrontierSession());
+  session->session_options_ = session_options;
+  session->spec_ = std::move(spec);
+  session->total_deadline_ms_ = deadline_ms;
+  session->Attach();
+
+  if (session->spec_.query == nullptr) {
+    stats_.RecordInternalError();
+    info->rejected = true;
+    session->rejected_ = true;
+    session->MarkDone(nullptr, /*degraded=*/false, /*failed=*/true);
+    return session;
+  }
+
+  // Normalize the opener's preference against the spec: it seeds the
+  // quick-mode weights, the stored cache selection, and — for the
+  // one-step shim — the final result's selection.
+  const int dims = session->spec_.objectives.size();
+  Preference resolved;
+  if (preference != nullptr) resolved = *preference;
+  if (resolved.weights.size() != dims) {
+    resolved.weights = WeightVector::Uniform(dims);
+  }
+  if (resolved.bounds.size() != dims) resolved.bounds = BoundVector();
+  session->insert_preference_ = resolved;
+
+  session->problem_.query = session->spec_.query.get();
+  session->problem_.objectives = session->spec_.objectives;
+  session->problem_.weights = resolved.weights;
+  session->problem_.bounds = resolved.bounds;
+
+  PolicyDecision decision =
+      ChooseAlgorithm(*session->spec_.query, session->spec_.objectives,
+                      deadline_ms, options_.policy);
+  if (session->spec_.algorithm) decision.algorithm = *session->spec_.algorithm;
+  if (session->spec_.alpha) decision.alpha = *session->spec_.alpha;
+  if (session->spec_.parallelism) {
+    decision.parallelism =
+        *session->spec_.parallelism < 1 ? 1 : *session->spec_.parallelism;
+  }
+  session->decision_ = decision;
+
+  // Sessions are preference-free by construction; the algorithms whose
+  // whole output depends on the preference cannot back one. (SubmitAndWait
+  // routes them to the classic path before getting here.)
+  if (IsPreferenceDependent(decision.algorithm)) {
+    stats_.RecordInternalError();
+    info->rejected = true;
+    session->rejected_ = true;
+    session->MarkDone(nullptr, /*degraded=*/false, /*failed=*/true);
+    return session;
+  }
+
+  // Resolve the refinement schedule: the explicit target, else the spec's
+  // alpha as the policy resolved it; exact algorithms always target 1.
+  double target = session_options.alpha_target > 0
+                      ? session_options.alpha_target
+                      : decision.alpha;
+  if (target < 1.0) target = 1.0;
+  target = AchievedAlpha(decision.algorithm, target);
+  session->target_alpha_ = target;
+  session->ladder_ =
+      decision.algorithm == AlgorithmKind::kRta
+          ? MakeAlphaLadder(session_options.alpha_start, target,
+                            session_options.max_steps)
+          : std::vector<double>{target};
+  session->cache_signature_ = ComputeSignature(
+      *session->spec_.query, session->spec_.objectives, decision.algorithm,
+      target,
+      MakeOptimizerOptions(target, -1, /*parallelism=*/1, /*use_memo=*/false),
+      &resolved.weights, &resolved.bounds);
+  session->session_key_ =
+      SessionKey(session->cache_signature_, session->ladder_,
+                 session_options.step_deadline_ms);
+
+  // Stage 1: cache probe at the target precision. A hit (any entry at
+  // least as tight) makes the session born-done — the frontier is already
+  // as good as this ladder could make it.
+  if (options_.enable_cache) {
+    std::shared_ptr<const CachedFrontier> cached =
+        cache_.Lookup(session->cache_signature_, target);
+    if (cached != nullptr && cached->result != nullptr) {
+      ServeSessionBornDone(session, cached, resolved, info);
+      return session;
+    }
+  }
+
+  // Stage 2: seed from a looser cached frontier. An entry tighter than
+  // nothing-at-all but looser than the target still beats the quick-mode
+  // prelude (it carries a real guarantee), and the rungs it already
+  // satisfies are dropped from the ladder. Runs before the session
+  // becomes joinable so the schedule is immutable once shared. Uncounted:
+  // together with stage 1 each open records exactly one lookup — and if a
+  // tighter-than-target entry landed since stage 1, the recorded miss is
+  // reclassified and the session is born done after all.
+  if (options_.enable_cache) {
+    std::shared_ptr<const CachedFrontier> seed = cache_.Lookup(
+        session->cache_signature_, PlanCache::kAnyAlpha,
+        /*record_stats=*/false);
+    if (seed != nullptr && seed->result != nullptr &&
+        seed->result->plan_set != nullptr) {
+      if (seed->achieved_alpha <= target) {
+        cache_.ReclassifyMissAsHit();
+        ServeSessionBornDone(session, seed, resolved, info);
+        return session;
+      }
+      if (session->Publish(seed->achieved_alpha, seed->result->plan_set, 0,
+                           /*from_cache=*/true)) {
+        std::vector<double> trimmed;
+        for (double alpha : session->ladder_) {
+          if (alpha < seed->achieved_alpha) trimmed.push_back(alpha);
+        }
+        // The target rung always survives (a seed at or below the target
+        // was served above), so the trimmed ladder is never empty.
+        if (!trimmed.empty()) session->ladder_ = std::move(trimmed);
+      }
+    }
+  }
+
+  // Takes one admission slot, or marks the session shed. Shared by every
+  // stage-3 path so rejection bookkeeping cannot drift between them.
+  const auto try_admit = [this, &session, info]() -> bool {
+    const size_t prior = inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (prior < options_.max_inflight) return true;
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    stats_.RecordAdmissionRejected();
+    info->rejected = true;
+    session->rejected_ = true;
+    session->MarkDone(nullptr, /*degraded=*/false, /*failed=*/true);
+    return false;
+  };
+
+  // Stage 3: coalesce onto a live identical refinement, or register as
+  // its primary. Admission happens under the lock, before the session
+  // becomes joinable, so joiners only ever park behind admitted primaries.
+  if (options_.enable_coalescing && coalescable) {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    auto it = sessions_by_key_.find(session->session_key_);
+    // Never join a session whose every prior opener has already
+    // cancelled: its runner is mid-abort and will not reach the target,
+    // and attaching cannot un-cancel it. Register over it instead (its
+    // FinishSession erases by pointer equality, so the replacement is
+    // safe).
+    if (it != sessions_by_key_.end() && !it->second->CancelRequested()) {
+      if (hold_slot_if_joined && !try_admit()) return session;
+      it->second->Attach();
+      stats_.RecordSessionCoalesced();
+      info->joined = true;
+      info->outcome = CacheOutcome::kCoalescedHit;
+      return it->second;
+    }
+    if (!try_admit()) return session;
+    session->holds_slot_ = true;
+    sessions_by_key_[session->session_key_] = session;
+    session->registered_ = true;
+  } else {
+    if (!try_admit()) return session;
+    session->holds_slot_ = true;
+  }
+
+  // Stage 4: race-closing re-probe. A just-finished identical session (or
+  // one-shot run) inserts into the cache *before* unregistering, so a
+  // second uncounted probe here closes the found-no-session window; the
+  // recorded miss is reclassified so each open counts one lookup.
+  if (options_.enable_cache) {
+    std::shared_ptr<const CachedFrontier> cached = cache_.Lookup(
+        session->cache_signature_, target, /*record_stats=*/false);
+    if (cached != nullptr && cached->result != nullptr) {
+      cache_.ReclassifyMissAsHit();
+      if (session->registered_) {
+        std::lock_guard<std::mutex> lock(session_mu_);
+        auto it = sessions_by_key_.find(session->session_key_);
+        if (it != sessions_by_key_.end() && it->second == session) {
+          sessions_by_key_.erase(it);
+        }
+        session->registered_ = false;
+      }
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      session->holds_slot_ = false;
+      ServeSessionBornDone(session, cached, resolved, info);
+      return session;
+    }
+  }
+
+  // Stage 5: quick-mode prelude — the Section 5.1 single-plan-per-set
+  // finish, run synchronously so OpenFrontier returns with a selectable
+  // frontier in hand. No guarantee (alpha = infinity), but valid plans.
+  if (session_options.quick_first && session->BestFrontier() == nullptr) {
+    try {
+      OptimizerOptions quick_opts = MakeOptimizerOptions(
+          decision.alpha, /*timeout_ms=*/0, /*parallelism=*/1,
+          /*use_memo=*/false);
+      std::unique_ptr<OptimizerBase> optimizer =
+          MakeOptimizer(decision.algorithm, quick_opts);
+      StopWatch quick_watch;
+      OptimizerResult quick = optimizer->Optimize(session->problem_);
+      session->Publish(kInfiniteAlpha, quick.plan_set,
+                       quick_watch.ElapsedMillis(), /*from_cache=*/false);
+    } catch (...) {
+      // A failed prelude only costs the early frontier; the ladder still
+      // runs.
+    }
+  }
+
+  // Stage 6: hand the ladder to the worker pool.
+  stats_.RecordSessionStarted();
+  if (!pool_.Submit([this, session] { RunSessionLadder(session); })) {
+    // Shutdown raced the open; the session completes with whatever the
+    // prelude published.
+    stats_.RecordAdmissionRejected();
+    info->rejected = true;
+    session->rejected_ = true;
+    FinishSession(session, nullptr, /*degraded=*/false, /*failed=*/true);
+  }
+  return session;
+}
+
+void OptimizationService::ServeSessionBornDone(
+    const std::shared_ptr<FrontierSession>& session,
+    const std::shared_ptr<const CachedFrontier>& cached,
+    const Preference& preference, OpenInfo* info) {
+  const bool same_preference = cached->weights == preference.weights &&
+                               cached->bounds == preference.bounds;
+  info->outcome = same_preference ? CacheOutcome::kExactHit
+                                  : CacheOutcome::kFrontierHit;
+  {
+    // Under the session lock: the post-registration re-probe path calls
+    // this on a session joiners may already share.
+    std::lock_guard<std::mutex> lock(session->mu_);
+    session->open_outcome_ = info->outcome;
+    session->cached_entry_ = cached;
+    session->target_reached_ = true;
+  }
+  session->Publish(cached->achieved_alpha, cached->result->plan_set,
+                   /*step_ms=*/0, /*from_cache=*/true);
+  session->MarkDone(cached->result, /*degraded=*/false, /*failed=*/false);
+}
+
+void OptimizationService::RunSessionLadder(
+    const std::shared_ptr<FrontierSession>& session) {
+  session->queue_ms_ = session->since_open_.ElapsedMillis();
+  const PolicyDecision& decision = session->decision_;
+
+  // Remaining total budget after queueing (the one-step shim's deadline
+  // covers open-to-response, like the classic path's submit-to-response).
+  int64_t timeout_ms = -1;
+  if (session->total_deadline_ms_ >= 0) {
+    const int64_t remaining = session->total_deadline_ms_ -
+                              static_cast<int64_t>(session->queue_ms_);
+    timeout_ms = remaining > 0 ? remaining : 0;
+  }
+
+  std::shared_ptr<const OptimizerResult> degraded_result;
+  bool degraded = false;
+  bool failed = false;
+  try {
+    // Epoch guard before the memo is read: a catalog whose statistics
+    // were bumped since the memo's entries were published flushes them.
+    if (subplan_memo_ != nullptr && decision.use_subplan_memo) {
+      const Catalog& catalog = session->spec_.query->catalog();
+      subplan_memo_->ObserveCatalog(&catalog, catalog.epoch());
+    }
+
+    const int64_t step_ms = session->session_options_.step_deadline_ms;
+    if (decision.algorithm != AlgorithmKind::kRta && step_ms >= 0) {
+      // Exact algorithms run the ladder as one rung; fold the per-rung
+      // budget into the overall one (the RTA handles it internally).
+      timeout_ms = timeout_ms < 0 ? step_ms : std::min(timeout_ms, step_ms);
+    }
+
+    OptimizerOptions opts = MakeOptimizerOptions(
+        session->ladder_.back(), timeout_ms, decision.parallelism,
+        decision.use_subplan_memo);
+    opts.cancel = &session->cancel_flag_;
+    if (decision.algorithm == AlgorithmKind::kRta) {
+      opts.alpha_ladder = session->ladder_;
+      opts.step_timeout_ms = step_ms;
+      opts.on_rung = [this, &session](int rung, double alpha,
+                                      const OptimizerResult& result) {
+        return OnSessionRung(session, rung, alpha, result);
+      };
+    }
+    std::unique_ptr<OptimizerBase> optimizer =
+        MakeOptimizer(decision.algorithm, opts);
+    StopWatch run_watch;
+    auto result = std::make_shared<OptimizerResult>(
+        optimizer->Optimize(session->problem_));
+    if (result->metrics.timed_out) {
+      // No rung completed (a partially refined RTA ladder returns its
+      // last *completed* rung, un-flagged): the session ends degraded,
+      // holding the quick-mode result for the shim. Never cached.
+      degraded = true;
+      degraded_result = std::move(result);
+      stats_.RecordDeadlineTimeout();
+      stats_.RecordLatency(decision.algorithm, run_watch.ElapsedMillis());
+    } else if (decision.algorithm != AlgorithmKind::kRta) {
+      // Exact algorithms publish their single rung here; RTA rungs were
+      // published by the on_rung hook.
+      OnSessionRung(session, /*rung=*/0, session->ladder_.back(), *result);
+    }
+  } catch (...) {
+    failed = true;
+    stats_.RecordInternalError();
+  }
+  FinishSession(session, std::move(degraded_result), degraded, failed);
+}
+
+bool OptimizationService::OnSessionRung(
+    const std::shared_ptr<FrontierSession>& session, int rung, double alpha,
+    const OptimizerResult& result) {
+  (void)rung;
+  const double achieved =
+      AchievedAlpha(session->decision_.algorithm, alpha);
+  auto shared = std::make_shared<const OptimizerResult>(result);
+  stats_.RecordLatency(session->decision_.algorithm,
+                       result.metrics.optimization_ms);
+  stats_.RecordRefinementStep(result.metrics.optimization_ms);
+  if (options_.enable_cache && !result.metrics.timed_out) {
+    // Insert before publishing (and before the registry erase in
+    // FinishSession): late identical opens that miss the registry must
+    // find the entry on their re-probe.
+    cache_.Insert(session->cache_signature_,
+                  MakeCacheEntry(shared, session->insert_preference_.weights,
+                                 session->insert_preference_.bounds,
+                                 achieved));
+  }
+  {
+    std::lock_guard<std::mutex> lock(session->mu_);
+    session->final_result_ = shared;
+  }
+  session->Publish(achieved, shared->plan_set,
+                   result.metrics.optimization_ms, /*from_cache=*/false);
+  return !session->CancelRequested();
+}
+
+void OptimizationService::FinishSession(
+    const std::shared_ptr<FrontierSession>& session,
+    std::shared_ptr<const OptimizerResult> final_result, bool degraded,
+    bool failed) {
+  // All bookkeeping happens BEFORE MarkDone wakes the waiters: a caller
+  // returning from AwaitTarget must observe the registry entry gone, the
+  // admission slot released, and the active-sessions gauge decremented.
+  // (The cache inserts this ordering protects happened per rung, in
+  // OnSessionRung — insert-before-unregister is what makes the open
+  // path's race-closing re-probe sound.)
+  if (session->registered_) {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    auto it = sessions_by_key_.find(session->session_key_);
+    if (it != sessions_by_key_.end() && it->second == session) {
+      sessions_by_key_.erase(it);
+    }
+  }
+  if (session->holds_slot_) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  stats_.RecordSessionFinished();
+  session->MarkDone(std::move(final_result), degraded, failed);
+}
+
+ServiceResponse OptimizationService::SubmitAndWait(ServiceRequest request) {
+  // The preference-dependent algorithms (IRA, weighted-sum) cannot be
+  // preference-free sessions; they keep the classic pipeline.
+  if (request.spec.algorithm &&
+      IsPreferenceDependent(*request.spec.algorithm)) {
+    return Submit(std::move(request)).get();
+  }
+
+  stats_.RecordRequest();
+  StopWatch since_submit;
+  const int64_t deadline_ms = request.preference.deadline_ms >= 0
+                                  ? request.preference.deadline_ms
+                                  : options_.default_deadline_ms;
+
+  // One-step session: ladder = {resolved alpha}, no quick prelude (the
+  // rung itself degrades to quick mode on expiry, exactly like the
+  // classic path), the whole deadline as the run budget.
+  SessionOptions session_options;
+  session_options.alpha_start = -1;
+  session_options.max_steps = 1;
+  session_options.quick_first = false;
+  session_options.step_deadline_ms = -1;
+
+  Preference preference = request.preference;
+  ProblemSpec spec = std::move(request.spec);
+  // Deadline-bounded requests never wait on shared work (a waiter cannot
+  // degrade to quick mode mid-wait), so they open private sessions.
+  const bool coalescable = deadline_ms < 0;
+
+  // A joiner whose shared ladder degraded or failed cannot be served from
+  // it (the quick-mode plan depends on the primary's weights); it retries
+  // with its own open. Identical retries coalesce among themselves, so a
+  // failing signature promotes ONE new primary per round instead of
+  // thundering — and each failed primary leaves the retry population, so
+  // the chain terminates.
+  for (;;) {
+    OpenInfo info;
+    std::shared_ptr<FrontierSession> session = OpenSession(
+        spec, session_options, &preference, deadline_ms, coalescable,
+        /*hold_slot_if_joined=*/true, &info);
+
+    ServiceResponse response;
+    response.algorithm = session->decision_.algorithm;
+    response.alpha = session->decision_.alpha;
+
+    if (info.rejected) {
+      response.status = ResponseStatus::kRejected;
+      response.service_ms = since_submit.ElapsedMillis();
+      return response;
+    }
+
+    if (!info.joined && (info.outcome == CacheOutcome::kExactHit ||
+                         info.outcome == CacheOutcome::kFrontierHit)) {
+      const std::shared_ptr<const CachedFrontier>& cached =
+          session->cached_entry_;
+      response.status = ResponseStatus::kCompleted;
+      response.cache = info.outcome;
+      response.alpha = cached->achieved_alpha;
+      if (info.outcome == CacheOutcome::kExactHit) {
+        response.result = cached->result;
+        stats_.RecordExactHit();
+      } else {
+        response.result = ReselectResult(cached->result, preference.weights,
+                                         preference.bounds);
+        stats_.RecordFrontierHit();
+      }
+      stats_.RecordCompleted();
+      response.service_ms = since_submit.ElapsedMillis();
+      return response;
+    }
+
+    if (info.joined) {
+      session->AwaitTarget();
+      std::shared_ptr<const OptimizerResult> shared_result;
+      bool usable = false;
+      {
+        std::lock_guard<std::mutex> lock(session->mu_);
+        usable = session->target_reached_ && !session->failed_ &&
+                 session->final_result_ != nullptr;
+        shared_result = session->final_result_;
+      }
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);  // Joiner slot.
+      if (!usable) continue;  // Retry with our own session.
+      response.status = ResponseStatus::kCompleted;
+      response.cache = CacheOutcome::kCoalescedHit;
+      response.alpha = session->BestAlpha();
+      response.result = ReselectResult(shared_result, preference.weights,
+                                       preference.bounds);
+      stats_.RecordCoalescedHit();
+      stats_.RecordCompleted();
+      response.service_ms = since_submit.ElapsedMillis();
+      return response;
+    }
+
+    // Primary: this call's open ran (or is running) the one-rung ladder.
+    session->AwaitTarget();
+    response.cache = CacheOutcome::kMiss;
+    response.queue_ms = session->queue_ms_;
+    std::shared_ptr<const OptimizerResult> final_result;
+    bool was_failed = false, was_degraded = false, reached = false;
+    {
+      std::lock_guard<std::mutex> lock(session->mu_);
+      final_result = session->final_result_;
+      was_failed = session->failed_;
+      was_degraded = session->degraded_;
+      reached = session->target_reached_;
+    }
+    if (was_failed || final_result == nullptr) {
+      response.status = ResponseStatus::kRejected;
+      response.result = nullptr;
+    } else if (was_degraded || !reached) {
+      response.status = ResponseStatus::kCompletedQuick;
+      response.result = final_result;
+      stats_.RecordCompleted();
+    } else {
+      response.status = ResponseStatus::kCompleted;
+      response.alpha = session->BestAlpha();
+      response.result = final_result;
+      stats_.RecordCompleted();
+    }
+    response.service_ms = since_submit.ElapsedMillis();
+    return response;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The classic asynchronous one-shot pipeline.
 
 std::future<ServiceResponse> OptimizationService::Submit(
     ServiceRequest request) {
@@ -174,12 +756,14 @@ std::future<ServiceResponse> OptimizationService::Submit(
         MakeOptimizerOptions(decision.alpha, -1, /*parallelism=*/1,
                              /*use_memo=*/false),
         &admitted->preference.weights, &admitted->preference.bounds);
+    admitted->coalesce_key =
+        ExtendSignature(admitted->signature, decision.alpha);
     admitted->cacheable = true;
     std::shared_ptr<const CachedFrontier> cached =
-        cache_.Lookup(admitted->signature);
+        cache_.Lookup(admitted->signature, decision.alpha);
     if (cached == nullptr && options_.enable_coalescing) {
       std::lock_guard<std::mutex> lock(coalesce_mu_);
-      auto it = inflight_by_signature_.find(admitted->signature);
+      auto it = inflight_by_signature_.find(admitted->coalesce_key);
       if (it != inflight_by_signature_.end()) {
         // An identical miss is already being optimized. Deadline-free
         // requests wait on it instead of optimizing again (waiters hold
@@ -205,7 +789,8 @@ std::future<ServiceResponse> OptimizationService::Submit(
         // its entry, so this second probe closes the race; the cache's
         // miss counter is reclassified on a hit so each request still
         // records exactly one lookup.
-        cached = cache_.Lookup(admitted->signature, /*record_stats=*/false);
+        cached = cache_.Lookup(admitted->signature, decision.alpha,
+                               /*record_stats=*/false);
         if (cached != nullptr) {
           cache_.ReclassifyMissAsHit();
         } else {
@@ -222,7 +807,7 @@ std::future<ServiceResponse> OptimizationService::Submit(
             return future;
           }
           admission_held = true;
-          inflight_by_signature_[admitted->signature] =
+          inflight_by_signature_[admitted->coalesce_key] =
               std::make_shared<CoalesceEntry>();
           admitted->coalesce_registered = true;
         }
@@ -263,7 +848,7 @@ void OptimizationService::AbandonPrimary(
   // flush its waiters, or their futures would hang forever.
   if (admitted->coalesce_registered) {
     for (const std::shared_ptr<Admitted>& waiter :
-         TakeWaiters(admitted->signature)) {
+         TakeWaiters(admitted->coalesce_key)) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       stats_.RecordAdmissionRejected();
       waiter->Reject();
@@ -278,7 +863,9 @@ void OptimizationService::ServeFromCache(
   ServiceResponse response;
   response.status = ResponseStatus::kCompleted;
   response.algorithm = admitted->decision.algorithm;
-  response.alpha = admitted->decision.alpha;
+  // Report the guarantee the served frontier actually carries — possibly
+  // tighter than requested under the relaxed alpha identity.
+  response.alpha = cached->achieved_alpha;
   const bool same_preference =
       cached->weights == admitted->preference.weights &&
       cached->bounds == admitted->preference.bounds;
@@ -375,23 +962,11 @@ void OptimizationService::RunRequest(
     if (admitted->cacheable && !timed_out) {
       // Insert before the promise resolves and before waiters drain: the
       // Submit() race-closing probe relies on insert-before-erase.
-      auto cached = std::make_shared<CachedFrontier>();
-      cached->result = result;
-      if (options_.max_cached_frontier > 0 && result->plan_set != nullptr &&
-          result->plan_set->size() > options_.max_cached_frontier) {
-        // Cache a compacted epsilon-coverage copy so many-objective specs
-        // do not pin huge PlanSets; the selection stored with it must come
-        // from the compacted set (exact hits serve it verbatim).
-        cached->result = ResultOverPlanSet(
-            result,
-            CompactPlanSet(result->plan_set,
-                           options_.cache_compaction_epsilon,
-                           options_.max_cached_frontier),
-            admitted->preference.weights, admitted->preference.bounds);
-      }
-      cached->weights = admitted->preference.weights;
-      cached->bounds = admitted->preference.bounds;
-      cache_.Insert(admitted->signature, std::move(cached));
+      cache_.Insert(
+          admitted->signature,
+          MakeCacheEntry(result, admitted->preference.weights,
+                         admitted->preference.bounds,
+                         AchievedAlpha(decision.algorithm, decision.alpha)));
     }
     if (timed_out) stats_.RecordDeadlineTimeout();
     stats_.RecordLatency(decision.algorithm, run_ms);
@@ -419,7 +994,7 @@ void OptimizationService::RunRequest(
   // fans out into a thundering herd of identical DP runs.
   if (admitted->coalesce_registered) {
     std::vector<std::shared_ptr<Admitted>> waiters =
-        TakeWaiters(admitted->signature);
+        TakeWaiters(admitted->coalesce_key);
     if (complete && produced != nullptr) {
       for (const std::shared_ptr<Admitted>& waiter : waiters) {
         ServeCoalesced(waiter, produced);
@@ -428,7 +1003,7 @@ void OptimizationService::RunRequest(
       std::shared_ptr<Admitted> promoted;
       {
         std::lock_guard<std::mutex> lock(coalesce_mu_);
-        auto it = inflight_by_signature_.find(admitted->signature);
+        auto it = inflight_by_signature_.find(admitted->coalesce_key);
         if (it != inflight_by_signature_.end()) {
           // A newer primary already took over: park everyone behind it.
           for (std::shared_ptr<Admitted>& waiter : waiters) {
@@ -439,7 +1014,7 @@ void OptimizationService::RunRequest(
           promoted->coalesce_registered = true;
           auto entry = std::make_shared<CoalesceEntry>();
           entry->waiters.assign(waiters.begin() + 1, waiters.end());
-          inflight_by_signature_[admitted->signature] = std::move(entry);
+          inflight_by_signature_[admitted->coalesce_key] = std::move(entry);
         }
       }
       // Waiters are deadline-free, so a promoted primary runs without a

@@ -1,39 +1,35 @@
 // Copyright (c) 2026 moqo authors. MIT license.
 //
 // OptimizationService: the concurrent serving layer over the MOQO
-// optimizers, redesigned around the frontier (PR 2).
+// optimizers, redesigned around anytime frontier sessions (PR 5).
 //
-// A request is a (ProblemSpec, Preference) pair. The spec — query +
-// objectives + algorithm/alpha — determines the *frontier* (the
-// approximate Pareto set); the preference — weights + bounds + deadline —
-// only determines which of its plans is selected. Requests flow through
-// four stages:
+// The primary API is OpenFrontier(ProblemSpec, SessionOptions) ->
+// FrontierSession: an anytime handle that immediately yields a first
+// frontier (cached or quick-mode), refines it in the background over a
+// geometric alpha ladder, answers Select(preference) at any moment in
+// O(|frontier|), and supports cancellation and per-rung deadlines (see
+// service/frontier_session.h for the full story). The classic one-shot
+// calls remain as thin layers over the same machinery:
 //
-//   1. Cache probe. The spec's canonical ProblemSignature (weight-free for
-//      frontier-producing algorithms, see service/signature.h) is looked up
-//      in a sharded LRU PlanCache holding shared PlanSets. A hit with the
-//      same preference is an *exact hit* (stored selection reused); any
-//      other preference is a *frontier hit*: SelectPlan re-scalarizes the
-//      shared PlanSet in O(|frontier|) — no optimizer run, which is the
-//      whole point: a weight change on a cached query costs microseconds.
-//   2. Coalescing. A deadline-free miss whose signature is already being
-//      optimized does not optimize again: it registers as a waiter on the
-//      in-flight primary and is answered from the primary's PlanSet when
-//      it lands (falling back to its own optimizer run if the primary
-//      fails or times out). Deadline-bounded misses never wait — a waiter
-//      cannot degrade to quick mode mid-wait, so they keep their own
-//      optimizer run and its deadline guarantee.
-//   3. Admission control. Primaries and waiters are admitted only while
-//      fewer than `max_inflight` requests are pending; beyond that the
-//      service sheds load up front (status kRejected) instead of letting
-//      queue delay eat every deadline.
-//   4. Worker pool. A fixed-size ThreadPool runs the optimizer chosen by
-//      the policy layer. The per-request deadline covers queue wait plus
-//      optimization; an expired budget degrades to Section 5.1 quick mode —
-//      still a valid plan, never a null one (status kCompletedQuick). Only
-//      complete (non-timed-out) results enter the cache, so a cached entry
-//      is valid for any later deadline and, being preference-independent,
-//      for any later preference.
+//   - SubmitAndWait() is a ONE-STEP session: ladder = {resolved alpha},
+//     no quick prelude, the request deadline as the rung budget. Its
+//     results are byte-identical to driving a session by hand, and
+//     identical-spec deadline-free calls coalesce onto one session.
+//     (Preference-dependent algorithms — IRA, weighted-sum — cannot be
+//     preference-free sessions and fall back to Submit().get().)
+//   - Submit() keeps the PR 1-4 asynchronous pipeline: cache probe ->
+//     in-flight coalescing -> admission control -> worker pool, with
+//     deadline degradation to Section 5.1 quick mode.
+//
+// Both paths share the PlanCache, which since PR 5 uses *relaxed alpha
+// identity*: signatures of frontier-producing algorithms are alpha-free
+// (service/signature.h), entries are tagged with the alpha their run
+// achieved, and a tighter-alpha entry serves any looser-alpha request —
+// so a session's refinement ladder progressively upgrades one entry that
+// every later request benefits from, and a request under a tight deadline
+// (coarse policy alpha) is answered by any precise frontier already
+// cached. Exact-run identity, where it matters (in-flight coalescing, the
+// session registry), uses the alpha-extended signature.
 
 #ifndef MOQO_SERVICE_OPTIMIZATION_SERVICE_H_
 #define MOQO_SERVICE_OPTIMIZATION_SERVICE_H_
@@ -43,7 +39,6 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -51,8 +46,10 @@
 #include "core/algorithm.h"
 #include "core/plan_set.h"
 #include "memo/subplan_memo.h"
+#include "service/frontier_session.h"
 #include "service/plan_cache.h"
 #include "service/policy.h"
+#include "service/request.h"
 #include "service/signature.h"
 #include "service/stats.h"
 #include "util/thread_pool.h"
@@ -68,14 +65,15 @@ struct ServiceOptions {
   /// is shared by all in-flight requests and sized independently of the
   /// request workers.
   int num_dp_helpers = 0;
-  /// Admission limit: maximum requests queued or running at once.
+  /// Admission limit: maximum requests queued or running at once. An
+  /// actively refining session holds one slot for its whole ladder.
   size_t max_inflight = 256;
   /// Budget applied when a request does not carry its own; < 0 = none.
   int64_t default_deadline_ms = -1;
   /// Set false to bypass the cache entirely (benchmarking cold paths).
   bool enable_cache = true;
-  /// Set false to disable in-flight request coalescing (each duplicate
-  /// miss then runs its own optimization, as in PR 1).
+  /// Set false to disable in-flight request coalescing AND session
+  /// coalescing (each duplicate then runs its own optimization).
   bool enable_coalescing = true;
   /// Frontier compaction before caching: PlanSets larger than this are
   /// shrunk to an epsilon-coverage subset (CompactPlanSet) before the
@@ -88,12 +86,12 @@ struct ServiceOptions {
   /// frontier fits max_cached_frontier.
   double cache_compaction_epsilon = 0.05;
   /// Cross-query subplan memo: a service-wide, byte-budgeted cache of
-  /// table-set-level Pareto frontiers shared by ALL requests' DP runs, so
-  /// structurally overlapping queries (same join subgraph, objectives,
-  /// precision) stop rebuilding identical sub-frontiers. Orthogonal to the
-  /// whole-query PlanCache: that one short-circuits repeated *queries*,
-  /// this one shares work between *different* queries. Frontiers are
-  /// byte-identical with the memo on or off.
+  /// table-set-level Pareto frontiers shared by ALL requests' DP runs —
+  /// including every rung of every session's ladder, which is what makes
+  /// refinement steps of overlapping sessions reuse each other's work.
+  /// Orthogonal to the whole-query PlanCache: that one short-circuits
+  /// repeated *queries*, this one shares work between *different*
+  /// queries. Frontiers are byte-identical with the memo on or off.
   bool enable_subplan_memo = true;
   /// Capacity/sharding/admission knobs (capacity_bytes, min_tables, ...).
   /// A negative admission_epsilon (the SubplanMemo default) inherits
@@ -108,98 +106,6 @@ struct ServiceOptions {
   bool cartesian_heuristic = true;
 };
 
-/// WHAT to optimize: everything that determines the frontier, and nothing
-/// that merely picks a plan from it. Two requests with equal specs share
-/// one cached PlanSet regardless of their preferences. The service shares
-/// ownership of the query for the lifetime of the request (wrap long-lived
-/// queries the caller owns with UnownedQuery()).
-struct ProblemSpec {
-  std::shared_ptr<const Query> query;
-  ObjectiveSet objectives;
-  /// Overrides for the policy layer's auto-selection. Note: kIra and
-  /// kWeightedSum produce preference-dependent output, so their cache
-  /// entries are shared only between identical preferences.
-  std::optional<AlgorithmKind> algorithm;
-  std::optional<double> alpha;
-  /// Override for the policy's intra-query DP parallelism (1 = force
-  /// serial). Never part of the cache key: the frontier is identical for
-  /// every value.
-  std::optional<int> parallelism;
-};
-
-/// HOW to choose from the frontier: the request-time scalarization inputs
-/// plus the latency budget. Changing only the preference on a cached spec
-/// is a frontier hit — O(|frontier|) SelectPlan, no optimizer run.
-struct Preference {
-  /// Defaults to uniform over the spec's objectives when empty.
-  WeightVector weights;
-  /// Empty or all-infinite = weighted MOQO; finite bounds are honored at
-  /// selection time (bounded SelectBest of Algorithm 1).
-  BoundVector bounds;
-  /// Total budget (queue wait + optimization) in ms; -1 = service default.
-  int64_t deadline_ms = -1;
-};
-
-/// One optimization request: a spec and a preference over its frontier.
-struct ServiceRequest {
-  ProblemSpec spec;
-  Preference preference;
-};
-
-enum class ResponseStatus : uint8_t {
-  /// Full optimization (or cache/coalesced hit): the guarantee of the
-  /// chosen algorithm holds.
-  kCompleted,
-  /// Deadline expired before or during optimization; the result carries
-  /// the Section 5.1 quick-mode plan (valid, but no approximation
-  /// guarantee).
-  kCompletedQuick,
-  /// Shed by admission control, submitted after shutdown, or failed with
-  /// an internal optimizer error (e.g. out of memory); no result.
-  kRejected,
-};
-
-/// How (and whether) the cache answered the request.
-enum class CacheOutcome : uint8_t {
-  kMiss,          ///< Ran the optimizer.
-  kExactHit,      ///< Cached entry with the same preference: reused verbatim.
-  kFrontierHit,   ///< Cached PlanSet, new preference: O(|frontier|) selection.
-  kCoalescedHit,  ///< Waited on an identical in-flight miss, then selected.
-};
-
-struct ServiceResponse {
-  ResponseStatus status = ResponseStatus::kRejected;
-  CacheOutcome cache = CacheOutcome::kMiss;
-  AlgorithmKind algorithm = AlgorithmKind::kRta;
-  double alpha = 1.0;
-  /// Never null unless status == kRejected. Carries the shared PlanSet
-  /// (result->plan_set) and the preference's selection from it.
-  std::shared_ptr<const OptimizerResult> result;
-  /// Time from Submit() to worker pickup (0 for cache hits / rejects).
-  double queue_ms = 0;
-  /// Total time from Submit() to response.
-  double service_ms = 0;
-
-  /// True for exact and frontier hits (not for coalesced waits: those did
-  /// wait for an optimizer run, just not their own).
-  bool cache_hit() const {
-    return cache == CacheOutcome::kExactHit ||
-           cache == CacheOutcome::kFrontierHit;
-  }
-
-  /// The full approximate Pareto set behind this response, shared with the
-  /// cache and any sibling responses; null iff rejected.
-  std::shared_ptr<const PlanSet> plan_set() const {
-    return result ? result->plan_set : nullptr;
-  }
-};
-
-/// Wraps a caller-owned query (which must outlive all requests using it)
-/// in a non-owning shared_ptr.
-inline std::shared_ptr<const Query> UnownedQuery(const Query* query) {
-  return std::shared_ptr<const Query>(query, [](const Query*) {});
-}
-
 class OptimizationService {
  public:
   explicit OptimizationService(ServiceOptions options = {});
@@ -207,21 +113,35 @@ class OptimizationService {
   OptimizationService(const OptimizationService&) = delete;
   OptimizationService& operator=(const OptimizationService&) = delete;
 
-  /// Drains accepted requests, then joins the workers.
+  /// Drains accepted requests and refining sessions, then joins the
+  /// workers. Session handles stay valid afterwards (they stop refining).
   ~OptimizationService();
+
+  /// Opens an anytime refinement session for `spec` (see
+  /// service/frontier_session.h). Returns immediately; the session
+  /// already holds a first frontier when the cache can seed one or
+  /// options.quick_first is set. Identical (spec, ladder) opens coalesce
+  /// onto one running session — each caller still owns one Cancel().
+  /// Never returns null: invalid specs (null query, preference-dependent
+  /// algorithm override) and admission rejections yield a session that is
+  /// born Done() with no frontier.
+  std::shared_ptr<FrontierSession> OpenFrontier(ProblemSpec spec,
+                                                SessionOptions options = {});
 
   /// Submits a request; the future always resolves (accepted requests run
   /// to completion even during shutdown, rejected ones resolve
   /// immediately). Never throws on load: overload surfaces as kRejected.
   std::future<ServiceResponse> Submit(ServiceRequest request);
 
-  /// Convenience: Submit + wait.
-  ServiceResponse SubmitAndWait(ServiceRequest request) {
-    return Submit(std::move(request)).get();
-  }
+  /// The one-shot compatibility shim: runs `request` as a one-step
+  /// session (ladder = {resolved alpha}) and answers from its frontier —
+  /// byte-identical to opening that session by hand. Deadline-free
+  /// duplicates coalesce onto one session; preference-dependent
+  /// algorithm overrides fall back to Submit().get().
+  ServiceResponse SubmitAndWait(ServiceRequest request);
 
   /// Currently queued or running requests, including coalesced waiters
-  /// (cache hits never count).
+  /// and actively refining sessions (cache hits never count).
   size_t InFlight() const { return inflight_.load(std::memory_order_relaxed); }
 
   int num_workers() const { return pool_.num_threads(); }
@@ -248,11 +168,66 @@ class OptimizationService {
     std::vector<std::shared_ptr<Admitted>> waiters;
   };
 
+  /// How OpenSession answered the caller.
+  struct OpenInfo {
+    CacheOutcome outcome = CacheOutcome::kMiss;
+    bool joined = false;    ///< Attached to an already-running session.
+    bool rejected = false;  ///< Shed by admission control / shutdown.
+  };
+
   /// Optimizer options for one request given its remaining budget, its
   /// resolved intra-query parallelism (1 = serial, no pool attached), and
   /// whether its DP may use the cross-query subplan memo.
   OptimizerOptions MakeOptimizerOptions(double alpha, int64_t timeout_ms,
                                         int parallelism, bool use_memo);
+
+  /// The shared open path behind OpenFrontier and the SubmitAndWait shim.
+  /// `preference` (may be null = uniform) seeds quick-mode weights and the
+  /// cached selection; `deadline_ms` feeds the policy and, for one-step
+  /// sessions, bounds the whole ladder; `hold_slot_if_joined` makes a
+  /// joiner take an admission slot (the shim's waiters stay bounded).
+  std::shared_ptr<FrontierSession> OpenSession(ProblemSpec spec,
+                                               const SessionOptions& options,
+                                               const Preference* preference,
+                                               int64_t deadline_ms,
+                                               bool coalescable,
+                                               bool hold_slot_if_joined,
+                                               OpenInfo* info);
+
+  /// Serves a session directly from a cache entry (born done, no
+  /// ladder): classifies exact vs frontier hit against the opener's
+  /// preference, publishes the entry's frontier, and marks the session
+  /// done. Session fields are written under its lock — by the time the
+  /// post-registration re-probe calls this, joiners may already share
+  /// the session.
+  void ServeSessionBornDone(
+      const std::shared_ptr<FrontierSession>& session,
+      const std::shared_ptr<const CachedFrontier>& cached,
+      const Preference& preference, OpenInfo* info);
+
+  /// The pool task driving one session's ladder.
+  void RunSessionLadder(const std::shared_ptr<FrontierSession>& session);
+
+  /// Publishes one completed rung: per-rung stats, PlanCache insert
+  /// (tagged with the rung's alpha), session publish. Returns false to
+  /// stop the ladder (cancellation).
+  bool OnSessionRung(const std::shared_ptr<FrontierSession>& session,
+                     int rung, double alpha, const OptimizerResult& result);
+
+  /// Completes a session: final state, registry removal (after the last
+  /// cache insert — the race-closing re-probe relies on that order), slot
+  /// release, gauges.
+  void FinishSession(const std::shared_ptr<FrontierSession>& session,
+                     std::shared_ptr<const OptimizerResult> final_result,
+                     bool degraded, bool failed);
+
+  /// Builds the cacheable entry for a completed run: compaction when
+  /// configured, the preference the stored selection answers, and the
+  /// achieved alpha tag.
+  std::shared_ptr<const CachedFrontier> MakeCacheEntry(
+      const std::shared_ptr<const OptimizerResult>& result,
+      const WeightVector& weights, const BoundVector& bounds,
+      double achieved_alpha);
 
   /// Builds and resolves a response from a cached frontier (exact or
   /// frontier hit).
@@ -282,8 +257,17 @@ class OptimizationService {
   std::atomic<size_t> inflight_{0};
 
   std::mutex coalesce_mu_;
+  /// Keyed by the alpha-EXTENDED signature: runs at different precisions
+  /// must not coalesce even though they share a cache entry.
   std::unordered_map<ProblemSignature, std::shared_ptr<CoalesceEntry>>
       inflight_by_signature_;
+
+  /// Live refinement sessions by exact session key (spec + ladder + step
+  /// budget); entries are removed when the ladder finishes, *after* its
+  /// final cache insert.
+  std::mutex session_mu_;
+  std::unordered_map<ProblemSignature, std::shared_ptr<FrontierSession>>
+      sessions_by_key_;
 
   /// Intra-query DP helpers, shared by all requests and spawned lazily on
   /// the first request that actually fans out — a service whose policy

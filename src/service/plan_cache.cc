@@ -2,8 +2,6 @@
 
 #include "service/plan_cache.h"
 
-#include <bit>
-
 namespace moqo {
 
 namespace {
@@ -24,9 +22,9 @@ size_t EntryBytes(const ProblemSignature& signature,
   return bytes;
 }
 
-int FrontierSize(const CachedFrontier& frontier) {
+size_t FrontierSize(const CachedFrontier& frontier) {
   return frontier.result != nullptr && frontier.result->plan_set != nullptr
-             ? frontier.result->plan_set->size()
+             ? static_cast<size_t>(frontier.result->plan_set->size())
              : 0;
 }
 
@@ -34,132 +32,46 @@ int FrontierSize(const CachedFrontier& frontier) {
 
 PlanCache::PlanCache() : PlanCache(Options{}) {}
 
-PlanCache::PlanCache(const Options& options) {
-  const int requested = options.shards < 1 ? 1 : options.shards;
-  const size_t num_shards = std::bit_ceil(static_cast<size_t>(requested));
-  shard_mask_ = num_shards - 1;
-  shards_.reserve(num_shards);
-  // Every shard gets at least one slot so a tiny capacity still caches.
-  const size_t per_shard =
-      (options.capacity + num_shards - 1) / num_shards;
-  const size_t bytes_per_shard =
-      options.capacity_bytes == 0
-          ? 0
-          : (options.capacity_bytes + num_shards - 1) / num_shards;
-  for (size_t i = 0; i < num_shards; ++i) {
-    auto shard = std::make_unique<Shard>();
-    shard->capacity = per_shard < 1 ? 1 : per_shard;
-    shard->capacity_bytes = bytes_per_shard;
-    shards_.push_back(std::move(shard));
-  }
-}
+PlanCache::PlanCache(const Options& options) : lru_(options) {}
 
 std::shared_ptr<const CachedFrontier> PlanCache::Lookup(
-    const ProblemSignature& signature, bool record_stats) {
-  Shard& shard = ShardFor(signature);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(signature);
-  if (it == shard.index.end()) {
-    if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-  if (record_stats) hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second.frontier;
-}
-
-void PlanCache::EvictBack(Shard* shard) {
-  auto victim = shard->index.find(*shard->lru.back());
-  shard->bytes -= victim->second.bytes;
-  shard->frontier_plans -= static_cast<size_t>(victim->second.frontier_size);
-  shard->index.erase(victim);
-  shard->lru.pop_back();
-  evictions_.fetch_add(1, std::memory_order_relaxed);
-}
-
-void PlanCache::EvictForSpace(Shard* shard, size_t incoming_bytes) {
-  // Evict LRU-first until the incoming entry fits within the byte budget
-  // (primary) and the entry cap (secondary). An entry larger than the
-  // whole shard budget empties the shard and is stored anyway: refusing it
-  // would make the most expensive frontiers — the ones worth caching most
-  // — permanently uncacheable.
-  while (!shard->lru.empty() &&
-         (shard->lru.size() >= shard->capacity ||
-          (shard->capacity_bytes != 0 &&
-           shard->bytes + incoming_bytes > shard->capacity_bytes))) {
-    EvictBack(shard);
-  }
+    const ProblemSignature& signature, double max_alpha, bool record_stats) {
+  return lru_.LookupIf(
+      signature,
+      [max_alpha](const std::shared_ptr<const CachedFrontier>& entry) {
+        return entry != nullptr && entry->achieved_alpha <= max_alpha;
+      },
+      record_stats);
 }
 
 void PlanCache::Insert(const ProblemSignature& signature,
                        std::shared_ptr<const CachedFrontier> frontier) {
   const size_t bytes =
       frontier != nullptr ? EntryBytes(signature, *frontier) : 0;
-  const int frontier_size = frontier != nullptr ? FrontierSize(*frontier) : 0;
-  Shard& shard = ShardFor(signature);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(signature);
-  if (it != shard.index.end()) {
-    shard.bytes = shard.bytes - it->second.bytes + bytes;
-    shard.frontier_plans = shard.frontier_plans -
-                           static_cast<size_t>(it->second.frontier_size) +
-                           static_cast<size_t>(frontier_size);
-    it->second.frontier = std::move(frontier);
-    it->second.bytes = bytes;
-    it->second.frontier_size = frontier_size;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-    // A grown replacement can push the shard over its byte budget; shed
-    // colder entries, but never the just-refreshed one (at the front).
-    while (shard.capacity_bytes != 0 && shard.bytes > shard.capacity_bytes &&
-           shard.lru.size() > 1) {
-      EvictBack(&shard);
-    }
-    return;
-  }
-  EvictForSpace(&shard, bytes);
-  it = shard.index
-           .emplace(signature, Entry{std::move(frontier), {}, bytes,
-                                     frontier_size})
-           .first;
-  shard.lru.push_front(&it->first);
-  it->second.lru_pos = shard.lru.begin();
-  shard.bytes += bytes;
-  shard.frontier_plans += static_cast<size_t>(frontier_size);
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  const size_t frontier_size =
+      frontier != nullptr ? FrontierSize(*frontier) : 0;
+  const double alpha =
+      frontier != nullptr ? frontier->achieved_alpha : kAnyAlpha;
+  lru_.InsertIf(
+      signature, std::move(frontier), bytes, frontier_size,
+      [alpha](const std::shared_ptr<const CachedFrontier>& existing) {
+        // Tighter-or-equal replaces; a looser re-insert must not downgrade
+        // the entry (it only refreshes recency).
+        return existing == nullptr || alpha <= existing->achieved_alpha;
+      });
 }
 
 PlanCache::Stats PlanCache::GetStats() const {
+  const auto counters = lru_.GetCounters();
   Stats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    stats.entries += shard->lru.size();
-    stats.bytes += shard->bytes;
-    stats.frontier_plans += shard->frontier_plans;
-  }
+  stats.hits = counters.hits;
+  stats.misses = counters.misses;
+  stats.insertions = counters.insertions;
+  stats.evictions = counters.evictions;
+  stats.entries = counters.entries;
+  stats.bytes = counters.bytes;
+  stats.frontier_plans = counters.weight;
   return stats;
-}
-
-size_t PlanCache::size() const {
-  size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->lru.size();
-  }
-  return total;
-}
-
-void PlanCache::Clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->lru.clear();
-    shard->index.clear();
-    shard->bytes = 0;
-    shard->frontier_plans = 0;
-  }
 }
 
 }  // namespace moqo

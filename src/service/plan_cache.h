@@ -1,7 +1,7 @@
 // Copyright (c) 2026 moqo authors. MIT license.
 //
 // PlanCache: a sharded, thread-safe LRU cache of optimization frontiers
-// keyed by ProblemSignature.
+// keyed by ProblemSignature, with relaxed alpha identity.
 //
 // The Pareto-frontier computation that MOQO amortizes here is orders of
 // magnitude more expensive than a lookup, so the cache sits in front of the
@@ -11,55 +11,60 @@
 // full PlanSet) plus the preference its stored selection answers — an equal
 // preference is an *exact hit* (the stored selection is reused verbatim),
 // any other preference is a *frontier hit* (O(|frontier|) SelectPlan over
-// the shared PlanSet). Sharding bounds lock contention under concurrent
-// traffic: the signature hash routes each key to one of N independently
-// locked shards, each with its own LRU list and capacity slice. Results
-// own their plan storage via shared_ptr<const PlanSet>, so a cached plan
-// stays valid for as long as any response still references it, even after
-// eviction.
+// the shared PlanSet).
+//
+// Since PR 5 identity is additionally relaxed over the precision alpha:
+// signatures of frontier-producing algorithms are alpha-free
+// (service/signature.h) and each entry is tagged with the alpha its run
+// *achieved*. A lookup passes the precision it needs; an entry whose
+// achieved alpha is at most that bound serves the request — an
+// alpha-approximate Pareto set is an alpha'-approximate Pareto set for
+// every alpha' >= alpha, so a tighter frontier always answers a looser
+// question. Refreshes follow the same lattice: re-inserting under an
+// existing key replaces the stored value only when the incoming entry is
+// at least as tight, so a session's refinement ladder monotonically
+// upgrades the entry and a later coarse run can never downgrade it.
+//
+// Sharding, LRU, and the byte budget are the shared ShardedLru machinery
+// (util/sharded_lru.h). Results own their plan storage via
+// shared_ptr<const PlanSet>, so a cached plan stays valid for as long as
+// any response still references it, even after eviction.
 
 #ifndef MOQO_SERVICE_PLAN_CACHE_H_
 #define MOQO_SERVICE_PLAN_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
-#include <list>
+#include <limits>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
 
 #include "core/optimizer.h"
 #include "service/signature.h"
+#include "util/sharded_lru.h"
 
 namespace moqo {
 
-/// One cached optimization outcome: the cold run's result (sharing the
-/// PlanSet) plus the preference that produced its stored selection.
+/// One cached optimization outcome: the run's result (sharing the
+/// PlanSet), the preference that produced its stored selection, and the
+/// approximation guarantee the run achieved.
 struct CachedFrontier {
   std::shared_ptr<const OptimizerResult> result;
   /// The preference `result`'s plan/cost/weighted_cost answer. Requests
   /// with a different preference re-select over result->plan_set.
   WeightVector weights;
   BoundVector bounds;
+  /// The alpha guarantee of result->plan_set (1.0 for exact runs). The
+  /// entry serves any request whose required alpha is >= this. When the
+  /// service compacts cached frontiers (max_cached_frontier), the stored
+  /// copy's true guarantee is alpha*(1+epsilon) while the tag keeps the
+  /// run's alpha — the documented compaction tradeoff; see
+  /// OptimizationService::MakeCacheEntry.
+  double achieved_alpha = 1.0;
 };
 
 class PlanCache {
  public:
-  struct Options {
-    /// Total entries across all shards (secondary limit; see
-    /// capacity_bytes).
-    size_t capacity = 1024;
-    /// Byte budget across all shards, accounted by the entries' PlanSet
-    /// ApproxBytes() plus key/index overhead; 0 = unlimited (entry-count
-    /// eviction only). A PlanSet footprint is proportional to its frontier,
-    /// so this bounds resident memory where an entry cap cannot: frontier
-    /// sizes vary by orders of magnitude across specs (Section 5.1). The
-    /// primary limit when set; the entry cap stays as a secondary limit.
-    size_t capacity_bytes = 0;
-    /// Number of independently locked shards; rounded up to a power of two.
-    int shards = 8;
-  };
+  using Options = ShardedLru<ProblemSignature,
+                             std::shared_ptr<const CachedFrontier>>::Options;
 
   /// Counter snapshot for the stats registry / bench harness.
   struct Stats {
@@ -76,6 +81,9 @@ class PlanCache {
     size_t frontier_plans = 0;
   };
 
+  /// Accepts any achieved alpha (plain keyed lookup).
+  static constexpr double kAnyAlpha = std::numeric_limits<double>::infinity();
+
   PlanCache();  ///< Default Options.
   explicit PlanCache(const Options& options);
 
@@ -83,81 +91,39 @@ class PlanCache {
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// Returns the cached frontier for `signature` (promoting it to
-  /// most-recently-used) or nullptr on miss. `record_stats` = false skips
-  /// the hit/miss counters — used by the service's coalescing re-probe so
-  /// each request records exactly one lookup.
+  /// most-recently-used) if its achieved alpha is <= `max_alpha`, nullptr
+  /// otherwise. A present-but-too-loose entry counts as (and behaves like)
+  /// a miss; the caller's tighter run then upgrades it via Insert.
+  /// `record_stats` = false skips the hit/miss counters — used by the
+  /// service's coalescing re-probe so each request records exactly one
+  /// lookup.
   std::shared_ptr<const CachedFrontier> Lookup(
-      const ProblemSignature& signature, bool record_stats = true);
+      const ProblemSignature& signature, double max_alpha = kAnyAlpha,
+      bool record_stats = true);
 
   /// Converts one recorded miss into a hit. The service calls this when
   /// its uncounted coalescing re-probe finds an entry inserted after the
   /// request's first (miss-counted) lookup, so that request's net
   /// contribution is one hit — preserving both
   /// hits + misses == lookups and hits == exact_hits + frontier_hits.
-  void ReclassifyMissAsHit() {
-    misses_.fetch_sub(1, std::memory_order_relaxed);
-    hits_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void ReclassifyMissAsHit() { lru_.ReclassifyMissAsHit(); }
 
-  /// Inserts (or refreshes) the frontier for `signature`, evicting the
-  /// least-recently-used entry of the target shard when its slice is full.
+  /// Inserts the frontier for `signature`, evicting the least-recently-
+  /// used entries of the target shard when its slice is full. An existing
+  /// entry is replaced only if `frontier` is at least as tight
+  /// (achieved_alpha <=); a looser re-insert just refreshes recency —
+  /// refinement only ever upgrades an entry.
   void Insert(const ProblemSignature& signature,
               std::shared_ptr<const CachedFrontier> frontier);
 
   Stats GetStats() const;
-  size_t size() const;
-  void Clear();
+  size_t size() const { return lru_.size(); }
+  void Clear() { lru_.Clear(); }
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const { return lru_.num_shards(); }
 
  private:
-  /// Signatures embed the full canonical encoding (potentially KBs once
-  /// catalog statistics are included), so each is stored exactly once: as
-  /// the map key. The LRU list holds pointers to map keys — stable, since
-  /// unordered_map never moves nodes.
-  using LruList = std::list<const ProblemSignature*>;
-
-  struct Entry {
-    std::shared_ptr<const CachedFrontier> frontier;
-    LruList::iterator lru_pos;
-    size_t bytes = 0;          ///< Accounted at insert time.
-    int frontier_size = 0;     ///< Plans in the entry's PlanSet.
-  };
-
-  struct Shard {
-    std::mutex mu;
-    LruList lru;  ///< Front = most recently used.
-    std::unordered_map<ProblemSignature, Entry> index;
-    size_t capacity = 0;
-    size_t capacity_bytes = 0;  ///< 0 = no byte limit for this shard.
-    size_t bytes = 0;           ///< Accounted bytes of resident entries.
-    size_t frontier_plans = 0;  ///< Sum of resident frontier sizes.
-  };
-
-  /// Removes `shard`'s LRU entry, maintaining the byte/frontier accounting
-  /// and the eviction counter. Caller holds the shard lock; lru non-empty.
-  void EvictBack(Shard* shard);
-
-  /// Evicts LRU entries until `incoming_bytes` more fit within both
-  /// limits. Caller holds the shard lock.
-  void EvictForSpace(Shard* shard, size_t incoming_bytes);
-
-  Shard& ShardFor(const ProblemSignature& signature) {
-    // Multiply then fold the high bits down so every shard is reachable
-    // regardless of shard count, and shard choice stays decorrelated from
-    // the hash-table bucket choice inside the shard.
-    uint64_t mixed = signature.hash * 0x9E3779B97F4A7C15ull;
-    mixed ^= mixed >> 32;
-    return *shards_[mixed & shard_mask_];
-  }
-
-  std::vector<std::unique_ptr<Shard>> shards_;
-  uint64_t shard_mask_ = 0;
-
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
+  ShardedLru<ProblemSignature, std::shared_ptr<const CachedFrontier>> lru_;
 };
 
 }  // namespace moqo

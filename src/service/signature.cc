@@ -38,10 +38,12 @@ ProblemSignature ComputeSignature(const Query& query,
     AppendCanonicalU64(&key, static_cast<uint64_t>(objective));
   }
 
-  // Resolved algorithm + precision: an RTA result must never be served to
-  // a request the policy resolved to the EXA, and vice versa.
+  // Resolved algorithm: an RTA result must never be served to a request
+  // the policy resolved to the EXA, and vice versa. The precision alpha is
+  // deliberately NOT part of the frontier-algorithm key — the cache tags
+  // entries with their achieved alpha and serves any looser request from a
+  // tighter entry (relaxed identity; see the header comment).
   AppendCanonicalU64(&key, static_cast<uint64_t>(algorithm));
-  AppendCanonicalDouble(&key, alpha);
 
   // Result-relevant optimizer switches (the timeout is deliberately
   // excluded: only non-timed-out results are cached, so a cached entry is
@@ -65,10 +67,12 @@ ProblemSignature ComputeSignature(const Query& query,
   }
 
   // Preference-dependent algorithms only: their frontier is tailored to
-  // the given weights/bounds, so equal keys must mean equal preferences.
-  // Frontier-producing algorithms skip this block entirely — that is what
-  // makes a weight-only change a cache hit.
+  // the given precision and weights/bounds, so equal keys must mean equal
+  // requests. Frontier-producing algorithms skip this block entirely —
+  // that is what makes a weight-only change (and, since PR 5, an
+  // alpha-only relaxation) a cache hit.
   if (IsPreferenceDependent(algorithm)) {
+    AppendCanonicalDouble(&key, alpha);
     const int num_weights = weights != nullptr ? weights->size() : 0;
     AppendCanonicalU64(&key, static_cast<uint64_t>(num_weights));
     for (int i = 0; i < num_weights; ++i) {
@@ -94,6 +98,14 @@ ProblemSignature ComputeSignature(const Query& query,
   signature.hash = Fnv1aHash(key);
   signature.key = std::move(key);
   return signature;
+}
+
+ProblemSignature ExtendSignature(const ProblemSignature& base, double alpha) {
+  ProblemSignature extended;
+  extended.key = base.key;
+  AppendCanonicalDouble(&extended.key, alpha);
+  extended.hash = Fnv1aHash(extended.key);
+  return extended;
 }
 
 }  // namespace moqo

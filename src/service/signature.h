@@ -5,16 +5,24 @@
 // A signature captures everything that determines the *frontier* an
 // optimizer produces: the query structure (canonical join-graph encoding,
 // src/query/canonical), the active objective selection, the resolved
-// algorithm and its precision alpha, and the plan-space switches. It is
-// deliberately **weight-free**: for the frontier-producing algorithms
-// (EXA, RTA, Selinger) the approximate Pareto set does not depend on the
-// request's preference, so any weight or bound change on a cached query is
-// answered by O(|frontier|) SelectPlan over the shared PlanSet instead of
-// a new DP run. The two preference-dependent algorithms (the IRA refines
-// toward its bounds, the weighted-sum baseline prunes by weighted cost)
-// additionally encode the preference bit-exactly, so their entries are
-// reused only for identical requests. The full key participates in
-// equality, so hash collisions can never return a wrong plan.
+// algorithm, and the plan-space switches. It is deliberately
+// **weight-free**: for the frontier-producing algorithms (EXA, RTA,
+// Selinger) the approximate Pareto set does not depend on the request's
+// preference, so any weight or bound change on a cached query is answered
+// by O(|frontier|) SelectPlan over the shared PlanSet instead of a new DP
+// run. Since PR 5 it is also **alpha-free** for those algorithms — the
+// relaxed identity the anytime sessions rely on: the precision alpha
+// determines how *good* a frontier is, not which problem it answers, so
+// the PlanCache tags each entry with its achieved alpha and a
+// tighter-alpha entry serves any looser-alpha request (see
+// service/plan_cache.h). Contexts that do need exact-run identity — the
+// in-flight coalescing map, the session registry — extend the base
+// signature with the precision via ExtendSignature. The two
+// preference-dependent algorithms (the IRA refines toward its bounds, the
+// weighted-sum baseline prunes by weighted cost) encode alpha AND the
+// preference bit-exactly, so their entries are reused only for identical
+// requests. The full key participates in equality, so hash collisions can
+// never return a wrong plan.
 
 #ifndef MOQO_SERVICE_SIGNATURE_H_
 #define MOQO_SERVICE_SIGNATURE_H_
@@ -48,15 +56,22 @@ inline bool IsPreferenceDependent(AlgorithmKind algorithm) {
 /// Computes the signature of running `algorithm` with precision `alpha` on
 /// `query` over `objectives` under `options` (only result-relevant
 /// switches are encoded: plan space, operator space, pruning mode — not
-/// the timeout). `weights`/`bounds` are encoded only when the algorithm
-/// IsPreferenceDependent; pass null otherwise (or always — they are
-/// ignored for frontier-producing algorithms).
+/// the timeout). `alpha`, `weights` and `bounds` are encoded only when the
+/// algorithm IsPreferenceDependent; pass null preferences otherwise (or
+/// always — they are ignored for frontier-producing algorithms, whose
+/// signatures are alpha- and preference-free by design).
 ProblemSignature ComputeSignature(const Query& query,
                                   const ObjectiveSet& objectives,
                                   AlgorithmKind algorithm, double alpha,
                                   const OptimizerOptions& options,
                                   const WeightVector* weights = nullptr,
                                   const BoundVector* bounds = nullptr);
+
+/// `base` with `alpha` appended bit-exactly (and the hash recomputed):
+/// the exact-run identity used where relaxed alpha matching would be
+/// wrong — two in-flight runs at different precisions must not coalesce,
+/// and two sessions refining to different targets must not share a ladder.
+ProblemSignature ExtendSignature(const ProblemSignature& base, double alpha);
 
 }  // namespace moqo
 

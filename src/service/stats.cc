@@ -14,6 +14,14 @@ void ServiceStatsRegistry::RecordLatency(AlgorithmKind algorithm, double ms) {
   if (ms > cell.stats.max_ms) cell.stats.max_ms = ms;
 }
 
+void ServiceStatsRegistry::RecordRefinementStep(double ms) {
+  refinement_steps_.fetch_add(1, kRelaxed);
+  std::lock_guard<std::mutex> lock(step_latency_.mu);
+  step_latency_.stats.count += 1;
+  step_latency_.stats.total_ms += ms;
+  if (ms > step_latency_.stats.max_ms) step_latency_.stats.max_ms = ms;
+}
+
 ServiceStatsSnapshot ServiceStatsRegistry::Snapshot() const {
   ServiceStatsSnapshot snapshot;
   snapshot.requests_total = requests_total_.load(kRelaxed);
@@ -24,6 +32,14 @@ ServiceStatsSnapshot ServiceStatsRegistry::Snapshot() const {
   snapshot.internal_errors = internal_errors_.load(kRelaxed);
   snapshot.deadline_timeouts = deadline_timeouts_.load(kRelaxed);
   snapshot.completed = completed_.load(kRelaxed);
+  snapshot.sessions_opened = sessions_opened_.load(kRelaxed);
+  snapshot.sessions_coalesced = sessions_coalesced_.load(kRelaxed);
+  snapshot.sessions_active = sessions_active_.load(kRelaxed);
+  snapshot.refinement_steps = refinement_steps_.load(kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(step_latency_.mu);
+    snapshot.step_latency = step_latency_.stats;
+  }
   for (int i = 0; i < kNumAlgorithms; ++i) {
     std::lock_guard<std::mutex> lock(latency_[i].mu);
     snapshot.latency_by_algorithm[i] = latency_[i].stats;
@@ -49,7 +65,13 @@ std::string ServiceStatsSnapshot::ToString() const {
       << " bytes=" << memo_bytes << " inserted=" << memo_insertions
       << " evicted=" << memo_evictions
       << " admission_rejects=" << memo_admission_rejects
-      << " invalidations=" << memo_invalidations << "\n";
+      << " invalidations=" << memo_invalidations << "\n"
+      << "  sessions: opened=" << sessions_opened
+      << " coalesced=" << sessions_coalesced
+      << " active=" << sessions_active
+      << " refinement_steps=" << refinement_steps
+      << " step_mean_ms=" << step_latency.MeanMs()
+      << " step_max_ms=" << step_latency.max_ms << "\n";
   for (int i = 0; i < static_cast<int>(latency_by_algorithm.size()); ++i) {
     const LatencyStats& lat = latency_by_algorithm[i];
     if (lat.count == 0) continue;

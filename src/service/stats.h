@@ -66,6 +66,21 @@ struct ServiceStatsSnapshot {
   uint64_t memo_invalidations = 0;
   size_t memo_entries = 0;
   size_t memo_bytes = 0;
+  /// Anytime-session counters (PR 5). `sessions_opened` counts public
+  /// OpenFrontier calls (the SubmitAndWait shim's internal one-step
+  /// sessions count as requests, not sessions); `sessions_coalesced`
+  /// counts opens (including shim calls) that attached to an already
+  /// running identical refinement instead of starting their own.
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_coalesced = 0;
+  /// Refinement ladders currently running (gauge; each holds one
+  /// admission slot).
+  uint64_t sessions_active = 0;
+  /// Completed ladder rungs across all sessions (includes the shim's
+  /// one-step rungs).
+  uint64_t refinement_steps = 0;
+  /// Per-rung latency aggregate over all refinement steps.
+  LatencyStats step_latency;
   /// Indexed by static_cast<int>(AlgorithmKind).
   std::array<LatencyStats, kNumAlgorithmKinds> latency_by_algorithm;
 
@@ -111,6 +126,15 @@ class ServiceStatsRegistry {
   void RecordExactHit() { exact_hits_.fetch_add(1, kRelaxed); }
   void RecordFrontierHit() { frontier_hits_.fetch_add(1, kRelaxed); }
   void RecordCoalescedHit() { coalesced_hits_.fetch_add(1, kRelaxed); }
+  void RecordSessionOpened() { sessions_opened_.fetch_add(1, kRelaxed); }
+  void RecordSessionCoalesced() {
+    sessions_coalesced_.fetch_add(1, kRelaxed);
+  }
+  void RecordSessionStarted() { sessions_active_.fetch_add(1, kRelaxed); }
+  void RecordSessionFinished() { sessions_active_.fetch_sub(1, kRelaxed); }
+
+  /// Records one completed refinement step (ladder rung) and its latency.
+  void RecordRefinementStep(double ms);
 
   /// Records one fresh (non-cached) optimization's service-side latency.
   void RecordLatency(AlgorithmKind algorithm, double ms);
@@ -131,12 +155,17 @@ class ServiceStatsRegistry {
   std::atomic<uint64_t> internal_errors_{0};
   std::atomic<uint64_t> deadline_timeouts_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_coalesced_{0};
+  std::atomic<uint64_t> sessions_active_{0};
+  std::atomic<uint64_t> refinement_steps_{0};
 
   struct LatencyCell {
     std::mutex mu;
     LatencyStats stats;
   };
   mutable std::array<LatencyCell, kNumAlgorithms> latency_;
+  mutable LatencyCell step_latency_;
 };
 
 }  // namespace moqo

@@ -27,7 +27,21 @@ class Arena {
   static constexpr size_t kDefaultBlockBytes = size_t{1} << 16;  // 64 KiB
 
   explicit Arena(size_t block_bytes = kDefaultBlockBytes)
-      : block_bytes_(block_bytes) {}
+      : initial_block_bytes_(block_bytes), block_bytes_(block_bytes) {}
+
+  /// Geometric-growth arena: the first block reserves `initial_bytes` and
+  /// every subsequent block doubles, up to `max_block_bytes`. Sizes the
+  /// reservation to the payload for arenas whose footprint is unknown and
+  /// often tiny — PlanSet snapshots pin their arenas for the lifetime of a
+  /// cache/memo entry, and a fixed 64 KiB first block would waste most of
+  /// a small frontier's byte budget — while big consumers still converge
+  /// to full-size blocks after a few doublings.
+  Arena(size_t initial_bytes, size_t max_block_bytes)
+      : initial_block_bytes_(initial_bytes < 1 ? 1 : initial_bytes),
+        block_bytes_(initial_block_bytes_),
+        max_block_bytes_(max_block_bytes < initial_block_bytes_
+                             ? initial_block_bytes_
+                             : max_block_bytes) {}
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -65,11 +79,13 @@ class Arena {
   size_t reserved_bytes() const { return reserved_bytes_; }
 
   /// Releases all blocks; invalidates every pointer previously returned.
+  /// A growth arena restarts from its initial block size.
   void Reset() {
     blocks_.clear();
     offset_ = 0;
     allocated_bytes_ = 0;
     reserved_bytes_ = 0;
+    block_bytes_ = initial_block_bytes_;
   }
 
  private:
@@ -92,9 +108,16 @@ class Arena {
     blocks_.push_back(Block{std::make_unique<char[]>(size), size});
     reserved_bytes_ += size;
     offset_ = 0;
+    if (block_bytes_ < max_block_bytes_) {
+      const size_t doubled = block_bytes_ * 2;
+      block_bytes_ = doubled > max_block_bytes_ ? max_block_bytes_ : doubled;
+    }
   }
 
+  size_t initial_block_bytes_;
   size_t block_bytes_;
+  /// Growth ceiling; == initial for fixed-size arenas.
+  size_t max_block_bytes_ = 0;
   std::vector<Block> blocks_;
   size_t offset_ = 0;
   size_t allocated_bytes_ = 0;

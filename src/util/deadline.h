@@ -11,6 +11,7 @@
 #ifndef MOQO_UTIL_DEADLINE_H_
 #define MOQO_UTIL_DEADLINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -33,7 +34,13 @@ class StopWatch {
   Clock::time_point start_;
 };
 
-/// A wall-clock budget. A default-constructed Deadline never expires.
+/// A wall-clock budget, optionally tied to an external cancellation flag.
+/// A default-constructed Deadline never expires. A set cancel flag makes
+/// the deadline report expiry immediately — everything already polling the
+/// deadline (the DP's table-set loops, the IRA's iteration check, the memo
+/// probe) becomes a cancellation point for free; the run then degrades to
+/// the same Section 5.1 quick finish a timeout triggers, so a cancelled
+/// optimization still unwinds through ordinary (fast) code paths.
 class Deadline {
  public:
   /// Never expires.
@@ -47,15 +54,38 @@ class Deadline {
 
   static Deadline Infinite() { return Deadline(); }
 
+  /// The earlier of two deadlines; keeps either one's cancel flag (a's
+  /// wins if both carry one).
+  static Deadline Earliest(const Deadline& a, const Deadline& b) {
+    Deadline d = a.expires_ <= b.expires_ ? a : b;
+    d.cancel_ = a.cancel_ != nullptr ? a.cancel_ : b.cancel_;
+    return d;
+  }
+
+  /// Copy of this deadline that additionally expires once `*cancel`
+  /// becomes true. `cancel` is not owned and must outlive the deadline;
+  /// null detaches.
+  Deadline WithCancel(const std::atomic<bool>* cancel) const {
+    Deadline d = *this;
+    d.cancel_ = cancel;
+    return d;
+  }
+
   bool Expired() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
     return expires_ != Clock::time_point::max() && Clock::now() >= expires_;
   }
 
+  /// True iff no wall-clock limit is set (a cancel flag may still expire
+  /// the deadline early).
   bool IsInfinite() const { return expires_ == Clock::time_point::max(); }
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point expires_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace moqo

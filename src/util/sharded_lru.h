@@ -1,0 +1,268 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// ShardedLru: the concurrent, byte-budgeted, sharded LRU container shared
+// by the whole-query PlanCache (service/plan_cache.h) and the cross-query
+// SubplanMemo (memo/subplan_memo.h).
+//
+// Both caches want the same machinery — N independently locked shards,
+// each with its own LRU list and capacity slice, entries accounted by a
+// caller-supplied byte footprint, keys stored exactly once (the LRU list
+// points at map keys, which unordered_map never moves) — but differ in
+// policy: what counts as a servable hit (the PlanCache's relaxed alpha
+// identity), when a re-insert replaces the stored value (tighter-alpha
+// refreshes only), and what admission/invalidation logic wraps the
+// container (the memo's epsilon admission and catalog epochs). Those stay
+// with the owners as hooks and wrapper code; this template owns only the
+// mechanics.
+//
+// Key requirements: equality-comparable and a public `hash` member with a
+// well-mixed 64-bit value — used both for the in-shard hash table and
+// (re-mixed, so shard choice stays decorrelated from the bucket choice)
+// for shard routing. Value requirements: cheap to copy,
+// default-constructible to a distinguishable "absent" state (both owners
+// use shared_ptr).
+
+#ifndef MOQO_UTIL_SHARDED_LRU_H_
+#define MOQO_UTIL_SHARDED_LRU_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace moqo {
+
+template <typename Key, typename Value>
+class ShardedLru {
+ public:
+  struct Options {
+    /// Total entries across all shards (secondary limit when a byte budget
+    /// is set; every shard keeps at least one slot).
+    size_t capacity = 1024;
+    /// Byte budget across all shards; 0 = unlimited (entry-count eviction
+    /// only). The primary limit when set.
+    size_t capacity_bytes = 0;
+    /// Independently locked shards; rounded up to a power of two.
+    int shards = 8;
+  };
+
+  /// Counter snapshot. `weight` is an owner-defined per-entry quantity
+  /// summed over residents (both owners count frontier plans).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    size_t weight = 0;
+  };
+
+  explicit ShardedLru(const Options& options) {
+    const int requested = options.shards < 1 ? 1 : options.shards;
+    const size_t num_shards = std::bit_ceil(static_cast<size_t>(requested));
+    shard_mask_ = num_shards - 1;
+    shards_.reserve(num_shards);
+    // Every shard gets at least one slot so a tiny capacity still caches.
+    const size_t per_shard =
+        (options.capacity + num_shards - 1) / num_shards;
+    const size_t bytes_per_shard =
+        options.capacity_bytes == 0
+            ? 0
+            : (options.capacity_bytes + num_shards - 1) / num_shards;
+    for (size_t i = 0; i < num_shards; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->capacity = per_shard < 1 ? 1 : per_shard;
+      shard->capacity_bytes = bytes_per_shard;
+      shards_.push_back(std::move(shard));
+    }
+  }
+
+  ShardedLru(const ShardedLru&) = delete;
+  ShardedLru& operator=(const ShardedLru&) = delete;
+
+  /// Returns the value stored for `key` (promoting it to most recently
+  /// used) if `admit(value)` accepts it; a default-constructed Value
+  /// otherwise. A present-but-refused entry counts as a miss and is not
+  /// promoted — to the caller it is indistinguishable from absence.
+  /// `record_stats` = false skips the hit/miss counters (used by the
+  /// service's coalescing re-probe so each request counts one lookup).
+  template <typename Admit>
+  Value LookupIf(const Key& key, Admit admit, bool record_stats = true) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end() || !admit(it->second.value)) {
+      if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
+      return Value();
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    if (record_stats) hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.value;
+  }
+
+  Value Lookup(const Key& key, bool record_stats = true) {
+    return LookupIf(
+        key, [](const Value&) { return true; }, record_stats);
+  }
+
+  /// Inserts `value` for `key`, evicting LRU entries of the target shard
+  /// until the new entry fits both limits. If the key is already present,
+  /// `replace(existing)` decides: true replaces the stored value (and its
+  /// byte/weight accounting), false only promotes the entry — either way
+  /// the key ends most recently used. An entry larger than the whole shard
+  /// budget empties the shard and is stored anyway: the biggest entries
+  /// are the ones most worth caching. Returns true iff the value was
+  /// stored (fresh insert or accepted replace).
+  template <typename Replace>
+  bool InsertIf(const Key& key, Value value, size_t bytes, size_t weight,
+                Replace replace) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      if (!replace(it->second.value)) return false;
+      shard.bytes = shard.bytes - it->second.bytes + bytes;
+      shard.weight = shard.weight - it->second.weight + weight;
+      it->second.value = std::move(value);
+      it->second.bytes = bytes;
+      it->second.weight = weight;
+      // A grown replacement can push the shard over its byte budget; shed
+      // colder entries, but never the just-refreshed one (at the front).
+      while (shard.capacity_bytes != 0 &&
+             shard.bytes > shard.capacity_bytes && shard.lru.size() > 1) {
+        EvictBack(&shard);
+      }
+      return true;
+    }
+    while (!shard.lru.empty() &&
+           (shard.lru.size() >= shard.capacity ||
+            (shard.capacity_bytes != 0 &&
+             shard.bytes + bytes > shard.capacity_bytes))) {
+      EvictBack(&shard);
+    }
+    it = shard.index
+             .emplace(key, Entry{std::move(value), {}, bytes, weight})
+             .first;
+    shard.lru.push_front(&it->first);
+    it->second.lru_pos = shard.lru.begin();
+    shard.bytes += bytes;
+    shard.weight += weight;
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Insert(const Key& key, Value value, size_t bytes, size_t weight) {
+    return InsertIf(key, std::move(value), bytes, weight,
+                    [](const Value&) { return true; });
+  }
+
+  /// Converts one recorded miss into a hit; see PlanCache for the
+  /// coalescing race this closes.
+  void ReclassifyMissAsHit() {
+    misses_.fetch_sub(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Counters GetCounters() const {
+    Counters counters;
+    counters.hits = hits_.load(std::memory_order_relaxed);
+    counters.misses = misses_.load(std::memory_order_relaxed);
+    counters.insertions = insertions_.load(std::memory_order_relaxed);
+    counters.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      counters.entries += shard->lru.size();
+      counters.bytes += shard->bytes;
+      counters.weight += shard->weight;
+    }
+    return counters;
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->lru.size();
+    }
+    return total;
+  }
+
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->index.clear();
+      shard->bytes = 0;
+      shard->weight = 0;
+    }
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  /// Keys are stored exactly once, as map keys; the LRU list holds
+  /// pointers to them — stable, since unordered_map never moves nodes.
+  using LruList = std::list<const Key*>;
+
+  struct Entry {
+    Value value;
+    typename LruList::iterator lru_pos;
+    size_t bytes = 0;
+    size_t weight = 0;
+  };
+
+  /// Hashes through the key's precomputed member, so keys need no
+  /// std::hash specialization.
+  struct KeyHash {
+    size_t operator()(const Key& key) const noexcept {
+      return static_cast<size_t>(key.hash);
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    LruList lru;  ///< Front = most recently used.
+    std::unordered_map<Key, Entry, KeyHash> index;
+    size_t capacity = 0;
+    size_t capacity_bytes = 0;  ///< 0 = no byte limit for this shard.
+    size_t bytes = 0;
+    size_t weight = 0;
+  };
+
+  /// Caller holds the shard lock; lru non-empty.
+  void EvictBack(Shard* shard) {
+    auto victim = shard->index.find(*shard->lru.back());
+    shard->bytes -= victim->second.bytes;
+    shard->weight -= victim->second.weight;
+    shard->index.erase(victim);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Shard& ShardFor(const Key& key) {
+    // Multiply then fold the high bits down so every shard is reachable
+    // regardless of shard count, and shard choice stays decorrelated from
+    // the hash-table bucket choice inside the shard.
+    uint64_t mixed = key.hash * 0x9E3779B97F4A7C15ull;
+    mixed ^= mixed >> 32;
+    return *shards_[mixed & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t shard_mask_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_SHARDED_LRU_H_

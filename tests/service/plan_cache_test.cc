@@ -106,9 +106,20 @@ TEST(PlanCacheTest, EvictedEntryStaysAliveThroughSharedPtr) {
   EXPECT_EQ(held->result->weighted_cost, 1.0);
 }
 
-/// A CachedFrontier holding a real PlanSet with `plans` frontier entries
-/// (one arena block each, so ApproxBytes is dominated by the 64 KiB
-/// default block — a convenient, predictable unit for budget tests).
+/// The exact bytes the cache accounts for one entry holding a copy of
+/// `frontier` under key `signature`: measured by inserting into a scratch
+/// single-shard cache (entry sizes depend on PlanSet arena growth and
+/// key/index overhead, so tests derive budgets instead of assuming them).
+size_t MeasuredEntryBytes(const ProblemSignature& signature,
+                          const std::shared_ptr<const CachedFrontier>& f) {
+  PlanCache::Options options;
+  options.shards = 1;
+  PlanCache scratch(options);
+  scratch.Insert(signature, f);
+  return scratch.GetStats().bytes;
+}
+
+/// A CachedFrontier holding a real PlanSet with `plans` frontier entries.
 std::shared_ptr<const CachedFrontier> SizedResult(int plans) {
   Arena arena;
   ParetoSet set;
@@ -128,8 +139,7 @@ std::shared_ptr<const CachedFrontier> SizedResult(int plans) {
 }
 
 TEST(PlanCacheTest, ByteBudgetEvictsLruBeforeEntryCap) {
-  auto probe = SizedResult(4);
-  const size_t unit = probe->result->plan_set->ApproxBytes();
+  const size_t unit = MeasuredEntryBytes(Sig("a"), SizedResult(4));
   ASSERT_GT(unit, 0u);
 
   PlanCache::Options options;
@@ -154,8 +164,7 @@ TEST(PlanCacheTest, ByteBudgetEvictsLruBeforeEntryCap) {
 }
 
 TEST(PlanCacheTest, OversizedEntryStillCachedAlone) {
-  auto probe = SizedResult(4);
-  const size_t unit = probe->result->plan_set->ApproxBytes();
+  const size_t unit = MeasuredEntryBytes(Sig("a"), SizedResult(4));
 
   PlanCache::Options options;
   options.capacity = 1024;
@@ -172,8 +181,7 @@ TEST(PlanCacheTest, OversizedEntryStillCachedAlone) {
 }
 
 TEST(PlanCacheTest, GrownRefreshShedsColderEntriesToStayInBudget) {
-  auto probe = SizedResult(4);
-  const size_t unit = probe->result->plan_set->ApproxBytes();
+  const size_t unit = MeasuredEntryBytes(Sig("a"), SizedResult(4));
 
   PlanCache::Options options;
   options.capacity = 1024;
@@ -223,6 +231,55 @@ TEST(PlanCacheTest, StatsTrackBytesAndFrontierPlans) {
   cache.Clear();
   EXPECT_EQ(cache.GetStats().bytes, 0u);
   EXPECT_EQ(cache.GetStats().frontier_plans, 0u);
+}
+
+std::shared_ptr<const CachedFrontier> AlphaResult(double achieved_alpha,
+                                                 double weighted_cost) {
+  auto cached = std::make_shared<CachedFrontier>();
+  auto result = std::make_shared<OptimizerResult>();
+  result->weighted_cost = weighted_cost;
+  cached->result = std::move(result);
+  cached->achieved_alpha = achieved_alpha;
+  return cached;
+}
+
+TEST(PlanCacheTest, TighterAlphaEntryServesLooserRequest) {
+  // The PR-5 relaxed identity: an alpha-approximate Pareto set is an
+  // alpha'-approximate one for every alpha' >= alpha, so a tighter entry
+  // answers any looser request — while a looser entry must never answer a
+  // tighter one.
+  PlanCache cache;
+  cache.Insert(Sig("q"), AlphaResult(1.2, 7.0));
+
+  EXPECT_NE(cache.Lookup(Sig("q"), 1.2), nullptr);   // Equal precision.
+  EXPECT_NE(cache.Lookup(Sig("q"), 2.5), nullptr);   // Looser request.
+  EXPECT_EQ(cache.Lookup(Sig("q"), 1.1), nullptr);   // Tighter request.
+  EXPECT_NE(cache.Lookup(Sig("q")), nullptr);        // kAnyAlpha default.
+
+  const PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);  // The refused too-loose entry is a miss.
+}
+
+TEST(PlanCacheTest, RefinementUpgradesEntryButNeverDowngrades) {
+  // A session ladder re-inserts under the same key with ever tighter
+  // alphas: each insert must replace. A later coarse run (same key,
+  // looser alpha) must NOT overwrite the precise entry — it only
+  // refreshes recency.
+  PlanCache cache;
+  cache.Insert(Sig("q"), AlphaResult(4.0, 1.0));
+  cache.Insert(Sig("q"), AlphaResult(2.0, 2.0));  // Tighter: replaces.
+  auto hit = cache.Lookup(Sig("q"), 2.0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->achieved_alpha, 2.0);
+  EXPECT_EQ(hit->result->weighted_cost, 2.0);
+
+  cache.Insert(Sig("q"), AlphaResult(3.0, 3.0));  // Looser: recency only.
+  hit = cache.Lookup(Sig("q"), 2.0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->achieved_alpha, 2.0);
+  EXPECT_EQ(hit->result->weighted_cost, 2.0);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
 }
 
 TEST(PlanCacheTest, ConcurrentMixedTraffic) {

@@ -462,17 +462,28 @@ TEST(ServiceTest, DegradedPrimaryPromotesOneWaiterNotAll) {
   options.enable_subplan_memo = false;
   OptimizationService service(options);
 
-  // Pin the single worker behind a queue of heavy runs (distinct alpha
-  // overrides = distinct signatures, so they neither coalesce nor hit the
-  // cache): one ~5 ms EXA is not enough runway under a loaded parallel
+  // Pin the single worker behind a queue of heavy runs (distinct
+  // objective subsets = distinct signatures, so they neither coalesce nor
+  // hit the cache — alpha no longer distinguishes keys under the relaxed
+  // identity): one ~5 ms EXA is not enough runway under a loaded parallel
   // test host — the submit loop below must finish parking every waiter
   // before the worker reaches the doomed primary.
   constexpr int kHeavy = 10;
   std::vector<std::future<ServiceResponse>> heavy_futures;
   for (int i = 0; i < kHeavy; ++i) {
     ServiceRequest heavy = StarRequest(&catalog, 3, 9);
+    // Drop one rotating objective (and for i >= 8, two) from the full
+    // set: every subset is distinct, every run stays heavy.
+    std::vector<Objective> picked;
+    for (int k = 0; k < kNumObjectives; ++k) {
+      if (k == 1 + (i % 8)) continue;
+      if (i >= 8 && k == 1 + ((i + 1) % 8)) continue;
+      picked.push_back(kAllObjectives[k]);
+    }
+    heavy.spec.objectives = ObjectiveSet(picked);
+    heavy.preference.weights =
+        WeightVector::Uniform(heavy.spec.objectives.size());
     heavy.spec.algorithm = AlgorithmKind::kExa;
-    heavy.spec.alpha = 1.0 + 0.01 * i;  // Key-distinct, EXA ignores it.
     heavy.preference.deadline_ms = 10000;
     heavy_futures.push_back(service.Submit(heavy));
   }

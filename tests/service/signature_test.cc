@@ -95,13 +95,43 @@ TEST(SignatureTest, SpecParametersChangeSignature) {
                              1.5, SmallOptions()),
             ref);
 
-  // Same spec, different resolved algorithm or alpha.
+  // Same spec, different resolved algorithm.
   EXPECT_NE(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kExa,
                              1.5, SmallOptions()),
             ref);
-  EXPECT_NE(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kRta,
-                             2.0, SmallOptions()),
-            ref);
+}
+
+TEST(SignatureTest, FrontierAlgorithmSignaturesAreAlphaFree) {
+  // The PR-5 relaxed identity: for frontier-producing algorithms the
+  // precision only grades the frontier, it does not change which problem
+  // the frontier answers — the key is alpha-free and the PlanCache gates
+  // on each entry's achieved alpha instead. The IRA stays alpha-keyed
+  // (its output is tailored to precision AND preference).
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  EXPECT_EQ(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kRta,
+                             1.5, SmallOptions()),
+            ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kRta,
+                             2.0, SmallOptions()));
+
+  WeightVector uniform = WeightVector::Uniform(3);
+  EXPECT_NE(ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kIra,
+                             1.5, SmallOptions(), &uniform),
+            ComputeSignature(query, FirstObjectives(3), AlgorithmKind::kIra,
+                             2.0, SmallOptions(), &uniform));
+}
+
+TEST(SignatureTest, ExtendSignatureRestoresExactAlphaIdentity) {
+  // Coalescing and the session registry must never mix precisions: the
+  // extended signature re-encodes alpha bit-exactly on top of the relaxed
+  // base key.
+  Catalog catalog = MakeTinyCatalog();
+  Query query = MakeStarQuery(&catalog, 2);
+  const ProblemSignature base = ComputeSignature(
+      query, FirstObjectives(3), AlgorithmKind::kRta, 1.5, SmallOptions());
+  EXPECT_EQ(ExtendSignature(base, 1.5), ExtendSignature(base, 1.5));
+  EXPECT_NE(ExtendSignature(base, 1.5), ExtendSignature(base, 2.0));
+  EXPECT_NE(ExtendSignature(base, 1.5), base);
 }
 
 TEST(SignatureTest, WeightsDoNotChangeFrontierAlgorithmSignatures) {

@@ -81,5 +81,33 @@ TEST(ArenaTest, ReservedCoversAllocated) {
   EXPECT_GE(arena.reserved_bytes(), arena.allocated_bytes());
 }
 
+TEST(ArenaTest, GrowthArenaSizesReservationToPayload) {
+  // A growth arena starts at its initial block size, so tiny payloads —
+  // the typical PlanSet snapshot a cache entry pins — reserve tiny
+  // blocks instead of a full default block.
+  Arena arena(/*initial_bytes=*/128, /*max_block_bytes=*/1024);
+  arena.Allocate(64);
+  EXPECT_EQ(arena.reserved_bytes(), 128u);
+
+  // Block sizes double up to the ceiling: 128 + 256 + 512 + 1024 + 1024
+  // covers ~2.9 KiB of payload with at most one ceiling block of slack.
+  for (int i = 0; i < 45; ++i) arena.Allocate(64);
+  EXPECT_GE(arena.reserved_bytes(), arena.allocated_bytes());
+  EXPECT_LE(arena.reserved_bytes(), arena.allocated_bytes() + 1024 + 512);
+
+  // Reset restarts the growth schedule from the initial block size.
+  arena.Reset();
+  arena.Allocate(64);
+  EXPECT_EQ(arena.reserved_bytes(), 128u);
+}
+
+TEST(ArenaTest, FixedArenaNeverGrowsItsBlockSize) {
+  Arena arena(256);
+  for (int i = 0; i < 20; ++i) arena.Allocate(200);
+  // 200 bytes fit one 256-byte block each; reservations stay linear in
+  // block count, never doubling.
+  EXPECT_EQ(arena.reserved_bytes(), 20u * 256u);
+}
+
 }  // namespace
 }  // namespace moqo

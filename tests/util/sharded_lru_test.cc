@@ -1,0 +1,202 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// ShardedLru unit tests: the container mechanics shared by PlanCache and
+// SubplanMemo, including the policy hooks (lookup admission, replace
+// gating) the owners build their semantics on. PlanCache/SubplanMemo
+// tests cover the owner-level behaviour; these pin the template itself.
+
+#include "util/sharded_lru.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace moqo {
+namespace {
+
+/// Minimal key satisfying the container's requirements.
+struct TestKey {
+  std::string key;
+  uint64_t hash = 0;
+  bool operator==(const TestKey& other) const {
+    return hash == other.hash && key == other.key;
+  }
+};
+
+TestKey Key(const std::string& text) {
+  TestKey key;
+  key.key = text;
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  key.hash = hash;
+  return key;
+}
+
+using Lru = ShardedLru<TestKey, std::shared_ptr<const int>>;
+
+Lru::Options SingleShard(size_t capacity, size_t capacity_bytes = 0) {
+  Lru::Options options;
+  options.capacity = capacity;
+  options.capacity_bytes = capacity_bytes;
+  options.shards = 1;
+  return options;
+}
+
+std::shared_ptr<const int> Value(int v) { return std::make_shared<int>(v); }
+
+TEST(ShardedLruTest, LruEvictionOrderAndCounters) {
+  Lru lru(SingleShard(2));
+  lru.Insert(Key("a"), Value(1), 10, 1);
+  lru.Insert(Key("b"), Value(2), 10, 1);
+  ASSERT_NE(lru.Lookup(Key("a")), nullptr);  // a most recent.
+  lru.Insert(Key("c"), Value(3), 10, 1);     // Evicts b.
+
+  EXPECT_NE(lru.Lookup(Key("a")), nullptr);
+  EXPECT_EQ(lru.Lookup(Key("b")), nullptr);
+  EXPECT_NE(lru.Lookup(Key("c")), nullptr);
+  const Lru::Counters counters = lru.GetCounters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.entries, 2u);
+  EXPECT_EQ(counters.bytes, 20u);
+  EXPECT_EQ(counters.weight, 2u);
+  EXPECT_EQ(counters.hits, 3u);
+  EXPECT_EQ(counters.misses, 1u);
+}
+
+TEST(ShardedLruTest, ByteBudgetIsPrimaryLimit) {
+  Lru lru(SingleShard(/*capacity=*/100, /*capacity_bytes=*/25));
+  lru.Insert(Key("a"), Value(1), 10, 0);
+  lru.Insert(Key("b"), Value(2), 10, 0);
+  EXPECT_EQ(lru.GetCounters().evictions, 0u);
+  lru.Insert(Key("c"), Value(3), 10, 0);  // 30 > 25: evicts LRU (a).
+  EXPECT_EQ(lru.Lookup(Key("a")), nullptr);
+  EXPECT_NE(lru.Lookup(Key("b")), nullptr);
+  EXPECT_LE(lru.GetCounters().bytes, 25u);
+
+  // An entry larger than the whole budget empties the shard but is
+  // stored anyway.
+  lru.Insert(Key("big"), Value(4), 100, 0);
+  EXPECT_NE(lru.Lookup(Key("big")), nullptr);
+  EXPECT_EQ(lru.GetCounters().entries, 1u);
+}
+
+TEST(ShardedLruTest, LookupAdmissionHookRefusesWithoutPromoting) {
+  Lru lru(SingleShard(2));
+  lru.Insert(Key("a"), Value(1), 1, 0);
+  lru.Insert(Key("b"), Value(2), 1, 0);
+
+  // Refused lookups are misses and must NOT refresh recency: "a" stays
+  // least recently used and is the next eviction victim.
+  const auto refuse = [](const std::shared_ptr<const int>&) { return false; };
+  EXPECT_EQ(lru.LookupIf(Key("a"), refuse), nullptr);
+  lru.Insert(Key("c"), Value(3), 1, 0);
+  EXPECT_EQ(lru.Lookup(Key("a")), nullptr);  // Evicted despite the probe.
+  EXPECT_NE(lru.Lookup(Key("b")), nullptr);
+
+  const Lru::Counters counters = lru.GetCounters();
+  EXPECT_EQ(counters.misses, 2u);  // Refused probe + the post-evict miss.
+}
+
+TEST(ShardedLruTest, ReplaceHookGatesRefreshButAlwaysTouches) {
+  Lru lru(SingleShard(2));
+  lru.Insert(Key("a"), Value(1), 5, 1);
+  lru.Insert(Key("b"), Value(2), 5, 1);
+
+  // Rejected replace: value and accounting stay, recency refreshes.
+  const bool replaced = lru.InsertIf(
+      Key("a"), Value(10), 50, 9,
+      [](const std::shared_ptr<const int>&) { return false; });
+  EXPECT_FALSE(replaced);
+  auto hit = lru.Lookup(Key("a"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(lru.GetCounters().bytes, 10u);
+  // "a" was touched by the refused insert AND the lookup; "b" is LRU now.
+  lru.Insert(Key("c"), Value(3), 5, 1);
+  EXPECT_EQ(lru.Lookup(Key("b")), nullptr);
+
+  // Accepted replace swaps value and re-accounts bytes/weight.
+  lru.InsertIf(Key("a"), Value(20), 7, 3,
+               [](const std::shared_ptr<const int>&) { return true; });
+  hit = lru.Lookup(Key("a"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 20);
+  const Lru::Counters counters = lru.GetCounters();
+  EXPECT_EQ(counters.bytes, 12u);   // 7 (a) + 5 (c).
+  EXPECT_EQ(counters.weight, 4u);   // 3 (a) + 1 (c).
+}
+
+TEST(ShardedLruTest, GrownRefreshShedsColdEntriesButKeepsItself) {
+  Lru lru(SingleShard(/*capacity=*/100, /*capacity_bytes=*/25));
+  lru.Insert(Key("a"), Value(1), 10, 0);
+  lru.Insert(Key("b"), Value(2), 10, 0);
+  // Refreshing b to 24 bytes busts the budget: a is shed, b survives.
+  lru.Insert(Key("b"), Value(3), 24, 0);
+  EXPECT_EQ(lru.Lookup(Key("a")), nullptr);
+  auto hit = lru.Lookup(Key("b"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 3);
+}
+
+TEST(ShardedLruTest, ShardCountRoundsToPowerOfTwo) {
+  Lru::Options options;
+  options.shards = 5;
+  Lru lru(options);
+  EXPECT_EQ(lru.num_shards(), 8);
+}
+
+TEST(ShardedLruTest, ReclassifyMissAsHitBalancesCounters) {
+  Lru lru(SingleShard(4));
+  EXPECT_EQ(lru.Lookup(Key("a")), nullptr);  // Miss.
+  lru.Insert(Key("a"), Value(1), 1, 0);
+  // The race-closing re-probe pattern: uncounted lookup, then flip the
+  // recorded miss.
+  EXPECT_NE(lru.Lookup(Key("a"), /*record_stats=*/false), nullptr);
+  lru.ReclassifyMissAsHit();
+  const Lru::Counters counters = lru.GetCounters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 0u);
+}
+
+TEST(ShardedLruTest, ConcurrentMixedTraffic) {
+  Lru::Options options;
+  options.capacity = 64;
+  options.shards = 8;
+  Lru lru(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&lru, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "key" + std::to_string((t * 7 + i) % 100);
+        if (i % 3 == 0) {
+          lru.Insert(Key(key), Value(i), 8, 1);
+        } else {
+          auto hit = lru.Lookup(Key(key));
+          if (hit != nullptr) {
+            volatile int v = *hit;  // TSan: unsynchronized access check.
+            (void)v;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const int lookups_per_thread = kOpsPerThread - (kOpsPerThread + 2) / 3;
+  const Lru::Counters counters = lru.GetCounters();
+  EXPECT_EQ(counters.hits + counters.misses,
+            static_cast<uint64_t>(kThreads) * lookups_per_thread);
+  EXPECT_LE(counters.entries, 64u + 8u);  // Capacity rounding headroom.
+}
+
+}  // namespace
+}  // namespace moqo
