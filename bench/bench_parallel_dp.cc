@@ -33,6 +33,7 @@
 #include "core/dp_driver.h"
 #include "core/optimizer.h"
 #include "harness/experiment.h"
+#include "obs/histogram.h"
 #include "query/query.h"
 #include "util/thread_pool.h"
 
@@ -170,7 +171,8 @@ int Run() {
       results.push_back(std::move(result));
     }
 
-    const double base_p50 = Percentile(results.front().ms, 50);
+    const double base_p50 =
+        SnapshotOfSamples(results.front().ms).PercentileMs(50);
     bench::Json shape_json = bench::Json::Object();
     shape_json.Set("shape", shape.c_str())
         .Set("tables", tables)
@@ -180,8 +182,9 @@ int Run() {
                                      results.front().considered));
     bench::Json runs_json = bench::Json::Array();
     for (const ConfigResult& result : results) {
-      const double p50 = Percentile(result.ms, 50);
-      const double p99 = Percentile(result.ms, 99);
+      const HistogramSnapshot latency = SnapshotOfSamples(result.ms);
+      const double p50 = latency.PercentileMs(50);
+      const double p99 = latency.PercentileMs(99);
       double mean = 0;
       for (double ms : result.ms) mean += ms;
       mean /= result.ms.size();

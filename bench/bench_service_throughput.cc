@@ -53,6 +53,7 @@
 #include "bench/bench_json.h"
 #include "harness/experiment.h"
 #include "harness/service_experiment.h"
+#include "obs/histogram.h"
 #include "harness/workload.h"
 #include "query/tpch_queries.h"
 #include "service/optimization_service.h"
@@ -97,6 +98,7 @@ bench::Json RunJson(const ServiceRunStats& stats) {
       .Set("wall_ms", stats.wall_ms)
       .Set("mean_ms", stats.mean_service_ms)
       .Set("p50_ms", stats.PercentileMs(50))
+      .Set("p95_ms", stats.PercentileMs(95))
       .Set("p99_ms", stats.PercentileMs(99))
       .Set("max_ms", stats.max_service_ms)
       .Set("cache_hits", stats.cache_hits)
@@ -301,8 +303,8 @@ int Run() {
       return 1;
     }
 
-    const double cold_p50 = Percentile(cold_ms, 50);
-    const double warm_p50 = Percentile(warm_ms, 50);
+    const double cold_p50 = SnapshotOfSamples(cold_ms).PercentileMs(50);
+    const double warm_p50 = SnapshotOfSamples(warm_ms).PercentileMs(50);
     const double hit_rate = memo_stats.MemoHitRate();
     std::printf("\n-- overlapping queries (%d windows x %d tables, "
                 "%d objectives) --\n",
@@ -379,6 +381,10 @@ int Run() {
     options.num_workers = 1;  // The memo warms in submission order.
     options.operators = BenchOperatorSpace();
     options.policy.max_parallelism = 1;
+    // This phase doubles as the tracing exemplar: the recorded spans
+    // (request -> rung -> DP level -> memo probe) become the
+    // TRACE_service.json artifact CI smoke-validates.
+    options.trace.enabled = true;
     OptimizationService service(options);
 
     SessionOptions session_options;
@@ -430,12 +436,22 @@ int Run() {
     std::printf("\n-- anytime sessions (%d windows x %d tables, ladder "
                 "2.5 -> 1.25 in %d steps) --\n",
                 session_queries, session_tables, session_steps);
-    std::printf("first frontier: p50 %.2f ms; target: p50 %.2f ms\n",
-                Percentile(first_frontier_ms, 50),
-                Percentile(target_ms, 50));
+    // Open-side wall clocks (measured here) and the service's own
+    // first-frontier histogram report the same quantity; the JSON carries
+    // both so a drift between them is visible in the artifact.
+    const HistogramSnapshot first_frontier =
+        SnapshotOfSamples(first_frontier_ms);
+    const HistogramSnapshot target = SnapshotOfSamples(target_ms);
+    std::printf("first frontier: p50 %.2f ms (service-side p50 %.2f "
+                "p95 %.2f p99 %.2f); target: p50 %.2f ms\n",
+                first_frontier.PercentileMs(50),
+                stats.first_frontier_latency.PercentileMs(50),
+                stats.first_frontier_latency.PercentileMs(95),
+                stats.first_frontier_latency.PercentileMs(99),
+                target.PercentileMs(50));
     bench::Json steps = bench::Json::Array();
     for (size_t rung = 0; rung < step_ms.size(); ++rung) {
-      const double p50 = Percentile(step_ms[rung], 50);
+      const double p50 = SnapshotOfSamples(step_ms[rung]).PercentileMs(50);
       std::printf("rung %zu: p50 %.2f ms over %zu sessions\n", rung, p50,
                   step_ms[rung].size());
       bench::Json row = bench::Json::Object();
@@ -454,8 +470,16 @@ int Run() {
     phase.Set("sessions", session_queries)
         .Set("tables_per_query", session_tables)
         .Set("ladder_steps", session_steps)
-        .Set("first_frontier_p50_ms", Percentile(first_frontier_ms, 50))
-        .Set("target_p50_ms", Percentile(target_ms, 50))
+        .Set("first_frontier_p50_ms", first_frontier.PercentileMs(50))
+        .Set("first_frontier_service_p50_ms",
+             stats.first_frontier_latency.PercentileMs(50))
+        .Set("first_frontier_service_p95_ms",
+             stats.first_frontier_latency.PercentileMs(95))
+        .Set("first_frontier_service_p99_ms",
+             stats.first_frontier_latency.PercentileMs(99))
+        .Set("step_latency_p50_ms", stats.step_latency.PercentileMs(50))
+        .Set("step_latency_p99_ms", stats.step_latency.PercentileMs(99))
+        .Set("target_p50_ms", target.PercentileMs(50))
         .Set("per_step_p50", std::move(steps))
         .Set("memo_hits", static_cast<long long>(stats.memo_hits))
         .Set("memo_hit_rate", memo_hit_rate)
@@ -468,6 +492,26 @@ int Run() {
       std::printf("ERROR: ladder steps never reused the subplan memo\n");
       return 1;
     }
+
+    // Dump the phase's spans as a Perfetto-loadable Chrome trace; an empty
+    // trace means the instrumentation fell out of the request path.
+    const std::string trace_path = "TRACE_service.json";
+    if (!service.tracer()->WriteChromeTrace(trace_path)) {
+      std::printf("ERROR: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    const uint64_t trace_events = service.tracer()->recorded_events();
+    std::printf("trace: %llu span events -> %s (dropped=%llu)\n",
+                static_cast<unsigned long long>(trace_events),
+                trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    service.tracer()->dropped_events()));
+    if (trace_events == 0) {
+      std::printf("ERROR: tracing was enabled but recorded no events\n");
+      return 1;
+    }
+    doc.Set("trace_file", trace_path.c_str())
+        .Set("trace_events", static_cast<long long>(trace_events));
   }
 
   // Phase 5: worker scaling (cache off: every request runs the DP).

@@ -6,6 +6,7 @@
 
 #include "core/plan_set.h"
 #include "memo/subplan_memo.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace moqo {
@@ -64,6 +65,10 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
     }
     if (level.empty()) continue;
 
+    TraceSpan level_span(options.tracer, "dp", "dp.level", options.trace_id);
+    level_span.AddArg("tables", k);
+    level_span.AddArg("sets", static_cast<int64_t>(level.size()));
+
     // Memo probe, on the caller thread before any of this level's sets is
     // built: hits seal their entry directly from the shared snapshot;
     // misses remember their signature so publish-after-seal below needs no
@@ -76,6 +81,10 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
                             k >= shared_memo->min_tables() &&
                             !stats_.timed_out && !options.deadline.Expired();
     if (memo_level) {
+      TraceSpan probe_span(options.tracer, "memo", "memo.probe",
+                           options.trace_id);
+      const long hits_before = stats_.memo_hits;
+      probe_span.AddArg("probes", static_cast<int64_t>(level.size()));
       signatures.resize(level.size());
       for (size_t i = 0; i < level.size(); ++i) {
         // Per-set deadline poll: signature encoding and hit
@@ -96,6 +105,7 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
           ++stats_.memo_misses;
         }
       }
+      probe_span.AddArg("hits", stats_.memo_hits - hits_before);
     }
 
     std::vector<char> built(level.size(), 0);
@@ -141,6 +151,9 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
     // level barrier on the caller thread keeps the parallel batch free of
     // shared-structure writes.
     if (memo_level) {
+      TraceSpan publish_span(options.tracer, "memo", "memo.publish",
+                             options.trace_id);
+      const long publishes_before = stats_.memo_publishes;
       for (size_t i = 0; i < level.size(); ++i) {
         if (!built[i]) continue;
         const ParetoSet& set = SetFor(level[i]);
@@ -155,6 +168,8 @@ const ParetoSet& DPPlanGenerator::Run(const Query& query,
                                                            local_to_rank));
         ++stats_.memo_publishes;
       }
+      publish_span.AddArg("publishes",
+                          stats_.memo_publishes - publishes_before);
     }
   }
   return SetFor(all);
@@ -225,9 +240,25 @@ void DPPlanGenerator::ProcessLevelParallel(const Query& query,
     return proxy[a] > proxy[b];
   });
 
-  std::vector<DPStats> slot_stats(slots);
+  // One padded state block per slot. ParallelFor guarantees slot values
+  // are distinct across concurrent participants, so per-slot counting is
+  // race-free by construction (audited for PR 6; the TSan-filtered
+  // ParallelDpTest covers it) — the padding only stops adjacent slots'
+  // counters from false-sharing a cache line.
+  struct alignas(64) SlotState {
+    DPStats stats;
+    /// When this slot finished its last claimed set, in level-watch us;
+    /// -1 = the slot never ran a task.
+    int64_t last_finish_us = -1;
+  };
+  std::vector<SlotState> slot_state(slots);
   std::vector<char> completed(level.size(), 0);
   std::atomic<bool> expired{false};
+
+  StopWatch level_watch;
+  const auto level_us = [&level_watch] {
+    return static_cast<int64_t>(level_watch.ElapsedMillis() * 1000.0);
+  };
 
   options.pool->ParallelFor(
       static_cast<int>(work.size()), slots - 1, [&](int wi, int slot) {
@@ -237,17 +268,40 @@ void DPPlanGenerator::ProcessLevelParallel(const Query& query,
         const int index = work[wi];
         Arena* arena =
             slot == 0 ? arena_ : slot_arenas_[slot - 1].get();
+        TraceSpan set_span(options.tracer, "dp", "dp.set", options.trace_id);
+        set_span.AddArg("tables", level[index].Cardinality());
+        set_span.AddArg("split_work", static_cast<int64_t>(proxy[index]));
         if (ProcessSetInto(query, level[index], options, arena,
-                           outputs[index], &slot_stats[slot])) {
+                           outputs[index], &slot_state[slot].stats)) {
           completed[index] = 1;
         } else {
           expired.store(true, std::memory_order_relaxed);
         }
+        slot_state[slot].last_finish_us = level_us();
       });
 
-  for (const DPStats& s : slot_stats) {
-    stats_.considered_plans += s.considered_plans;
-    stats_.inserted_plans += s.inserted_plans;
+  // Barrier-tail attribution: every slot that ran at least one task waited
+  // from its last set's completion until the whole level sealed. The sum
+  // is the level's load-imbalance cost (ROADMAP: work stealing).
+  const int64_t barrier_us = level_us();
+  ++stats_.parallel_levels;
+  for (const SlotState& s : slot_state) {
+    stats_.considered_plans += s.stats.considered_plans;
+    stats_.inserted_plans += s.stats.inserted_plans;
+    if (s.last_finish_us < 0) continue;
+    const int64_t wait_us = barrier_us - s.last_finish_us;
+    stats_.barrier_wait_us += wait_us;
+    if (options.tracer != nullptr && options.tracer->enabled()) {
+      TraceEvent event;
+      event.category = "dp";
+      event.name = "dp.barrier_wait";
+      event.id = options.trace_id;
+      event.start_us = options.tracer->NowUs() - wait_us;
+      event.dur_us = wait_us;
+      event.arg1_name = "wait_us";
+      event.arg1 = wait_us;
+      options.tracer->Record(event);
+    }
   }
   if (expired.load(std::memory_order_relaxed)) stats_.timed_out = true;
   // Merge step: completion bookkeeping in level order (so the "last

@@ -60,6 +60,7 @@ namespace moqo {
 class PlanSet;
 class SubplanMemo;
 class ThreadPool;
+class Tracer;
 
 /// Knobs of one dynamic-programming run.
 struct DPOptions {
@@ -96,6 +97,12 @@ struct DPOptions {
   /// single_plan_mode (its per-set "frontier" depends on the weights) and
   /// for quick-mode (timed-out) sets, which are never published.
   SubplanMemo* subplan_memo = nullptr;
+  /// Observability (PR 6): span recorder for per-level / per-set / memo
+  /// spans; not owned, null = no tracing (the disabled path is one branch
+  /// per level). `trace_id` correlates this run's spans with the request
+  /// that issued it.
+  Tracer* tracer = nullptr;
+  uint64_t trace_id = 0;
 };
 
 /// Counters and outcomes of one run, feeding the Figure 5/9/10 metrics.
@@ -117,6 +124,11 @@ struct DPStats {
   long memo_hits = 0;
   long memo_misses = 0;
   long memo_publishes = 0;
+  /// Barrier-tail attribution (PR 6): DP levels that actually fanned out,
+  /// and the total time participating slots spent finished-but-waiting at
+  /// level barriers (the work-stealing ROADMAP item's target metric).
+  int parallel_levels = 0;
+  long barrier_wait_us = 0;
 };
 
 /// The DP engine. One instance per optimization run; plans live in the

@@ -100,6 +100,13 @@ struct OptimizerOptions {
   /// behaves like deadline expiry: the run degrades to a quick finish and
   /// reports timed_out.
   const std::atomic<bool>* cancel = nullptr;
+  /// Observability (PR 6): span recorder handed through to the DP
+  /// (per-level/per-set/memo spans); not owned, null = no tracing.
+  /// `trace_id` is the request/session correlation id stamped on every
+  /// span of this run. NOT part of the problem identity — cache
+  /// signatures ignore both fields.
+  Tracer* tracer = nullptr;
+  uint64_t trace_id = 0;
 };
 
 /// Measurements reported for Figures 5, 9 and 10. Frontier cardinality is
@@ -176,6 +183,8 @@ class OptimizerBase {
     dp.parallelism = options_.parallelism;
     dp.pool = options_.dp_pool;
     dp.subplan_memo = options_.subplan_memo;
+    dp.tracer = options_.tracer;
+    dp.trace_id = options_.trace_id;
     return dp;
   }
 

@@ -99,17 +99,4 @@ double EnvDouble(const char* name, double default_value) {
   return value != nullptr ? std::atof(value) : default_value;
 }
 
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  if (p <= 0) return values.front();
-  if (p >= 100) return values.back();
-  const double rank = p / 100.0 * (values.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const double frac = rank - lo;
-  return lo + 1 < values.size()
-             ? values[lo] * (1 - frac) + values[lo + 1] * frac
-             : values[lo];
-}
-
 }  // namespace moqo

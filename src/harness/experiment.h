@@ -60,11 +60,6 @@ std::vector<double> BestWeightedPerCase(
 int EnvInt(const char* name, int default_value);
 double EnvDouble(const char* name, double default_value);
 
-/// Linear-interpolation percentile of `values` (p in [0, 100]); 0 when
-/// empty. One definition shared by the bench harness and the BENCH_*.json
-/// artifacts so their p50/p99 stay comparable.
-double Percentile(std::vector<double> values, double p);
-
 }  // namespace moqo
 
 #endif  // MOQO_HARNESS_EXPERIMENT_H_

@@ -7,7 +7,6 @@
 #include <sstream>
 #include <utility>
 
-#include "harness/experiment.h"
 #include "util/deadline.h"
 
 namespace moqo {
@@ -46,6 +45,7 @@ ServiceRunStats DriveService(OptimizationService* service,
                              const std::vector<ServiceRequest>& requests) {
   ServiceRunStats stats;
   stats.total = static_cast<int>(requests.size());
+  LatencyHistogram latency;
 
   StopWatch watch;
   std::vector<std::future<ServiceResponse>> futures;
@@ -76,7 +76,7 @@ ServiceRunStats DriveService(OptimizationService* service,
     if (response.cache == CacheOutcome::kFrontierHit) ++stats.frontier_hits;
     if (response.cache == CacheOutcome::kCoalescedHit) ++stats.coalesced;
     sum_service_ms += response.service_ms;
-    stats.service_ms_samples.push_back(response.service_ms);
+    latency.Record(response.service_ms);
     if (response.result != nullptr) {
       frontier_plans += response.result->frontier_size();
     }
@@ -85,15 +85,12 @@ ServiceRunStats DriveService(OptimizationService* service,
     }
   }
   stats.wall_ms = watch.ElapsedMillis();
+  stats.latency = latency.Snapshot();
   const int served = stats.completed + stats.quick;
   stats.mean_service_ms = served == 0 ? 0 : sum_service_ms / served;
   stats.mean_frontier =
       served == 0 ? 0 : static_cast<double>(frontier_plans) / served;
   return stats;
-}
-
-double ServiceRunStats::PercentileMs(double p) const {
-  return Percentile(service_ms_samples, p);
 }
 
 std::string ServiceRunStats::ToString() const {
@@ -105,7 +102,8 @@ std::string ServiceRunStats::ToString() const {
       << " wall_ms=" << wall_ms
       << " throughput_rps=" << Throughput()
       << " mean_ms=" << mean_service_ms << " p50_ms=" << PercentileMs(50)
-      << " p99_ms=" << PercentileMs(99) << " max_ms=" << max_service_ms
+      << " p95_ms=" << PercentileMs(95) << " p99_ms=" << PercentileMs(99)
+      << " max_ms=" << max_service_ms
       << " mean_frontier=" << mean_frontier;
   return out.str();
 }

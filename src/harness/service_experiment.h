@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/workload.h"
+#include "obs/histogram.h"
 #include "service/optimization_service.h"
 
 namespace moqo {
@@ -54,9 +55,10 @@ struct ServiceRunStats {
   double max_service_ms = 0;
   /// Mean frontier size of served responses (plans per PlanSet).
   double mean_frontier = 0;
-  /// Per-request service latencies of served requests, in completion
-  /// order; feeds the percentile accessors and the BENCH_*.json artifacts.
-  std::vector<double> service_ms_samples;
+  /// Service-latency distribution over served requests — the same
+  /// log-bucketed histogram the service's own stats use (obs/histogram.h),
+  /// so bench-side and service-side percentiles are directly comparable.
+  HistogramSnapshot latency;
 
   double Throughput() const {
     return wall_ms <= 0 ? 0 : 1000.0 * total / wall_ms;
@@ -64,7 +66,7 @@ struct ServiceRunStats {
 
   /// Latency percentile over served requests (p in [0, 100]); 0 when none
   /// were served.
-  double PercentileMs(double p) const;
+  double PercentileMs(double p) const { return latency.PercentileMs(p); }
 
   std::string ToString() const;
 };

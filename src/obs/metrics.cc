@@ -1,0 +1,150 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace moqo {
+namespace {
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string RenderLabels(const MetricsRegistry::Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels plus one extra pair — used for the histogram `le` label.
+MetricsRegistry::Labels WithLabel(MetricsRegistry::Labels labels,
+                                  const std::string& key,
+                                  const std::string& value) {
+  labels.emplace_back(key, value);
+  return labels;
+}
+
+std::string FormatNumber(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // %.17g round-trips doubles; trim the common integer case for
+  // readability.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::AddCounter(std::string name, std::string help,
+                                 Labels labels,
+                                 std::function<double()> sampler) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.type = Type::kCounter;
+  entry.labels = std::move(labels);
+  entry.scalar = std::move(sampler);
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::AddGauge(std::string name, std::string help,
+                               Labels labels, std::function<double()> sampler) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.type = Type::kGauge;
+  entry.labels = std::move(labels);
+  entry.scalar = std::move(sampler);
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::AddHistogram(std::string name, std::string help,
+                                   Labels labels,
+                                   std::function<HistogramSnapshot()> sampler) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.type = Type::kHistogram;
+  entry.labels = std::move(labels);
+  entry.histogram = std::move(sampler);
+  entries_.push_back(std::move(entry));
+}
+
+const std::vector<double>& MetricsRegistry::BucketBoundsMs() {
+  static const std::vector<double> kBounds = {0.1, 0.5,  1,   5,    10,
+                                              50,  100,  500, 1000, 5000};
+  return kBounds;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  out.reserve(1 << 12);
+  // Entries sharing a name (label families) emit one HELP/TYPE header;
+  // registration order keeps families contiguous, but guard against
+  // interleaving anyway by only emitting a header when the name changes.
+  const std::string* last_header = nullptr;
+  for (const Entry& entry : entries_) {
+    if (last_header == nullptr || *last_header != entry.name) {
+      out += "# HELP " + entry.name + " " + entry.help + "\n";
+      out += "# TYPE " + entry.name + " ";
+      switch (entry.type) {
+        case Type::kCounter:
+          out += "counter\n";
+          break;
+        case Type::kGauge:
+          out += "gauge\n";
+          break;
+        case Type::kHistogram:
+          out += "histogram\n";
+          break;
+      }
+      last_header = &entry.name;
+    }
+    if (entry.type == Type::kHistogram) {
+      const HistogramSnapshot snapshot = entry.histogram();
+      for (double bound : BucketBoundsMs()) {
+        out += entry.name + "_bucket" +
+               RenderLabels(WithLabel(entry.labels, "le",
+                                      FormatNumber(bound))) +
+               " " +
+               FormatNumber(static_cast<double>(snapshot.CountAtMost(bound))) +
+               "\n";
+      }
+      out += entry.name + "_bucket" +
+             RenderLabels(WithLabel(entry.labels, "le", "+Inf")) + " " +
+             FormatNumber(static_cast<double>(snapshot.count)) + "\n";
+      out += entry.name + "_sum" + RenderLabels(entry.labels) + " " +
+             FormatNumber(snapshot.sum_ms) + "\n";
+      out += entry.name + "_count" + RenderLabels(entry.labels) + " " +
+             FormatNumber(static_cast<double>(snapshot.count)) + "\n";
+    } else {
+      out += entry.name + RenderLabels(entry.labels) + " " +
+             FormatNumber(entry.scalar()) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace moqo

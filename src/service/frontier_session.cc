@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
+#include "service/stats.h"
+
 namespace moqo {
 
 std::shared_ptr<const PlanSet> FrontierSession::BestFrontier() const {
@@ -154,6 +157,7 @@ bool FrontierSession::Publish(double alpha,
   std::lock_guard<std::mutex> delivery(callback_mu_);
   RefinedFrontier frontier;
   std::vector<std::pair<int, RefinedCallback>> callbacks;
+  bool first_publish = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Monotonicity guard: after the first publish (which may be the
@@ -162,6 +166,7 @@ bool FrontierSession::Publish(double alpha,
     // decreasing by construction, so this only drops genuinely redundant
     // publishes (e.g. a rung at the alpha a cache seed already provided).
     if (failed_ || (best_ != nullptr && alpha >= best_alpha_)) return false;
+    first_publish = history_.empty();
     frontier.step = static_cast<int>(history_.size());
     frontier.alpha = alpha;
     frontier.plan_set = plan_set;
@@ -172,6 +177,25 @@ bool FrontierSession::Publish(double alpha,
     best_alpha_ = alpha;
     if (alpha <= target_alpha_) target_reached_ = true;
     callbacks = callbacks_;
+  }
+  if (first_publish) {
+    // The anytime API's headline latency: open to first usable frontier
+    // (quick-mode, cache seed, or first rung — whichever landed first).
+    const double first_ms = since_open_.ElapsedMillis();
+    if (stats_registry_ != nullptr) {
+      stats_registry_->RecordFirstFrontier(first_ms);
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      TraceEvent event;
+      event.category = "session";
+      event.name = "session.first_frontier";
+      event.id = trace_id_;
+      event.dur_us = static_cast<int64_t>(first_ms * 1000.0);
+      event.start_us = tracer_->NowUs() - event.dur_us;
+      event.arg1_name = "from_cache";
+      event.arg1 = from_cache ? 1 : 0;
+      tracer_->Record(event);
+    }
   }
   cv_.notify_all();
   for (const auto& [id, callback] : callbacks) callback(frontier);

@@ -67,6 +67,8 @@
 namespace moqo {
 
 class OptimizationService;
+class ServiceStatsRegistry;
+class Tracer;
 
 /// Knobs of one refinement session.
 struct SessionOptions {
@@ -224,6 +226,15 @@ class FrontierSession {
   bool registered_ = false;   ///< In the service's session registry.
   bool holds_slot_ = false;   ///< Owns one admission (in-flight) slot.
   StopWatch since_open_;
+  /// Observability (PR 6), set by the owning service before the session is
+  /// shared. Safe to dereference from publish paths: publishes only run on
+  /// service threads, which the service joins before destroying either
+  /// target. stats_registry_ receives the open-to-first-frontier latency;
+  /// tracer_ (nullable) gets one "session.first_frontier" span, stamped
+  /// with trace_id_ like every other span of this request.
+  ServiceStatsRegistry* stats_registry_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  uint64_t trace_id_ = 0;
 
   // ---- Mutable session state. ----
   mutable std::mutex mu_;

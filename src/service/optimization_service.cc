@@ -112,6 +112,7 @@ struct OptimizationService::Admitted {
   /// its coalesce key (i.e. it is the primary later arrivals wait on).
   bool coalesce_registered = false;
   int64_t deadline_ms = -1;   ///< Total budget; -1 = none.
+  uint64_t trace_id = 0;      ///< Correlates this request's spans.
   StopWatch since_submit;     ///< Started at Submit().
   std::promise<ServiceResponse> promise;
 
@@ -128,8 +129,10 @@ struct OptimizationService::Admitted {
 
 OptimizationService::OptimizationService(ServiceOptions options)
     : options_(std::move(options)),
+      tracer_(options_.trace),
+      slow_log_(options_.slow_query_log_size),
       cache_(options_.cache),
-      pool_(ResolveWorkers(options_.num_workers)) {
+      pool_(ResolveWorkers(options_.num_workers), &tracer_, "pool") {
   if (options_.enable_subplan_memo) {
     SubplanMemo::Options memo_options = options_.subplan_memo;
     if (memo_options.admission_epsilon < 0) {
@@ -139,6 +142,7 @@ OptimizationService::OptimizationService(ServiceOptions options)
     }
     subplan_memo_ = std::make_unique<SubplanMemo>(memo_options);
   }
+  RegisterMetrics();
 }
 
 OptimizationService::~OptimizationService() { pool_.Shutdown(); }
@@ -154,7 +158,8 @@ OptimizerOptions OptimizationService::MakeOptimizerOptions(
   if (parallelism > 1) {
     std::call_once(dp_pool_once_, [this] {
       dp_pool_ = std::make_unique<ThreadPool>(
-          ResolveWorkers(options_.num_dp_helpers));
+          ResolveWorkers(options_.num_dp_helpers), &tracer_, "dp_pool");
+      dp_pool_ptr_.store(dp_pool_.get(), std::memory_order_release);
     });
     opts.parallelism = parallelism;
     opts.dp_pool = dp_pool_.get();
@@ -213,7 +218,12 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   session->session_options_ = session_options;
   session->spec_ = std::move(spec);
   session->total_deadline_ms_ = deadline_ms;
+  session->stats_registry_ = &stats_;
+  session->tracer_ = &tracer_;
+  session->trace_id_ = tracer_.NextId();
   session->Attach();
+  TraceSpan open_span(&tracer_, "service", "request.open",
+                      session->trace_id_);
 
   if (session->spec_.query == nullptr) {
     stats_.RecordInternalError();
@@ -288,8 +298,12 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   // least as tight) makes the session born-done — the frontier is already
   // as good as this ladder could make it.
   if (options_.enable_cache) {
+    TraceSpan probe_span(&tracer_, "service", "cache.probe",
+                         session->trace_id_);
     std::shared_ptr<const CachedFrontier> cached =
         cache_.Lookup(session->cache_signature_, target);
+    probe_span.AddArg("hit", cached != nullptr ? 1 : 0);
+    probe_span.End();
     if (cached != nullptr && cached->result != nullptr) {
       ServeSessionBornDone(session, cached, resolved, info);
       return session;
@@ -344,6 +358,8 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   // Stage 3: coalesce onto a live identical refinement, or register as
   // its primary. Admission happens under the lock, before the session
   // becomes joinable, so joiners only ever park behind admitted primaries.
+  TraceSpan admission_span(&tracer_, "service", "admission",
+                           session->trace_id_);
   if (options_.enable_coalescing && coalescable) {
     std::lock_guard<std::mutex> lock(session_mu_);
     auto it = sessions_by_key_.find(session->session_key_);
@@ -368,6 +384,10 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
     if (!try_admit()) return session;
     session->holds_slot_ = true;
   }
+  admission_span.AddArg("inflight",
+                        static_cast<int64_t>(
+                            inflight_.load(std::memory_order_relaxed)));
+  admission_span.End();
 
   // Stage 4: race-closing re-probe. A just-finished identical session (or
   // one-shot run) inserts into the cache *before* unregistering, so a
@@ -398,9 +418,13 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   // frontier in hand. No guarantee (alpha = infinity), but valid plans.
   if (session_options.quick_first && session->BestFrontier() == nullptr) {
     try {
+      TraceSpan quick_span(&tracer_, "service", "quick.prelude",
+                           session->trace_id_);
       OptimizerOptions quick_opts = MakeOptimizerOptions(
           decision.alpha, /*timeout_ms=*/0, /*parallelism=*/1,
           /*use_memo=*/false);
+      quick_opts.tracer = &tracer_;
+      quick_opts.trace_id = session->trace_id_;
       std::unique_ptr<OptimizerBase> optimizer =
           MakeOptimizer(decision.algorithm, quick_opts);
       StopWatch quick_watch;
@@ -451,6 +475,12 @@ void OptimizationService::RunSessionLadder(
     const std::shared_ptr<FrontierSession>& session) {
   session->queue_ms_ = session->since_open_.ElapsedMillis();
   const PolicyDecision& decision = session->decision_;
+  TraceSpan request_span(&tracer_, "service", "request",
+                         session->trace_id_);
+  request_span.AddArg("queue_us",
+                      static_cast<int64_t>(session->queue_ms_ * 1000.0));
+  request_span.AddArg("rungs",
+                      static_cast<int64_t>(session->ladder_.size()));
 
   // Remaining total budget after queueing (the one-step shim's deadline
   // covers open-to-response, like the classic path's submit-to-response).
@@ -483,6 +513,8 @@ void OptimizationService::RunSessionLadder(
         session->ladder_.back(), timeout_ms, decision.parallelism,
         decision.use_subplan_memo);
     opts.cancel = &session->cancel_flag_;
+    opts.tracer = &tracer_;
+    opts.trace_id = session->trace_id_;
     if (decision.algorithm == AlgorithmKind::kRta) {
       opts.alpha_ladder = session->ladder_;
       opts.step_timeout_ms = step_ms;
@@ -494,8 +526,12 @@ void OptimizationService::RunSessionLadder(
     std::unique_ptr<OptimizerBase> optimizer =
         MakeOptimizer(decision.algorithm, opts);
     StopWatch run_watch;
+    TraceSpan optimize_span(&tracer_, "service", "optimize",
+                            session->trace_id_);
+    optimize_span.AddArg("parallelism", decision.parallelism);
     auto result = std::make_shared<OptimizerResult>(
         optimizer->Optimize(session->problem_));
+    optimize_span.End();
     if (result->metrics.timed_out) {
       // No rung completed (a partially refined RTA ladder returns its
       // last *completed* rung, un-flagged): the session ends degraded,
@@ -519,9 +555,12 @@ void OptimizationService::RunSessionLadder(
 bool OptimizationService::OnSessionRung(
     const std::shared_ptr<FrontierSession>& session, int rung, double alpha,
     const OptimizerResult& result) {
-  (void)rung;
   const double achieved =
       AchievedAlpha(session->decision_.algorithm, alpha);
+  TraceSpan rung_span(&tracer_, "session", "rung.publish",
+                      session->trace_id_);
+  rung_span.AddArg("rung", rung);
+  rung_span.AddArg("alpha_milli", static_cast<int64_t>(achieved * 1000.0));
   auto shared = std::make_shared<const OptimizerResult>(result);
   stats_.RecordLatency(session->decision_.algorithm,
                        result.metrics.optimization_ms);
@@ -565,6 +604,25 @@ void OptimizationService::FinishSession(
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
   }
   stats_.RecordSessionFinished();
+  if (!failed) {
+    // Slow-query log: one entry per ladder that actually ran (born-done
+    // cache hits never reach FinishSession and are never slow).
+    SlowQueryEntry entry;
+    entry.signature = session->cache_signature_.hash;
+    entry.algorithm = AlgorithmName(session->decision_.algorithm);
+    entry.total_ms = session->since_open_.ElapsedMillis();
+    entry.queue_ms = session->queue_ms_;
+    entry.optimize_ms = entry.total_ms - entry.queue_ms;
+    entry.phase = entry.queue_ms > entry.optimize_ms ? "queue" : "optimize";
+    entry.sequence = slow_seq_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(session->mu_);
+      entry.alpha = session->best_alpha_;
+      entry.frontier_size =
+          session->best_ != nullptr ? session->best_->size() : 0;
+    }
+    slow_log_.Offer(entry);
+  }
   session->MarkDone(std::move(final_result), degraded, failed);
 }
 
@@ -640,7 +698,11 @@ ServiceResponse OptimizationService::SubmitAndWait(ServiceRequest request) {
     }
 
     if (info.joined) {
-      session->AwaitTarget();
+      {
+        TraceSpan wait_span(&tracer_, "service", "coalesce.wait",
+                            session->trace_id_);
+        session->AwaitTarget();
+      }
       std::shared_ptr<const OptimizerResult> shared_result;
       bool usable = false;
       {
@@ -700,6 +762,7 @@ std::future<ServiceResponse> OptimizationService::Submit(
     ServiceRequest request) {
   stats_.RecordRequest();
   auto admitted = std::make_shared<Admitted>();
+  admitted->trace_id = tracer_.NextId();
   std::future<ServiceResponse> future = admitted->promise.get_future();
 
   admitted->deadline_ms = request.preference.deadline_ms >= 0
@@ -759,8 +822,12 @@ std::future<ServiceResponse> OptimizationService::Submit(
     admitted->coalesce_key =
         ExtendSignature(admitted->signature, decision.alpha);
     admitted->cacheable = true;
+    TraceSpan probe_span(&tracer_, "service", "cache.probe",
+                         admitted->trace_id);
     std::shared_ptr<const CachedFrontier> cached =
         cache_.Lookup(admitted->signature, decision.alpha);
+    probe_span.AddArg("hit", cached != nullptr ? 1 : 0);
+    probe_span.End();
     if (cached == nullptr && options_.enable_coalescing) {
       std::lock_guard<std::mutex> lock(coalesce_mu_);
       auto it = inflight_by_signature_.find(admitted->coalesce_key);
@@ -916,6 +983,9 @@ OptimizationService::TakeWaiters(const ProblemSignature& signature) {
 void OptimizationService::RunRequest(
     const std::shared_ptr<Admitted>& admitted) {
   const double queue_ms = admitted->since_submit.ElapsedMillis();
+  TraceSpan request_span(&tracer_, "service", "request",
+                         admitted->trace_id);
+  request_span.AddArg("queue_us", static_cast<int64_t>(queue_ms * 1000.0));
 
   // Remaining budget after queueing. A spent budget degrades to quick mode
   // (timeout 0): Section 5.1 still produces one valid plan per table set,
@@ -950,11 +1020,17 @@ void OptimizationService::RunRequest(
     OptimizerOptions opts = MakeOptimizerOptions(
         decision.alpha, timeout_ms, decision.parallelism,
         decision.use_subplan_memo);
+    opts.tracer = &tracer_;
+    opts.trace_id = admitted->trace_id;
     std::unique_ptr<OptimizerBase> optimizer =
         MakeOptimizer(decision.algorithm, opts);
     StopWatch run_watch;
+    TraceSpan optimize_span(&tracer_, "service", "optimize",
+                            admitted->trace_id);
+    optimize_span.AddArg("parallelism", decision.parallelism);
     auto result = std::make_shared<OptimizerResult>(
         optimizer->Optimize(admitted->problem));
+    optimize_span.End();
     const double run_ms = run_watch.ElapsedMillis();
 
     const bool timed_out = result->metrics.timed_out;
@@ -976,6 +1052,18 @@ void OptimizationService::RunRequest(
                                 : ResponseStatus::kCompleted;
     produced = result;
     response.result = std::move(result);
+
+    SlowQueryEntry slow;
+    slow.signature = admitted->signature.hash;
+    slow.algorithm = AlgorithmName(decision.algorithm);
+    slow.total_ms = admitted->since_submit.ElapsedMillis();
+    slow.queue_ms = queue_ms;
+    slow.optimize_ms = run_ms;
+    slow.alpha = decision.alpha;
+    slow.frontier_size = produced->frontier_size();
+    slow.phase = queue_ms > run_ms ? "queue" : "optimize";
+    slow.sequence = slow_seq_.fetch_add(1, std::memory_order_relaxed);
+    slow_log_.Offer(slow);
   } catch (...) {
     response.status = ResponseStatus::kRejected;
     response.result = nullptr;
@@ -1049,7 +1137,123 @@ ServiceStatsSnapshot OptimizationService::Stats() const {
     snapshot.memo_entries = memo_stats.entries;
     snapshot.memo_bytes = memo_stats.bytes;
   }
+  snapshot.pool_queue_depth = pool_.QueueDepth();
+  snapshot.pool_queue_wait = pool_.QueueWaitSnapshot();
+  if (ThreadPool* dp = dp_pool_ptr_.load(std::memory_order_acquire)) {
+    snapshot.pool_queue_depth += dp->QueueDepth();
+    snapshot.pool_queue_wait.Merge(dp->QueueWaitSnapshot());
+  }
+  snapshot.slow_queries = slow_log_.WorstFirst();
   return snapshot;
+}
+
+void OptimizationService::RegisterMetrics() {
+  const auto stat = [this](uint64_t ServiceStatsSnapshot::*field) {
+    return [this, field]() -> double {
+      return static_cast<double>(stats_.Snapshot().*field);
+    };
+  };
+  metrics_.AddCounter("moqo_requests_total", "One-shot requests submitted",
+                      stat(&ServiceStatsSnapshot::requests_total));
+  metrics_.AddCounter("moqo_completed_total", "Requests answered with a plan",
+                      stat(&ServiceStatsSnapshot::completed));
+  metrics_.AddCounter("moqo_rejected_total",
+                      "Requests shed by admission control",
+                      stat(&ServiceStatsSnapshot::admissions_rejected));
+  metrics_.AddCounter("moqo_internal_errors_total",
+                      "Invalid requests and optimizer failures",
+                      stat(&ServiceStatsSnapshot::internal_errors));
+  metrics_.AddCounter("moqo_deadline_timeouts_total",
+                      "Requests degraded to quick mode",
+                      stat(&ServiceStatsSnapshot::deadline_timeouts));
+  metrics_.AddCounter("moqo_sessions_opened_total",
+                      "Anytime frontier sessions opened",
+                      stat(&ServiceStatsSnapshot::sessions_opened));
+  metrics_.AddCounter("moqo_refinement_steps_total",
+                      "Completed ladder rungs across all sessions",
+                      stat(&ServiceStatsSnapshot::refinement_steps));
+  metrics_.AddGauge("moqo_sessions_active", "Refinement ladders running now",
+                    stat(&ServiceStatsSnapshot::sessions_active));
+  metrics_.AddGauge("moqo_inflight", "Requests queued or running", [this] {
+    return static_cast<double>(InFlight());
+  });
+
+  metrics_.AddCounter("moqo_cache_lookups_total", "PlanCache lookups",
+                      {{"result", "hit"}}, [this] {
+                        return static_cast<double>(cache_.GetStats().hits);
+                      });
+  metrics_.AddCounter("moqo_cache_lookups_total", "PlanCache lookups",
+                      {{"result", "miss"}}, [this] {
+                        return static_cast<double>(cache_.GetStats().misses);
+                      });
+  metrics_.AddGauge("moqo_cache_entries", "Resident PlanCache entries",
+                    [this] {
+                      return static_cast<double>(cache_.GetStats().entries);
+                    });
+  metrics_.AddGauge("moqo_cache_bytes", "Resident PlanCache bytes", [this] {
+    return static_cast<double>(cache_.GetStats().bytes);
+  });
+
+  metrics_.AddCounter("moqo_memo_lookups_total",
+                      "Cross-query subplan memo probes", {{"result", "hit"}},
+                      [this] {
+                        return static_cast<double>(MemoStats().hits);
+                      });
+  metrics_.AddCounter("moqo_memo_lookups_total",
+                      "Cross-query subplan memo probes", {{"result", "miss"}},
+                      [this] {
+                        return static_cast<double>(MemoStats().misses);
+                      });
+  metrics_.AddGauge("moqo_memo_entries", "Resident memo entries", [this] {
+    return static_cast<double>(MemoStats().entries);
+  });
+  metrics_.AddGauge("moqo_memo_bytes", "Resident memo bytes", [this] {
+    return static_cast<double>(MemoStats().bytes);
+  });
+
+  metrics_.AddGauge("moqo_pool_queue_depth",
+                    "Tasks waiting for a worker (request + DP pools)",
+                    [this] {
+                      size_t depth = pool_.QueueDepth();
+                      ThreadPool* dp =
+                          dp_pool_ptr_.load(std::memory_order_acquire);
+                      if (dp != nullptr) depth += dp->QueueDepth();
+                      return static_cast<double>(depth);
+                    });
+  metrics_.AddHistogram("moqo_pool_queue_wait_ms",
+                        "Task enqueue-to-pickup wait (request + DP pools)",
+                        [this] {
+                          HistogramSnapshot wait = pool_.QueueWaitSnapshot();
+                          ThreadPool* dp =
+                              dp_pool_ptr_.load(std::memory_order_acquire);
+                          if (dp != nullptr) {
+                            wait.Merge(dp->QueueWaitSnapshot());
+                          }
+                          return wait;
+                        });
+  metrics_.AddHistogram("moqo_step_latency_ms",
+                        "Per-rung refinement step latency", [this] {
+                          return stats_.Snapshot().step_latency;
+                        });
+  metrics_.AddHistogram("moqo_first_frontier_ms",
+                        "Session open to first published frontier", [this] {
+                          return stats_.Snapshot().first_frontier_latency;
+                        });
+  for (int i = 0; i < kNumAlgorithmKinds; ++i) {
+    metrics_.AddHistogram(
+        "moqo_request_latency_ms", "Fresh optimization latency by algorithm",
+        {{"algorithm", AlgorithmName(static_cast<AlgorithmKind>(i))}},
+        [this, i] { return stats_.Snapshot().latency_by_algorithm[i]; });
+  }
+
+  metrics_.AddGauge("moqo_slow_query_worst_ms",
+                    "Slowest retained slow-log request", [this] {
+                      return slow_log_.WorstMs();
+                    });
+  metrics_.AddGauge("moqo_trace_events_recorded",
+                    "Span events recorded by the tracer", [this] {
+                      return static_cast<double>(tracer_.recorded_events());
+                    });
 }
 
 }  // namespace moqo

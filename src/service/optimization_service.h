@@ -46,6 +46,9 @@
 #include "core/algorithm.h"
 #include "core/plan_set.h"
 #include "memo/subplan_memo.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "service/frontier_session.h"
 #include "service/plan_cache.h"
 #include "service/policy.h"
@@ -104,6 +107,15 @@ struct ServiceOptions {
   OperatorRegistry::Options operators;
   bool bushy = true;
   bool cartesian_heuristic = true;
+  /// Observability (PR 6): request tracing knobs. Disabled by default —
+  /// the instrumentation then costs one relaxed load per span site.
+  /// Enable (or flip at runtime via tracer()->SetEnabled) to record
+  /// request → DP-level → memo → rung spans, exportable as Chrome trace
+  /// JSON through tracer()->WriteChromeTrace().
+  TraceOptions trace;
+  /// Worst-N slow-request log surfaced in Stats().slow_queries, ToString,
+  /// and the Prometheus export.
+  int slow_query_log_size = 8;
 };
 
 class OptimizationService {
@@ -157,6 +169,15 @@ class OptimizationService {
 
   /// The shared memo, or null when disabled. Exposed for tests/benches.
   SubplanMemo* subplan_memo() const { return subplan_memo_.get(); }
+
+  /// The service-wide span recorder (always present; cheap when
+  /// disabled). Use WriteChromeTrace()/ExportChromeTrace() on it to dump
+  /// a Perfetto-loadable trace.
+  Tracer* tracer() { return &tracer_; }
+
+  /// Prometheus text exposition over the service's counters, cache/memo
+  /// occupancy, pool queue state, and latency histograms.
+  std::string MetricsText() const { return metrics_.RenderPrometheus(); }
 
   const ServiceOptions& options() const { return options_; }
 
@@ -248,7 +269,17 @@ class OptimizationService {
 
   void RunRequest(const std::shared_ptr<Admitted>& admitted);
 
+  /// Registers every Prometheus metric once, at construction. Samplers
+  /// read live state (stats registry, cache, memo, pools) at render time.
+  void RegisterMetrics();
+
   ServiceOptions options_;
+  /// Span recorder; declared before both pools so every worker thread
+  /// dies before the buffers it records into.
+  Tracer tracer_;
+  SlowQueryLog slow_log_;
+  std::atomic<uint64_t> slow_seq_{0};
+  MetricsRegistry metrics_;
   PlanCache cache_;
   /// Cross-query subplan memo shared by every request's DP run; null when
   /// disabled. Declared before pool_ so workers never outlive it.
@@ -276,6 +307,10 @@ class OptimizationService {
   /// them (destruction runs in reverse order).
   std::once_flag dp_pool_once_;
   std::unique_ptr<ThreadPool> dp_pool_;
+  /// Published copy of dp_pool_.get() for observers (Stats, metric
+  /// samplers) that race with the lazy creation; call_once only
+  /// synchronizes the creating threads.
+  std::atomic<ThreadPool*> dp_pool_ptr_{nullptr};
   ThreadPool pool_;  ///< Last member: workers die before the state above.
 };
 

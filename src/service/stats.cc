@@ -5,22 +5,16 @@
 #include <sstream>
 
 namespace moqo {
+namespace {
 
-void ServiceStatsRegistry::RecordLatency(AlgorithmKind algorithm, double ms) {
-  LatencyCell& cell = latency_[static_cast<int>(algorithm)];
-  std::lock_guard<std::mutex> lock(cell.mu);
-  cell.stats.count += 1;
-  cell.stats.total_ms += ms;
-  if (ms > cell.stats.max_ms) cell.stats.max_ms = ms;
+/// "p50=1.2 p95=3.4 p99=5.6 max=7.8" — the snapshot's uniform latency
+/// rendering.
+void AppendQuantiles(std::ostringstream* out, const HistogramSnapshot& h) {
+  *out << "p50_ms=" << h.PercentileMs(50) << " p95_ms=" << h.PercentileMs(95)
+       << " p99_ms=" << h.PercentileMs(99) << " max_ms=" << h.max_ms;
 }
 
-void ServiceStatsRegistry::RecordRefinementStep(double ms) {
-  refinement_steps_.fetch_add(1, kRelaxed);
-  std::lock_guard<std::mutex> lock(step_latency_.mu);
-  step_latency_.stats.count += 1;
-  step_latency_.stats.total_ms += ms;
-  if (ms > step_latency_.stats.max_ms) step_latency_.stats.max_ms = ms;
-}
+}  // namespace
 
 ServiceStatsSnapshot ServiceStatsRegistry::Snapshot() const {
   ServiceStatsSnapshot snapshot;
@@ -36,13 +30,10 @@ ServiceStatsSnapshot ServiceStatsRegistry::Snapshot() const {
   snapshot.sessions_coalesced = sessions_coalesced_.load(kRelaxed);
   snapshot.sessions_active = sessions_active_.load(kRelaxed);
   snapshot.refinement_steps = refinement_steps_.load(kRelaxed);
-  {
-    std::lock_guard<std::mutex> lock(step_latency_.mu);
-    snapshot.step_latency = step_latency_.stats;
-  }
+  snapshot.step_latency = step_latency_.Snapshot();
+  snapshot.first_frontier_latency = first_frontier_.Snapshot();
   for (int i = 0; i < kNumAlgorithms; ++i) {
-    std::lock_guard<std::mutex> lock(latency_[i].mu);
-    snapshot.latency_by_algorithm[i] = latency_[i].stats;
+    snapshot.latency_by_algorithm[i] = latency_[i].Snapshot();
   }
   return snapshot;
 }
@@ -69,15 +60,32 @@ std::string ServiceStatsSnapshot::ToString() const {
       << "  sessions: opened=" << sessions_opened
       << " coalesced=" << sessions_coalesced
       << " active=" << sessions_active
-      << " refinement_steps=" << refinement_steps
-      << " step_mean_ms=" << step_latency.MeanMs()
-      << " step_max_ms=" << step_latency.max_ms << "\n";
+      << " refinement_steps=" << refinement_steps << "\n"
+      << "  pool: queue_depth=" << pool_queue_depth << " queue_wait ";
+  AppendQuantiles(&out, pool_queue_wait);
+  out << "\n  step_latency: runs=" << step_latency.count << " ";
+  AppendQuantiles(&out, step_latency);
+  out << "\n  first_frontier: sessions=" << first_frontier_latency.count
+      << " ";
+  AppendQuantiles(&out, first_frontier_latency);
+  out << "\n";
   for (int i = 0; i < static_cast<int>(latency_by_algorithm.size()); ++i) {
-    const LatencyStats& lat = latency_by_algorithm[i];
+    const HistogramSnapshot& lat = latency_by_algorithm[i];
     if (lat.count == 0) continue;
     out << "  " << AlgorithmName(static_cast<AlgorithmKind>(i))
-        << ": runs=" << lat.count << " mean_ms=" << lat.MeanMs()
-        << " max_ms=" << lat.max_ms << "\n";
+        << ": runs=" << lat.count << " mean_ms=" << lat.MeanMs() << " ";
+    AppendQuantiles(&out, lat);
+    out << "\n";
+  }
+  if (!slow_queries.empty()) {
+    out << "  slow_queries (worst " << slow_queries.size() << "):\n";
+    for (const SlowQueryEntry& q : slow_queries) {
+      out << "    sig=" << std::hex << q.signature << std::dec
+          << " algo=" << q.algorithm << " total_ms=" << q.total_ms
+          << " queue_ms=" << q.queue_ms << " optimize_ms=" << q.optimize_ms
+          << " alpha=" << q.alpha << " frontier=" << q.frontier_size
+          << " phase=" << q.phase << "\n";
+    }
   }
   return out.str();
 }

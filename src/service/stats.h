@@ -1,10 +1,14 @@
 // Copyright (c) 2026 moqo authors. MIT license.
 //
-// ServiceStatsRegistry: counters and per-algorithm latency aggregates of
+// ServiceStatsRegistry: counters and per-algorithm latency histograms of
 // the optimization service, consumed by the bench harness and exposed for
-// monitoring. Counters are lock-free atomics; latency recorders take one
-// uncontended mutex per algorithm (recording happens once per request, far
-// off the optimizer's hot path).
+// monitoring. Counters are lock-free atomics; latencies go into
+// log-bucketed concurrent histograms (obs/histogram.h), so the snapshot
+// reports p50/p95/p99 — the count/total/max LatencyStats aggregate this
+// registry used through PR 5 is gone (PR 6). First-frontier latency (time
+// from session open to the first published frontier) is a first-class
+// histogram here: it is the anytime API's headline metric and the network
+// front end's acceptance gauge (ROADMAP).
 
 #ifndef MOQO_SERVICE_STATS_H_
 #define MOQO_SERVICE_STATS_H_
@@ -12,21 +16,14 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/algorithm.h"
+#include "obs/histogram.h"
+#include "obs/slow_query_log.h"
 
 namespace moqo {
-
-/// Latency aggregate for one algorithm.
-struct LatencyStats {
-  uint64_t count = 0;
-  double total_ms = 0;
-  double max_ms = 0;
-
-  double MeanMs() const { return count == 0 ? 0 : total_ms / count; }
-};
 
 /// Plain-value snapshot of the registry, safe to copy around.
 struct ServiceStatsSnapshot {
@@ -79,10 +76,19 @@ struct ServiceStatsSnapshot {
   /// Completed ladder rungs across all sessions (includes the shim's
   /// one-step rungs).
   uint64_t refinement_steps = 0;
-  /// Per-rung latency aggregate over all refinement steps.
-  LatencyStats step_latency;
+  /// Optimize-pool state sampled at snapshot time: tasks waiting for a
+  /// worker and the queue-wait distribution they experienced.
+  size_t pool_queue_depth = 0;
+  HistogramSnapshot pool_queue_wait;
+  /// Per-rung latency over all refinement steps.
+  HistogramSnapshot step_latency;
+  /// Session-open → first published frontier (the anytime API's headline
+  /// latency; ROADMAP's net-front-end acceptance metric is its p99).
+  HistogramSnapshot first_frontier_latency;
   /// Indexed by static_cast<int>(AlgorithmKind).
-  std::array<LatencyStats, kNumAlgorithmKinds> latency_by_algorithm;
+  std::array<HistogramSnapshot, kNumAlgorithmKinds> latency_by_algorithm;
+  /// Worst-N finished requests, slowest first (sampled at snapshot time).
+  std::vector<SlowQueryEntry> slow_queries;
 
   double CacheHitRate() const {
     const uint64_t lookups = cache_hits + cache_misses;
@@ -134,14 +140,23 @@ class ServiceStatsRegistry {
   void RecordSessionFinished() { sessions_active_.fetch_sub(1, kRelaxed); }
 
   /// Records one completed refinement step (ladder rung) and its latency.
-  void RecordRefinementStep(double ms);
+  void RecordRefinementStep(double ms) {
+    refinement_steps_.fetch_add(1, kRelaxed);
+    step_latency_.Record(ms);
+  }
 
   /// Records one fresh (non-cached) optimization's service-side latency.
-  void RecordLatency(AlgorithmKind algorithm, double ms);
+  void RecordLatency(AlgorithmKind algorithm, double ms) {
+    latency_[static_cast<int>(algorithm)].Record(ms);
+  }
 
-  /// The cache_* snapshot fields are sampled from the PlanCache (the
-  /// single source of truth for lookup counters) by the service at
-  /// snapshot time; this registry leaves them zero.
+  /// Records a session's open → first published frontier latency.
+  void RecordFirstFrontier(double ms) { first_frontier_.Record(ms); }
+
+  /// The cache_*, memo_*, pool_*, and slow_queries snapshot fields are
+  /// sampled from their owning components (PlanCache, SubplanMemo,
+  /// ThreadPool, SlowQueryLog) by the service at snapshot time; this
+  /// registry leaves them zero/empty.
   ServiceStatsSnapshot Snapshot() const;
 
  private:
@@ -160,12 +175,9 @@ class ServiceStatsRegistry {
   std::atomic<uint64_t> sessions_active_{0};
   std::atomic<uint64_t> refinement_steps_{0};
 
-  struct LatencyCell {
-    std::mutex mu;
-    LatencyStats stats;
-  };
-  mutable std::array<LatencyCell, kNumAlgorithms> latency_;
-  mutable LatencyCell step_latency_;
+  std::array<LatencyHistogram, kNumAlgorithms> latency_;
+  LatencyHistogram step_latency_;
+  LatencyHistogram first_frontier_;
 };
 
 }  // namespace moqo

@@ -12,11 +12,18 @@
 // Lives in util (not service) since PR 3: the DP engine fans each memo
 // level out over the same pool type via ParallelFor, and core must not
 // depend on the serving layer.
+//
+// Observability (PR 6): every dequeued task's queue wait (enqueue to
+// pickup) goes into a concurrent histogram — QueueWaitSnapshot() is how
+// the service's stats/metrics see queue pressure building before
+// admission control does. With a Tracer attached, each task additionally
+// records a "pool.task" span carrying its queue wait.
 
 #ifndef MOQO_UTIL_THREAD_POOL_H_
 #define MOQO_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -26,11 +33,18 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
 namespace moqo {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads) {
+  /// `tracer` (optional, not owned) must outlive the pool; `name` must be
+  /// a string literal (it becomes the span category).
+  explicit ThreadPool(int num_threads, Tracer* tracer = nullptr,
+                      const char* name = "pool")
+      : tracer_(tracer), name_(name) {
     if (num_threads < 1) num_threads = 1;
     workers_.reserve(num_threads);
     for (int i = 0; i < num_threads; ++i) {
@@ -48,7 +62,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (shutdown_) return false;
-      queue_.push_back(std::move(task));
+      queue_.push_back({std::move(task), Clock::now()});
     }
     cv_.notify_one();
     return true;
@@ -154,10 +168,23 @@ class ThreadPool {
     return queue_.size();
   }
 
+  /// Distribution of enqueue-to-pickup waits over every task dequeued so
+  /// far (ms).
+  HistogramSnapshot QueueWaitSnapshot() const {
+    return queue_wait_.Snapshot();
+  }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct QueuedTask {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+
   void WorkerLoop() {
     for (;;) {
-      std::function<void()> task;
+      QueuedTask task;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -165,13 +192,23 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();
+      const double wait_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    task.enqueued)
+              .count();
+      queue_wait_.Record(wait_ms);
+      TraceSpan span(tracer_, name_, "pool.task");
+      span.AddArg("queue_us", static_cast<int64_t>(wait_ms * 1000.0));
+      task.fn();
     }
   }
 
+  Tracer* tracer_ = nullptr;
+  const char* name_ = "pool";
+  LatencyHistogram queue_wait_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

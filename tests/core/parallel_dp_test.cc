@@ -107,6 +107,31 @@ TEST_F(ParallelDpTest, ApproximatePruningDeterministicAndCovering) {
             std::nullopt);
 }
 
+TEST_F(ParallelDpTest, StatsAggregationAcrossSlotsLosesNoUpdates) {
+  // PR 6 audit: during a fanned-out level every slot counts into its own
+  // padded DPStats block and the barrier merges them. A lost update would
+  // surface as a considered/inserted undercount against the serial run;
+  // a sharing bug would trip the TSan job this file runs under in CI.
+  DPStats serial_stats;
+  RunFrontiers(/*parallelism=*/1, nullptr, /*alpha=*/1.0, &serial_stats);
+  EXPECT_EQ(serial_stats.parallel_levels, 0);
+  EXPECT_EQ(serial_stats.barrier_wait_us, 0);
+
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    DPStats stats;
+    RunFrontiers(/*parallelism=*/4, &pool, /*alpha=*/1.0, &stats);
+    EXPECT_EQ(stats.considered_plans, serial_stats.considered_plans)
+        << "repeat " << repeat;
+    EXPECT_EQ(stats.inserted_plans, serial_stats.inserted_plans)
+        << "repeat " << repeat;
+    // Both multi-set levels of the 4-table star fan out, and the
+    // finished-but-waiting attribution never goes negative.
+    EXPECT_GE(stats.parallel_levels, 2);
+    EXPECT_GE(stats.barrier_wait_us, 0);
+  }
+}
+
 TEST_F(ParallelDpTest, OptimizerParallelMatchesSerial) {
   MOQOProblem problem;
   problem.query = &query_;

@@ -1,0 +1,171 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// LatencyHistogram / HistogramSnapshot: quantile accuracy against exact
+// sort-based percentiles, merge semantics, CountAtMost, and concurrent
+// recording consistency.
+
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace moqo {
+namespace {
+
+/// Exact linear-interpolation percentile — the reference the bucketed
+/// estimate is checked against.
+double ExactPercentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0) return values.front();
+  if (p >= 100) return values.back();
+  const double rank = p / 100.0 * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - lo;
+  return lo + 1 < values.size()
+             ? values[lo] * (1 - frac) + values[lo + 1] * frac
+             : values[lo];
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  LatencyHistogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum_ms, 0);
+  EXPECT_EQ(snapshot.max_ms, 0);
+  EXPECT_EQ(snapshot.PercentileMs(50), 0);
+  EXPECT_EQ(snapshot.MeanMs(), 0);
+  EXPECT_EQ(snapshot.CountAtMost(1e9), 0u);
+}
+
+TEST(HistogramTest, SingleSampleEveryQuantileNearIt) {
+  LatencyHistogram histogram;
+  histogram.Record(3.7);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.max_ms, 3.7);
+  EXPECT_DOUBLE_EQ(snapshot.sum_ms, 3.7);
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    // Bucket resolution bounds the error at 2^(1/16)-1 ~ 4.4%.
+    EXPECT_NEAR(snapshot.PercentileMs(p), 3.7, 3.7 * 0.045) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, QuantilesTrackExactPercentilesOnLogUniformSamples) {
+  // Log-uniform over ~6 decades: every octave of the bucket range gets
+  // traffic, which is exactly the workload the log bucketing is shaped
+  // for (latencies from microseconds to minutes).
+  Xoshiro256 rng(42);
+  std::vector<double> samples;
+  LatencyHistogram histogram;
+  for (int i = 0; i < 20000; ++i) {
+    const double ms = std::pow(10.0, -2.0 + 6.0 * rng.NextDouble());
+    samples.push_back(ms);
+    histogram.Record(ms);
+  }
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.count, samples.size());
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double exact = ExactPercentile(samples, p);
+    const double estimate = snapshot.PercentileMs(p);
+    // Half-bucket interpolation error plus the n-1 vs n rank convention
+    // difference; 5% relative tolerance covers both with margin.
+    EXPECT_NEAR(estimate, exact, exact * 0.05) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(snapshot.max_ms,
+                   *std::max_element(samples.begin(), samples.end()));
+  // The max bounds every quantile (p100 returns it exactly).
+  EXPECT_LE(snapshot.PercentileMs(100), snapshot.max_ms);
+}
+
+TEST(HistogramTest, OutOfRangeSamplesClampIntoEdgeBuckets) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);     // Underflow.
+  histogram.Record(-5.0);    // Garbage: underflow, never UB.
+  histogram.Record(1e12);    // Overflow (~31 years).
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_EQ(snapshot.buckets[0], 2u);
+  EXPECT_EQ(snapshot.buckets[HistogramSnapshot::kNumBuckets - 1], 1u);
+  EXPECT_DOUBLE_EQ(snapshot.max_ms, 1e12);
+  // Overflow quantiles are clamped by the exact max, not the bucket edge.
+  EXPECT_LE(snapshot.PercentileMs(100), 1e12);
+}
+
+TEST(HistogramTest, CountAtMostIsMonotoneAndExactAtBucketEdges) {
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Record(static_cast<double>(i));
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  uint64_t previous = 0;
+  for (double bound : {0.5, 1.0, 10.0, 100.0, 500.0, 1000.0, 5000.0}) {
+    const uint64_t at_most = snapshot.CountAtMost(bound);
+    EXPECT_GE(at_most, previous) << "bound=" << bound;
+    previous = at_most;
+  }
+  EXPECT_EQ(snapshot.CountAtMost(5000.0), 1000u);
+  EXPECT_EQ(snapshot.CountAtMost(0.0), 0u);
+  // Within bucket resolution of the true rank.
+  EXPECT_NEAR(static_cast<double>(snapshot.CountAtMost(500.0)), 500.0, 25.0);
+}
+
+TEST(HistogramTest, MergeEqualsRecordingIntoOne) {
+  LatencyHistogram a, b, combined;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double ms = std::pow(10.0, -1.0 + 4.0 * rng.NextDouble());
+    (i % 2 == 0 ? a : b).Record(ms);
+    combined.Record(ms);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const HistogramSnapshot reference = combined.Snapshot();
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_DOUBLE_EQ(merged.max_ms, reference.max_ms);
+  EXPECT_NEAR(merged.sum_ms, reference.sum_ms, reference.sum_ms * 1e-12);
+  EXPECT_EQ(merged.buckets, reference.buckets);
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(merged.PercentileMs(p), reference.PercentileMs(p));
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(0.001 * ((t * kPerThread + i) % 997 + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  // count is derived from the bucket sums, so the invariant the quantile
+  // scan relies on holds by construction; check it anyway.
+  uint64_t total = 0;
+  for (uint64_t bucket : snapshot.buckets) total += bucket;
+  EXPECT_EQ(snapshot.count, total);
+  EXPECT_DOUBLE_EQ(snapshot.max_ms, 0.001 * 997);
+}
+
+TEST(HistogramTest, SnapshotOfSamplesMatchesManualRecording) {
+  const std::vector<double> samples = {0.5, 1.5, 2.5, 40.0, 0.02};
+  LatencyHistogram histogram;
+  for (double ms : samples) histogram.Record(ms);
+  const HistogramSnapshot manual = histogram.Snapshot();
+  const HistogramSnapshot oneshot = SnapshotOfSamples(samples);
+  EXPECT_EQ(oneshot.count, manual.count);
+  EXPECT_EQ(oneshot.buckets, manual.buckets);
+  EXPECT_DOUBLE_EQ(oneshot.max_ms, manual.max_ms);
+}
+
+}  // namespace
+}  // namespace moqo

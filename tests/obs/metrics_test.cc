@@ -1,0 +1,130 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// MetricsRegistry: Prometheus text-exposition format — HELP/TYPE headers
+// (one per metric family), label rendering and escaping, cumulative
+// histogram series, and live sampler evaluation at render time.
+
+#include "obs/metrics.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/histogram.h"
+
+namespace moqo {
+namespace {
+
+TEST(MetricsTest, CounterAndGaugeRenderWithHeaders) {
+  MetricsRegistry registry;
+  registry.AddCounter("moqo_requests_total", "Requests seen",
+                      [] { return 41.0; });
+  registry.AddGauge("moqo_inflight", "Requests in flight",
+                    [] { return 3.0; });
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP moqo_requests_total Requests seen\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE moqo_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_requests_total 41\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE moqo_inflight gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("moqo_inflight 3\n"), std::string::npos);
+}
+
+TEST(MetricsTest, SamplersAreEvaluatedAtRenderTime) {
+  MetricsRegistry registry;
+  double value = 1.0;
+  registry.AddGauge("moqo_live", "Live value", [&value] { return value; });
+  EXPECT_NE(registry.RenderPrometheus().find("moqo_live 1\n"),
+            std::string::npos);
+  value = 2.0;
+  EXPECT_NE(registry.RenderPrometheus().find("moqo_live 2\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, LabelFamilyEmitsOneHeader) {
+  MetricsRegistry registry;
+  for (const char* algorithm : {"EXA", "RTA", "IRA"}) {
+    registry.AddCounter("moqo_runs_total", "Runs by algorithm",
+                        {{"algorithm", algorithm}}, [] { return 5.0; });
+  }
+  const std::string text = registry.RenderPrometheus();
+  // The format requires exactly one HELP/TYPE per family.
+  size_t headers = 0;
+  for (size_t pos = text.find("# TYPE moqo_runs_total");
+       pos != std::string::npos;
+       pos = text.find("# TYPE moqo_runs_total", pos + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  EXPECT_NE(text.find("moqo_runs_total{algorithm=\"EXA\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_runs_total{algorithm=\"RTA\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_runs_total{algorithm=\"IRA\"} 5\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.AddGauge("moqo_weird", "Escaping", {{"q", "a\"b\\c"}},
+                    [] { return 1.0; });
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("moqo_weird{q=\"a\\\"b\\\\c\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, HistogramRendersCumulativeBucketsSumAndCount) {
+  MetricsRegistry registry;
+  LatencyHistogram histogram;
+  histogram.Record(0.3);   // <= 0.5
+  histogram.Record(2.0);   // <= 5
+  histogram.Record(30.0);  // <= 50
+  histogram.Record(7000.0);  // only +Inf
+  registry.AddHistogram("moqo_latency_ms", "Latency",
+                        [&histogram] { return histogram.Snapshot(); });
+  const std::string text = registry.RenderPrometheus();
+
+  EXPECT_NE(text.find("# TYPE moqo_latency_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_latency_ms_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_latency_ms_bucket{le=\"5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_latency_ms_bucket{le=\"50\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_latency_ms_bucket{le=\"5000\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_latency_ms_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_latency_ms_count 4\n"), std::string::npos);
+  // Sum: 0.3 + 2 + 30 + 7000 = 7032.3.
+  EXPECT_NE(text.find("moqo_latency_ms_sum 7032.3\n"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramBucketsAreMonotone) {
+  MetricsRegistry registry;
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.Record(i * 1.0);
+  registry.AddHistogram("moqo_mono_ms", "Monotonicity",
+                        [&histogram] { return histogram.Snapshot(); });
+  const std::string text = registry.RenderPrometheus();
+  // Parse the rendered bucket counts back out and check cumulativity.
+  long previous = -1;
+  size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = text.find("moqo_mono_ms_bucket{le=", pos)) !=
+         std::string::npos) {
+    const size_t space = text.find(' ', pos);
+    const size_t eol = text.find('\n', space);
+    const long value = std::stol(text.substr(space + 1, eol - space - 1));
+    EXPECT_GE(value, previous);
+    previous = value;
+    pos = eol;
+    ++buckets_seen;
+  }
+  EXPECT_EQ(buckets_seen, 11);  // 10 finite bounds + +Inf.
+  EXPECT_EQ(previous, 100);     // +Inf bucket holds everything.
+}
+
+}  // namespace
+}  // namespace moqo

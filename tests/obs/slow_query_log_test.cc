@@ -1,0 +1,119 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// SlowQueryLog: worst-N retention, ordering, threshold behavior, and
+// concurrent offers.
+
+#include "obs/slow_query_log.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace moqo {
+namespace {
+
+SlowQueryEntry Entry(double total_ms, uint64_t sequence = 0) {
+  SlowQueryEntry entry;
+  entry.signature = 0x1000 + sequence;
+  entry.algorithm = "RTA";
+  entry.phase = "optimize";
+  entry.total_ms = total_ms;
+  entry.optimize_ms = total_ms;
+  entry.sequence = sequence;
+  return entry;
+}
+
+TEST(SlowQueryLogTest, KeepsEverythingUntilFull) {
+  SlowQueryLog log(4);
+  log.Offer(Entry(3.0, 1));
+  log.Offer(Entry(1.0, 2));
+  log.Offer(Entry(2.0, 3));
+  EXPECT_EQ(log.size(), 3u);
+  const std::vector<SlowQueryEntry> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_DOUBLE_EQ(worst[0].total_ms, 3.0);
+  EXPECT_DOUBLE_EQ(worst[1].total_ms, 2.0);
+  EXPECT_DOUBLE_EQ(worst[2].total_ms, 1.0);
+  EXPECT_DOUBLE_EQ(log.WorstMs(), 3.0);
+}
+
+TEST(SlowQueryLogTest, EvictsTheFastestWhenFull) {
+  SlowQueryLog log(3);
+  log.Offer(Entry(10.0, 1));
+  log.Offer(Entry(20.0, 2));
+  log.Offer(Entry(30.0, 3));
+  log.Offer(Entry(25.0, 4));  // Evicts 10.0.
+  log.Offer(Entry(5.0, 5));   // Below the floor: dropped.
+  const std::vector<SlowQueryEntry> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_DOUBLE_EQ(worst[0].total_ms, 30.0);
+  EXPECT_DOUBLE_EQ(worst[1].total_ms, 25.0);
+  EXPECT_DOUBLE_EQ(worst[2].total_ms, 20.0);
+}
+
+TEST(SlowQueryLogTest, TiesBreakByAdmissionOrder) {
+  SlowQueryLog log(4);
+  log.Offer(Entry(5.0, 9));
+  log.Offer(Entry(5.0, 2));
+  log.Offer(Entry(7.0, 5));
+  const std::vector<SlowQueryEntry> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_EQ(worst[0].sequence, 5u);
+  EXPECT_EQ(worst[1].sequence, 2u);  // Equal latency: earlier admission first.
+  EXPECT_EQ(worst[2].sequence, 9u);
+}
+
+TEST(SlowQueryLogTest, EntryPayloadSurvivesRoundTrip) {
+  SlowQueryLog log(2);
+  SlowQueryEntry entry;
+  entry.signature = 0xdeadbeef;
+  entry.algorithm = "EXA";
+  entry.phase = "queue";
+  entry.total_ms = 12.5;
+  entry.queue_ms = 9.0;
+  entry.optimize_ms = 3.5;
+  entry.alpha = 1.25;
+  entry.frontier_size = 17;
+  entry.sequence = 3;
+  log.Offer(entry);
+  const std::vector<SlowQueryEntry> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].signature, 0xdeadbeefu);
+  EXPECT_STREQ(worst[0].algorithm, "EXA");
+  EXPECT_STREQ(worst[0].phase, "queue");
+  EXPECT_DOUBLE_EQ(worst[0].queue_ms, 9.0);
+  EXPECT_DOUBLE_EQ(worst[0].optimize_ms, 3.5);
+  EXPECT_DOUBLE_EQ(worst[0].alpha, 1.25);
+  EXPECT_EQ(worst[0].frontier_size, 17);
+}
+
+TEST(SlowQueryLogTest, ConcurrentOffersRetainTheGlobalWorst) {
+  SlowQueryLog log(8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t sequence =
+            static_cast<uint64_t>(t) * kPerThread + i;
+        log.Offer(Entry(static_cast<double>(sequence), sequence));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // 16000 total offers at distinct latencies 0..15999; the 8 worst are
+  // 15999, 15998, ..., 15992 regardless of interleaving (the lock-free
+  // threshold only ever rises to the kept floor, so a global-worst offer
+  // can never be shed by a stale threshold).
+  const std::vector<SlowQueryEntry> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(worst[i].total_ms, 15999.0 - i);
+  }
+}
+
+}  // namespace
+}  // namespace moqo

@@ -61,7 +61,7 @@ ProblemSpec RtaStarSpec(const Catalog* catalog, int num_dims,
 /// every completed ladder rung counts once.
 uint64_t OptimizerRuns(const OptimizationService& service) {
   uint64_t runs = 0;
-  for (const LatencyStats& lat : service.Stats().latency_by_algorithm) {
+  for (const HistogramSnapshot& lat : service.Stats().latency_by_algorithm) {
     runs += lat.count;
   }
   return runs;

@@ -51,7 +51,7 @@ ServiceRequest StarRequest(const Catalog* catalog, int num_dims,
 /// Total optimizer invocations recorded by the service (all algorithms).
 uint64_t OptimizerRuns(const OptimizationService& service) {
   uint64_t runs = 0;
-  for (const LatencyStats& lat : service.Stats().latency_by_algorithm) {
+  for (const HistogramSnapshot& lat : service.Stats().latency_by_algorithm) {
     runs += lat.count;
   }
   return runs;
