@@ -1,0 +1,110 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "net/blocking_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace moqo {
+namespace net {
+
+bool BlockingNetClient::Connect(const std::string& host, uint16_t port) {
+  Disconnect();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Disconnect();
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  decoder_ = FrameDecoder();
+  return true;
+}
+
+void BlockingNetClient::Disconnect() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+bool BlockingNetClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool BlockingNetClient::NextEvent(Event* event, int64_t timeout_ms) {
+  if (fd_ < 0) return false;
+  char buf[64 * 1024];
+  while (true) {
+    MsgType type;
+    std::vector<uint8_t> payload;
+    const FrameDecoder::Status status = decoder_.Next(&type, &payload);
+    if (status == FrameDecoder::Status::kFrame) {
+      event->type = type;
+      switch (type) {
+        case MsgType::kFrontierUpdate:
+          return DecodeFrontierUpdate(payload.data(), payload.size(),
+                                      &event->frontier);
+        case MsgType::kSelectResult:
+          return DecodeSelectResult(payload.data(), payload.size(),
+                                    &event->select_result);
+        case MsgType::kDone:
+          return DecodeDone(payload.data(), payload.size(), &event->done);
+        case MsgType::kError:
+          return DecodeError(payload.data(), payload.size(), &event->error);
+        default:
+          return false;  // A client should never receive client frames.
+      }
+    }
+    if (status != FrameDecoder::Status::kNeedMore) return false;
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (ready <= 0) return false;  // Timeout or poll error.
+    }
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // Server closed.
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+bool BlockingNetClient::AwaitDone(
+    Event* event,
+    const std::function<void(const FrontierUpdateMsg&)>& on_frontier,
+    int64_t timeout_ms) {
+  while (true) {
+    if (!NextEvent(event, timeout_ms)) return false;
+    if (event->type == MsgType::kDone) return true;
+    if (event->type == MsgType::kError) return false;
+    if (event->type == MsgType::kFrontierUpdate && on_frontier != nullptr) {
+      on_frontier(event->frontier);
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace moqo

@@ -1,0 +1,75 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// BlockingNetClient: a minimal synchronous client for the moqo wire
+// protocol (net/wire.h) — a blocking socket, the shared FrameDecoder, and
+// typed event delivery. This is what the tests and the closed-loop bench
+// drive connections with; examples/net_client.cc shows the same exchange
+// with the frames spelled out byte by byte.
+//
+// Not thread-safe: one thread per client, like one connection per session.
+
+#ifndef MOQO_NET_BLOCKING_CLIENT_H_
+#define MOQO_NET_BLOCKING_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/wire.h"
+
+namespace moqo {
+namespace net {
+
+class BlockingNetClient {
+ public:
+  /// One decoded server frame; `type` says which member is meaningful.
+  struct Event {
+    MsgType type = MsgType::kError;
+    FrontierUpdateMsg frontier;
+    SelectResultMsg select_result;
+    DoneMsg done;
+    ErrorMsg error;
+  };
+
+  BlockingNetClient() = default;
+  ~BlockingNetClient() { Disconnect(); }
+
+  BlockingNetClient(const BlockingNetClient&) = delete;
+  BlockingNetClient& operator=(const BlockingNetClient&) = delete;
+
+  bool Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  /// Closes the socket without a CLOSE frame (the server treats EOF the
+  /// same: cancel + teardown).
+  void Disconnect();
+
+  // ---- Sends (false on socket error). ----
+  bool SendOpen(const OpenFrontierMsg& msg) {
+    return SendRaw(EncodeOpenFrontier(msg));
+  }
+  bool SendSelect(const SelectMsg& msg) { return SendRaw(EncodeSelect(msg)); }
+  bool SendCancel() { return SendRaw(EncodeCancel()); }
+  bool SendClose() { return SendRaw(EncodeClose()); }
+  bool SendRaw(const std::string& bytes);
+
+  /// Blocks for the next server frame. timeout_ms < 0 = wait forever.
+  /// False on timeout, EOF, or a malformed/oversized server frame.
+  bool NextEvent(Event* event, int64_t timeout_ms = -1);
+
+  /// Drives NextEvent until a DONE frame (returned in *event), invoking
+  /// `on_frontier` (may be null) for every FRONTIER_UPDATE on the way and
+  /// ignoring SELECT_RESULT frames. False on error/timeout (per-event).
+  bool AwaitDone(Event* event,
+                 const std::function<void(const FrontierUpdateMsg&)>&
+                     on_frontier = nullptr,
+                 int64_t timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace moqo
+
+#endif  // MOQO_NET_BLOCKING_CLIENT_H_

@@ -1,0 +1,85 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// PushQueue: the per-connection outbound frame queue with newest-wins
+// backpressure (PR 7), factored out of the server so the drop policy is
+// unit-testable without a socket.
+//
+// Frames are FIFO. FRONTIER_UPDATE frames are *droppable*: each one
+// supersedes every earlier one (the session's frontiers only tighten), so
+// when a slow reader has `max_queued_pushes` of them queued, pushing a new
+// update drops the OLDEST queued update instead of growing the queue or
+// stalling the publisher. Control frames (SELECT_RESULT, DONE, ERROR) are
+// never dropped, and a partially written head frame is pinned — dropping
+// bytes the socket already sent would corrupt the stream.
+//
+// Not thread-safe; the owning connection locks around it.
+
+#ifndef MOQO_NET_PUSH_QUEUE_H_
+#define MOQO_NET_PUSH_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace moqo {
+namespace net {
+
+class PushQueue {
+ public:
+  struct Entry {
+    std::string bytes;
+    bool is_frontier = false;  ///< Droppable under backpressure.
+  };
+
+  explicit PushQueue(size_t max_queued_pushes)
+      : max_queued_pushes_(max_queued_pushes) {}
+
+  /// Appends a frame. When it is a frontier frame and the queue already
+  /// holds max_queued_pushes frontier frames, the oldest unpinned frontier
+  /// frame is dropped first. `head_bytes_written` > 0 pins the head entry
+  /// (mid-write). Returns the number of frames dropped (0 or 1).
+  size_t Push(std::string bytes, bool is_frontier,
+              size_t head_bytes_written) {
+    size_t dropped = 0;
+    if (is_frontier) {
+      size_t frontier_queued = 0;
+      for (const Entry& entry : entries_) {
+        if (entry.is_frontier) ++frontier_queued;
+      }
+      if (frontier_queued >= max_queued_pushes_) {
+        const size_t first = head_bytes_written > 0 ? 1 : 0;
+        for (size_t i = first; i < entries_.size(); ++i) {
+          if (entries_[i].is_frontier) {
+            entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+            dropped = 1;
+            break;
+          }
+        }
+      }
+    }
+    entries_.push_back({std::move(bytes), is_frontier});
+    return dropped;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const Entry& front() const { return entries_.front(); }
+  void pop_front() { entries_.pop_front(); }
+
+  /// Drops everything (teardown); returns how many frames were queued.
+  size_t Clear() {
+    const size_t n = entries_.size();
+    entries_.clear();
+    return n;
+  }
+
+ private:
+  size_t max_queued_pushes_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace net
+}  // namespace moqo
+
+#endif  // MOQO_NET_PUSH_QUEUE_H_

@@ -1,0 +1,374 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "net/wire.h"
+
+#include "core/plan_set.h"
+
+namespace moqo {
+namespace net {
+namespace {
+
+// ---- Little-endian primitive writers over std::string. ----
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v & 0xff));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(out, static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(out, static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+/// Bit-pattern transport: the receiver reconstructs the exact double,
+/// which is what byte-identity of frontier costs rests on.
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutF64Vector(std::string* out, const std::vector<double>& values) {
+  PutU32(out, static_cast<uint32_t>(values.size()));
+  for (double v : values) PutF64(out, v);
+}
+
+/// Prepends the 8-byte header once the payload is complete.
+std::string Frame(MsgType type, const std::string& payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  PutU16(&frame, kMagic);
+  PutU8(&frame, kProtocolVersion);
+  PutU8(&frame, static_cast<uint8_t>(type));
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+// ---- Bounds-checked little-endian reader. All Get* return false on
+// truncation, which the Decode* functions propagate. ----
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool GetU16(uint16_t* v) {
+    uint8_t lo, hi;
+    if (!GetU8(&lo) || !GetU8(&hi)) return false;
+    *v = static_cast<uint16_t>(lo | (hi << 8));
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  bool GetI8(int8_t* v) {
+    uint8_t u;
+    if (!GetU8(&u)) return false;
+    *v = static_cast<int8_t>(u);
+    return true;
+  }
+
+  bool GetI32(int32_t* v) {
+    uint32_t u;
+    if (!GetU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t u;
+    if (!GetU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool GetF64(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t len;
+    if (!GetU32(&len) || pos_ + len > size_) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool GetBytes(std::vector<uint8_t>* out, uint32_t count) {
+    if (pos_ + count > size_) return false;
+    out->assign(data_ + pos_, data_ + pos_ + count);
+    pos_ += count;
+    return true;
+  }
+
+  bool GetF64Vector(std::vector<double>* out) {
+    uint32_t count;
+    if (!GetU32(&count)) return false;
+    // A count field cannot promise more doubles than bytes remain —
+    // rejecting here keeps a hostile length from reserving gigabytes.
+    if (remaining() / 8 < count) return false;
+    out->resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!GetF64(&(*out)[i])) return false;
+    }
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeOpenFrontier(const OpenFrontierMsg& msg) {
+  std::string payload;
+  PutString(&payload, msg.query_id);
+  PutU8(&payload, static_cast<uint8_t>(msg.objectives.size()));
+  for (uint8_t objective : msg.objectives) PutU8(&payload, objective);
+  PutU8(&payload, static_cast<uint8_t>(msg.algorithm));
+  PutF64(&payload, msg.alpha);
+  PutI32(&payload, msg.parallelism);
+  PutF64(&payload, msg.alpha_start);
+  PutF64(&payload, msg.alpha_target);
+  PutI32(&payload, msg.max_steps);
+  PutI64(&payload, msg.step_deadline_ms);
+  PutU8(&payload, msg.quick_first);
+  return Frame(MsgType::kOpenFrontier, payload);
+}
+
+std::string EncodeSelect(const SelectMsg& msg) {
+  std::string payload;
+  PutU64(&payload, msg.tag);
+  PutF64Vector(&payload, msg.weights);
+  PutF64Vector(&payload, msg.bounds);
+  return Frame(MsgType::kSelect, payload);
+}
+
+std::string EncodeCancel() { return Frame(MsgType::kCancel, std::string()); }
+
+std::string EncodeClose() { return Frame(MsgType::kClose, std::string()); }
+
+std::string EncodeFrontierUpdate(const FrontierUpdateMsg& msg) {
+  std::string payload;
+  PutI32(&payload, msg.step);
+  PutF64(&payload, msg.alpha);
+  PutU8(&payload, msg.from_cache);
+  PutF64(&payload, msg.step_ms);
+  PutU32(&payload, msg.num_plans());
+  PutU8(&payload, static_cast<uint8_t>(msg.dims));
+  for (double cost : msg.costs) PutF64(&payload, cost);
+  return Frame(MsgType::kFrontierUpdate, payload);
+}
+
+std::string EncodeSelectResult(const SelectResultMsg& msg) {
+  std::string payload;
+  PutU64(&payload, msg.tag);
+  PutI32(&payload, msg.step);
+  PutF64(&payload, msg.alpha);
+  PutI32(&payload, msg.plan_index);
+  PutF64(&payload, msg.weighted_cost);
+  PutF64Vector(&payload, msg.cost);
+  return Frame(MsgType::kSelectResult, payload);
+}
+
+std::string EncodeDone(const DoneMsg& msg) {
+  std::string payload;
+  PutU8(&payload, msg.target_reached);
+  PutU8(&payload, msg.cancelled);
+  PutU8(&payload, msg.degraded);
+  PutU8(&payload, msg.shed);
+  PutU8(&payload, msg.rejected);
+  PutI32(&payload, msg.steps_published);
+  PutF64(&payload, msg.best_alpha);
+  return Frame(MsgType::kDone, payload);
+}
+
+std::string EncodeError(ErrorCode code, const std::string& message) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(code));
+  PutString(&payload, message);
+  return Frame(MsgType::kError, payload);
+}
+
+FrontierUpdateMsg MakeFrontierUpdate(int step, double alpha, bool from_cache,
+                                     double step_ms,
+                                     const PlanSet& plan_set) {
+  FrontierUpdateMsg msg;
+  msg.step = step;
+  msg.alpha = alpha;
+  msg.from_cache = from_cache ? 1 : 0;
+  msg.step_ms = step_ms;
+  msg.dims = plan_set.empty()
+                 ? 0
+                 : static_cast<uint32_t>(plan_set.cost(0).size());
+  msg.costs.reserve(static_cast<size_t>(plan_set.size()) * msg.dims);
+  for (int i = 0; i < plan_set.size(); ++i) {
+    const CostVector& cost = plan_set.cost(i);
+    for (uint32_t d = 0; d < msg.dims; ++d) msg.costs.push_back(cost[d]);
+  }
+  return msg;
+}
+
+bool DecodeOpenFrontier(const uint8_t* data, size_t size,
+                        OpenFrontierMsg* out) {
+  Reader r(data, size);
+  uint8_t num_objectives = 0;
+  if (!r.GetString(&out->query_id) || !r.GetU8(&num_objectives) ||
+      !r.GetBytes(&out->objectives, num_objectives) ||
+      !r.GetI8(&out->algorithm) || !r.GetF64(&out->alpha) ||
+      !r.GetI32(&out->parallelism) || !r.GetF64(&out->alpha_start) ||
+      !r.GetF64(&out->alpha_target) || !r.GetI32(&out->max_steps) ||
+      !r.GetI64(&out->step_deadline_ms) || !r.GetU8(&out->quick_first)) {
+    return false;
+  }
+  return r.exhausted();
+}
+
+bool DecodeSelect(const uint8_t* data, size_t size, SelectMsg* out) {
+  Reader r(data, size);
+  if (!r.GetU64(&out->tag) || !r.GetF64Vector(&out->weights) ||
+      !r.GetF64Vector(&out->bounds)) {
+    return false;
+  }
+  return r.exhausted();
+}
+
+bool DecodeFrontierUpdate(const uint8_t* data, size_t size,
+                          FrontierUpdateMsg* out) {
+  Reader r(data, size);
+  uint32_t num_plans = 0;
+  uint8_t dims = 0;
+  if (!r.GetI32(&out->step) || !r.GetF64(&out->alpha) ||
+      !r.GetU8(&out->from_cache) || !r.GetF64(&out->step_ms) ||
+      !r.GetU32(&num_plans) || !r.GetU8(&dims)) {
+    return false;
+  }
+  out->dims = dims;
+  const uint64_t count = static_cast<uint64_t>(num_plans) * dims;
+  if (r.remaining() / 8 < count) return false;
+  out->costs.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!r.GetF64(&out->costs[i])) return false;
+  }
+  return r.exhausted();
+}
+
+bool DecodeSelectResult(const uint8_t* data, size_t size,
+                        SelectResultMsg* out) {
+  Reader r(data, size);
+  if (!r.GetU64(&out->tag) || !r.GetI32(&out->step) ||
+      !r.GetF64(&out->alpha) || !r.GetI32(&out->plan_index) ||
+      !r.GetF64(&out->weighted_cost) || !r.GetF64Vector(&out->cost)) {
+    return false;
+  }
+  return r.exhausted();
+}
+
+bool DecodeDone(const uint8_t* data, size_t size, DoneMsg* out) {
+  Reader r(data, size);
+  if (!r.GetU8(&out->target_reached) || !r.GetU8(&out->cancelled) ||
+      !r.GetU8(&out->degraded) || !r.GetU8(&out->shed) ||
+      !r.GetU8(&out->rejected) || !r.GetI32(&out->steps_published) ||
+      !r.GetF64(&out->best_alpha)) {
+    return false;
+  }
+  return r.exhausted();
+}
+
+bool DecodeError(const uint8_t* data, size_t size, ErrorMsg* out) {
+  Reader r(data, size);
+  if (!r.GetU8(&out->code) || !r.GetString(&out->message)) return false;
+  return r.exhausted();
+}
+
+FrameDecoder::Status FrameDecoder::Next(MsgType* type,
+                                        std::vector<uint8_t>* payload) {
+  if (broken_ != Status::kFrame) return broken_;
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its read buffer unboundedly.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) return Status::kNeedMore;
+  const uint8_t* head = buffer_.data() + consumed_;
+  const uint16_t magic =
+      static_cast<uint16_t>(head[0] | (static_cast<uint16_t>(head[1]) << 8));
+  if (magic != kMagic || head[2] != kProtocolVersion) {
+    broken_ = Status::kBadHeader;
+    return broken_;
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(head[4 + i]) << (8 * i);
+  }
+  if (payload_len > max_frame_bytes_) {
+    broken_ = Status::kOversized;
+    return broken_;
+  }
+  if (available < kHeaderBytes + payload_len) return Status::kNeedMore;
+  *type = static_cast<MsgType>(head[3]);
+  payload->assign(head + kHeaderBytes, head + kHeaderBytes + payload_len);
+  consumed_ += kHeaderBytes + payload_len;
+  return Status::kFrame;
+}
+
+}  // namespace net
+}  // namespace moqo

@@ -65,6 +65,21 @@ bool FrontierSession::TargetReached() const {
 
 bool FrontierSession::Cancelled() const { return CancelRequested(); }
 
+bool FrontierSession::Shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+bool FrontierSession::Rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+bool FrontierSession::Degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
 void FrontierSession::Attach() {
   std::lock_guard<std::mutex> lock(mu_);
   ++open_handles_;
@@ -135,15 +150,37 @@ int FrontierSession::OnRefined(RefinedCallback callback) {
   return id;
 }
 
+int FrontierSession::OnDone(DoneCallback callback) {
+  // Same delivery-lock discipline as OnRefined: holding callback_mu_
+  // across the done check and the (possible) synchronous invocation means
+  // a concurrent MarkDone either already delivered to its snapshot (which
+  // excludes us) or blocks until we returned — the callback fires exactly
+  // once either way.
+  std::lock_guard<std::mutex> delivery(callback_mu_);
+  bool already_done;
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_callback_id_++;
+    already_done = done_;
+    if (!already_done) done_callbacks_.emplace_back(id, std::move(callback));
+  }
+  if (already_done) callback();
+  return id;
+}
+
 void FrontierSession::RemoveCallback(int id) {
   // Block until in-flight deliveries finish so a removed callback is never
   // invoked after RemoveCallback returns.
   std::lock_guard<std::mutex> delivery(callback_mu_);
   std::lock_guard<std::mutex> lock(mu_);
+  const auto matches = [id](const auto& entry) { return entry.first == id; };
   callbacks_.erase(
-      std::remove_if(callbacks_.begin(), callbacks_.end(),
-                     [id](const auto& entry) { return entry.first == id; }),
+      std::remove_if(callbacks_.begin(), callbacks_.end(), matches),
       callbacks_.end());
+  done_callbacks_.erase(
+      std::remove_if(done_callbacks_.begin(), done_callbacks_.end(), matches),
+      done_callbacks_.end());
 }
 
 bool FrontierSession::Publish(double alpha,
@@ -205,14 +242,22 @@ bool FrontierSession::Publish(double alpha,
 void FrontierSession::MarkDone(
     std::shared_ptr<const OptimizerResult> final_result, bool degraded,
     bool failed) {
+  // callback_mu_ spans the state flip and the delivery (the Publish
+  // discipline): an OnDone registering concurrently either lands in the
+  // snapshot below or observes done_ and self-delivers — never both,
+  // never neither.
+  std::lock_guard<std::mutex> delivery(callback_mu_);
+  std::vector<std::pair<int, DoneCallback>> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (final_result != nullptr) final_result_ = std::move(final_result);
     degraded_ = degraded;
     failed_ = failed;
     done_ = true;
+    callbacks.swap(done_callbacks_);
   }
   cv_.notify_all();
+  for (const auto& [id, callback] : callbacks) callback();
 }
 
 }  // namespace moqo

@@ -124,6 +124,7 @@ struct SessionSelection {
 class FrontierSession {
  public:
   using RefinedCallback = std::function<void(const RefinedFrontier&)>;
+  using DoneCallback = std::function<void()>;
 
   FrontierSession(const FrontierSession&) = delete;
   FrontierSession& operator=(const FrontierSession&) = delete;
@@ -158,6 +159,14 @@ class FrontierSession {
   /// Refinement reached alpha_target.
   bool TargetReached() const;
   bool Cancelled() const;
+  /// Refinement was shed by priority admission under overload: the
+  /// session ended early keeping every guarantee it already published
+  /// (see ServiceOptions::refinement_shed_fraction).
+  bool Shed() const;
+  /// Shed by admission control at open (no ladder ever ran).
+  bool Rejected() const;
+  /// A rung timed out (or failed) before the target was reached.
+  bool Degraded() const;
 
   /// Releases this opener's interest. When every OpenFrontier call that
   /// returned this session has cancelled, the runner aborts mid-rung (the
@@ -181,6 +190,15 @@ class FrontierSession {
   /// run on the refining (or registering, during replay) thread and must
   /// not block.
   int OnRefined(RefinedCallback callback);
+
+  /// Registers a callback invoked exactly once when the session completes
+  /// (every Done()-visible field is set before it runs). An already-done
+  /// session invokes it synchronously before registration returns. Shares
+  /// the id space (and RemoveCallback) with OnRefined; same threading and
+  /// must-not-block rules. This is how the network front end turns
+  /// completion into a server-pushed DONE frame without polling.
+  int OnDone(DoneCallback callback);
+
   void RemoveCallback(int id);
 
  private:
@@ -247,6 +265,7 @@ class FrontierSession {
   bool failed_ = false;     ///< Optimizer error; no further publishes.
   bool rejected_ = false;   ///< Shed by admission control at open.
   bool degraded_ = false;   ///< A rung timed out before the target.
+  bool shed_ = false;       ///< Refinement shed by overload mid-ladder.
   /// How the PlanCache answered the opener (kMiss when a ladder ran).
   CacheOutcome open_outcome_ = CacheOutcome::kMiss;
   /// The cache entry a born-done session was served from (exact-hit
@@ -258,10 +277,12 @@ class FrontierSession {
   double queue_ms_ = 0;  ///< Open-to-ladder-pickup wall time.
   int open_handles_ = 0;
   std::vector<std::pair<int, RefinedCallback>> callbacks_;
+  std::vector<std::pair<int, DoneCallback>> done_callbacks_;
   int next_callback_id_ = 0;
 
   /// Serializes callback delivery so each callback sees publishes in
-  /// order, including the OnRefined replay.
+  /// order, including the OnRefined replay and the one-shot OnDone
+  /// delivery. Lock order everywhere: callback_mu_ before mu_.
   std::mutex callback_mu_;
 
   /// Set when every opener has cancelled; polled by the DP through its

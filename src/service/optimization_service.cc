@@ -437,9 +437,10 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
     }
   }
 
-  // Stage 6: hand the ladder to the worker pool.
+  // Stage 6: hand the first rung to the worker pool (each later rung
+  // reschedules itself — no worker is held across rungs).
   stats_.RecordSessionStarted();
-  if (!pool_.Submit([this, session] { RunSessionLadder(session); })) {
+  if (!pool_.Submit([this, session] { RunSessionRung(session, 0); })) {
     // Shutdown raced the open; the session completes with whatever the
     // prelude published.
     stats_.RecordAdmissionRejected();
@@ -471,29 +472,77 @@ void OptimizationService::ServeSessionBornDone(
   session->MarkDone(cached->result, /*degraded=*/false, /*failed=*/false);
 }
 
-void OptimizationService::RunSessionLadder(
-    const std::shared_ptr<FrontierSession>& session) {
-  session->queue_ms_ = session->since_open_.ElapsedMillis();
+void OptimizationService::ScheduleSessionRung(
+    const std::shared_ptr<FrontierSession>& session, size_t rung) {
+  if (rung > 0 && options_.priority_admission) {
+    // Overload sheds refinement first: a ladder keeps refining only while
+    // in-flight pressure stays under the watermark, so first-frontier
+    // work hits max_inflight (a hard reject) only after every background
+    // rung has already been given up. The watermark never goes below 2 —
+    // a lone refining session (its own slot is counted) must not shed
+    // itself on an idle service.
+    const size_t watermark = std::max<size_t>(
+        static_cast<size_t>(options_.refinement_shed_fraction *
+                            static_cast<double>(options_.max_inflight)),
+        2);
+    if (inflight_.load(std::memory_order_acquire) >= watermark) {
+      stats_.RecordRefinementShed();
+      {
+        std::lock_guard<std::mutex> lock(session->mu_);
+        session->shed_ = true;
+      }
+      FinishSession(session, nullptr, /*degraded=*/false, /*failed=*/false);
+      return;
+    }
+  }
+  const TaskLane lane = (rung == 0 || !options_.priority_admission)
+                            ? TaskLane::kInteractive
+                            : TaskLane::kRefinement;
+  if (!pool_.Submit([this, session, rung] { RunSessionRung(session, rung); },
+                    lane)) {
+    // Shutdown raced the reschedule; the session completes with the
+    // guarantees it already published.
+    FinishSession(session, nullptr, /*degraded=*/false, /*failed=*/false);
+  }
+}
+
+void OptimizationService::RunSessionRung(
+    const std::shared_ptr<FrontierSession>& session, size_t rung) {
   const PolicyDecision& decision = session->decision_;
-  TraceSpan request_span(&tracer_, "service", "request",
+  if (rung == 0) session->queue_ms_ = session->since_open_.ElapsedMillis();
+  TraceSpan request_span(&tracer_, "service",
+                         rung == 0 ? "request" : "request.rung",
                          session->trace_id_);
   request_span.AddArg("queue_us",
                       static_cast<int64_t>(session->queue_ms_ * 1000.0));
   request_span.AddArg("rungs",
                       static_cast<int64_t>(session->ladder_.size()));
 
-  // Remaining total budget after queueing (the one-step shim's deadline
-  // covers open-to-response, like the classic path's submit-to-response).
+  // Cancelled while queued: complete with what was already published.
+  if (session->CancelRequested()) {
+    FinishSession(session, nullptr, /*degraded=*/false, /*failed=*/false);
+    return;
+  }
+
+  // Remaining total budget (the one-step shim's deadline covers
+  // open-to-response, like the classic path's submit-to-response),
+  // tightened by the per-rung budget.
   int64_t timeout_ms = -1;
   if (session->total_deadline_ms_ >= 0) {
-    const int64_t remaining = session->total_deadline_ms_ -
-                              static_cast<int64_t>(session->queue_ms_);
+    const int64_t remaining =
+        session->total_deadline_ms_ -
+        static_cast<int64_t>(session->since_open_.ElapsedMillis());
     timeout_ms = remaining > 0 ? remaining : 0;
+  }
+  const int64_t step_ms = session->session_options_.step_deadline_ms;
+  if (step_ms >= 0) {
+    timeout_ms = timeout_ms < 0 ? step_ms : std::min(timeout_ms, step_ms);
   }
 
   std::shared_ptr<const OptimizerResult> degraded_result;
   bool degraded = false;
   bool failed = false;
+  bool completed_rung = false;
   try {
     // Epoch guard before the memo is read: a catalog whose statistics
     // were bumped since the memo's entries were published flushes them.
@@ -502,27 +551,16 @@ void OptimizationService::RunSessionLadder(
       subplan_memo_->ObserveCatalog(&catalog, catalog.epoch());
     }
 
-    const int64_t step_ms = session->session_options_.step_deadline_ms;
-    if (decision.algorithm != AlgorithmKind::kRta && step_ms >= 0) {
-      // Exact algorithms run the ladder as one rung; fold the per-rung
-      // budget into the overall one (the RTA handles it internally).
-      timeout_ms = timeout_ms < 0 ? step_ms : std::min(timeout_ms, step_ms);
-    }
-
+    // One rung = one independent optimizer run at this rung's precision;
+    // rungs share work only through the SubplanMemo (exactly the core
+    // ladder's contract), so the published frontiers are byte-identical
+    // to the monolithic runner's.
     OptimizerOptions opts = MakeOptimizerOptions(
-        session->ladder_.back(), timeout_ms, decision.parallelism,
+        session->ladder_[rung], timeout_ms, decision.parallelism,
         decision.use_subplan_memo);
     opts.cancel = &session->cancel_flag_;
     opts.tracer = &tracer_;
     opts.trace_id = session->trace_id_;
-    if (decision.algorithm == AlgorithmKind::kRta) {
-      opts.alpha_ladder = session->ladder_;
-      opts.step_timeout_ms = step_ms;
-      opts.on_rung = [this, &session](int rung, double alpha,
-                                      const OptimizerResult& result) {
-        return OnSessionRung(session, rung, alpha, result);
-      };
-    }
     std::unique_ptr<OptimizerBase> optimizer =
         MakeOptimizer(decision.algorithm, opts);
     StopWatch run_watch;
@@ -533,21 +571,37 @@ void OptimizationService::RunSessionLadder(
         optimizer->Optimize(session->problem_));
     optimize_span.End();
     if (result->metrics.timed_out) {
-      // No rung completed (a partially refined RTA ladder returns its
-      // last *completed* rung, un-flagged): the session ends degraded,
-      // holding the quick-mode result for the shim. Never cached.
-      degraded = true;
-      degraded_result = std::move(result);
+      // This rung's budget expired. Earlier completed rungs keep their
+      // guarantees and the ladder just ends; with nothing completed the
+      // session ends degraded, holding the quick-mode result for the
+      // shim. Never cached.
       stats_.RecordDeadlineTimeout();
       stats_.RecordLatency(decision.algorithm, run_watch.ElapsedMillis());
-    } else if (decision.algorithm != AlgorithmKind::kRta) {
-      // Exact algorithms publish their single rung here; RTA rungs were
-      // published by the on_rung hook.
-      OnSessionRung(session, /*rung=*/0, session->ladder_.back(), *result);
+      bool any_completed;
+      {
+        std::lock_guard<std::mutex> lock(session->mu_);
+        any_completed = session->final_result_ != nullptr;
+      }
+      if (!any_completed) {
+        degraded = true;
+        degraded_result = std::move(result);
+      }
+    } else {
+      OnSessionRung(session, static_cast<int>(rung), session->ladder_[rung],
+                    *result);
+      completed_rung = true;
     }
   } catch (...) {
     failed = true;
     stats_.RecordInternalError();
+  }
+
+  if (completed_rung && !failed && rung + 1 < session->ladder_.size() &&
+      !session->CancelRequested()) {
+    // Release this worker between rungs: the next rung queues behind
+    // (and, with priority admission, below) any first-frontier work.
+    ScheduleSessionRung(session, rung + 1);
+    return;
   }
   FinishSession(session, std::move(degraded_result), degraded, failed);
 }
@@ -1172,6 +1226,9 @@ void OptimizationService::RegisterMetrics() {
   metrics_.AddCounter("moqo_refinement_steps_total",
                       "Completed ladder rungs across all sessions",
                       stat(&ServiceStatsSnapshot::refinement_steps));
+  metrics_.AddCounter("moqo_refinement_sheds_total",
+                      "Refinement ladders shed by overload priority",
+                      stat(&ServiceStatsSnapshot::refinement_sheds));
   metrics_.AddGauge("moqo_sessions_active", "Refinement ladders running now",
                     stat(&ServiceStatsSnapshot::sessions_active));
   metrics_.AddGauge("moqo_inflight", "Requests queued or running", [this] {

@@ -71,6 +71,22 @@ struct ServiceOptions {
   /// Admission limit: maximum requests queued or running at once. An
   /// actively refining session holds one slot for its whole ladder.
   size_t max_inflight = 256;
+  /// Two-class session scheduling (PR 7, the network front end's fairness
+  /// knob). When true, every ladder rung after a session's first runs as
+  /// a separate refinement-lane pool task — queued first-frontier and
+  /// one-shot work always dequeues first — and refinement is shed under
+  /// overload: a ladder whose next rung would start while InFlight() has
+  /// reached refinement_shed_fraction * max_inflight ends early instead,
+  /// keeping every guarantee it already published (FrontierSession::Shed(),
+  /// the sessions_shed counter, moqo_refinement_sheds_total). False
+  /// restores the single-lane FIFO behaviour: rungs still run as separate
+  /// tasks, but nothing preempts and nothing is shed.
+  bool priority_admission = true;
+  /// Overload watermark for shedding refinement, as a fraction of
+  /// max_inflight. Below ~1/max_inflight nothing refines; at >= 1.0
+  /// refinement only sheds once first-frontier work is itself about to be
+  /// rejected (too late to help).
+  double refinement_shed_fraction = 0.75;
   /// Budget applied when a request does not carry its own; < 0 = none.
   int64_t default_deadline_ms = -1;
   /// Set false to bypass the cache entirely (benchmarking cold paths).
@@ -179,6 +195,12 @@ class OptimizationService {
   /// occupancy, pool queue state, and latency histograms.
   std::string MetricsText() const { return metrics_.RenderPrometheus(); }
 
+  /// The registry behind MetricsText(). The network front end registers
+  /// its net_* samplers here so one scrape covers service and wire path;
+  /// samplers must own (share) whatever state they read, since they can
+  /// outlive their registrant.
+  MetricsRegistry* metrics_registry() { return &metrics_; }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -226,8 +248,21 @@ class OptimizationService {
       const std::shared_ptr<const CachedFrontier>& cached,
       const Preference& preference, OpenInfo* info);
 
-  /// The pool task driving one session's ladder.
-  void RunSessionLadder(const std::shared_ptr<FrontierSession>& session);
+  /// Enqueues rung `rung` of the session's ladder as its own pool task —
+  /// no worker is held across rungs (PR 7). Rung 0 rides the interactive
+  /// lane; later rungs are refinement: low-priority lane plus the
+  /// overload shed check when priority_admission is on. Handles every
+  /// failure path (shed, shutdown race) by finishing the session.
+  void ScheduleSessionRung(const std::shared_ptr<FrontierSession>& session,
+                           size_t rung);
+
+  /// The pool task running exactly one ladder rung: one independent
+  /// optimizer run at ladder_[rung] (rungs share work only through the
+  /// SubplanMemo, so the frontiers are byte-identical to the monolithic
+  /// PR-5 runner). Chains the next rung through ScheduleSessionRung or
+  /// finishes the session.
+  void RunSessionRung(const std::shared_ptr<FrontierSession>& session,
+                      size_t rung);
 
   /// Publishes one completed rung: per-rung stats, PlanCache insert
   /// (tagged with the rung's alpha), session publish. Returns false to

@@ -76,6 +76,12 @@ struct ServiceStatsSnapshot {
   /// Completed ladder rungs across all sessions (includes the shim's
   /// one-step rungs).
   uint64_t refinement_steps = 0;
+  /// Ladders ended early by priority admission under overload (PR 7):
+  /// the session kept everything it had published, but its remaining
+  /// refinement rungs were shed so first-frontier work never queues
+  /// behind background refinement. Distinct from admissions_rejected —
+  /// a shed caller still got an answer.
+  uint64_t refinement_sheds = 0;
   /// Optimize-pool state sampled at snapshot time: tasks waiting for a
   /// worker and the queue-wait distribution they experienced.
   size_t pool_queue_depth = 0;
@@ -138,6 +144,7 @@ class ServiceStatsRegistry {
   }
   void RecordSessionStarted() { sessions_active_.fetch_add(1, kRelaxed); }
   void RecordSessionFinished() { sessions_active_.fetch_sub(1, kRelaxed); }
+  void RecordRefinementShed() { refinement_sheds_.fetch_add(1, kRelaxed); }
 
   /// Records one completed refinement step (ladder rung) and its latency.
   void RecordRefinementStep(double ms) {
@@ -174,6 +181,7 @@ class ServiceStatsRegistry {
   std::atomic<uint64_t> sessions_coalesced_{0};
   std::atomic<uint64_t> sessions_active_{0};
   std::atomic<uint64_t> refinement_steps_{0};
+  std::atomic<uint64_t> refinement_sheds_{0};
 
   std::array<LatencyHistogram, kNumAlgorithms> latency_;
   LatencyHistogram step_latency_;

@@ -18,6 +18,13 @@
 // the service's stats/metrics see queue pressure building before
 // admission control does. With a Tracer attached, each task additionally
 // records a "pool.task" span carrying its queue wait.
+//
+// Priority lanes (PR 7): the queue is two-class. Interactive tasks
+// (first-frontier/one-shot work) always dequeue before refinement tasks
+// (later ladder rungs), so a backlog of background refinement can never
+// delay the latency-critical first answer. Within a lane, order stays
+// FIFO. Refinement is starved under sustained interactive load by design:
+// the service sheds refinement rungs before that backlog grows unbounded.
 
 #ifndef MOQO_UTIL_THREAD_POOL_H_
 #define MOQO_UTIL_THREAD_POOL_H_
@@ -38,6 +45,13 @@
 
 namespace moqo {
 
+/// Scheduling class of one pool task. Interactive beats refinement at
+/// every dequeue; ties within a lane are FIFO.
+enum class TaskLane : uint8_t {
+  kInteractive = 0,  ///< First-frontier / one-shot request work.
+  kRefinement = 1,   ///< Background ladder rungs; runs when idle.
+};
+
 class ThreadPool {
  public:
   /// `tracer` (optional, not owned) must outlive the pool; `name` must be
@@ -57,12 +71,16 @@ class ThreadPool {
 
   ~ThreadPool() { Shutdown(); }
 
-  /// Enqueues `task`; returns false (dropping the task) after Shutdown().
-  bool Submit(std::function<void()> task) {
+  /// Enqueues `task` on `lane`; returns false (dropping the task) after
+  /// Shutdown(). Workers drain the interactive lane fully before touching
+  /// the refinement lane.
+  bool Submit(std::function<void()> task,
+              TaskLane lane = TaskLane::kInteractive) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (shutdown_) return false;
-      queue_.push_back({std::move(task), Clock::now()});
+      queues_[static_cast<int>(lane)].push_back(
+          {std::move(task), Clock::now()});
     }
     cv_.notify_one();
     return true;
@@ -163,9 +181,15 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Queued tasks across both lanes.
   size_t QueueDepth() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return queue_.size();
+    return queues_[0].size() + queues_[1].size();
+  }
+
+  size_t QueueDepth(TaskLane lane) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queues_[static_cast<int>(lane)].size();
   }
 
   /// Distribution of enqueue-to-pickup waits over every task dequeued so
@@ -187,10 +211,14 @@ class ThreadPool {
       QueuedTask task;
       {
         std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // shutdown_ and drained.
-        task = std::move(queue_.front());
-        queue_.pop_front();
+        cv_.wait(lock, [this] {
+          return shutdown_ || !queues_[0].empty() || !queues_[1].empty();
+        });
+        std::deque<QueuedTask>& queue =
+            !queues_[0].empty() ? queues_[0] : queues_[1];
+        if (queue.empty()) return;  // shutdown_ and both lanes drained.
+        task = std::move(queue.front());
+        queue.pop_front();
       }
       const double wait_ms =
           std::chrono::duration<double, std::milli>(Clock::now() -
@@ -208,7 +236,8 @@ class ThreadPool {
   LatencyHistogram queue_wait_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<QueuedTask> queue_;
+  /// Indexed by TaskLane; [0] (interactive) always dequeues first.
+  std::deque<QueuedTask> queues_[2];
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

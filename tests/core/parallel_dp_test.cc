@@ -9,7 +9,9 @@
 // CI (see .github/workflows/ci.yml).
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -263,6 +265,57 @@ TEST(ThreadPoolParallelForTest, NestedBatchesDoNotDeadlock) {
     });
   });
   EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolLaneTest, InteractiveLaneAlwaysDequeuesFirst) {
+  // Two-lane priority (PR 7): with the single worker parked on a gate
+  // task, queue refinement work first, then interactive work. On release
+  // every interactive task must run before any refinement task, and order
+  // within each lane stays FIFO.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  bool gate_entered = false;
+  ASSERT_TRUE(pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    gate_entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return gate_open; });
+  }));
+  {
+    // Park the worker on the gate before queueing, so queue depths below
+    // count exactly the tasks this test submits.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gate_entered; });
+  }
+
+  std::vector<int> order;
+  std::mutex order_mu;
+  auto record = [&](int tag) {
+    return [&, tag] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+  };
+  // Refinement tagged 100+, interactive tagged 0+ — submitted AFTER.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pool.Submit(record(100 + i), TaskLane::kRefinement));
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pool.Submit(record(i), TaskLane::kInteractive));
+  }
+  EXPECT_EQ(pool.QueueDepth(TaskLane::kRefinement), 3u);
+  EXPECT_EQ(pool.QueueDepth(TaskLane::kInteractive), 3u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();  // Drains both queues before joining.
+
+  const std::vector<int> expected = {0, 1, 2, 100, 101, 102};
+  EXPECT_EQ(order, expected);
 }
 
 }  // namespace

@@ -504,5 +504,114 @@ TEST(FrontierSessionTest, InvalidSpecsYieldBornDoneSessions) {
   EXPECT_EQ(ira_session->BestFrontier(), nullptr);
 }
 
+TEST(FrontierSessionTest, OverloadShedsRefinementNotFirstFrontiers) {
+  // max_inflight=4, fraction=0.5 → shed watermark max(2, 2) = 2: with four
+  // concurrent ladders on one worker, refinement rungs find the service
+  // over the watermark and shed, while every session still gets its
+  // first frontier (no opens rejected).
+  Catalog catalog = MakeTinyCatalog();
+  ServiceOptions service_options = SmallServiceOptions(1);
+  service_options.max_inflight = 4;
+  service_options.refinement_shed_fraction = 0.5;
+  service_options.enable_cache = false;
+  service_options.enable_coalescing = false;
+  OptimizationService service(service_options);
+
+  SessionOptions options;
+  options.alpha_start = 4.0;
+  options.max_steps = 6;
+  std::vector<std::shared_ptr<FrontierSession>> sessions;
+  for (int i = 0; i < 4; ++i) {
+    sessions.push_back(
+        service.OpenFrontier(RtaStarSpec(&catalog, 3, 3, 1.05), options));
+    ASSERT_NE(sessions.back(), nullptr);
+    // First frontier is never shed: it was published before open returned.
+    EXPECT_NE(sessions.back()->BestFrontier(), nullptr);
+  }
+  int sheds = 0;
+  for (const auto& session : sessions) {
+    session->AwaitTarget();
+    EXPECT_TRUE(session->Done());
+    EXPECT_FALSE(session->Rejected());
+    EXPECT_NE(session->BestFrontier(), nullptr);
+    if (session->Shed()) {
+      ++sheds;
+      // Shed ends the ladder early, keeping published guarantees only.
+      EXPECT_FALSE(session->TargetReached());
+    }
+  }
+  // The exact count depends on how far the worker raced ahead of the
+  // opens, but overload must shed someone — and never everyone (the last
+  // ladder standing refines below the watermark).
+  EXPECT_GE(sheds, 1);
+  EXPECT_LE(sheds, 3);
+  EXPECT_EQ(service.Stats().refinement_sheds, static_cast<uint64_t>(sheds));
+  for (auto& session : sessions) session->Cancel();
+
+  // Control: identical load with priority_admission off sheds nothing and
+  // every ladder runs to target.
+  ServiceOptions fifo_options = service_options;
+  fifo_options.priority_admission = false;
+  OptimizationService fifo(fifo_options);
+  std::vector<std::shared_ptr<FrontierSession>> fifo_sessions;
+  for (int i = 0; i < 4; ++i) {
+    fifo_sessions.push_back(
+        fifo.OpenFrontier(RtaStarSpec(&catalog, 3, 3, 1.05), options));
+  }
+  for (auto& session : fifo_sessions) {
+    EXPECT_TRUE(session->AwaitTarget());
+    EXPECT_FALSE(session->Shed());
+    session->Cancel();
+  }
+  EXPECT_EQ(fifo.Stats().refinement_sheds, 0u);
+}
+
+TEST(FrontierSessionTest, CoalescedOpenersObserveMonotoneAlphasOnRungSplit) {
+  // Rung-split regression: with each ladder rung a separate pool task, an
+  // opener that coalesces onto a running session (or re-probes into a
+  // fresh one as the ladder finishes — the insert-before-registry-erase
+  // window) must still observe strictly decreasing alphas through
+  // OnRefined's replay + live stream.
+  Catalog catalog = MakeTinyCatalog();
+  ServiceOptions service_options = SmallServiceOptions(2);
+  service_options.enable_cache = false;  // Every open runs a real ladder.
+  OptimizationService service(service_options);
+
+  SessionOptions options;
+  options.alpha_start = 8.0;
+  options.max_steps = 8;
+  const auto spec = [&] { return RtaStarSpec(&catalog, 3, 3, 1.01); };
+
+  auto first = service.OpenFrontier(spec(), options);
+  ASSERT_NE(first, nullptr);
+  auto second = service.OpenFrontier(spec(), options);
+  ASSERT_NE(second, nullptr);
+  // Opened back-to-back mid-ladder: the second opener joins the first's
+  // session rather than starting a duplicate ladder.
+  EXPECT_EQ(first.get(), second.get());
+
+  for (int round = 0; round < 8; ++round) {
+    auto joiner = service.OpenFrontier(spec(), options);
+    ASSERT_NE(joiner, nullptr);
+    std::mutex alphas_mu;
+    std::vector<double> alphas;
+    const int id = joiner->OnRefined([&](const RefinedFrontier& refined) {
+      std::lock_guard<std::mutex> lock(alphas_mu);
+      alphas.push_back(refined.alpha);
+    });
+    joiner->AwaitTarget();
+    joiner->RemoveCallback(id);
+    std::lock_guard<std::mutex> lock(alphas_mu);
+    ASSERT_GE(alphas.size(), 1u);
+    for (size_t i = 1; i < alphas.size(); ++i) {
+      EXPECT_LT(alphas[i], alphas[i - 1])
+          << "round " << round << " step " << i;
+    }
+    joiner->Cancel();
+  }
+  first->Cancel();
+  second->Cancel();
+}
+
 }  // namespace
 }  // namespace moqo

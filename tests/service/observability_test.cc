@@ -76,14 +76,18 @@ TEST(ObservabilityTest, SessionTraceContainsTheWholeSpanChain) {
   session->Cancel();
 
   EXPECT_GT(service.tracer()->recorded_events(), 0u);
-  // AwaitTarget wakes on the done publish, but the ladder worker's
-  // request/pool.task spans record on destruction just after — poll for
-  // the outermost one (pool.task closes last on that thread; ring order
-  // means everything before it is in by then).
+  // AwaitTarget wakes on the done publish, but worker spans record on
+  // destruction just after — and since the rung split (PR 7) each rung is
+  // its own pool task, so rung 0's "request"/"pool.task" pair can close on
+  // a different (possibly descheduled) worker than the final rung that
+  // woke us. Poll until both the rung-0 request span and some pool.task
+  // span are in the export.
+  const auto complete = [](const std::string& t) {
+    return t.find("\"name\":\"pool.task\"") != std::string::npos &&
+           t.find("\"name\":\"request\"") != std::string::npos;
+  };
   std::string trace = service.tracer()->ExportChromeTrace();
-  for (int i = 0; i < 5000 &&
-                  trace.find("\"name\":\"pool.task\"") == std::string::npos;
-       ++i) {
+  for (int i = 0; i < 5000 && !complete(trace); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     trace = service.tracer()->ExportChromeTrace();
   }
