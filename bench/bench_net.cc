@@ -49,6 +49,7 @@
 #include "net/blocking_client.h"
 #include "net/net_server.h"
 #include "obs/histogram.h"
+#include "rt/failpoint.h"
 #include "service/optimization_service.h"
 #include "util/deadline.h"
 
@@ -586,6 +587,202 @@ int RunFairness(bench::Json* doc, const SharedSubgraphOptions& workload) {
   return 0;
 }
 
+// --------------------------------------------------------- fault phase --
+
+struct FaultMeasureResult {
+  std::vector<double> healthy_ms;  ///< First-frontier, fault-free conns.
+  int retried = 0;   ///< Opens that lost their connection and re-opened.
+  int failures = 0;  ///< Opens that never reached a terminal outcome.
+};
+
+/// Closed-loop first-frontier measurement that survives injected faults:
+/// an open whose connection dies mid-stream re-opens (capped retries) so
+/// the session still reaches a terminal outcome, but only opens served on
+/// a fault-free connection count toward the latency distribution — the
+/// gate asks what faults elsewhere cost the *healthy* traffic.
+FaultMeasureResult MeasureFirstFrontier(uint16_t port, NetBenchRig* rig,
+                                        int clients, int opens_per_client) {
+  FaultMeasureResult result;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < opens_per_client; ++i) {
+        net::RetryOptions retry;
+        retry.max_attempts = 4;
+        retry.base_backoff_ms = 1;
+        retry.max_backoff_ms = 20;
+        retry.jitter_seed = 977u * static_cast<uint64_t>(c) + i;
+        BlockingNetClient client;
+        StopWatch watch;
+        if (!client.ConnectWithRetry("127.0.0.1", port, retry)) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++result.failures;
+          continue;
+        }
+        bool sent = client.SendOpen(
+            InteractiveOpen(rig->QueryId(c * opens_per_client + i)));
+        bool measured = false;
+        bool terminal = false;
+        int attempt = 0;
+        for (; attempt < 4; ++attempt) {
+          if (attempt > 0 || !sent) {
+            if (!client.Reopen(retry)) continue;
+            watch.Restart();
+          }
+          BlockingNetClient::Event event;
+          bool eof = true;
+          while (client.NextEvent(&event, 30000)) {
+            if (event.type == MsgType::kFrontierUpdate) {
+              if (attempt == 0) {
+                std::lock_guard<std::mutex> lock(mu);
+                result.healthy_ms.push_back(watch.ElapsedMillis());
+              }
+              measured = true;
+              terminal = true;  // First frontier in hand is the outcome.
+              eof = false;
+              break;
+            }
+            if (event.type == MsgType::kDone ||
+                event.type == MsgType::kError) {
+              terminal = true;
+              eof = false;
+              break;
+            }
+          }
+          if (!eof) break;
+          // Connection killed by an injected fault before any outcome.
+        }
+        client.Disconnect();
+        std::lock_guard<std::mutex> lock(mu);
+        if (attempt > 0) ++result.retried;
+        if (!terminal && !measured) ++result.failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return result;
+}
+
+int RunFaults(bench::Json* doc, const SharedSubgraphOptions& workload) {
+  if (!rt::kFailpointsEnabled) {
+    std::printf("\n-- fault phase skipped (MOQO_FAILPOINTS=OFF) --\n");
+    bench::Json phase = bench::Json::Object();
+    phase.Set("skipped", 1);
+    doc->Set("faults", std::move(phase));
+    return 0;
+  }
+  const int clients = EnvInt("MOQO_NET_INTERACTIVE", 2);
+  const int opens = EnvInt("MOQO_NET_FAULT_OPENS", 40);
+  std::printf("\n-- fault phase (%d clients x %d opens, 1%% read/write "
+              "faults + forced reconnects) --\n",
+              clients, opens);
+
+  // Baseline and fault runs share one rig (cache off: every open is real
+  // work) so the only variable is the injected faults.
+  NetBenchRig rig(workload, BaseServiceOptions(2));
+  if (!rig.server->Start()) {
+    std::printf("ERROR: server start failed\n");
+    return 1;
+  }
+  const uint16_t port = rig.server->port();
+
+  // The same background load runs in BOTH phases — a churn thread of
+  // forced reconnect cycles (abrupt disconnects mid-stream followed by
+  // idempotent re-OPENs) — so the armed failpoints are the only variable
+  // between the two measurements.
+  std::atomic<bool> stop{false};
+  const auto churn_main = [&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      net::RetryOptions retry;
+      retry.max_attempts = 2;
+      retry.base_backoff_ms = 1;
+      retry.jitter_seed = 31u + static_cast<uint64_t>(i);
+      BlockingNetClient client;
+      if (!client.ConnectWithRetry("127.0.0.1", port, retry)) continue;
+      if (!client.SendOpen(RefinementOpen(rig.QueryId(i)))) continue;
+      BlockingNetClient::Event event;
+      client.NextEvent(&event, 5000);
+      client.Disconnect();  // Abrupt: no CLOSE, stream still live.
+      if (client.Reopen(retry)) client.NextEvent(&event, 5000);
+    }
+  };
+
+  std::thread baseline_churn(churn_main);
+  const FaultMeasureResult baseline =
+      MeasureFirstFrontier(port, &rig, clients, opens);
+  stop.store(true);
+  baseline_churn.join();
+  if (baseline.failures != 0 || baseline.healthy_ms.empty()) {
+    std::printf("ERROR: fault-free baseline failed (%d failures)\n",
+                baseline.failures);
+    return 1;
+  }
+
+  // 1% of reads and writes fail, on a seeded schedule that replays.
+  rt::FailpointRegistry::Global().Arm(
+      "net.read", "probability(0.01,seed=11):return_error");
+  rt::FailpointRegistry::Global().Arm(
+      "net.write", "probability(0.01,seed=13):return_error");
+  stop.store(false);
+  std::thread fault_churn(churn_main);
+  const FaultMeasureResult faulted =
+      MeasureFirstFrontier(port, &rig, clients, opens);
+  stop.store(true);
+  fault_churn.join();
+  const uint64_t read_hits =
+      rt::FailpointRegistry::Global().Register("net.read").hits();
+  const uint64_t write_hits =
+      rt::FailpointRegistry::Global().Register("net.write").hits();
+  rt::FailpointRegistry::Global().DisarmAll();
+  const bool drained = AwaitActiveConnections(rig, 0, 10000);
+
+  const double baseline_p99 =
+      SnapshotOfSamples(baseline.healthy_ms).PercentileMs(99);
+  const double fault_p99 =
+      SnapshotOfSamples(faulted.healthy_ms).PercentileMs(99);
+  const double ratio = baseline_p99 > 0 ? fault_p99 / baseline_p99 : 0;
+  std::printf("fault-free p99 %7.2f ms   fault-phase healthy p99 %7.2f ms "
+              "(%.2fx)\n",
+              baseline_p99, fault_p99, ratio);
+  std::printf("injected: %llu read, %llu write; retried opens=%d\n",
+              static_cast<unsigned long long>(read_hits),
+              static_cast<unsigned long long>(write_hits), faulted.retried);
+
+  bench::Json phase = bench::Json::Object();
+  phase.Set("clients", clients)
+      .Set("opens_per_client", opens)
+      .Set("baseline_p99_ms", baseline_p99)
+      .Set("fault_p99_ms", fault_p99)
+      .Set("p99_ratio", ratio)
+      .Set("healthy_measured", static_cast<int>(faulted.healthy_ms.size()))
+      .Set("retried_opens", faulted.retried)
+      .Set("injected_read_errors", static_cast<long long>(read_hits))
+      .Set("injected_write_errors", static_cast<long long>(write_hits));
+  doc->Set("faults", std::move(phase));
+
+  // Hard gates: faults must be contained — no lost sessions, a drained
+  // server, and healthy-connection latency within 20% of fault-free.
+  if (faulted.failures != 0) {
+    std::printf("ERROR: %d opens never reached a terminal outcome under "
+                "faults\n",
+                faulted.failures);
+    return 1;
+  }
+  if (!drained) {
+    std::printf("ERROR: connections/in-flight sessions leaked after the "
+                "fault phase\n");
+    return 1;
+  }
+  if (fault_p99 > baseline_p99 * 1.2) {
+    std::printf("ERROR: healthy-connection first-frontier p99 regressed "
+                ">20%% under faults (%.2f ms vs %.2f ms)\n",
+                fault_p99, baseline_p99);
+    return 1;
+  }
+  return 0;
+}
+
 int Run() {
   SharedSubgraphOptions workload;
   workload.num_queries = EnvInt("MOQO_NET_QUERIES", 6);
@@ -603,6 +800,7 @@ int Run() {
   if (RunSlowReader(&doc, workload) != 0) return 1;
   if (RunCancelStorm(&doc, workload) != 0) return 1;
   if (RunFairness(&doc, workload) != 0) return 1;
+  if (RunFaults(&doc, workload) != 0) return 1;
 
   const std::string path = "BENCH_net.json";
   if (!bench::WriteJsonFile(path, doc)) {

@@ -171,7 +171,12 @@ int main() {
       break;
     }
     if (event.type == net::MsgType::kError) {
-      std::printf("server error %u: %s\n", event.error.code,
+      // ERROR payload: u8 code + string message. Codes are stable wire
+      // contract (see ErrorCode in net/wire.h and the README table);
+      // ErrorCodeName maps them to their documented tokens.
+      std::printf("server error %u (%s): %s\n", event.error.code,
+                  net::ErrorCodeName(
+                      static_cast<net::ErrorCode>(event.error.code)),
                   event.error.message.c_str());
       return 1;
     }

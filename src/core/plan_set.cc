@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "rt/failpoint.h"
+
 namespace moqo {
 
 namespace {
@@ -30,6 +32,9 @@ const PlanNode* CopyShared(
 
 std::shared_ptr<const PlanSet> PlanSet::FromParetoSet(const ParetoSet& set) {
   if (set.empty()) return Empty();
+  // Frontier snapshots deep-copy into a fresh arena; arm with `oom` to
+  // fail the copy before any allocation happens.
+  MOQO_FAILPOINT("planset.snapshot");
   // make_shared needs a public constructor; the private one is reached
   // through this local subclass trampoline.
   struct Constructible : PlanSet {};
@@ -49,6 +54,7 @@ std::shared_ptr<const PlanSet> PlanSet::FromParetoSet(const ParetoSet& set) {
 std::shared_ptr<const PlanSet> PlanSet::FromParetoSetRemapped(
     const ParetoSet& set, const std::vector<int>& table_map) {
   if (set.empty()) return Empty();
+  MOQO_FAILPOINT("planset.snapshot");
   struct Constructible : PlanSet {};
   auto result = std::make_shared<Constructible>();
   std::unordered_map<const PlanNode*, const PlanNode*> copied;

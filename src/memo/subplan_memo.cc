@@ -2,6 +2,8 @@
 
 #include "memo/subplan_memo.h"
 
+#include "rt/failpoint.h"
+
 namespace moqo {
 
 namespace {
@@ -69,6 +71,9 @@ bool SubplanMemo::Admits(const ParetoSet& frontier, double alpha) {
 void SubplanMemo::Insert(const SubplanSignature& signature,
                          std::shared_ptr<const PlanSet> frontier) {
   if (frontier == nullptr) return;
+  // `return_error` drops the publish: equal keys imply identical
+  // frontiers, so a lost memo entry can only cost future probe misses.
+  MOQO_FAILPOINT_RETURN("memo.insert", );
   const size_t bytes = EntryBytes(signature, *frontier);
   const size_t frontier_size = static_cast<size_t>(frontier->size());
   // Equal keys imply byte-identical frontiers, so a refresh only touches

@@ -9,13 +9,30 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <thread>
 
 namespace moqo {
 namespace net {
+namespace {
+
+/// Same generator as the failpoint framework: a pure function of the
+/// seed and the attempt index, so a retry schedule replays exactly.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 bool BlockingNetClient::Connect(const std::string& host, uint16_t port) {
   Disconnect();
+  host_ = host;
+  port_ = port;
   fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return false;
   sockaddr_in addr{};
@@ -30,6 +47,37 @@ bool BlockingNetClient::Connect(const std::string& host, uint16_t port) {
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   decoder_ = FrameDecoder();
   return true;
+}
+
+bool BlockingNetClient::ConnectWithRetry(const std::string& host,
+                                         uint16_t port,
+                                         const RetryOptions& retry) {
+  for (int attempt = 0; attempt < std::max(1, retry.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      int64_t delay_ms = retry.base_backoff_ms > 0
+                             ? retry.base_backoff_ms << (attempt - 1)
+                             : 0;
+      delay_ms = std::min(delay_ms, retry.max_backoff_ms);
+      if (delay_ms > 0) {
+        // Up to +50% seeded jitter.
+        const uint64_t r = SplitMix64(
+            retry.jitter_seed ^ (static_cast<uint64_t>(attempt) *
+                                 0x9e3779b97f4a7c15ULL));
+        delay_ms += static_cast<int64_t>(r % (delay_ms / 2 + 1));
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+    }
+    if (Connect(host, port)) return true;
+  }
+  return false;
+}
+
+bool BlockingNetClient::Reopen(const RetryOptions& retry) {
+  if (!has_open_ || host_.empty()) return false;
+  Disconnect();
+  if (!ConnectWithRetry(host_, port_, retry)) return false;
+  return SendRaw(EncodeOpenFrontier(last_open_));
 }
 
 void BlockingNetClient::Disconnect() {

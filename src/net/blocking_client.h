@@ -20,6 +20,18 @@
 namespace moqo {
 namespace net {
 
+/// Capped exponential backoff for ConnectWithRetry/Reopen (PR 8):
+/// delay(attempt) = min(max_backoff_ms, base_backoff_ms << attempt),
+/// jittered by up to +50% from a seeded deterministic stream — retries
+/// are reproducible under a fixed seed and decorrelated across clients
+/// with distinct seeds (no thundering herd on a server restart).
+struct RetryOptions {
+  int max_attempts = 5;
+  int64_t base_backoff_ms = 10;
+  int64_t max_backoff_ms = 1000;
+  uint64_t jitter_seed = 1;
+};
+
 class BlockingNetClient {
  public:
   /// One decoded server frame; `type` says which member is meaningful.
@@ -38,13 +50,27 @@ class BlockingNetClient {
   BlockingNetClient& operator=(const BlockingNetClient&) = delete;
 
   bool Connect(const std::string& host, uint16_t port);
+  /// Connect with capped-exponential-backoff retries on refusal/reset.
+  /// Remembers host/port for Reopen. False once max_attempts exhausted.
+  bool ConnectWithRetry(const std::string& host, uint16_t port,
+                        const RetryOptions& retry = RetryOptions());
   bool connected() const { return fd_ >= 0; }
   /// Closes the socket without a CLOSE frame (the server treats EOF the
   /// same: cancel + teardown).
   void Disconnect();
 
+  /// Reconnects to the remembered endpoint and re-sends the last OPEN
+  /// (idempotent server-side: the open lands on the plan cache or
+  /// coalesces onto an identical in-flight ladder, so a retried open
+  /// costs at most one cheap re-optimization, never a duplicate answer
+  /// stream on the old connection — that connection is gone). False when
+  /// no OPEN was ever sent or the reconnect/resend fails.
+  bool Reopen(const RetryOptions& retry = RetryOptions());
+
   // ---- Sends (false on socket error). ----
   bool SendOpen(const OpenFrontierMsg& msg) {
+    last_open_ = msg;
+    has_open_ = true;
     return SendRaw(EncodeOpenFrontier(msg));
   }
   bool SendSelect(const SelectMsg& msg) { return SendRaw(EncodeSelect(msg)); }
@@ -67,6 +93,11 @@ class BlockingNetClient {
  private:
   int fd_ = -1;
   FrameDecoder decoder_;
+  /// Endpoint + last OPEN, remembered for Reopen.
+  std::string host_;
+  uint16_t port_ = 0;
+  OpenFrontierMsg last_open_;
+  bool has_open_ = false;
 };
 
 }  // namespace net

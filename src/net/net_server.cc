@@ -10,15 +10,27 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "cost/objective.h"
+#include "rt/failpoint.h"
 #include "service/frontier_session.h"
 #include "service/optimization_service.h"
 
 namespace moqo {
 namespace net {
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 /// Lock-free wire-path counters. Shared with the metric samplers
 /// registered on the service, which may outlive the server.
@@ -35,6 +47,7 @@ struct NetServer::Counters {
   std::atomic<uint64_t> pushes_dropped{0};
   std::atomic<uint64_t> push_queue_depth{0};
   std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> connections_reaped{0};
 };
 
 /// One TCP connection and the session bound to it. The loop thread owns
@@ -53,7 +66,16 @@ struct NetServer::Connection {
   /// The connection holds exactly one opener handle; Cancel() must run
   /// exactly once (CANCEL frame or teardown, whichever comes first).
   bool cancel_sent = false;
+  /// Flipped exactly once, under outbox_mu (CloseConnection): an Enqueue
+  /// that saw it false under the same mutex completed its outbox push and
+  /// flush registration before teardown cleared anything.
   std::atomic<bool> closed{false};
+  /// Deadline bookkeeping (PR 8). accepted_at_us and saw_frame are loop
+  /// thread only; last_activity_us is also stamped by FlushOutbox, which
+  /// Stop() may call off-loop — hence atomic.
+  int64_t accepted_at_us = 0;
+  std::atomic<int64_t> last_activity_us{0};
+  bool saw_frame = false;
 
   std::mutex outbox_mu;
   PushQueue outbox;
@@ -144,6 +166,7 @@ NetStatsSnapshot NetServer::Stats() const {
   s.pushes_dropped = counters_->pushes_dropped.load(kRelaxed);
   s.push_queue_depth = counters_->push_queue_depth.load(kRelaxed);
   s.protocol_errors = counters_->protocol_errors.load(kRelaxed);
+  s.connections_reaped = counters_->connections_reaped.load(kRelaxed);
   return s;
 }
 
@@ -207,6 +230,13 @@ void NetServer::RegisterMetrics() {
       [counters] {
         return static_cast<double>(counters->protocol_errors.load(kRelaxed));
       });
+  registry->AddCounter(
+      "moqo_net_connections_reaped_total",
+      "Connections closed by the handshake/idle deadline sweep",
+      [counters] {
+        return static_cast<double>(
+            counters->connections_reaped.load(kRelaxed));
+      });
 }
 
 void NetServer::Wake() {
@@ -216,11 +246,51 @@ void NetServer::Wake() {
   (void)ignored;  // A full eventfd counter is itself a pending wake.
 }
 
+int NetServer::EpollTimeoutMs() const {
+  int64_t tightest = -1;
+  for (int64_t deadline :
+       {options_.handshake_timeout_ms, options_.idle_timeout_ms}) {
+    if (deadline > 0 && (tightest < 0 || deadline < tightest)) {
+      tightest = deadline;
+    }
+  }
+  if (tightest < 0) return -1;
+  // A quarter of the tightest deadline bounds reap latency to ~1.25x the
+  // configured timeout; the floor/cap keep a pathological config from
+  // either spinning or stalling the sweep.
+  return static_cast<int>(std::min<int64_t>(250, std::max<int64_t>(5, tightest / 4)));
+}
+
+void NetServer::ReapExpiredConnections() {
+  const int64_t now_us = SteadyNowUs();
+  std::vector<std::shared_ptr<Connection>> expired;
+  for (const auto& [fd, conn] : connections_) {
+    if (options_.handshake_timeout_ms > 0 && !conn->saw_frame &&
+        now_us - conn->accepted_at_us >
+            options_.handshake_timeout_ms * 1000) {
+      expired.push_back(conn);
+    } else if (options_.idle_timeout_ms > 0 &&
+               now_us - conn->last_activity_us.load(
+                            std::memory_order_relaxed) >
+                   options_.idle_timeout_ms * 1000) {
+      expired.push_back(conn);
+    }
+  }
+  // Close outside the iteration: SendErrorAndClose erases from
+  // connections_.
+  for (const auto& conn : expired) {
+    counters_->connections_reaped.fetch_add(1, Counters::kRelaxed);
+    SendErrorAndClose(conn, ErrorCode::kTimeout,
+                      conn->saw_frame ? "idle timeout" : "handshake timeout");
+  }
+}
+
 void NetServer::LoopMain() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
+  const int timeout_ms = EpollTimeoutMs();
   while (running_.load(std::memory_order_acquire)) {
-    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -241,26 +311,37 @@ void NetServer::LoopMain() {
       if (it == connections_.end()) continue;  // Closed earlier this batch.
       std::shared_ptr<Connection> conn = it->second;
       bool ok = (events[i].events & (EPOLLHUP | EPOLLERR)) == 0;
-      if (ok && (events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0) {
-        ok = HandleReadable(conn);
-      }
-      if (ok && (events[i].events & EPOLLOUT) != 0) {
-        ok = FlushOutbox(conn);
+      // Exception fence: a throw escaping the handlers (an injected
+      // failpoint throw, or a real bug) must cost one connection, never
+      // the event loop — every other session on this server depends on
+      // the loop staying up.
+      try {
+        if (ok && (events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+          ok = HandleReadable(conn);
+        }
+        if (ok && (events[i].events & EPOLLOUT) != 0) {
+          ok = FlushOutbox(conn);
+        }
+      } catch (...) {
+        ok = false;
       }
       if (!ok) CloseConnection(conn);
     }
     // Frames enqueued by session callbacks since the last pass.
-    std::vector<int> pending;
+    std::vector<std::weak_ptr<Connection>> pending;
     {
       std::lock_guard<std::mutex> lock(pending_mu_);
       pending.swap(pending_flush_);
     }
-    for (int fd : pending) {
-      auto it = connections_.find(fd);
-      if (it == connections_.end()) continue;
-      std::shared_ptr<Connection> conn = it->second;
+    for (const std::weak_ptr<Connection>& weak : pending) {
+      std::shared_ptr<Connection> conn = weak.lock();
+      if (conn == nullptr ||
+          conn->closed.load(std::memory_order_relaxed)) {
+        continue;
+      }
       if (!FlushOutbox(conn)) CloseConnection(conn);
     }
+    if (timeout_ms >= 0) ReapExpiredConnections();
   }
 }
 
@@ -269,6 +350,12 @@ void NetServer::HandleAccept() {
     const int fd =
         accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN: drained (or transient error; retry later).
+    // Injected accept failure: the client sees an immediate RST/EOF, as
+    // with a real fd-exhaustion or early-close fault.
+    if (MOQO_FAILPOINT_HIT("net.accept")) {
+      close(fd);
+      continue;
+    }
     TraceSpan span(service_->tracer(), "net", "net.accept");
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -276,6 +363,9 @@ void NetServer::HandleAccept() {
                                              options_.max_queued_pushes);
     conn->fd = fd;
     conn->trace_id = service_->tracer()->NextId();
+    conn->accepted_at_us = SteadyNowUs();
+    conn->last_activity_us.store(conn->accepted_at_us,
+                                 std::memory_order_relaxed);
     epoll_event ev{};
     // ET for both directions: reads drain to EAGAIN, writes resume on the
     // writability edge after a short write.
@@ -293,6 +383,8 @@ void NetServer::HandleAccept() {
 
 bool NetServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
   TraceSpan span(service_->tracer(), "net", "net.read", conn->trace_id);
+  // Injected read fault: connection closes exactly as on a recv error.
+  MOQO_FAILPOINT_RETURN("net.read", false);
   char buf[64 * 1024];
   while (true) {
     const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
@@ -304,6 +396,7 @@ bool NetServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
     }
     counters_->bytes_in.fetch_add(static_cast<uint64_t>(n),
                                   Counters::kRelaxed);
+    conn->last_activity_us.store(SteadyNowUs(), std::memory_order_relaxed);
     conn->decoder.Feed(buf, static_cast<size_t>(n));
     MsgType type;
     std::vector<uint8_t> payload;
@@ -319,6 +412,7 @@ bool NetServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
         return false;
       }
       counters_->frames_in.fetch_add(1, Counters::kRelaxed);
+      conn->saw_frame = true;  // Handshake deadline satisfied.
       if (!HandleFrame(conn, type, payload)) return false;
     }
   }
@@ -413,14 +507,25 @@ bool NetServer::HandleOpenFrontier(const std::shared_ptr<Connection>& conn,
   // socket closes, so an enqueue never races a dead connection.
   conn->refined_id =
       session->OnRefined([this, conn](const RefinedFrontier& refined) {
-        TraceSpan push_span(service_->tracer(), "net", "net.push",
-                            conn->trace_id);
-        const FrontierUpdateMsg update =
-            MakeFrontierUpdate(refined.step, refined.alpha,
-                               refined.from_cache, refined.step_ms,
-                               *refined.plan_set);
-        push_span.AddArg("plans", update.num_plans());
-        Enqueue(conn, EncodeFrontierUpdate(update), /*is_frontier=*/true);
+        // Fenced: this runs inside Publish's delivery loop, which also
+        // serves every OTHER subscriber of the session. A throw here (an
+        // injected encode fault, an allocation failure on a huge
+        // frontier) must cost exactly one dropped push on this
+        // connection — not the rung that produced the frontier, and not
+        // the deliveries queued behind us.
+        try {
+          TraceSpan push_span(service_->tracer(), "net", "net.push",
+                              conn->trace_id);
+          MOQO_FAILPOINT("net.push.encode");
+          const FrontierUpdateMsg update =
+              MakeFrontierUpdate(refined.step, refined.alpha,
+                                 refined.from_cache, refined.step_ms,
+                                 *refined.plan_set);
+          push_span.AddArg("plans", update.num_plans());
+          Enqueue(conn, EncodeFrontierUpdate(update), /*is_frontier=*/true);
+        } catch (...) {
+          counters_->pushes_dropped.fetch_add(1, Counters::kRelaxed);
+        }
       });
   conn->done_id = session->OnDone([this, conn, session] {
     DoneMsg done;
@@ -493,10 +598,12 @@ void NetServer::Enqueue(const std::shared_ptr<Connection>& conn,
         conn->outbox.Push(std::move(frame), is_frontier, conn->write_offset);
     counters_->pushes_dropped.fetch_add(dropped, Counters::kRelaxed);
     counters_->push_queue_depth.fetch_add(1 - dropped, Counters::kRelaxed);
-  }
-  {
-    std::lock_guard<std::mutex> lock(pending_mu_);
-    pending_flush_.push_back(conn->fd);
+    // Flush registration stays under outbox_mu: CloseConnection flips
+    // closed under this same mutex, so the registration is strictly
+    // ordered against teardown — a frame either never enters a closing
+    // outbox, or enters with its flush request already queued.
+    std::lock_guard<std::mutex> pending(pending_mu_);
+    pending_flush_.push_back(conn);
   }
   Wake();
 }
@@ -504,6 +611,8 @@ void NetServer::Enqueue(const std::shared_ptr<Connection>& conn,
 bool NetServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
   std::lock_guard<std::mutex> lock(conn->outbox_mu);
   if (conn->closed.load(std::memory_order_relaxed)) return false;
+  // Injected write fault: caller closes, as on a hard send error.
+  MOQO_FAILPOINT_RETURN("net.write", false);
   while (!conn->outbox.empty()) {
     const PushQueue::Entry& head = conn->outbox.front();
     const char* data = head.bytes.data() + conn->write_offset;
@@ -516,6 +625,7 @@ bool NetServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
     }
     counters_->bytes_out.fetch_add(static_cast<uint64_t>(n),
                                    Counters::kRelaxed);
+    conn->last_activity_us.store(SteadyNowUs(), std::memory_order_relaxed);
     conn->write_offset += static_cast<size_t>(n);
     if (conn->write_offset == head.bytes.size()) {
       if (head.is_frontier) {
@@ -532,13 +642,29 @@ bool NetServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
 void NetServer::FailConnection(const std::shared_ptr<Connection>& conn,
                                ErrorCode code, const std::string& message) {
   counters_->protocol_errors.fetch_add(1, Counters::kRelaxed);
+  SendErrorAndClose(conn, code, message);
+}
+
+void NetServer::SendErrorAndClose(const std::shared_ptr<Connection>& conn,
+                                  ErrorCode code,
+                                  const std::string& message) {
   Enqueue(conn, EncodeError(code, message), /*is_frontier=*/false);
   FlushOutbox(conn);  // Best effort; the close is happening regardless.
   CloseConnection(conn);
 }
 
 void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
-  if (conn->closed.exchange(true)) return;
+  {
+    // The closed flip and the outbox clear are one atomic step with
+    // respect to Enqueue (which checks closed under this mutex): no frame
+    // can land in the outbox after it was cleared, and no flush
+    // registration can outlive the connection with its frame unaccounted.
+    std::lock_guard<std::mutex> lock(conn->outbox_mu);
+    if (conn->closed.exchange(true)) return;
+    counters_->push_queue_depth.fetch_sub(conn->outbox.Clear(),
+                                          Counters::kRelaxed);
+    conn->write_offset = 0;
+  }
   if (conn->session != nullptr) {
     // Callback removal first: RemoveCallback blocks until in-flight
     // deliveries finish, so no enqueue can follow. Then release this
@@ -547,12 +673,6 @@ void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
     if (conn->done_id >= 0) conn->session->RemoveCallback(conn->done_id);
     if (!conn->cancel_sent) conn->session->Cancel();
     conn->session.reset();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn->outbox_mu);
-    counters_->push_queue_depth.fetch_sub(conn->outbox.Clear(),
-                                          Counters::kRelaxed);
-    conn->write_offset = 0;
   }
   if (epoll_fd_ >= 0) epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   close(conn->fd);

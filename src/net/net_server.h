@@ -79,6 +79,16 @@ struct NetOptions {
   /// tier owns the catalog — queries never travel over this wire.
   std::function<std::shared_ptr<const Query>(const std::string&)>
       resolve_query;
+  /// Accept → first decodable frame deadline (PR 8). A connection that
+  /// never produces a complete frame within this window is reaped with
+  /// ERROR{timeout} — a half-open or dribbling client cannot pin a
+  /// connection-table slot forever. <= 0 disables.
+  int64_t handshake_timeout_ms = -1;
+  /// No-traffic deadline, counting BOTH directions: client frames in and
+  /// server pushes out. An open ladder that is still publishing keeps its
+  /// connection alive; only a truly quiet connection is reaped with
+  /// ERROR{timeout}. <= 0 disables.
+  int64_t idle_timeout_ms = -1;
 };
 
 /// Plain-value snapshot of the wire-path counters.
@@ -93,6 +103,9 @@ struct NetStatsSnapshot {
   uint64_t pushes_dropped = 0;  ///< Updates superseded by newest-wins.
   uint64_t push_queue_depth = 0;  ///< Gauge: queued frames, all conns.
   uint64_t protocol_errors = 0;
+  /// Connections closed by the handshake/idle deadline sweep (distinct
+  /// from protocol_errors: the peer spoke no ill, it just went quiet).
+  uint64_t connections_reaped = 0;
 };
 
 class NetServer {
@@ -142,9 +155,18 @@ class NetServer {
   /// Writes queued frames until the outbox is empty or the socket would
   /// block (EPOLLOUT finishes the job). False on write error.
   bool FlushOutbox(const std::shared_ptr<Connection>& conn);
-  /// Sends a final ERROR frame (best-effort) and closes.
+  /// Sends a final ERROR frame (best-effort) and closes. Counts a
+  /// protocol error; the deadline sweep uses SendErrorAndClose directly.
   void FailConnection(const std::shared_ptr<Connection>& conn,
                       ErrorCode code, const std::string& message);
+  void SendErrorAndClose(const std::shared_ptr<Connection>& conn,
+                         ErrorCode code, const std::string& message);
+  /// Closes every connection past its handshake or idle deadline with
+  /// ERROR{timeout}; loop thread only, once per epoll pass.
+  void ReapExpiredConnections();
+  /// -1 (block) when both deadlines are disabled, else a fraction of the
+  /// tightest one so a quiet connection is reaped promptly.
+  int EpollTimeoutMs() const;
   void CloseConnection(const std::shared_ptr<Connection>& conn);
   /// Enqueues an encoded frame on the connection's outbox (newest-wins
   /// for frontier frames) and wakes the loop. Any thread.
@@ -170,9 +192,13 @@ class NetServer {
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
 
   /// Connections with freshly enqueued frames, flagged by callback
-  /// threads, drained by the loop on each eventfd wake.
+  /// threads, drained by the loop on each eventfd wake. weak_ptrs, not
+  /// fds: an fd can be closed and reused by a brand-new connection while
+  /// its flush request is still queued here, and the drain would then
+  /// flush the WRONG connection. A weak_ptr can only ever resolve to the
+  /// connection that enqueued (or to nothing).
   std::mutex pending_mu_;
-  std::vector<int> pending_flush_;
+  std::vector<std::weak_ptr<Connection>> pending_flush_;
 };
 
 }  // namespace net

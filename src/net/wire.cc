@@ -238,6 +238,24 @@ std::string EncodeDone(const DoneMsg& msg) {
   return Frame(MsgType::kDone, payload);
 }
 
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kProtocol:
+      return "protocol";
+    case ErrorCode::kUnknownQuery:
+      return "unknown_query";
+    case ErrorCode::kRejected:
+      return "rejected";
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
 std::string EncodeError(ErrorCode code, const std::string& message) {
   std::string payload;
   PutU8(&payload, static_cast<uint8_t>(code));

@@ -66,11 +66,23 @@ enum class MsgType : uint8_t {
   kError = 19,
 };
 
+/// Stable machine-readable error codes carried by ERROR frames. Values are
+/// wire contract: never renumber, only append. A client that does not
+/// recognize a code should treat it as fatal (every current code closes
+/// the connection server-side).
 enum class ErrorCode : uint8_t {
   kProtocol = 1,      ///< Out-of-order or malformed message; fatal.
   kUnknownQuery = 2,  ///< resolve_query had no entry for the id; fatal.
   kRejected = 3,      ///< Admission control shed the open; fatal.
+  kInternal = 4,      ///< Server-side failure outside the client's control.
+  kOverloaded = 5,    ///< Transient capacity exhaustion; retrying may work.
+  kTimeout = 6,       ///< Server-enforced deadline expired (idle/handshake).
 };
+
+/// Stable lowercase token for an ErrorCode ("protocol", "timeout", ...);
+/// "unknown" for values outside the enum. Intended for logs and clients —
+/// tokens are part of the documented protocol (README error table).
+const char* ErrorCodeName(ErrorCode code);
 
 /// OPEN_FRONTIER: ProblemSpec (query by id + objectives + overrides) and
 /// the SessionOptions ladder knobs, mirroring OpenFrontier(spec, options).

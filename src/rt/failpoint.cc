@@ -1,0 +1,280 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "rt/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+
+namespace moqo {
+namespace rt {
+namespace {
+
+// splitmix64: tiny, stateless, well-mixed. The draw for visit i is a pure
+// function of (seed, i), so probability schedules replay bit-exactly from
+// their seed no matter how threads interleave the visits.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits of the mixed value.
+double UnitUniform(uint64_t seed, uint64_t visit) {
+  const uint64_t mixed = SplitMix64(seed ^ (visit * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+// Parses "name(arg1,arg2)" into name + args; plain "name" yields no args.
+// False on unbalanced parentheses.
+bool SplitCall(const std::string& text, std::string* name,
+               std::vector<std::string>* args) {
+  args->clear();
+  const size_t open = text.find('(');
+  if (open == std::string::npos) {
+    *name = text;
+    return true;
+  }
+  if (text.empty() || text.back() != ')') return false;
+  *name = text.substr(0, open);
+  const std::string inner = text.substr(open + 1, text.size() - open - 2);
+  std::stringstream ss(inner);
+  std::string piece;
+  while (std::getline(ss, piece, ',')) args->push_back(piece);
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void Failpoint::Arm(const FailpointSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  visits_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  armed_.store(spec.mode == ArmMode::kOff ? 0 : 1, std::memory_order_relaxed);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = FailpointSpec{};
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+bool Failpoint::EvalArmed() {
+  FailAction action = FailAction::kReturnError;
+  int64_t delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Disarm() may have won the race after the fast-path load saw armed.
+    if (spec_.mode == ArmMode::kOff) return false;
+    const uint64_t visit = visits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire = false;
+    switch (spec_.mode) {
+      case ArmMode::kEveryNth:
+        fire = spec_.n > 0 && visit % spec_.n == 0;
+        break;
+      case ArmMode::kFirstN:
+        fire = visit <= spec_.n;
+        break;
+      case ArmMode::kProbability:
+        fire = UnitUniform(spec_.seed, visit) < spec_.probability;
+        break;
+      case ArmMode::kOff:
+        break;
+    }
+    if (!fire) return false;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    action = spec_.action;
+    delay_ms = spec_.delay_ms;
+  }
+  // Act outside mu_ so a delay never serializes other visitors.
+  switch (action) {
+    case FailAction::kThrow:
+      throw FailpointError(name_);
+    case FailAction::kOom:
+      throw std::bad_alloc();
+    case FailAction::kDelayMs:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;  // A latency fault, not an error: execution continues.
+    case FailAction::kReturnError:
+      return true;
+  }
+  return false;
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* config = std::getenv("MOQO_FAILPOINTS_CONFIG")) {
+      r->ArmFromConfig(config);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Failpoint& FailpointRegistry::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Failpoint>& slot = sites_[name];
+  if (slot == nullptr) slot = std::make_unique<Failpoint>(name);
+  return *slot;
+}
+
+bool FailpointRegistry::Arm(const std::string& name,
+                            const std::string& spec_text) {
+  FailpointSpec spec;
+  if (!ParseSpec(spec_text, &spec)) return false;
+  Register(name).Arm(spec);
+  return true;
+}
+
+size_t FailpointRegistry::ArmFromConfig(const std::string& config) {
+  size_t armed = 0;
+  std::stringstream ss(config);
+  std::string entry;
+  while (std::getline(ss, entry, ';')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    if (Arm(entry.substr(0, eq), entry.substr(eq + 1))) ++armed;
+  }
+  return armed;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  Register(name).Disarm();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : sites_) entry.second->Disarm();
+}
+
+std::vector<std::pair<std::string, uint64_t>> FailpointRegistry::HitCounts()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(sites_.size());
+  for (const auto& entry : sites_) {
+    out.emplace_back(entry.first, entry.second->hits());
+  }
+  return out;
+}
+
+std::string FailpointRegistry::MetricsText() const {
+  const std::vector<std::pair<std::string, uint64_t>> counts = HitCounts();
+  if (counts.empty()) return std::string();
+  std::string out;
+  out += "# HELP moqo_failpoint_hits_total Injected faults fired per site\n";
+  out += "# TYPE moqo_failpoint_hits_total counter\n";
+  for (const auto& entry : counts) {
+    out += "moqo_failpoint_hits_total{site=\"" + entry.first +
+           "\"} " + std::to_string(entry.second) + "\n";
+  }
+  return out;
+}
+
+bool FailpointRegistry::ParseSpec(const std::string& text,
+                                  FailpointSpec* out) {
+  FailpointSpec spec;
+  const size_t colon = text.find(':');
+  const std::string mode_text =
+      colon == std::string::npos ? text : text.substr(0, colon);
+
+  std::string mode_name;
+  std::vector<std::string> mode_args;
+  if (!SplitCall(mode_text, &mode_name, &mode_args)) return false;
+
+  if (mode_name == "off") {
+    if (!mode_args.empty() || colon != std::string::npos) return false;
+    spec.mode = ArmMode::kOff;
+    *out = spec;
+    return true;
+  } else if (mode_name == "always") {
+    if (!mode_args.empty()) return false;
+    spec.mode = ArmMode::kEveryNth;
+    spec.n = 1;
+  } else if (mode_name == "every_nth") {
+    if (mode_args.size() != 1 || !ParseU64(mode_args[0], &spec.n) ||
+        spec.n == 0) {
+      return false;
+    }
+    spec.mode = ArmMode::kEveryNth;
+  } else if (mode_name == "first_n") {
+    if (mode_args.size() != 1 || !ParseU64(mode_args[0], &spec.n)) {
+      return false;
+    }
+    spec.mode = ArmMode::kFirstN;
+  } else if (mode_name == "probability") {
+    if (mode_args.empty() || mode_args.size() > 2 ||
+        !ParseDouble(mode_args[0], &spec.probability) ||
+        spec.probability < 0.0 || spec.probability > 1.0) {
+      return false;
+    }
+    if (mode_args.size() == 2) {
+      std::string seed_text = mode_args[1];
+      const std::string prefix = "seed=";
+      if (seed_text.compare(0, prefix.size(), prefix) == 0) {
+        seed_text = seed_text.substr(prefix.size());
+      }
+      if (!ParseU64(seed_text, &spec.seed)) return false;
+    }
+    spec.mode = ArmMode::kProbability;
+  } else {
+    return false;
+  }
+
+  // Every armed mode requires an action.
+  if (colon == std::string::npos) return false;
+  const std::string action_text = text.substr(colon + 1);
+  std::string action_name;
+  std::vector<std::string> action_args;
+  if (!SplitCall(action_text, &action_name, &action_args)) return false;
+
+  if (action_name == "return_error") {
+    if (!action_args.empty()) return false;
+    spec.action = FailAction::kReturnError;
+  } else if (action_name == "throw") {
+    if (!action_args.empty()) return false;
+    spec.action = FailAction::kThrow;
+  } else if (action_name == "oom") {
+    if (!action_args.empty()) return false;
+    spec.action = FailAction::kOom;
+  } else if (action_name == "delay_ms") {
+    uint64_t delay = 0;
+    if (action_args.size() != 1 || !ParseU64(action_args[0], &delay)) {
+      return false;
+    }
+    spec.action = FailAction::kDelayMs;
+    spec.delay_ms = static_cast<int64_t>(delay);
+  } else {
+    return false;
+  }
+
+  *out = spec;
+  return true;
+}
+
+}  // namespace rt
+}  // namespace moqo

@@ -1,0 +1,223 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Failpoints (PR 8): deterministic fault injection for the serving stack.
+//
+// A failpoint is a named site in production code where a test (or an
+// operator chasing a bug) can inject a fault: an error return, an
+// exception, an allocation failure, or a latency spike. Sites are
+// compiled in permanently behind the MOQO_FAILPOINTS CMake option
+// (default ON; OFF compiles every site to nothing) and cost exactly one
+// relaxed atomic load while disarmed — cheap enough for allocation paths.
+//
+// Arming is per site, through the process-wide registry:
+//
+//   rt::FailpointRegistry::Global().Arm(
+//       "arena.new_block", "probability(0.01,seed=7):oom");
+//
+// or through the environment before the process starts:
+//
+//   MOQO_FAILPOINTS_CONFIG=
+//       "net.read=every_nth(50):return_error;session.rung=always:throw"
+//
+// Spec syntax: `<mode>:<action>` (or just `off`), where
+//
+//   mode:    off | always | every_nth(N) | first_n(N)
+//            | probability(P[,seed=S])
+//   action:  return_error | throw | delay_ms(D) | oom
+//
+// `probability` draws are a pure function of (seed, visit index), so a
+// fault schedule replays bit-exactly from its seed regardless of thread
+// interleaving. Every site counts its hits; the registry renders them as
+// `moqo_failpoint_hits_total{site="..."}` (appended to the service's
+// MetricsText()), which is how the chaos suite proves each armed site was
+// actually exercised.
+//
+// Site catalog and the degradation each fault exercises: README.md,
+// "Robustness".
+
+#ifndef MOQO_RT_FAILPOINT_H_
+#define MOQO_RT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moqo {
+namespace rt {
+
+/// True when failpoint sites are compiled in (MOQO_FAILPOINTS=ON).
+#if defined(MOQO_FAILPOINTS_ENABLED)
+inline constexpr bool kFailpointsEnabled = true;
+#else
+inline constexpr bool kFailpointsEnabled = false;
+#endif
+
+/// What an injected `throw` throws. Distinct from real failures so a
+/// fence that must swallow only injected faults can.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("injected fault at failpoint " + site) {}
+};
+
+enum class FailAction : uint8_t {
+  kReturnError,  ///< MOQO_FAILPOINT_RETURN takes its error return.
+  kThrow,        ///< Throws FailpointError.
+  kDelayMs,      ///< Sleeps delay_ms, then continues (latency fault).
+  kOom,          ///< Throws std::bad_alloc (allocation-failure fault).
+};
+
+enum class ArmMode : uint8_t {
+  kOff,
+  kEveryNth,      ///< Fires on visits N, 2N, 3N, ...
+  kFirstN,        ///< Fires on the first N visits, then never again.
+  kProbability,   ///< Fires on visit i iff hash(seed, i) < p. Seeded.
+};
+
+/// A parsed arm policy + action; what Arm() installs.
+struct FailpointSpec {
+  ArmMode mode = ArmMode::kOff;
+  FailAction action = FailAction::kThrow;
+  uint64_t n = 1;           ///< kEveryNth / kFirstN parameter.
+  double probability = 0;   ///< kProbability parameter, in [0, 1].
+  uint64_t seed = 1;        ///< kProbability determinism seed.
+  int64_t delay_ms = 0;     ///< kDelayMs parameter.
+};
+
+/// One named injection site. Disarmed cost: a single relaxed atomic load.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// The hot-path check. Disarmed: one relaxed load, no side effects.
+  /// Armed: evaluates the policy; on fire, performs the action — throws
+  /// (kThrow/kOom), sleeps (kDelayMs, then returns false), or returns
+  /// true (kReturnError: the caller takes its error-return path).
+  bool ShouldFail() {
+    if (armed_.load(std::memory_order_relaxed) == 0) return false;
+    return EvalArmed();
+  }
+
+  /// Times the armed policy fired (any action), since the last Arm().
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Site visits while armed, since the last Arm().
+  uint64_t visits() const { return visits_.load(std::memory_order_relaxed); }
+
+  /// Installs `spec` and resets the visit/hit counters. Thread-safe
+  /// against concurrent ShouldFail().
+  void Arm(const FailpointSpec& spec);
+  void Disarm();
+
+ private:
+  bool EvalArmed();
+
+  const std::string name_;
+  /// 1 iff an active (mode != kOff) spec is installed; the disarmed fast
+  /// path reads only this. Relaxed is enough: armed readers take mu_,
+  /// which publishes the spec they act on.
+  std::atomic<uint32_t> armed_{0};
+  std::atomic<uint64_t> visits_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::mutex mu_;  ///< Guards spec_ and the policy evaluation.
+  FailpointSpec spec_;
+};
+
+/// Process-wide site registry. Sites self-register on first visit (the
+/// MOQO_FAILPOINT* macros cache the lookup in a function-local static);
+/// Arm() creates sites eagerly so configuration can precede first use.
+class FailpointRegistry {
+ public:
+  /// The process-wide instance. On first call, arms everything named in
+  /// the MOQO_FAILPOINTS_CONFIG environment variable.
+  static FailpointRegistry& Global();
+
+  /// Returns the site named `name`, creating it if needed. The reference
+  /// stays valid for the registry's lifetime.
+  Failpoint& Register(const std::string& name);
+
+  /// Parses `spec_text` (see the header comment for the syntax) and arms
+  /// `name` with it. False on a parse error (the site is left untouched).
+  bool Arm(const std::string& name, const std::string& spec_text);
+  /// Typed variant.
+  void Arm(const std::string& name, const FailpointSpec& spec) {
+    Register(name).Arm(spec);
+  }
+
+  /// Applies a `site=spec;site=spec` config string. Returns the number of
+  /// sites armed; malformed entries are skipped.
+  size_t ArmFromConfig(const std::string& config);
+
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  /// (site, hits) for every registered site, name-ordered.
+  std::vector<std::pair<std::string, uint64_t>> HitCounts() const;
+
+  /// Prometheus rendering of the hit counters:
+  ///   moqo_failpoint_hits_total{site="..."} N
+  /// Empty when no site has registered (so appending it to a scrape is
+  /// free in fault-free processes).
+  std::string MetricsText() const;
+
+  /// Parses one `mode:action` spec; false on malformed input.
+  static bool ParseSpec(const std::string& text, FailpointSpec* out);
+
+ private:
+  FailpointRegistry() = default;
+
+  mutable std::mutex mu_;
+  /// Ordered so HitCounts()/MetricsText() render deterministically.
+  std::map<std::string, std::unique_ptr<Failpoint>> sites_;
+};
+
+}  // namespace rt
+}  // namespace moqo
+
+// ---- Site macros. ----
+//
+// MOQO_FAILPOINT(site): injection point for throw/oom/delay actions. A
+// return_error arming at such a site counts its hits but injects nothing
+// (there is no error path to take).
+//
+// MOQO_FAILPOINT_HIT(site): bool expression — true when an armed
+// return_error policy fires (throw/oom/delay actions act from inside the
+// evaluation). For sites whose error path is not a plain `return`.
+//
+// MOQO_FAILPOINT_RETURN(site, ...): `return <args>;` when a return_error
+// policy fires.
+//
+// All three compile to nothing (constant false) when MOQO_FAILPOINTS=OFF.
+
+#if defined(MOQO_FAILPOINTS_ENABLED)
+#define MOQO_FAILPOINT_HIT(site_name)                                       \
+  ([]() -> bool {                                                           \
+    static ::moqo::rt::Failpoint& moqo_failpoint_site =                     \
+        ::moqo::rt::FailpointRegistry::Global().Register(site_name);        \
+    return moqo_failpoint_site.ShouldFail();                                \
+  }())
+#else
+#define MOQO_FAILPOINT_HIT(site_name) (false)
+#endif
+
+#define MOQO_FAILPOINT(site_name)            \
+  do {                                       \
+    (void)MOQO_FAILPOINT_HIT(site_name);     \
+  } while (0)
+
+#define MOQO_FAILPOINT_RETURN(site_name, ...)               \
+  do {                                                      \
+    if (MOQO_FAILPOINT_HIT(site_name)) return __VA_ARGS__;  \
+  } while (0)
+
+#endif  // MOQO_RT_FAILPOINT_H_

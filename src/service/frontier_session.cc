@@ -63,7 +63,11 @@ bool FrontierSession::TargetReached() const {
   return target_reached_;
 }
 
-bool FrontierSession::Cancelled() const { return CancelRequested(); }
+bool FrontierSession::Cancelled() const {
+  // A watchdog fire raises cancel_flag_ only as the unwind mechanism; the
+  // outcome it produces is "degraded", not "cancelled by the opener".
+  return CancelRequested() && !watchdog_fired_.load(std::memory_order_relaxed);
+}
 
 bool FrontierSession::Shed() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -202,7 +206,11 @@ bool FrontierSession::Publish(double alpha,
     // must strictly tighten the guarantee. The ladder is strictly
     // decreasing by construction, so this only drops genuinely redundant
     // publishes (e.g. a rung at the alpha a cache seed already provided).
-    if (failed_ || (best_ != nullptr && alpha >= best_alpha_)) return false;
+    // done_ additionally fences a late rung racing a forced finish (the
+    // watchdog path): once DONE is out, the history is frozen.
+    if (done_ || failed_ || (best_ != nullptr && alpha >= best_alpha_)) {
+      return false;
+    }
     first_publish = history_.empty();
     frontier.step = static_cast<int>(history_.size());
     frontier.alpha = alpha;

@@ -288,6 +288,19 @@ class FrontierSession {
   /// Set when every opener has cancelled; polled by the DP through its
   /// Deadline (mid-rung cancellation point).
   std::atomic<bool> cancel_flag_{false};
+
+  // ---- Robustness state (PR 8), owned by the service. ----
+  /// Steady-clock microseconds when the currently executing rung started;
+  /// -1 while no rung is on a worker. The watchdog compares it against
+  /// step_deadline_ms * watchdog_factor.
+  std::atomic<int64_t> rung_started_us_{-1};
+  /// The watchdog force-finished this session (wedged rung). Makes the
+  /// outcome read degraded — not cancelled — and tells the late rung to
+  /// stand down.
+  std::atomic<bool> watchdog_fired_{false};
+  /// FinishSession once-guard: the watchdog's force-finish and the (late)
+  /// rung's own finish may race; exactly one runs the terminal path.
+  std::atomic<bool> finished_{false};
 };
 
 }  // namespace moqo

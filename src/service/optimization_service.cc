@@ -2,11 +2,13 @@
 
 #include "service/optimization_service.h"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <thread>
 #include <utility>
 
+#include "rt/failpoint.h"
 #include "util/deadline.h"
 
 namespace moqo {
@@ -14,6 +16,12 @@ namespace moqo {
 namespace {
 
 constexpr double kInfiniteAlpha = std::numeric_limits<double>::infinity();
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 int ResolveWorkers(int requested) {
   if (requested > 0) return requested;
@@ -143,9 +151,94 @@ OptimizationService::OptimizationService(ServiceOptions options)
     subplan_memo_ = std::make_unique<SubplanMemo>(memo_options);
   }
   RegisterMetrics();
+  if (options_.watchdog_poll_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogMain(); });
+  }
 }
 
-OptimizationService::~OptimizationService() { pool_.Shutdown(); }
+OptimizationService::~OptimizationService() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  pool_.Shutdown();
+}
+
+void OptimizationService::WatchdogMain() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.watchdog_poll_ms));
+    if (watchdog_stop_) break;
+    // Sweep under the list lock, act outside it: the force-finish path
+    // (FinishSession -> MarkDone -> subscriber callbacks) must not run
+    // under watchdog_mu_, which OpenSession takes to register.
+    std::vector<std::shared_ptr<FrontierSession>> fired;
+    size_t keep = 0;
+    for (size_t i = 0; i < watched_sessions_.size(); ++i) {
+      std::shared_ptr<FrontierSession> session = watched_sessions_[i].lock();
+      if (session == nullptr ||
+          session->finished_.load(std::memory_order_acquire)) {
+        continue;  // Finished or expired entries self-prune.
+      }
+      const int64_t started =
+          session->rung_started_us_.load(std::memory_order_acquire);
+      const int64_t budget_us = static_cast<int64_t>(
+          static_cast<double>(session->session_options_.step_deadline_ms) *
+          options_.watchdog_factor * 1000.0);
+      if (started >= 0 && SteadyNowUs() - started > budget_us &&
+          !session->watchdog_fired_.exchange(true)) {
+        fired.push_back(std::move(session));
+        continue;  // A fired session leaves the watch list.
+      }
+      // Guard the compaction against i == keep: self-move-assigning a
+      // weak_ptr empties it, silently dropping the session from watch.
+      if (keep != i) watched_sessions_[keep] = std::move(watched_sessions_[i]);
+      ++keep;
+    }
+    watched_sessions_.resize(keep);
+    if (fired.empty()) continue;
+    lock.unlock();
+    for (const std::shared_ptr<FrontierSession>& session : fired) {
+      // Force-finish: the opener gets DONE{degraded} now, with everything
+      // the session already published — never a silent hang. The wedged
+      // rung is cancelled through the session's token (the DP unwinds at
+      // its next deadline poll); if it is wedged beyond even that, its
+      // eventual output is dropped by the done_/finished_ guards.
+      stats_.RecordWatchdogFire();
+      session->cancel_flag_.store(true, std::memory_order_relaxed);
+      FinishSession(session, nullptr, /*degraded=*/true, /*failed=*/false);
+    }
+    lock.lock();
+  }
+}
+
+std::shared_ptr<const OptimizerResult> OptimizationService::TryQuickFallback(
+    const std::shared_ptr<FrontierSession>& session) {
+  try {
+    // Quick mode (timeout 0), serial, no memo: the smallest possible
+    // footprint, maximizing the chance it survives whatever killed the
+    // rung (e.g. memory pressure).
+    OptimizerOptions opts =
+        MakeOptimizerOptions(session->decision_.alpha, /*timeout_ms=*/0,
+                             /*parallelism=*/1, /*use_memo=*/false);
+    std::unique_ptr<OptimizerBase> optimizer =
+        MakeOptimizer(session->decision_.algorithm, opts);
+    StopWatch quick_watch;
+    auto result = std::make_shared<OptimizerResult>(
+        optimizer->Optimize(session->problem_));
+    if (result->plan_set == nullptr) return nullptr;
+    // No guarantee, but valid plans; dropped by the monotonicity guard if
+    // the session already holds any frontier.
+    session->Publish(kInfiniteAlpha, result->plan_set,
+                     quick_watch.ElapsedMillis(), /*from_cache=*/false);
+    return result;
+  } catch (...) {
+    return nullptr;
+  }
+}
 
 OptimizerOptions OptimizationService::MakeOptimizerOptions(
     double alpha, int64_t timeout_ms, int parallelism, bool use_memo) {
@@ -437,6 +530,14 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
     }
   }
 
+  // Watchdog registration (PR 8): ladders with a per-rung budget are
+  // watched for wedged rungs. Weak refs only — the list must never keep a
+  // session alive or delay its teardown.
+  if (watchdog_.joinable() && session_options.step_deadline_ms >= 0) {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watched_sessions_.push_back(session);
+  }
+
   // Stage 6: hand the first rung to the worker pool (each later rung
   // reschedules itself — no worker is held across rungs).
   stats_.RecordSessionStarted();
@@ -543,7 +644,14 @@ void OptimizationService::RunSessionRung(
   bool degraded = false;
   bool failed = false;
   bool completed_rung = false;
+  // Stamp the rung start for the watchdog; cleared after the try/catch.
+  session->rung_started_us_.store(SteadyNowUs(), std::memory_order_release);
   try {
+    // Injected rung faults: `throw`/`oom` exercise the quick-mode
+    // fallback below, `delay_ms` simulates a wedged worker for the
+    // watchdog.
+    MOQO_FAILPOINT("session.rung");
+
     // Epoch guard before the memo is read: a catalog whose statistics
     // were bumped since the memo's entries were published flushes them.
     if (subplan_memo_ != nullptr && decision.use_subplan_memo) {
@@ -592,8 +700,32 @@ void OptimizationService::RunSessionRung(
       completed_rung = true;
     }
   } catch (...) {
-    failed = true;
     stats_.RecordInternalError();
+    // Degrade, don't die (PR 8): whatever killed the rung (allocation
+    // failure, injected fault), the session must still reach a terminal
+    // state with a usable answer. An earlier completed rung already
+    // covers that; otherwise fall back to the paper's Section 5.1
+    // quick-mode frontier — "never return null". Only when even quick
+    // mode fails does the session end failed.
+    bool any_completed;
+    {
+      std::lock_guard<std::mutex> lock(session->mu_);
+      any_completed = session->final_result_ != nullptr;
+    }
+    if (any_completed) {
+      degraded = true;
+    } else {
+      degraded_result = TryQuickFallback(session);
+      degraded = degraded_result != nullptr;
+      failed = degraded_result == nullptr;
+    }
+  }
+  session->rung_started_us_.store(-1, std::memory_order_release);
+
+  if (session->watchdog_fired_.load(std::memory_order_relaxed)) {
+    // The watchdog already force-finished this session; the late rung
+    // stands down (FinishSession below is a no-op under the once-guard).
+    degraded = true;
   }
 
   if (completed_rung && !failed && rung + 1 < session->ladder_.size() &&
@@ -641,6 +773,10 @@ void OptimizationService::FinishSession(
     const std::shared_ptr<FrontierSession>& session,
     std::shared_ptr<const OptimizerResult> final_result, bool degraded,
     bool failed) {
+  // Exactly-once: the watchdog's force-finish and the rung's own finish
+  // may race; whichever loses must not double-release the slot, double-
+  // erase the registry entry, or deliver DONE twice.
+  if (session->finished_.exchange(true, std::memory_order_acq_rel)) return;
   // All bookkeeping happens BEFORE MarkDone wakes the waiters: a caller
   // returning from AwaitTarget must observe the registry entry gone, the
   // admission slot released, and the active-sessions gauge decremented.
@@ -1229,6 +1365,9 @@ void OptimizationService::RegisterMetrics() {
   metrics_.AddCounter("moqo_refinement_sheds_total",
                       "Refinement ladders shed by overload priority",
                       stat(&ServiceStatsSnapshot::refinement_sheds));
+  metrics_.AddCounter("moqo_watchdog_fires_total",
+                      "Sessions force-finished by the rung watchdog",
+                      stat(&ServiceStatsSnapshot::watchdog_fires));
   metrics_.AddGauge("moqo_sessions_active", "Refinement ladders running now",
                     stat(&ServiceStatsSnapshot::sessions_active));
   metrics_.AddGauge("moqo_inflight", "Requests queued or running", [this] {

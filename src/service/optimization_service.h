@@ -35,10 +35,12 @@
 #define MOQO_SERVICE_OPTIMIZATION_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +51,7 @@
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "rt/failpoint.h"
 #include "service/frontier_session.h"
 #include "service/plan_cache.h"
 #include "service/policy.h"
@@ -132,6 +135,18 @@ struct ServiceOptions {
   /// Worst-N slow-request log surfaced in Stats().slow_queries, ToString,
   /// and the Prometheus export.
   int slow_query_log_size = 8;
+  /// Session watchdog (PR 8): a background thread that force-finishes any
+  /// session whose current rung has run longer than
+  /// step_deadline_ms * watchdog_factor — a wedged worker, a lost wakeup,
+  /// or an injected stall. The session completes DONE{degraded} with
+  /// whatever it already published (the anytime guarantee survives a
+  /// stuck rung); the rung itself is cancelled via the session's
+  /// cancellation token and its late output is dropped. Only sessions
+  /// with a per-rung deadline are watched. watchdog_poll_ms <= 0 disables
+  /// the thread entirely. Fires count in Stats().watchdog_fires and
+  /// moqo_watchdog_fires_total.
+  int64_t watchdog_poll_ms = 50;
+  double watchdog_factor = 4.0;
 };
 
 class OptimizationService {
@@ -192,8 +207,12 @@ class OptimizationService {
   Tracer* tracer() { return &tracer_; }
 
   /// Prometheus text exposition over the service's counters, cache/memo
-  /// occupancy, pool queue state, and latency histograms.
-  std::string MetricsText() const { return metrics_.RenderPrometheus(); }
+  /// occupancy, pool queue state, latency histograms, and (when any
+  /// failpoint site has registered) per-site injected-fault hit counters.
+  std::string MetricsText() const {
+    return metrics_.RenderPrometheus() +
+           rt::FailpointRegistry::Global().MetricsText();
+  }
 
   /// The registry behind MetricsText(). The network front end registers
   /// its net_* samplers here so one scrape covers service and wire path;
@@ -304,6 +323,16 @@ class OptimizationService {
 
   void RunRequest(const std::shared_ptr<Admitted>& admitted);
 
+  /// Last-resort degradation (PR 8): when a rung dies mid-flight
+  /// (allocation failure, injected fault) and nothing has completed yet,
+  /// computes the paper's Section 5.1 quick-mode frontier — "never return
+  /// null" — serially, fully fenced. Null only if even quick mode fails.
+  std::shared_ptr<const OptimizerResult> TryQuickFallback(
+      const std::shared_ptr<FrontierSession>& session);
+
+  /// The watchdog thread body; see ServiceOptions::watchdog_poll_ms.
+  void WatchdogMain();
+
   /// Registers every Prometheus metric once, at construction. Samplers
   /// read live state (stats registry, cache, memo, pools) at render time.
   void RegisterMetrics();
@@ -346,6 +375,18 @@ class OptimizationService {
   /// samplers) that race with the lazy creation; call_once only
   /// synchronizes the creating threads.
   std::atomic<ThreadPool*> dp_pool_ptr_{nullptr};
+
+  /// Watchdog state (PR 8). The watch list holds weak refs: a session
+  /// kept alive only by the list would never finish, and expired entries
+  /// self-prune on the next sweep. The thread is joined in the destructor
+  /// before pool_ shuts down (it may call FinishSession, which touches
+  /// the same state the workers do).
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::vector<std::weak_ptr<FrontierSession>> watched_sessions_;
+  std::thread watchdog_;
+
   ThreadPool pool_;  ///< Last member: workers die before the state above.
 };
 

@@ -2,6 +2,8 @@
 
 #include "service/plan_cache.h"
 
+#include "rt/failpoint.h"
+
 namespace moqo {
 
 namespace {
@@ -46,6 +48,9 @@ std::shared_ptr<const CachedFrontier> PlanCache::Lookup(
 
 void PlanCache::Insert(const ProblemSignature& signature,
                        std::shared_ptr<const CachedFrontier> frontier) {
+  // `return_error` drops the insert: the cache is an accelerator, so a
+  // lost insert must only cost a future miss, never correctness.
+  MOQO_FAILPOINT_RETURN("cache.insert", );
   const size_t bytes =
       frontier != nullptr ? EntryBytes(signature, *frontier) : 0;
   const size_t frontier_size =

@@ -31,6 +31,7 @@ ServiceStatsSnapshot ServiceStatsRegistry::Snapshot() const {
   snapshot.sessions_active = sessions_active_.load(kRelaxed);
   snapshot.refinement_steps = refinement_steps_.load(kRelaxed);
   snapshot.refinement_sheds = refinement_sheds_.load(kRelaxed);
+  snapshot.watchdog_fires = watchdog_fires_.load(kRelaxed);
   snapshot.step_latency = step_latency_.Snapshot();
   snapshot.first_frontier_latency = first_frontier_.Snapshot();
   for (int i = 0; i < kNumAlgorithms; ++i) {
@@ -62,7 +63,8 @@ std::string ServiceStatsSnapshot::ToString() const {
       << " coalesced=" << sessions_coalesced
       << " active=" << sessions_active
       << " refinement_steps=" << refinement_steps
-      << " refinement_sheds=" << refinement_sheds << "\n"
+      << " refinement_sheds=" << refinement_sheds
+      << " watchdog_fires=" << watchdog_fires << "\n"
       << "  pool: queue_depth=" << pool_queue_depth << " queue_wait ";
   AppendQuantiles(&out, pool_queue_wait);
   out << "\n  step_latency: runs=" << step_latency.count << " ";

@@ -82,6 +82,9 @@ struct ServiceStatsSnapshot {
   /// behind background refinement. Distinct from admissions_rejected —
   /// a shed caller still got an answer.
   uint64_t refinement_sheds = 0;
+  /// Sessions force-finished DONE{degraded} by the rung watchdog because
+  /// a rung exceeded step_deadline_ms * watchdog_factor (PR 8).
+  uint64_t watchdog_fires = 0;
   /// Optimize-pool state sampled at snapshot time: tasks waiting for a
   /// worker and the queue-wait distribution they experienced.
   size_t pool_queue_depth = 0;
@@ -145,6 +148,7 @@ class ServiceStatsRegistry {
   void RecordSessionStarted() { sessions_active_.fetch_add(1, kRelaxed); }
   void RecordSessionFinished() { sessions_active_.fetch_sub(1, kRelaxed); }
   void RecordRefinementShed() { refinement_sheds_.fetch_add(1, kRelaxed); }
+  void RecordWatchdogFire() { watchdog_fires_.fetch_add(1, kRelaxed); }
 
   /// Records one completed refinement step (ladder rung) and its latency.
   void RecordRefinementStep(double ms) {
@@ -182,6 +186,7 @@ class ServiceStatsRegistry {
   std::atomic<uint64_t> sessions_active_{0};
   std::atomic<uint64_t> refinement_steps_{0};
   std::atomic<uint64_t> refinement_sheds_{0};
+  std::atomic<uint64_t> watchdog_fires_{0};
 
   std::array<LatencyHistogram, kNumAlgorithms> latency_;
   LatencyHistogram step_latency_;

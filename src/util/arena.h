@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "rt/failpoint.h"
+
 namespace moqo {
 
 /// Block-based bump allocator. Not thread-safe; each optimizer run owns one.
@@ -104,6 +106,9 @@ class Arena {
   }
 
   void NewBlock(size_t min_bytes) {
+    // Block refill, not per-Allocate: the bump fast path stays untouched.
+    // Arm with `oom` to simulate allocation failure mid-optimization.
+    MOQO_FAILPOINT("arena.new_block");
     size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
     blocks_.push_back(Block{std::make_unique<char[]>(size), size});
     reserved_bytes_ += size;

@@ -42,6 +42,7 @@
 
 #include "obs/histogram.h"
 #include "obs/trace.h"
+#include "rt/failpoint.h"
 
 namespace moqo {
 
@@ -76,6 +77,9 @@ class ThreadPool {
   /// the refinement lane.
   bool Submit(std::function<void()> task,
               TaskLane lane = TaskLane::kInteractive) {
+    // `return_error` makes Submit behave as if shut down: callers already
+    // handle a false return (reject, finish degraded, fewer helpers).
+    MOQO_FAILPOINT_RETURN("pool.dispatch", false);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (shutdown_) return false;

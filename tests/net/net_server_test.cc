@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "net/blocking_client.h"
+#include "rt/failpoint.h"
 #include "service/optimization_service.h"
 #include "testing/test_helpers.h"
 
@@ -402,6 +403,149 @@ TEST(NetServerTest, ServerStopWithLiveConnectionsTearsDownCleanly) {
   while (client.NextEvent(&event, 1000)) {
   }
   SUCCEED();
+}
+
+TEST(NetServerTest, StopRacingDelayedPushEncodeTearsDownCleanly) {
+  // Regression (PR 8): Stop() used to race in-flight OnRefined encodes —
+  // a rung worker could be building/enqueuing a FRONTIER_UPDATE for a
+  // connection the stop path was concurrently tearing down. Found by
+  // stretching the encode window with a delay_ms failpoint; the fix keeps
+  // the closed flag and outbox under one lock and fences the callback.
+  if (!rt::kFailpointsEnabled) {
+    GTEST_SKIP() << "built with MOQO_FAILPOINTS=OFF";
+  }
+  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("net.push.encode",
+                                                  "always:delay_ms(20)"));
+  Harness harness(FreshRunOptions(2));
+  ASSERT_TRUE(harness.server->Start());
+  std::vector<std::unique_ptr<BlockingNetClient>> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(std::make_unique<BlockingNetClient>());
+    ASSERT_TRUE(clients.back()->Connect("127.0.0.1", harness.server->port()));
+    OpenFrontierMsg open = StarOpen("star3", 3);
+    open.alpha = 1.01;
+    open.alpha_start = 8.0;
+    open.max_steps = 8;
+    ASSERT_TRUE(clients.back()->SendOpen(open));
+  }
+  // Give the ladders time to start pushing, then stop mid-encode: every
+  // in-flight delayed encode is now racing the connection teardown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  harness.server->Stop();
+  rt::FailpointRegistry::Global().DisarmAll();
+  EXPECT_TRUE(WaitFor([&] { return harness.service->InFlight() == 0; },
+                      10000));
+  EXPECT_EQ(harness.server->Stats().connections_active, 0u);
+  for (auto& client : clients) {
+    BlockingNetClient::Event event;
+    while (client->NextEvent(&event, 1000)) {
+    }
+  }
+}
+
+TEST(NetServerTest, ThrowingPushEncodeDropsPushButDoneStillArrives) {
+  // A push that dies inside the refinement callback must cost only that
+  // push: the exception is fenced at the subscriber boundary (counted as
+  // a dropped push) and the session still terminates with DONE.
+  if (!rt::kFailpointsEnabled) {
+    GTEST_SKIP() << "built with MOQO_FAILPOINTS=OFF";
+  }
+  ASSERT_TRUE(
+      rt::FailpointRegistry::Global().Arm("net.push.encode", "always:throw"));
+  Harness harness(FreshRunOptions(2));
+  ASSERT_TRUE(harness.server->Start());
+  BlockingNetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port()));
+  ASSERT_TRUE(client.SendOpen(StarOpen("star3", 3)));
+  int updates = 0;
+  BlockingNetClient::Event event;
+  ASSERT_TRUE(client.AwaitDone(
+      &event, [&](const FrontierUpdateMsg&) { ++updates; },
+      kEventTimeoutMs));
+  EXPECT_EQ(updates, 0);  // Every FRONTIER_UPDATE died at the failpoint.
+  EXPECT_GE(harness.server->Stats().pushes_dropped, 1u);
+  rt::FailpointRegistry::Global().DisarmAll();
+  client.SendClose();
+}
+
+TEST(NetServerTest, QuietConnectionsReapedOnHandshakeAndIdleDeadlines) {
+  NetOptions net_options;
+  net_options.handshake_timeout_ms = 50;
+  net_options.idle_timeout_ms = 150;
+  Harness harness(FreshRunOptions(2), net_options);
+  ASSERT_TRUE(harness.server->Start());
+
+  // Client A connects and never sends a frame: reaped at the handshake
+  // deadline with a typed ERROR.
+  BlockingNetClient silent;
+  ASSERT_TRUE(silent.Connect("127.0.0.1", harness.server->port()));
+
+  // Client B completes a session, then goes quiet without closing:
+  // reaped at the idle deadline (server pushes counted as activity, so
+  // the clock only starts once the ladder stops talking).
+  BlockingNetClient idle;
+  ASSERT_TRUE(idle.Connect("127.0.0.1", harness.server->port()));
+  ASSERT_TRUE(idle.SendOpen(StarOpen("star3", 3)));
+  BlockingNetClient::Event event;
+  ASSERT_TRUE(idle.AwaitDone(&event, nullptr, kEventTimeoutMs));
+
+  EXPECT_TRUE(WaitFor(
+      [&] { return harness.server->Stats().connections_reaped >= 2; },
+      10000));
+  // The reap is announced, not silent: if any frame reaches the client
+  // before EOF, it is the timeout ERROR.
+  if (silent.NextEvent(&event, 1000)) {
+    EXPECT_EQ(event.type, MsgType::kError);
+    EXPECT_EQ(static_cast<ErrorCode>(event.error.code), ErrorCode::kTimeout);
+  }
+  EXPECT_TRUE(WaitFor(
+      [&] { return harness.server->Stats().connections_active == 0; },
+      10000));
+  EXPECT_TRUE(WaitFor([&] { return harness.service->InFlight() == 0; },
+                      10000));
+}
+
+TEST(NetServerTest, ConnectWithRetryAndReopenRecoverTheStream) {
+  Harness harness(FreshRunOptions(2));
+  ASSERT_TRUE(harness.server->Start());
+  net::RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_ms = 1;
+  retry.jitter_seed = 7;
+
+  BlockingNetClient client;
+  ASSERT_TRUE(
+      client.ConnectWithRetry("127.0.0.1", harness.server->port(), retry));
+  // Reopen before any OPEN was sent has nothing to replay.
+  EXPECT_FALSE(client.Reopen(retry));
+
+  ASSERT_TRUE(client.SendOpen(StarOpen("star3", 3)));
+  BlockingNetClient::Event event;
+  ASSERT_TRUE(client.AwaitDone(&event, nullptr, kEventTimeoutMs));
+
+  // Simulate a dropped connection: Reopen reconnects and re-sends the
+  // remembered OPEN; the server replays the stream to DONE again.
+  client.Disconnect();
+  ASSERT_TRUE(client.Reopen(retry));
+  ASSERT_TRUE(client.AwaitDone(&event, nullptr, kEventTimeoutMs));
+  EXPECT_EQ(event.done.target_reached, 1);
+  client.SendClose();
+
+  // Against a dead endpoint, retries are bounded and fail cleanly.
+  harness.server->Stop();
+  EXPECT_FALSE(client.Reopen(retry));
+}
+
+TEST(NetServerTest, ErrorCodeNamesAreStable) {
+  // The names are printed by clients and keyed on by log pipelines; the
+  // values are wire contract (README, protocol table).
+  EXPECT_STREQ(net::ErrorCodeName(ErrorCode::kProtocol), "protocol");
+  EXPECT_STREQ(net::ErrorCodeName(ErrorCode::kUnknownQuery), "unknown_query");
+  EXPECT_STREQ(net::ErrorCodeName(ErrorCode::kRejected), "rejected");
+  EXPECT_STREQ(net::ErrorCodeName(ErrorCode::kInternal), "internal");
+  EXPECT_STREQ(net::ErrorCodeName(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(net::ErrorCodeName(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(net::ErrorCodeName(static_cast<ErrorCode>(250)), "unknown");
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Failpoint framework unit tests (PR 8): arm policies fire on exactly the
+// visits they promise, probability schedules replay bit-exactly from
+// their seed, actions inject what they claim, spec parsing accepts the
+// documented grammar and nothing else, and hit counters reach the metrics
+// rendering. The registry is process-global, so every test uses its own
+// site names and disarms what it armed.
+
+#include "rt/failpoint.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace moqo {
+namespace rt {
+namespace {
+
+/// Arms `site` with `spec_text`, asserting the parse succeeded, and
+/// disarms it again on scope exit so tests cannot leak armed sites into
+/// each other (the registry is a process-global).
+class ScopedArm {
+ public:
+  ScopedArm(const std::string& site, const std::string& spec_text)
+      : site_(site) {
+    EXPECT_TRUE(FailpointRegistry::Global().Arm(site, spec_text))
+        << "spec failed to parse: " << spec_text;
+  }
+  ~ScopedArm() { FailpointRegistry::Global().Disarm(site_); }
+
+ private:
+  std::string site_;
+};
+
+TEST(FailpointTest, UnarmedSiteIsInert) {
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.inert");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(site.ShouldFail());
+  EXPECT_EQ(site.hits(), 0u);
+  EXPECT_EQ(site.visits(), 0u);  // Disarmed visits are not even counted.
+}
+
+TEST(FailpointTest, EveryNthFiresOnExactMultiples) {
+  ScopedArm arm("fp_test.nth", "every_nth(3):return_error");
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.nth");
+  std::vector<int> fired;
+  for (int visit = 1; visit <= 9; ++visit) {
+    if (site.ShouldFail()) fired.push_back(visit);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+  EXPECT_EQ(site.hits(), 3u);
+  EXPECT_EQ(site.visits(), 9u);
+}
+
+TEST(FailpointTest, FirstNFiresThenGoesQuiet) {
+  ScopedArm arm("fp_test.first", "first_n(2):return_error");
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.first");
+  EXPECT_TRUE(site.ShouldFail());
+  EXPECT_TRUE(site.ShouldFail());
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(site.ShouldFail());
+  EXPECT_EQ(site.hits(), 2u);
+}
+
+TEST(FailpointTest, AlwaysIsEveryFirst) {
+  ScopedArm arm("fp_test.always", "always:return_error");
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.always");
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(site.ShouldFail());
+  EXPECT_EQ(site.hits(), 10u);
+}
+
+TEST(FailpointTest, ProbabilityScheduleReplaysFromSeed) {
+  constexpr int kVisits = 2000;
+  const auto schedule = [](const std::string& site_name,
+                           const std::string& spec) {
+    ScopedArm arm(site_name, spec);
+    Failpoint& site = FailpointRegistry::Global().Register(site_name);
+    std::vector<bool> fired;
+    fired.reserve(kVisits);
+    for (int i = 0; i < kVisits; ++i) fired.push_back(site.ShouldFail());
+    return fired;
+  };
+  // Same seed — bit-identical schedule, even across distinct sites (the
+  // draw is a pure function of seed and visit index).
+  const std::vector<bool> a =
+      schedule("fp_test.prob_a", "probability(0.5,seed=42):return_error");
+  const std::vector<bool> b =
+      schedule("fp_test.prob_b", "probability(0.5,seed=42):return_error");
+  EXPECT_EQ(a, b);
+  // Different seed — a different schedule (identical over 2000 draws at
+  // p=0.5 has probability 2^-2000).
+  const std::vector<bool> c =
+      schedule("fp_test.prob_c", "probability(0.5,seed=43):return_error");
+  EXPECT_NE(a, c);
+  // The rate is roughly honored.
+  const int hits_a = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(hits_a, kVisits / 4);
+  EXPECT_LT(hits_a, 3 * kVisits / 4);
+}
+
+TEST(FailpointTest, ThrowActionThrowsFailpointError) {
+  ScopedArm arm("fp_test.throw", "always:throw");
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.throw");
+  EXPECT_THROW(site.ShouldFail(), FailpointError);
+  EXPECT_EQ(site.hits(), 1u);
+}
+
+TEST(FailpointTest, OomActionThrowsBadAlloc) {
+  ScopedArm arm("fp_test.oom", "always:oom");
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.oom");
+  EXPECT_THROW(site.ShouldFail(), std::bad_alloc);
+}
+
+TEST(FailpointTest, DelayActionSleepsButDoesNotFail) {
+  ScopedArm arm("fp_test.delay", "always:delay_ms(1)");
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.delay");
+  // A latency fault: the hit is counted, but the caller continues.
+  EXPECT_FALSE(site.ShouldFail());
+  EXPECT_EQ(site.hits(), 1u);
+}
+
+TEST(FailpointTest, RearmResetsCounters) {
+  ScopedArm arm("fp_test.rearm", "always:return_error");
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.rearm");
+  EXPECT_TRUE(site.ShouldFail());
+  EXPECT_EQ(site.hits(), 1u);
+  EXPECT_TRUE(
+      FailpointRegistry::Global().Arm("fp_test.rearm", "first_n(1):throw"));
+  EXPECT_EQ(site.hits(), 0u);
+  EXPECT_EQ(site.visits(), 0u);
+  EXPECT_THROW(site.ShouldFail(), FailpointError);
+}
+
+TEST(FailpointTest, ParseSpecAcceptsTheDocumentedGrammar) {
+  FailpointSpec spec;
+  ASSERT_TRUE(FailpointRegistry::ParseSpec("off", &spec));
+  EXPECT_EQ(spec.mode, ArmMode::kOff);
+
+  ASSERT_TRUE(FailpointRegistry::ParseSpec("always:throw", &spec));
+  EXPECT_EQ(spec.mode, ArmMode::kEveryNth);
+  EXPECT_EQ(spec.n, 1u);
+  EXPECT_EQ(spec.action, FailAction::kThrow);
+
+  ASSERT_TRUE(FailpointRegistry::ParseSpec("every_nth(7):oom", &spec));
+  EXPECT_EQ(spec.mode, ArmMode::kEveryNth);
+  EXPECT_EQ(spec.n, 7u);
+  EXPECT_EQ(spec.action, FailAction::kOom);
+
+  ASSERT_TRUE(
+      FailpointRegistry::ParseSpec("first_n(3):delay_ms(250)", &spec));
+  EXPECT_EQ(spec.mode, ArmMode::kFirstN);
+  EXPECT_EQ(spec.n, 3u);
+  EXPECT_EQ(spec.action, FailAction::kDelayMs);
+  EXPECT_EQ(spec.delay_ms, 250);
+
+  ASSERT_TRUE(FailpointRegistry::ParseSpec(
+      "probability(0.25,seed=99):return_error", &spec));
+  EXPECT_EQ(spec.mode, ArmMode::kProbability);
+  EXPECT_DOUBLE_EQ(spec.probability, 0.25);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.action, FailAction::kReturnError);
+
+  // The seed= prefix is optional.
+  ASSERT_TRUE(
+      FailpointRegistry::ParseSpec("probability(1,7):return_error", &spec));
+  EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(FailpointTest, ParseSpecRejectsMalformedInput) {
+  FailpointSpec spec;
+  for (const char* bad : {
+           "",                         // Nothing.
+           "always",                   // Armed mode without an action.
+           "off:throw",                // off takes no action.
+           "every_nth:throw",          // Missing argument.
+           "every_nth(0):throw",       // Period 0 never fires; reject.
+           "every_nth(x):throw",       // Non-numeric.
+           "probability(1.5):throw",   // p outside [0, 1].
+           "probability(-1):throw",    // p outside [0, 1].
+           "probability(0.5,seed=z):throw",  // Bad seed.
+           "always:delay_ms",          // delay needs its argument.
+           "always:explode",           // Unknown action.
+           "sometimes:throw",          // Unknown mode.
+           "always:throw(2)",          // throw takes no argument.
+       }) {
+    EXPECT_FALSE(FailpointRegistry::ParseSpec(bad, &spec))
+        << "accepted malformed spec: " << bad;
+  }
+}
+
+TEST(FailpointTest, ArmFromConfigSkipsMalformedEntries) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  const size_t armed = registry.ArmFromConfig(
+      "fp_test.cfg_a=always:return_error;garbage;"
+      "fp_test.cfg_b=first_n(1):throw;fp_test.cfg_c=not_a_spec");
+  EXPECT_EQ(armed, 2u);
+  EXPECT_TRUE(registry.Register("fp_test.cfg_a").ShouldFail());
+  EXPECT_THROW(registry.Register("fp_test.cfg_b").ShouldFail(),
+               FailpointError);
+  registry.Disarm("fp_test.cfg_a");
+  registry.Disarm("fp_test.cfg_b");
+}
+
+TEST(FailpointTest, HitCountsReachMetricsText) {
+  ScopedArm arm("fp_test.metrics", "always:return_error");
+  Failpoint& site = FailpointRegistry::Global().Register("fp_test.metrics");
+  EXPECT_TRUE(site.ShouldFail());
+  EXPECT_TRUE(site.ShouldFail());
+  const std::string text = FailpointRegistry::Global().MetricsText();
+  EXPECT_NE(text.find("# TYPE moqo_failpoint_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("moqo_failpoint_hits_total{site=\"fp_test.metrics\"} 2"),
+            std::string::npos);
+}
+
+TEST(FailpointTest, MacroSiteCompilesAndInjects) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "built with MOQO_FAILPOINTS=OFF; sites compile away";
+  }
+  const auto guarded = []() -> int {
+    MOQO_FAILPOINT_RETURN("fp_test.macro", -1);
+    return 0;
+  };
+  EXPECT_EQ(guarded(), 0);  // Unarmed: the site is transparent.
+  ScopedArm arm("fp_test.macro", "always:return_error");
+  EXPECT_EQ(guarded(), -1);  // Armed: the error return is taken.
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace moqo
