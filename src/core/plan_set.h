@@ -26,6 +26,10 @@
 
 namespace moqo {
 
+namespace persist {
+class PlanSetCodec;
+}  // namespace persist
+
 /// An immutable set of mutually non-dominated plans for one query, owning
 /// the storage of every plan it exposes. Thread-safe to share: all access
 /// is const after construction.
@@ -80,6 +84,11 @@ class PlanSet {
 
  private:
   PlanSet() = default;
+
+  /// The on-disk codec (src/persist/plan_set_codec.h) materializes decoded
+  /// snapshots directly into a fresh set's arena — the only writer besides
+  /// the factory functions above.
+  friend class persist::PlanSetCodec;
 
   /// First block sized for a handful of nodes, doubling up to the default
   /// block size: snapshots live as long as a cache/memo entry references

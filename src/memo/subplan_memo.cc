@@ -2,6 +2,12 @@
 
 #include "memo/subplan_memo.h"
 
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "persist/disk_tier.h"
+#include "persist/plan_set_codec.h"
 #include "rt/failpoint.h"
 
 namespace moqo {
@@ -35,7 +41,43 @@ SubplanMemo::SubplanMemo(const Options& options)
 
 std::shared_ptr<const PlanSet> SubplanMemo::Lookup(
     const SubplanSignature& signature) {
-  return lru_.Lookup(signature);
+  auto frontier = lru_.Lookup(signature);
+  if (frontier != nullptr || tier_ == nullptr) return frontier;
+
+  // RAM miss: probe the disk tier. Memo keys carry alpha bit-exactly
+  // (unlike the plan cache's relaxed identity), so entries demote with
+  // alpha 0 and any probe matches — identity is entirely in the key.
+  std::string payload;
+  if (!tier_->Take(signature.hash, signature.key,
+                   std::numeric_limits<double>::infinity(), &payload,
+                   nullptr)) {
+    return nullptr;
+  }
+  auto promoted =
+      persist::PlanSetCodec::Decode(payload.data(), payload.size(), nullptr);
+  if (promoted == nullptr) return nullptr;
+  Insert(signature, promoted);
+  tier_hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.ReclassifyMissAsHit();
+  return promoted;
+}
+
+void SubplanMemo::AttachTier(std::shared_ptr<persist::DiskTier> tier) {
+  tier_ = std::move(tier);
+  if (tier_ == nullptr) {
+    lru_.SetEvictionHook(nullptr);
+    return;
+  }
+  auto tier_ptr = tier_;
+  lru_.SetEvictionHook(
+      [tier_ptr](const SubplanSignature& key,
+                 const std::shared_ptr<const PlanSet>& value,
+                 size_t /*bytes*/) {
+        if (value == nullptr || value->empty()) return;
+        std::string payload;
+        persist::PlanSetCodec::Append(*value, &payload);
+        tier_ptr->Put(key.hash, key.key, 0.0, payload);
+      });
 }
 
 bool SubplanMemo::Admits(const ParetoSet& frontier, double alpha) {
@@ -100,6 +142,7 @@ SubplanMemo::Stats SubplanMemo::GetStats() const {
   stats.admission_rejects =
       admission_rejects_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.tier_hits = tier_hits_.load(std::memory_order_relaxed);
   stats.entries = counters.entries;
   stats.bytes = counters.bytes;
   stats.frontier_plans = counters.weight;

@@ -47,6 +47,10 @@
 
 namespace moqo {
 
+namespace persist {
+class DiskTier;
+}  // namespace persist
+
 class SubplanMemo {
  public:
   struct Options {
@@ -80,6 +84,9 @@ class SubplanMemo {
     uint64_t admission_rejects = 0;
     /// Epoch changes that flushed the memo.
     uint64_t invalidations = 0;
+    /// Probes that missed RAM but were served (and promoted back) from
+    /// the attached disk tier; counted inside `hits` as well.
+    uint64_t tier_hits = 0;
     size_t entries = 0;
     size_t bytes = 0;
     /// Sum of resident entries' frontier sizes.
@@ -135,6 +142,18 @@ class SubplanMemo {
   /// entries on every alternation.
   void ObserveCatalog(const void* catalog, uint64_t epoch);
 
+  /// Attaches the RAM→disk demotion tier: evicted frontiers demote to
+  /// `tier` as encoded PlanSet blocks, misses probe it. Call before
+  /// concurrent use; nullptr detaches.
+  void AttachTier(std::shared_ptr<persist::DiskTier> tier);
+
+  /// Visits every resident entry as fn(signature, plan_set_ptr, bytes);
+  /// see ShardedLru::ForEach for locking. The snapshot exporter.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    lru_.ForEach(fn);
+  }
+
   Stats GetStats() const;
   size_t size() const { return lru_.size(); }
   void Clear() { lru_.Clear(); }
@@ -144,6 +163,8 @@ class SubplanMemo {
  private:
   Options options_;
   ShardedLru<SubplanSignature, std::shared_ptr<const PlanSet>> lru_;
+  std::shared_ptr<persist::DiskTier> tier_;
+  std::atomic<uint64_t> tier_hits_{0};
 
   /// Last-seen epoch per catalog identity; guarded by epoch_mu_, which
   /// also serializes the flush an epoch change triggers.

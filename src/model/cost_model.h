@@ -33,6 +33,13 @@
 
 namespace moqo {
 
+/// Version stamp of the cost-model formulas + constants. Bumped whenever a
+/// change would make previously computed plan costs stale; persisted
+/// snapshots (src/persist/) embed it and refuse to restore across a
+/// mismatch, since cached frontiers are only valid under the model that
+/// priced them.
+inline constexpr uint64_t kCostModelVersion = 1;
+
 /// Cost-model constants, Postgres-flavoured units. Exposed so ablation
 /// benches can perturb them.
 struct CostModelParams {

@@ -1,0 +1,133 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// DiskTier: the RAM→disk demotion tier behind the sharded LRU caches.
+//
+// When a byte-budgeted cache evicts an entry that is still admissible
+// (it fell to cache pressure, not invalidation), the owner's eviction
+// hook appends its encoded payload to a per-shard, append-mostly segment
+// file and keeps only a compact index entry in RAM: signature hash,
+// file offset, lengths, achieved alpha — a few dozen bytes (the
+// Trimma-style metadata-trimming idiom the ROADMAP names), so the
+// resident index for millions of demoted frontiers stays cheap. A later
+// miss probes the tier; a hit reads the record back, verifies checksum
+// and full key (hash collisions never alias — same contract as the
+// caches), removes the index entry, and the owner re-inserts the entry
+// into RAM ("promotion"), surfacing as CacheOutcome::kTierHit.
+//
+// Append-mostly: promotions and overwrites leave dead bytes behind; when
+// a shard's segment reaches its slice of the byte budget the whole shard
+// segment is dropped (ftruncate + index clear). The tier is a cache of a
+// cache — losing a generation costs future misses, never correctness.
+// Segment files are truncated at open: the tier holds process-lifetime
+// overflow; *cross-restart* warmth is the snapshot file's job
+// (snapshot.h).
+//
+// On-disk record: u32 key_len, u32 payload_len, u64 key_hash,
+// u64 alpha_bits, u64 checksum(FNV over key + payload), key, payload.
+
+#ifndef MOQO_PERSIST_DISK_TIER_H_
+#define MOQO_PERSIST_DISK_TIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace moqo {
+namespace persist {
+
+class DiskTier {
+ public:
+  struct Options {
+    std::string directory;      ///< Must exist; segment files live here.
+    std::string name = "tier";  ///< Segment file prefix (one tier each).
+    size_t capacity_bytes = size_t{256} << 20;  ///< Across all shards.
+    int shards = 4;  ///< Independently locked; rounded up to a power of 2.
+  };
+
+  /// Monotonic counters + occupancy gauges. Held via shared_ptr so metric
+  /// samplers registered with the service outlive the tier (the
+  /// moqo_net_* teardown-safety pattern).
+  struct Counters {
+    std::atomic<uint64_t> demotions{0};   ///< Records appended.
+    std::atomic<uint64_t> promotions{0};  ///< Records read back + removed.
+    std::atomic<uint64_t> misses{0};      ///< Probes finding nothing.
+    std::atomic<uint64_t> dropped{0};     ///< Entries lost to shard resets.
+    std::atomic<uint64_t> corrupt{0};     ///< Checksum/shape failures.
+    std::atomic<uint64_t> entries{0};     ///< Live index entries.
+    std::atomic<uint64_t> bytes{0};       ///< Live on-disk record bytes.
+  };
+
+  struct Stats {
+    uint64_t demotions = 0;
+    uint64_t promotions = 0;
+    uint64_t misses = 0;
+    uint64_t dropped = 0;
+    uint64_t corrupt = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  explicit DiskTier(const Options& options);
+  ~DiskTier();
+
+  DiskTier(const DiskTier&) = delete;
+  DiskTier& operator=(const DiskTier&) = delete;
+
+  /// False when segment files could not be created; Put/Take then no-op.
+  bool ok() const { return ok_; }
+
+  /// Appends one demoted entry. False when the tier is unusable, the
+  /// record exceeds a whole shard's budget, the write fails, or the
+  /// `persist.write` failpoint fires — in every case the entry is simply
+  /// gone (a dropped demotion is a future miss, not an error).
+  bool Put(uint64_t key_hash, std::string_view key, double achieved_alpha,
+           std::string_view payload);
+
+  /// Probes for `key` with achieved alpha <= `max_alpha` (the caches'
+  /// relaxed alpha identity). On a hit fills `payload_out` (+ optional
+  /// `alpha_out`), removes the entry (promotion is a move, not a copy),
+  /// and returns true. Checksum or key verification failures discard the
+  /// entry and keep scanning. The `persist.read` failpoint forces a miss.
+  bool Take(uint64_t key_hash, std::string_view key, double max_alpha,
+            std::string* payload_out, double* alpha_out);
+
+  Stats GetStats() const;
+  std::shared_ptr<const Counters> counters() const { return counters_; }
+
+ private:
+  /// The compact resident footprint of one demoted entry.
+  struct IndexEntry {
+    uint64_t offset = 0;
+    uint32_t key_len = 0;
+    uint32_t payload_len = 0;
+    double alpha = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    int fd = -1;
+    uint64_t append_offset = 0;
+    uint64_t live_bytes = 0;  ///< Record bytes still reachable via index.
+    std::unordered_multimap<uint64_t, IndexEntry> index;
+  };
+
+  Shard& ShardFor(uint64_t key_hash);
+  /// Caller holds the shard lock. Drops every entry in the shard.
+  void ResetShard(Shard* shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t shard_mask_ = 0;
+  size_t shard_capacity_bytes_ = 0;
+  bool ok_ = false;
+  std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
+};
+
+}  // namespace persist
+}  // namespace moqo
+
+#endif  // MOQO_PERSIST_DISK_TIER_H_

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "persist/frontier_codec.h"
+
+#include "core/optimizer.h"
+#include "cost/objective.h"
+#include "persist/format.h"
+#include "persist/plan_set_codec.h"
+
+namespace moqo {
+namespace persist {
+
+bool EncodeFrontierPayload(const CachedFrontier& entry, std::string* out) {
+  if (entry.result == nullptr || entry.result->plan_set == nullptr) {
+    return false;
+  }
+  PutU32(out, static_cast<uint32_t>(entry.weights.size()));
+  PutU32(out, static_cast<uint32_t>(entry.bounds.size()));
+  for (int i = 0; i < entry.weights.size(); ++i) {
+    PutDouble(out, entry.weights[i]);
+  }
+  for (int i = 0; i < entry.bounds.size(); ++i) {
+    PutDouble(out, entry.bounds[i]);
+  }
+  PlanSetCodec::Append(*entry.result->plan_set, out);
+  return true;
+}
+
+std::shared_ptr<const CachedFrontier> DecodeFrontierPayload(
+    const void* data, size_t size, double achieved_alpha) {
+  ByteReader reader(data, size);
+  uint32_t weights_size, bounds_size;
+  if (!reader.GetU32(&weights_size) || !reader.GetU32(&bounds_size)) {
+    return nullptr;
+  }
+  if (weights_size > static_cast<uint32_t>(kNumObjectives) ||
+      bounds_size > static_cast<uint32_t>(kNumObjectives)) {
+    return nullptr;
+  }
+  WeightVector weights(static_cast<int>(weights_size));
+  for (uint32_t i = 0; i < weights_size; ++i) {
+    double v;
+    if (!reader.GetDouble(&v)) return nullptr;
+    weights[static_cast<int>(i)] = v;
+  }
+  BoundVector bounds(static_cast<int>(bounds_size));
+  for (uint32_t i = 0; i < bounds_size; ++i) {
+    double v;
+    if (!reader.GetDouble(&v)) return nullptr;
+    bounds[static_cast<int>(i)] = v;
+  }
+  std::shared_ptr<const PlanSet> plan_set = PlanSetCodec::Decode(
+      reader.cursor(), reader.remaining(), nullptr);
+  if (plan_set == nullptr) return nullptr;
+
+  // Rebuild the stored selection the way the service builds frontier-hit
+  // results (ResultOverPlanSet): deterministic SelectPlan over the
+  // restored, bit-identical frontier.
+  auto result = std::make_shared<OptimizerResult>();
+  result->plan_set = plan_set;
+  const PlanSelection selection = SelectPlan(*plan_set, weights, bounds);
+  if (selection.plan != nullptr) {
+    result->plan = selection.plan;
+    result->cost = selection.cost;
+    result->weighted_cost = selection.weighted_cost;
+    result->respects_bounds =
+        bounds.size() == 0 || bounds.Respects(selection.cost);
+  }
+  auto entry = std::make_shared<CachedFrontier>();
+  entry->result = std::move(result);
+  entry->weights = weights;
+  entry->bounds = bounds;
+  entry->achieved_alpha = achieved_alpha;
+  return entry;
+}
+
+}  // namespace persist
+}  // namespace moqo

@@ -1,0 +1,209 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "rt/failpoint.h"
+
+namespace moqo {
+namespace persist {
+
+namespace {
+
+constexpr size_t kFileHeaderBytes = 48;
+constexpr size_t kRecordHeaderBytes = 32;
+
+void AppendFileHeader(std::string* out, uint64_t catalog_epoch,
+                      uint64_t cost_model_version, uint32_t record_count) {
+  PutU64(out, kSnapshotMagic);
+  PutU32(out, kFormatVersion);
+  PutU32(out, record_count);
+  PutU64(out, catalog_epoch);
+  PutU64(out, cost_model_version);
+  PutU64(out, 0);  // reserved
+  PutU64(out, Fnv1a(out->data(), out->size()));
+}
+
+}  // namespace
+
+void SnapshotWriter::AddRecord(RecordKind kind, std::string_view key,
+                               uint64_t key_hash, double achieved_alpha,
+                               std::string_view payload) {
+  std::string header;
+  header.reserve(kRecordHeaderBytes);
+  PutU32(&header, static_cast<uint32_t>(kind));
+  PutU32(&header, static_cast<uint32_t>(key.size()));
+  PutU64(&header, key_hash);
+  PutU64(&header, DoubleBits(achieved_alpha));
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU32(&header, 0);  // reserved
+  uint64_t checksum = Fnv1a(header.data(), header.size());
+  checksum = Fnv1a(key.data(), key.size(), checksum);
+  checksum = Fnv1a(payload.data(), payload.size(), checksum);
+  body_ += header;
+  PutU64(&body_, checksum);
+  body_.append(key);
+  body_.append(payload);
+  ++record_count_;
+}
+
+size_t SnapshotWriter::encoded_bytes() const {
+  return kFileHeaderBytes + body_.size();
+}
+
+bool SnapshotWriter::WriteFile(const std::string& path) {
+  MOQO_FAILPOINT_RETURN("persist.write", false);
+  std::string file;
+  file.reserve(kFileHeaderBytes + body_.size());
+  AppendFileHeader(&file, catalog_epoch_, cost_model_version_, record_count_);
+  file += body_;
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  size_t written = 0;
+  while (written < file.size()) {
+    const ssize_t n = ::write(fd, file.data() + written, file.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync before rename: the rename must never publish a file whose data
+  // is still only in the page cache when the machine dies.
+  if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+SnapshotReadResult ReadSnapshot(
+    const std::string& path,
+    const std::function<bool(const SnapshotHeader&)>& header_cb,
+    const std::function<void(const SnapshotRecordView&)>& record_cb) {
+  SnapshotReadResult result;
+  if (MOQO_FAILPOINT_HIT("persist.read")) return result;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return result;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0 ||
+      static_cast<size_t>(st.st_size) < kFileHeaderBytes) {
+    ::close(fd);
+    return result;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+
+  // Preferred path: parse straight out of the mapping (the PlanSet codec
+  // is offset-based precisely so this needs no copies or fixups). The
+  // `persist.mmap` failpoint — and any real mmap failure — falls back to
+  // read(2) into heap memory.
+  const void* data = nullptr;
+  void* mapping = MAP_FAILED;
+  std::string fallback;
+  if (!MOQO_FAILPOINT_HIT("persist.mmap")) {
+    mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
+  if (mapping != MAP_FAILED) {
+    data = mapping;
+    result.used_mmap = true;
+  } else {
+    fallback.resize(size);
+    size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::read(fd, fallback.data() + done, size - done);
+      if (n <= 0) break;
+      done += static_cast<size_t>(n);
+    }
+    if (done != size) {
+      ::close(fd);
+      return result;
+    }
+    data = fallback.data();
+  }
+  ::close(fd);
+
+  do {
+    ByteReader reader(data, size);
+    SnapshotHeader header;
+    uint64_t reserved = 0, stored_checksum = 0;
+    reader.GetU64(&header.magic);
+    reader.GetU32(&header.format_version);
+    reader.GetU32(&header.record_count);
+    reader.GetU64(&header.catalog_epoch);
+    reader.GetU64(&header.cost_model_version);
+    reader.GetU64(&reserved);
+    reader.GetU64(&stored_checksum);
+    (void)reserved;
+    if (header.magic != kSnapshotMagic ||
+        Fnv1a(data, kFileHeaderBytes - 8) != stored_checksum) {
+      break;
+    }
+    result.loaded = true;
+    result.header = header;
+    // A different format version means a different record layout: the
+    // header is trustworthy (magic + checksum), the records are not.
+    if (header.format_version != kFormatVersion) break;
+    if (header_cb && !header_cb(header)) break;
+    if (!record_cb) break;
+
+    for (uint32_t i = 0; i < header.record_count; ++i) {
+      if (reader.remaining() < kRecordHeaderBytes + 8) {
+        result.truncated += header.record_count - i;
+        break;
+      }
+      const unsigned char* record_start = reader.cursor();
+      uint32_t kind_raw = 0, key_len = 0, payload_len = 0, rec_reserved = 0;
+      uint64_t key_hash = 0, alpha_bits = 0, record_checksum = 0;
+      reader.GetU32(&kind_raw);
+      reader.GetU32(&key_len);
+      reader.GetU64(&key_hash);
+      reader.GetU64(&alpha_bits);
+      reader.GetU32(&payload_len);
+      reader.GetU32(&rec_reserved);
+      reader.GetU64(&record_checksum);
+      (void)rec_reserved;
+      if (reader.remaining() < static_cast<uint64_t>(key_len) + payload_len) {
+        result.truncated += header.record_count - i;
+        break;
+      }
+      const char* key_ptr = reinterpret_cast<const char*>(reader.cursor());
+      reader.Skip(key_len);
+      const char* payload_ptr = reinterpret_cast<const char*>(reader.cursor());
+      reader.Skip(payload_len);
+      uint64_t checksum = Fnv1a(record_start, kRecordHeaderBytes);
+      checksum = Fnv1a(key_ptr, key_len, checksum);
+      checksum = Fnv1a(payload_ptr, payload_len, checksum);
+      if (checksum != record_checksum) {
+        // The lengths that position the next record came from this corrupt
+        // header; trusting them would misparse the whole tail. Drop it.
+        result.skipped_checksum += 1;
+        result.truncated += header.record_count - i - 1;
+        break;
+      }
+      SnapshotRecordView view;
+      view.kind = static_cast<RecordKind>(kind_raw);
+      view.key_hash = key_hash;
+      view.achieved_alpha = DoubleFromBits(alpha_bits);
+      view.key = std::string_view(key_ptr, key_len);
+      view.payload = std::string_view(payload_ptr, payload_len);
+      record_cb(view);
+      result.records_ok += 1;
+    }
+  } while (false);
+
+  if (mapping != MAP_FAILED) ::munmap(mapping, size);
+  return result;
+}
+
+}  // namespace persist
+}  // namespace moqo

@@ -1,0 +1,124 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Snapshot file: the cross-restart persistence format for the service's
+// warm state (PlanCache + SubplanMemo entries).
+//
+// File layout (all little-endian; format.h has the primitives):
+//
+//   file header, 48 bytes:
+//     u64 magic                "MOQOSNP1"
+//     u32 format_version       kFormatVersion
+//     u32 record_count
+//     u64 catalog_epoch        writer's catalog epoch
+//     u64 cost_model_version   writer's kCostModelVersion
+//     u64 reserved             0
+//     u64 header_checksum      FNV-1a over the 40 bytes above
+//   records, record_count of:
+//     record header, 32 bytes:
+//       u32 kind               RecordKind
+//       u32 key_len
+//       u64 key_hash           signature hash (FNV-1a of the key)
+//       u64 alpha_bits         achieved alpha (f64 bits); 0.0 for memo
+//       u32 payload_len
+//       u32 reserved           0
+//     u64 record_checksum      FNV-1a over record header + key + payload
+//     key bytes                canonical signature string
+//     payload bytes            kind-specific (see RecordKind)
+//
+// Validation matrix (every outcome is a clean skip, never a crash):
+//   bad magic / header checksum / short header  -> whole file ignored
+//   format_version mismatch                     -> records not parsed
+//   catalog_epoch / cost_model_version mismatch -> caller skips via the
+//                                                  header callback
+//   record checksum mismatch or torn tail       -> that record and the
+//                                                  rest of the file are
+//                                                  dropped (a torn write
+//                                                  corrupts a suffix)
+//
+// Writes go to `<path>.tmp` then rename(2), so a crash mid-snapshot
+// leaves the previous snapshot intact and a torn tmp file is never seen
+// under the live name.
+
+#ifndef MOQO_PERSIST_SNAPSHOT_H_
+#define MOQO_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "persist/format.h"
+
+namespace moqo {
+namespace persist {
+
+struct SnapshotHeader {
+  uint64_t magic = 0;
+  uint32_t format_version = 0;
+  uint32_t record_count = 0;
+  uint64_t catalog_epoch = 0;
+  uint64_t cost_model_version = 0;
+};
+
+/// One decoded record, viewing memory owned by the reader. Valid only for
+/// the duration of the record callback.
+struct SnapshotRecordView {
+  RecordKind kind = RecordKind::kPlanCacheEntry;
+  uint64_t key_hash = 0;
+  double achieved_alpha = 0;
+  std::string_view key;
+  std::string_view payload;
+};
+
+/// Accumulates records in memory, then writes the whole file atomically.
+/// Single-threaded by design: the service serializes under its own
+/// snapshot mutex.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(uint64_t catalog_epoch, uint64_t cost_model_version)
+      : catalog_epoch_(catalog_epoch),
+        cost_model_version_(cost_model_version) {}
+
+  void AddRecord(RecordKind kind, std::string_view key, uint64_t key_hash,
+                 double achieved_alpha, std::string_view payload);
+
+  /// Writes header + records to `<path>.tmp`, fsyncs, renames over `path`.
+  /// False on any I/O failure (tmp file removed) or when the
+  /// `persist.write` failpoint fires.
+  bool WriteFile(const std::string& path);
+
+  uint32_t record_count() const { return record_count_; }
+  /// Total encoded bytes (header + records) as written by WriteFile.
+  size_t encoded_bytes() const;
+
+ private:
+  uint64_t catalog_epoch_;
+  uint64_t cost_model_version_;
+  uint32_t record_count_ = 0;
+  std::string body_;
+};
+
+struct SnapshotReadResult {
+  bool loaded = false;     ///< File opened and the header validated.
+  bool used_mmap = false;  ///< Records parsed from an mmap'ed region.
+  SnapshotHeader header;
+  uint64_t records_ok = 0;
+  uint64_t skipped_checksum = 0;  ///< Records failing their checksum.
+  uint64_t truncated = 0;         ///< Records lost to a torn/short tail.
+};
+
+/// Reads `path`, validating as per the matrix above. `header_cb` (optional)
+/// sees the validated header first and may return false to stop before any
+/// record is parsed (epoch/version gating); `record_cb` is then called for
+/// every record whose checksum verifies. Records are never parsed when
+/// header.format_version != kFormatVersion. The `persist.read` failpoint
+/// fails the open; `persist.mmap` forces the read(2) fallback path.
+SnapshotReadResult ReadSnapshot(
+    const std::string& path,
+    const std::function<bool(const SnapshotHeader&)>& header_cb,
+    const std::function<void(const SnapshotRecordView&)>& record_cb);
+
+}  // namespace persist
+}  // namespace moqo
+
+#endif  // MOQO_PERSIST_SNAPSHOT_H_

@@ -2,12 +2,21 @@
 
 #include "service/optimization_service.h"
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "model/cost_model.h"
+#include "persist/disk_tier.h"
+#include "persist/frontier_codec.h"
+#include "persist/plan_set_codec.h"
+#include "persist/snapshot.h"
 #include "rt/failpoint.h"
 #include "util/deadline.h"
 
@@ -16,6 +25,15 @@ namespace moqo {
 namespace {
 
 constexpr double kInfiniteAlpha = std::numeric_limits<double>::infinity();
+
+/// mkdir -p, best-effort: any real failure surfaces when the tier or the
+/// snapshot writer tries to create files inside.
+void MakePersistDir(const std::string& path) {
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (path[i] == '/') ::mkdir(path.substr(0, i).c_str(), 0755);
+  }
+  ::mkdir(path.c_str(), 0755);
+}
 
 int64_t SteadyNowUs() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -150,7 +168,32 @@ OptimizationService::OptimizationService(ServiceOptions options)
     }
     subplan_memo_ = std::make_unique<SubplanMemo>(memo_options);
   }
+  if (!options_.persist.directory.empty()) {
+    MakePersistDir(options_.persist.directory);
+    if (options_.persist.tier_capacity_bytes > 0) {
+      persist::DiskTier::Options tier;
+      tier.directory = options_.persist.directory;
+      tier.shards = options_.persist.tier_shards;
+      // The budget splits evenly: both caches overflow under the same
+      // memory pressure, and a fixed split keeps accounting predictable.
+      tier.capacity_bytes = options_.persist.tier_capacity_bytes / 2;
+      tier.name = "cache_tier";
+      cache_tier_ = std::make_shared<persist::DiskTier>(tier);
+      if (!cache_tier_->ok()) cache_tier_.reset();
+      cache_.AttachTier(cache_tier_);
+      if (subplan_memo_ != nullptr) {
+        tier.name = "memo_tier";
+        memo_tier_ = std::make_shared<persist::DiskTier>(tier);
+        if (!memo_tier_->ok()) memo_tier_.reset();
+        subplan_memo_->AttachTier(memo_tier_);
+      }
+    }
+  }
   RegisterMetrics();
+  if (!options_.persist.directory.empty() &&
+      options_.persist.restore_on_start) {
+    RestoreNow();
+  }
   if (options_.watchdog_poll_ms > 0) {
     watchdog_ = std::thread([this] { WatchdogMain(); });
   }
@@ -164,6 +207,12 @@ OptimizationService::~OptimizationService() {
   watchdog_cv_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
   pool_.Shutdown();
+  // After the drain: the caches are quiescent and as warm as they will
+  // ever be — the snapshot taken here is what the next process restores.
+  if (!options_.persist.directory.empty() &&
+      options_.persist.snapshot_on_shutdown) {
+    SnapshotNow();
+  }
 }
 
 void OptimizationService::WatchdogMain() {
@@ -393,12 +442,14 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   if (options_.enable_cache) {
     TraceSpan probe_span(&tracer_, "service", "cache.probe",
                          session->trace_id_);
+    bool from_tier = false;
     std::shared_ptr<const CachedFrontier> cached =
-        cache_.Lookup(session->cache_signature_, target);
+        cache_.Lookup(session->cache_signature_, target,
+                      /*record_stats=*/true, &from_tier);
     probe_span.AddArg("hit", cached != nullptr ? 1 : 0);
     probe_span.End();
     if (cached != nullptr && cached->result != nullptr) {
-      ServeSessionBornDone(session, cached, resolved, info);
+      ServeSessionBornDone(session, cached, resolved, info, from_tier);
       return session;
     }
   }
@@ -412,14 +463,15 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   // tighter-than-target entry landed since stage 1, the recorded miss is
   // reclassified and the session is born done after all.
   if (options_.enable_cache) {
+    bool seed_from_tier = false;
     std::shared_ptr<const CachedFrontier> seed = cache_.Lookup(
         session->cache_signature_, PlanCache::kAnyAlpha,
-        /*record_stats=*/false);
+        /*record_stats=*/false, &seed_from_tier);
     if (seed != nullptr && seed->result != nullptr &&
         seed->result->plan_set != nullptr) {
       if (seed->achieved_alpha <= target) {
         cache_.ReclassifyMissAsHit();
-        ServeSessionBornDone(session, seed, resolved, info);
+        ServeSessionBornDone(session, seed, resolved, info, seed_from_tier);
         return session;
       }
       if (session->Publish(seed->achieved_alpha, seed->result->plan_set, 0,
@@ -487,8 +539,10 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   // second uncounted probe here closes the found-no-session window; the
   // recorded miss is reclassified so each open counts one lookup.
   if (options_.enable_cache) {
+    bool reprobe_from_tier = false;
     std::shared_ptr<const CachedFrontier> cached = cache_.Lookup(
-        session->cache_signature_, target, /*record_stats=*/false);
+        session->cache_signature_, target, /*record_stats=*/false,
+        &reprobe_from_tier);
     if (cached != nullptr && cached->result != nullptr) {
       cache_.ReclassifyMissAsHit();
       if (session->registered_) {
@@ -501,7 +555,8 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
       }
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       session->holds_slot_ = false;
-      ServeSessionBornDone(session, cached, resolved, info);
+      ServeSessionBornDone(session, cached, resolved, info,
+                           reprobe_from_tier);
       return session;
     }
   }
@@ -555,11 +610,15 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
 void OptimizationService::ServeSessionBornDone(
     const std::shared_ptr<FrontierSession>& session,
     const std::shared_ptr<const CachedFrontier>& cached,
-    const Preference& preference, OpenInfo* info) {
+    const Preference& preference, OpenInfo* info, bool from_tier) {
   const bool same_preference = cached->weights == preference.weights &&
                                cached->bounds == preference.bounds;
-  info->outcome = same_preference ? CacheOutcome::kExactHit
-                                  : CacheOutcome::kFrontierHit;
+  // Provenance wins the label: a disk-tier promotion is surfaced as
+  // kTierHit even when the preference matches, so tier effectiveness is
+  // observable end to end.
+  info->outcome = from_tier          ? CacheOutcome::kTierHit
+                  : same_preference  ? CacheOutcome::kExactHit
+                                     : CacheOutcome::kFrontierHit;
   {
     // Under the session lock: the post-registration re-probe path calls
     // this on a session joiners may already share.
@@ -868,19 +927,31 @@ ServiceResponse OptimizationService::SubmitAndWait(ServiceRequest request) {
     }
 
     if (!info.joined && (info.outcome == CacheOutcome::kExactHit ||
-                         info.outcome == CacheOutcome::kFrontierHit)) {
+                         info.outcome == CacheOutcome::kFrontierHit ||
+                         info.outcome == CacheOutcome::kTierHit)) {
       const std::shared_ptr<const CachedFrontier>& cached =
           session->cached_entry_;
       response.status = ResponseStatus::kCompleted;
       response.cache = info.outcome;
       response.alpha = cached->achieved_alpha;
-      if (info.outcome == CacheOutcome::kExactHit) {
+      const bool same_preference = cached->weights == preference.weights &&
+                                   cached->bounds == preference.bounds;
+      if (same_preference) {
         response.result = cached->result;
-        stats_.RecordExactHit();
       } else {
         response.result = ReselectResult(cached->result, preference.weights,
                                          preference.bounds);
-        stats_.RecordFrontierHit();
+      }
+      switch (info.outcome) {
+        case CacheOutcome::kExactHit:
+          stats_.RecordExactHit();
+          break;
+        case CacheOutcome::kFrontierHit:
+          stats_.RecordFrontierHit();
+          break;
+        default:
+          stats_.RecordTierHit();
+          break;
       }
       stats_.RecordCompleted();
       response.service_ms = since_submit.ElapsedMillis();
@@ -1014,8 +1085,10 @@ std::future<ServiceResponse> OptimizationService::Submit(
     admitted->cacheable = true;
     TraceSpan probe_span(&tracer_, "service", "cache.probe",
                          admitted->trace_id);
+    bool from_tier = false;
     std::shared_ptr<const CachedFrontier> cached =
-        cache_.Lookup(admitted->signature, decision.alpha);
+        cache_.Lookup(admitted->signature, decision.alpha,
+                      /*record_stats=*/true, &from_tier);
     probe_span.AddArg("hit", cached != nullptr ? 1 : 0);
     probe_span.End();
     if (cached == nullptr && options_.enable_coalescing) {
@@ -1047,7 +1120,7 @@ std::future<ServiceResponse> OptimizationService::Submit(
         // miss counter is reclassified on a hit so each request still
         // records exactly one lookup.
         cached = cache_.Lookup(admitted->signature, decision.alpha,
-                               /*record_stats=*/false);
+                               /*record_stats=*/false, &from_tier);
         if (cached != nullptr) {
           cache_.ReclassifyMissAsHit();
         } else {
@@ -1071,7 +1144,7 @@ std::future<ServiceResponse> OptimizationService::Submit(
       }
     }
     if (cached != nullptr) {
-      ServeFromCache(admitted, cached);
+      ServeFromCache(admitted, cached, from_tier);
       return future;
     }
   }
@@ -1116,7 +1189,7 @@ void OptimizationService::AbandonPrimary(
 
 void OptimizationService::ServeFromCache(
     const std::shared_ptr<Admitted>& admitted,
-    const std::shared_ptr<const CachedFrontier>& cached) {
+    const std::shared_ptr<const CachedFrontier>& cached, bool from_tier) {
   ServiceResponse response;
   response.status = ResponseStatus::kCompleted;
   response.algorithm = admitted->decision.algorithm;
@@ -1127,14 +1200,22 @@ void OptimizationService::ServeFromCache(
       cached->weights == admitted->preference.weights &&
       cached->bounds == admitted->preference.bounds;
   if (same_preference) {
-    response.cache = CacheOutcome::kExactHit;
     response.result = cached->result;
-    stats_.RecordExactHit();
   } else {
-    response.cache = CacheOutcome::kFrontierHit;
     response.result =
         ReselectResult(cached->result, admitted->preference.weights,
                        admitted->preference.bounds);
+  }
+  // Provenance wins the label: a disk-tier promotion surfaces as kTierHit
+  // whatever the preference match, so tier hits are observable end to end.
+  if (from_tier) {
+    response.cache = CacheOutcome::kTierHit;
+    stats_.RecordTierHit();
+  } else if (same_preference) {
+    response.cache = CacheOutcome::kExactHit;
+    stats_.RecordExactHit();
+  } else {
+    response.cache = CacheOutcome::kFrontierHit;
     stats_.RecordFrontierHit();
   }
   stats_.RecordCompleted();
@@ -1450,6 +1531,257 @@ void OptimizationService::RegisterMetrics() {
                     "Span events recorded by the tracer", [this] {
                       return static_cast<double>(tracer_.recorded_events());
                     });
+  metrics_.AddCounter("moqo_tier_hits_total",
+                      "Requests served from the RAM→disk tier",
+                      stat(&ServiceStatsSnapshot::tier_hits));
+  RegisterPersistMetrics();
+}
+
+std::string OptimizationService::SnapshotPath() const {
+  return options_.persist.directory + "/moqo.snapshot";
+}
+
+bool OptimizationService::SnapshotNow() {
+  if (options_.persist.directory.empty()) return false;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  persist::SnapshotWriter writer(options_.persist.catalog_epoch,
+                                 kCostModelVersion);
+  // ForEach holds one shard lock at a time; the lambdas only encode into
+  // the writer's buffer and never re-enter the container.
+  cache_.ForEach([&writer](const ProblemSignature& key,
+                           const std::shared_ptr<const CachedFrontier>& value,
+                           size_t /*bytes*/) {
+    if (value == nullptr) return;
+    std::string payload;
+    if (!persist::EncodeFrontierPayload(*value, &payload)) return;
+    writer.AddRecord(persist::RecordKind::kPlanCacheEntry, key.key, key.hash,
+                     value->achieved_alpha, payload);
+  });
+  if (subplan_memo_ != nullptr) {
+    subplan_memo_->ForEach(
+        [&writer](const SubplanSignature& key,
+                  const std::shared_ptr<const PlanSet>& value,
+                  size_t /*bytes*/) {
+          if (value == nullptr || value->empty()) return;
+          std::string payload;
+          persist::PlanSetCodec::Append(*value, &payload);
+          // Memo identity lives entirely in the key (alpha is encoded
+          // bit-exactly inside it), so records carry alpha 0.
+          writer.AddRecord(persist::RecordKind::kMemoEntry, key.key, key.hash,
+                           0.0, payload);
+        });
+  }
+  const bool ok = writer.WriteFile(SnapshotPath());
+  if (ok) {
+    persist_counters_->snapshots_written.fetch_add(1, kRelaxed);
+    persist_counters_->snapshot_records.fetch_add(writer.record_count(),
+                                                  kRelaxed);
+    persist_counters_->snapshot_bytes.fetch_add(writer.encoded_bytes(),
+                                                kRelaxed);
+  } else {
+    persist_counters_->snapshot_failures.fetch_add(1, kRelaxed);
+  }
+  return ok;
+}
+
+size_t OptimizationService::RestoreNow() {
+  if (options_.persist.directory.empty()) return 0;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  persist::PersistCounters& counters = *persist_counters_;
+  counters.restores_attempted.fetch_add(1, kRelaxed);
+  size_t restored = 0;
+  uint64_t restored_bytes = 0;
+  const persist::SnapshotReadResult result = persist::ReadSnapshot(
+      SnapshotPath(),
+      [this, &counters, kRelaxed](const persist::SnapshotHeader& header) {
+        // The two semantic gates of the validation matrix. Stale cost
+        // models make every stored cost wrong; a different catalog epoch
+        // makes every content-derived key unreachable — either way the
+        // snapshot is dead weight and restoring it would only pollute
+        // the caches.
+        if (header.cost_model_version != kCostModelVersion) {
+          counters.restore_skipped_version.fetch_add(header.record_count,
+                                                     kRelaxed);
+          return false;
+        }
+        if (header.catalog_epoch != options_.persist.catalog_epoch) {
+          counters.restore_skipped_epoch.fetch_add(header.record_count,
+                                                   kRelaxed);
+          return false;
+        }
+        return true;
+      },
+      [this, &counters, &restored, &restored_bytes,
+       kRelaxed](const persist::SnapshotRecordView& record) {
+        switch (record.kind) {
+          case persist::RecordKind::kPlanCacheEntry: {
+            auto frontier = persist::DecodeFrontierPayload(
+                record.payload.data(), record.payload.size(),
+                record.achieved_alpha);
+            if (frontier == nullptr) return;
+            ProblemSignature signature;
+            signature.key.assign(record.key);
+            signature.hash = record.key_hash;
+            cache_.Insert(signature, std::move(frontier));
+            counters.restored_plan_entries.fetch_add(1, kRelaxed);
+            break;
+          }
+          case persist::RecordKind::kMemoEntry: {
+            if (subplan_memo_ == nullptr) return;
+            auto frontier = persist::PlanSetCodec::Decode(
+                record.payload.data(), record.payload.size(), nullptr);
+            if (frontier == nullptr) return;
+            SubplanSignature signature;
+            signature.key.assign(record.key);
+            signature.hash = record.key_hash;
+            subplan_memo_->Insert(signature, std::move(frontier));
+            counters.restored_memo_entries.fetch_add(1, kRelaxed);
+            break;
+          }
+          default:
+            return;  // A future kind: skip, never crash.
+        }
+        ++restored;
+        restored_bytes += record.payload.size();
+      });
+  if (result.loaded) {
+    counters.restores_loaded.fetch_add(1, kRelaxed);
+    if (result.header.format_version != persist::kFormatVersion) {
+      counters.restore_skipped_version.fetch_add(result.header.record_count,
+                                                 kRelaxed);
+    }
+  }
+  counters.restore_skipped_checksum.fetch_add(result.skipped_checksum,
+                                              kRelaxed);
+  counters.restore_truncated.fetch_add(result.truncated, kRelaxed);
+  counters.restore_bytes.fetch_add(restored_bytes, kRelaxed);
+  return restored;
+}
+
+persist::PersistStatsSnapshot OptimizationService::PersistStats() const {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  const persist::PersistCounters& c = *persist_counters_;
+  persist::PersistStatsSnapshot s;
+  s.snapshots_written = c.snapshots_written.load(kRelaxed);
+  s.snapshot_failures = c.snapshot_failures.load(kRelaxed);
+  s.snapshot_records = c.snapshot_records.load(kRelaxed);
+  s.snapshot_bytes = c.snapshot_bytes.load(kRelaxed);
+  s.restores_attempted = c.restores_attempted.load(kRelaxed);
+  s.restores_loaded = c.restores_loaded.load(kRelaxed);
+  s.restored_plan_entries = c.restored_plan_entries.load(kRelaxed);
+  s.restored_memo_entries = c.restored_memo_entries.load(kRelaxed);
+  s.restore_bytes = c.restore_bytes.load(kRelaxed);
+  s.restore_skipped_epoch = c.restore_skipped_epoch.load(kRelaxed);
+  s.restore_skipped_version = c.restore_skipped_version.load(kRelaxed);
+  s.restore_skipped_checksum = c.restore_skipped_checksum.load(kRelaxed);
+  s.restore_truncated = c.restore_truncated.load(kRelaxed);
+  if (cache_tier_ != nullptr) {
+    const persist::DiskTier::Stats tier = cache_tier_->GetStats();
+    s.cache_tier_demotions = tier.demotions;
+    s.cache_tier_promotions = tier.promotions;
+    s.cache_tier_entries = tier.entries;
+    s.cache_tier_bytes = tier.bytes;
+  }
+  if (memo_tier_ != nullptr) {
+    const persist::DiskTier::Stats tier = memo_tier_->GetStats();
+    s.memo_tier_demotions = tier.demotions;
+    s.memo_tier_promotions = tier.promotions;
+    s.memo_tier_entries = tier.entries;
+    s.memo_tier_bytes = tier.bytes;
+  }
+  return s;
+}
+
+void OptimizationService::RegisterPersistMetrics() {
+  // Samplers capture the shared counter blocks by value (shared_ptr), so
+  // a scrape racing service teardown reads frozen counters, never freed
+  // memory — the moqo_net_* pattern.
+  const auto persist_stat =
+      [counters = persist_counters_](
+          std::atomic<uint64_t> persist::PersistCounters::*field) {
+        return [counters, field]() -> double {
+          return static_cast<double>(((*counters).*field).load(std::memory_order_relaxed));
+        };
+      };
+  metrics_.AddCounter("moqo_persist_snapshots_total",
+                      "Warm-state snapshots written",
+                      persist_stat(&persist::PersistCounters::snapshots_written));
+  metrics_.AddCounter(
+      "moqo_persist_snapshot_failures_total",
+      "Snapshot writes that failed (I/O or injected fault)",
+      persist_stat(&persist::PersistCounters::snapshot_failures));
+  metrics_.AddCounter("moqo_persist_snapshot_records_total",
+                      "Records written across all snapshots",
+                      persist_stat(&persist::PersistCounters::snapshot_records));
+  metrics_.AddCounter("moqo_persist_snapshot_bytes_total",
+                      "Encoded snapshot bytes written",
+                      persist_stat(&persist::PersistCounters::snapshot_bytes));
+  metrics_.AddCounter("moqo_persist_restores_total",
+                      "Restore attempts (header validated or not)",
+                      persist_stat(&persist::PersistCounters::restores_attempted));
+  metrics_.AddCounter(
+      "moqo_persist_restored_entries_total",
+      "Entries restored from snapshots", {{"cache", "plan"}},
+      persist_stat(&persist::PersistCounters::restored_plan_entries));
+  metrics_.AddCounter(
+      "moqo_persist_restored_entries_total",
+      "Entries restored from snapshots", {{"cache", "memo"}},
+      persist_stat(&persist::PersistCounters::restored_memo_entries));
+  metrics_.AddCounter(
+      "moqo_persist_restore_bytes_total", "Payload bytes restored",
+      persist_stat(&persist::PersistCounters::restore_bytes));
+  metrics_.AddCounter(
+      "moqo_persist_restore_skipped_total",
+      "Snapshot records skipped on restore", {{"reason", "epoch"}},
+      persist_stat(&persist::PersistCounters::restore_skipped_epoch));
+  metrics_.AddCounter(
+      "moqo_persist_restore_skipped_total",
+      "Snapshot records skipped on restore", {{"reason", "version"}},
+      persist_stat(&persist::PersistCounters::restore_skipped_version));
+  metrics_.AddCounter(
+      "moqo_persist_restore_skipped_total",
+      "Snapshot records skipped on restore", {{"reason", "checksum"}},
+      persist_stat(&persist::PersistCounters::restore_skipped_checksum));
+  metrics_.AddCounter(
+      "moqo_persist_restore_truncated_total",
+      "Snapshot records lost to a torn or short tail",
+      persist_stat(&persist::PersistCounters::restore_truncated));
+
+  const auto tier_metrics = [this](
+                                const std::shared_ptr<persist::DiskTier>& tier,
+                                const char* cache_label) {
+    if (tier == nullptr) return;
+    const auto tier_stat =
+        [counters = tier->counters()](
+            std::atomic<uint64_t> persist::DiskTier::Counters::*field) {
+          return [counters, field]() -> double {
+            return static_cast<double>(((*counters).*field).load(std::memory_order_relaxed));
+          };
+        };
+    metrics_.AddCounter("moqo_persist_tier_demotions_total",
+                        "Evicted entries demoted to the disk tier",
+                        {{"cache", cache_label}},
+                        tier_stat(&persist::DiskTier::Counters::demotions));
+    metrics_.AddCounter("moqo_persist_tier_promotions_total",
+                        "Tier hits promoted back to RAM",
+                        {{"cache", cache_label}},
+                        tier_stat(&persist::DiskTier::Counters::promotions));
+    metrics_.AddCounter("moqo_persist_tier_dropped_total",
+                        "Tier entries lost to shard resets",
+                        {{"cache", cache_label}},
+                        tier_stat(&persist::DiskTier::Counters::dropped));
+    metrics_.AddGauge("moqo_persist_tier_entries",
+                      "Live tier index entries", {{"cache", cache_label}},
+                      tier_stat(&persist::DiskTier::Counters::entries));
+    metrics_.AddGauge("moqo_persist_tier_bytes",
+                      "Live tier on-disk record bytes",
+                      {{"cache", cache_label}},
+                      tier_stat(&persist::DiskTier::Counters::bytes));
+  };
+  tier_metrics(cache_tier_, "plan");
+  tier_metrics(memo_tier_, "memo");
 }
 
 }  // namespace moqo

@@ -49,6 +49,7 @@
 #include "core/plan_set.h"
 #include "memo/subplan_memo.h"
 #include "obs/metrics.h"
+#include "persist/persist_stats.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "rt/failpoint.h"
@@ -61,6 +62,40 @@
 #include "util/thread_pool.h"
 
 namespace moqo {
+
+namespace persist {
+class DiskTier;
+}  // namespace persist
+
+/// Persistence knobs (PR 9, src/persist/): warm-state snapshots across
+/// restarts and the RAM→disk demotion tier under both caches. Everything
+/// is off until `directory` is set — a service without a persist
+/// directory behaves exactly as before this subsystem existed.
+struct PersistOptions {
+  /// Where snapshots and tier segment files live; created on demand.
+  /// Empty disables persistence entirely.
+  std::string directory;
+  /// Load `<directory>/moqo.snapshot` into the PlanCache and SubplanMemo
+  /// at construction. Validation (format version, checksums, catalog
+  /// epoch, cost-model version) follows the snapshot.h matrix: any
+  /// mismatch skips cleanly — a bad snapshot is a cold start, never a
+  /// crash.
+  bool restore_on_start = true;
+  /// Write the snapshot in the destructor, after workers drain (the
+  /// caches are quiescent and maximally warm at that point).
+  bool snapshot_on_shutdown = true;
+  /// Byte budget of the RAM→disk tier, split evenly between the
+  /// PlanCache's and the SubplanMemo's tiers; 0 disables demotion (the
+  /// snapshot path still works).
+  size_t tier_capacity_bytes = 0;
+  /// Independently locked tier shards per cache (power of two).
+  int tier_shards = 4;
+  /// Stamped into snapshot headers and compared on restore: a snapshot
+  /// written under a different catalog epoch is skipped wholesale (its
+  /// content-derived keys are unreachable anyway; skipping just avoids
+  /// loading dead weight).
+  uint64_t catalog_epoch = 0;
+};
 
 struct ServiceOptions {
   /// Worker threads; 0 = one per hardware thread.
@@ -147,6 +182,9 @@ struct ServiceOptions {
   /// moqo_watchdog_fires_total.
   int64_t watchdog_poll_ms = 50;
   double watchdog_factor = 4.0;
+  /// Warm-state persistence (PR 9): snapshots across restarts and the
+  /// RAM→disk tier. Off until persist.directory is set.
+  PersistOptions persist;
 };
 
 class OptimizationService {
@@ -222,6 +260,25 @@ class OptimizationService {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// Writes the current PlanCache + SubplanMemo contents to
+  /// `<persist.directory>/moqo.snapshot` (tmp + rename, so a crash
+  /// mid-write never corrupts the previous snapshot). Thread-safe
+  /// (serialized under an internal mutex); entries inserted concurrently
+  /// may or may not be included. False when persistence is disabled or
+  /// the write failed (counted in snapshot_failures).
+  bool SnapshotNow();
+
+  /// Loads the snapshot into the caches, validating per the snapshot.h
+  /// matrix (format version, checksums, catalog epoch, cost-model
+  /// version — any mismatch skips cleanly). Returns the number of
+  /// entries restored. Called automatically at construction when
+  /// persist.restore_on_start is set.
+  size_t RestoreNow();
+
+  /// Persistence counters + both tiers' occupancy; all-zero when
+  /// persistence is disabled.
+  persist::PersistStatsSnapshot PersistStats() const;
+
  private:
   struct Admitted;  // One queued request's state.
 
@@ -265,7 +322,7 @@ class OptimizationService {
   void ServeSessionBornDone(
       const std::shared_ptr<FrontierSession>& session,
       const std::shared_ptr<const CachedFrontier>& cached,
-      const Preference& preference, OpenInfo* info);
+      const Preference& preference, OpenInfo* info, bool from_tier);
 
   /// Enqueues rung `rung` of the session's ladder as its own pool task —
   /// no worker is held across rungs (PR 7). Rung 0 rides the interactive
@@ -304,10 +361,11 @@ class OptimizationService {
       const WeightVector& weights, const BoundVector& bounds,
       double achieved_alpha);
 
-  /// Builds and resolves a response from a cached frontier (exact or
-  /// frontier hit).
+  /// Builds and resolves a response from a cached frontier (exact,
+  /// frontier, or — when the entry was promoted from disk — tier hit).
   void ServeFromCache(const std::shared_ptr<Admitted>& admitted,
-                      const std::shared_ptr<const CachedFrontier>& cached);
+                      const std::shared_ptr<const CachedFrontier>& cached,
+                      bool from_tier);
 
   /// Rejects a primary that will never run (admission/shutdown), flushing
   /// any waiters already parked on its coalescing entry.
@@ -337,6 +395,13 @@ class OptimizationService {
   /// read live state (stats registry, cache, memo, pools) at render time.
   void RegisterMetrics();
 
+  /// moqo_persist_* metrics; samplers capture the shared counter blocks
+  /// (service + tiers) so a scrape racing teardown reads frozen counters.
+  void RegisterPersistMetrics();
+
+  /// The snapshot file's live name under persist.directory.
+  std::string SnapshotPath() const;
+
   ServiceOptions options_;
   /// Span recorder; declared before both pools so every worker thread
   /// dies before the buffers it records into.
@@ -350,6 +415,16 @@ class OptimizationService {
   std::unique_ptr<SubplanMemo> subplan_memo_;
   ServiceStatsRegistry stats_;
   std::atomic<size_t> inflight_{0};
+
+  /// Persistence state (PR 9); all null/idle when persist.directory is
+  /// empty. The tiers are attached to cache_/subplan_memo_ via
+  /// shared_ptr, so their lifetime is safe regardless of declaration
+  /// order; counters are shared with metric samplers (teardown-safe).
+  std::shared_ptr<persist::DiskTier> cache_tier_;
+  std::shared_ptr<persist::DiskTier> memo_tier_;
+  std::shared_ptr<persist::PersistCounters> persist_counters_ =
+      std::make_shared<persist::PersistCounters>();
+  std::mutex snapshot_mu_;  ///< Serializes SnapshotNow/RestoreNow.
 
   std::mutex coalesce_mu_;
   /// Keyed by the alpha-EXTENDED signature: runs at different precisions

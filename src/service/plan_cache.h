@@ -33,6 +33,7 @@
 #ifndef MOQO_SERVICE_PLAN_CACHE_H_
 #define MOQO_SERVICE_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -42,6 +43,10 @@
 #include "util/sharded_lru.h"
 
 namespace moqo {
+
+namespace persist {
+class DiskTier;
+}  // namespace persist
 
 /// One cached optimization outcome: the run's result (sharing the
 /// PlanSet), the preference that produced its stored selection, and the
@@ -79,6 +84,10 @@ class PlanCache {
     /// bytes / entries and frontier_plans / entries give the per-entry
     /// means the stats registry surfaces.
     size_t frontier_plans = 0;
+    /// Lookups that missed RAM but were served (and promoted back) from
+    /// the attached disk tier. Counted inside `hits` as well — a tier hit
+    /// is reclassified from the miss it first recorded.
+    uint64_t tier_hits = 0;
   };
 
   /// Accepts any achieved alpha (plain keyed lookup).
@@ -96,10 +105,14 @@ class PlanCache {
   /// a miss; the caller's tighter run then upgrades it via Insert.
   /// `record_stats` = false skips the hit/miss counters — used by the
   /// service's coalescing re-probe so each request records exactly one
-  /// lookup.
+  /// lookup. With a tier attached, a RAM miss probes the disk tier; a
+  /// tier hit promotes the entry back into RAM, reclassifies the recorded
+  /// miss as a hit (only when `record_stats` — an uncounted probe must
+  /// stay uncounted), and sets `*from_tier` so the service can surface
+  /// CacheOutcome::kTierHit.
   std::shared_ptr<const CachedFrontier> Lookup(
       const ProblemSignature& signature, double max_alpha = kAnyAlpha,
-      bool record_stats = true);
+      bool record_stats = true, bool* from_tier = nullptr);
 
   /// Converts one recorded miss into a hit. The service calls this when
   /// its uncounted coalescing re-probe finds an entry inserted after the
@@ -116,6 +129,18 @@ class PlanCache {
   void Insert(const ProblemSignature& signature,
               std::shared_ptr<const CachedFrontier> frontier);
 
+  /// Attaches the RAM→disk demotion tier: evicted entries are encoded and
+  /// appended to `tier` (persist/frontier_codec.h), RAM misses probe it.
+  /// Call before concurrent use; passing nullptr detaches.
+  void AttachTier(std::shared_ptr<persist::DiskTier> tier);
+
+  /// Visits every resident entry as fn(signature, frontier_ptr, bytes);
+  /// see ShardedLru::ForEach for locking. The snapshot exporter.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    lru_.ForEach(fn);
+  }
+
   Stats GetStats() const;
   size_t size() const { return lru_.size(); }
   void Clear() { lru_.Clear(); }
@@ -124,6 +149,8 @@ class PlanCache {
 
  private:
   ShardedLru<ProblemSignature, std::shared_ptr<const CachedFrontier>> lru_;
+  std::shared_ptr<persist::DiskTier> tier_;
+  std::atomic<uint64_t> tier_hits_{0};
 };
 
 }  // namespace moqo

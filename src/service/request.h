@@ -83,6 +83,7 @@ enum class CacheOutcome : uint8_t {
   kExactHit,      ///< Cached entry with the same preference: reused verbatim.
   kFrontierHit,   ///< Cached PlanSet, new preference: O(|frontier|) selection.
   kCoalescedHit,  ///< Waited on an identical in-flight miss, then selected.
+  kTierHit,       ///< Missed RAM, served from the disk tier (and promoted).
 };
 
 struct ServiceResponse {
@@ -101,11 +102,12 @@ struct ServiceResponse {
   /// Total time from Submit() to response.
   double service_ms = 0;
 
-  /// True for exact and frontier hits (not for coalesced waits: those did
-  /// wait for an optimizer run, just not their own).
+  /// True for exact, frontier, and disk-tier hits (not for coalesced
+  /// waits: those did wait for an optimizer run, just not their own).
   bool cache_hit() const {
     return cache == CacheOutcome::kExactHit ||
-           cache == CacheOutcome::kFrontierHit;
+           cache == CacheOutcome::kFrontierHit ||
+           cache == CacheOutcome::kTierHit;
   }
 
   /// The full approximate Pareto set behind this response, shared with the

@@ -22,6 +22,7 @@ ServiceStatsSnapshot ServiceStatsRegistry::Snapshot() const {
   snapshot.exact_hits = exact_hits_.load(kRelaxed);
   snapshot.frontier_hits = frontier_hits_.load(kRelaxed);
   snapshot.coalesced_hits = coalesced_hits_.load(kRelaxed);
+  snapshot.tier_hits = tier_hits_.load(kRelaxed);
   snapshot.admissions_rejected = admissions_rejected_.load(kRelaxed);
   snapshot.internal_errors = internal_errors_.load(kRelaxed);
   snapshot.deadline_timeouts = deadline_timeouts_.load(kRelaxed);
@@ -46,7 +47,7 @@ std::string ServiceStatsSnapshot::ToString() const {
       << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
       << " hit_rate=" << CacheHitRate() << " exact_hits=" << exact_hits
       << " frontier_hits=" << frontier_hits
-      << " coalesced=" << coalesced_hits
+      << " coalesced=" << coalesced_hits << " tier_hits=" << tier_hits
       << " rejected=" << admissions_rejected
       << " errors=" << internal_errors << " timeouts=" << deadline_timeouts
       << " evictions=" << cache_evictions << "\n"

@@ -38,6 +38,11 @@ struct ServiceStatsSnapshot {
   /// Requests that waited on an identical in-flight miss instead of
   /// optimizing again, then selected from the primary's frontier.
   uint64_t coalesced_hits = 0;
+  /// Cache hits served from the RAM→disk tier (the entry had been evicted
+  /// from RAM, demoted to a segment file, and was promoted back by this
+  /// probe). Labeled by provenance: a tier hit counts here — not in
+  /// exact/frontier hits — whatever the preference match.
+  uint64_t tier_hits = 0;
   uint64_t admissions_rejected = 0;
   uint64_t deadline_timeouts = 0;  ///< Requests degraded to quick mode.
   /// Invalid requests (null query) and optimizer failures (e.g. OOM) —
@@ -141,6 +146,7 @@ class ServiceStatsRegistry {
   void RecordExactHit() { exact_hits_.fetch_add(1, kRelaxed); }
   void RecordFrontierHit() { frontier_hits_.fetch_add(1, kRelaxed); }
   void RecordCoalescedHit() { coalesced_hits_.fetch_add(1, kRelaxed); }
+  void RecordTierHit() { tier_hits_.fetch_add(1, kRelaxed); }
   void RecordSessionOpened() { sessions_opened_.fetch_add(1, kRelaxed); }
   void RecordSessionCoalesced() {
     sessions_coalesced_.fetch_add(1, kRelaxed);
@@ -177,6 +183,7 @@ class ServiceStatsRegistry {
   std::atomic<uint64_t> exact_hits_{0};
   std::atomic<uint64_t> frontier_hits_{0};
   std::atomic<uint64_t> coalesced_hits_{0};
+  std::atomic<uint64_t> tier_hits_{0};
   std::atomic<uint64_t> admissions_rejected_{0};
   std::atomic<uint64_t> internal_errors_{0};
   std::atomic<uint64_t> deadline_timeouts_{0};

@@ -28,10 +28,12 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace moqo {
@@ -85,6 +87,17 @@ class ShardedLru {
   ShardedLru(const ShardedLru&) = delete;
   ShardedLru& operator=(const ShardedLru&) = delete;
 
+  /// Called once per evicted entry, outside the shard lock, in eviction
+  /// order (coldest victim first). The owner decides what "demote" means —
+  /// the persistence layer appends the entry to a disk tier. Set before
+  /// concurrent use; not synchronized against in-flight operations. The
+  /// hook may re-enter the container (a promote-triggered insert may evict
+  /// and fire the hook again) because no lock is held at call time.
+  using EvictionHook =
+      std::function<void(const Key& key, const Value& value, size_t bytes)>;
+
+  void SetEvictionHook(EvictionHook hook) { eviction_hook_ = std::move(hook); }
+
   /// Returns the value stored for `key` (promoting it to most recently
   /// used) if `admit(value)` accepts it; a default-constructed Value
   /// otherwise. A present-but-refused entry counts as a miss and is not
@@ -121,39 +134,48 @@ class ShardedLru {
   template <typename Replace>
   bool InsertIf(const Key& key, Value value, size_t bytes, size_t weight,
                 Replace replace) {
-    Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-      if (!replace(it->second.value)) return false;
-      shard.bytes = shard.bytes - it->second.bytes + bytes;
-      shard.weight = shard.weight - it->second.weight + weight;
-      it->second.value = std::move(value);
-      it->second.bytes = bytes;
-      it->second.weight = weight;
-      // A grown replacement can push the shard over its byte budget; shed
-      // colder entries, but never the just-refreshed one (at the front).
-      while (shard.capacity_bytes != 0 &&
-             shard.bytes > shard.capacity_bytes && shard.lru.size() > 1) {
-        EvictBack(&shard);
+    // Victims are moved out under the lock and handed to the eviction hook
+    // only after it is released, so the hook may do I/O or re-enter the
+    // container without holding any shard mutex.
+    std::vector<Victim> victims;
+    {
+      Shard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+        if (!replace(it->second.value)) return false;
+        shard.bytes = shard.bytes - it->second.bytes + bytes;
+        shard.weight = shard.weight - it->second.weight + weight;
+        it->second.value = std::move(value);
+        it->second.bytes = bytes;
+        it->second.weight = weight;
+        // A grown replacement can push the shard over its byte budget; shed
+        // colder entries, but never the just-refreshed one (at the front).
+        while (shard.capacity_bytes != 0 &&
+               shard.bytes > shard.capacity_bytes && shard.lru.size() > 1) {
+          EvictBack(&shard, &victims);
+        }
+      } else {
+        while (!shard.lru.empty() &&
+               (shard.lru.size() >= shard.capacity ||
+                (shard.capacity_bytes != 0 &&
+                 shard.bytes + bytes > shard.capacity_bytes))) {
+          EvictBack(&shard, &victims);
+        }
+        it = shard.index
+                 .emplace(key, Entry{std::move(value), {}, bytes, weight})
+                 .first;
+        shard.lru.push_front(&it->first);
+        it->second.lru_pos = shard.lru.begin();
+        shard.bytes += bytes;
+        shard.weight += weight;
+        insertions_.fetch_add(1, std::memory_order_relaxed);
       }
-      return true;
     }
-    while (!shard.lru.empty() &&
-           (shard.lru.size() >= shard.capacity ||
-            (shard.capacity_bytes != 0 &&
-             shard.bytes + bytes > shard.capacity_bytes))) {
-      EvictBack(&shard);
+    for (const Victim& victim : victims) {
+      eviction_hook_(victim.key, victim.value, victim.bytes);
     }
-    it = shard.index
-             .emplace(key, Entry{std::move(value), {}, bytes, weight})
-             .first;
-    shard.lru.push_front(&it->first);
-    it->second.lru_pos = shard.lru.begin();
-    shard.bytes += bytes;
-    shard.weight += weight;
-    insertions_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -205,6 +227,21 @@ class ShardedLru {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  /// Visits every resident entry as `fn(key, value, bytes)`, shard by
+  /// shard, most-recently-used first within a shard. Holds one shard lock
+  /// at a time — `fn` must not re-enter this container. Used by the
+  /// persistence layer to export a snapshot without draining the cache.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const Key* key : shard->lru) {
+        auto it = shard->index.find(*key);
+        fn(it->first, it->second.value, it->second.bytes);
+      }
+    }
+  }
+
  private:
   /// Keys are stored exactly once, as map keys; the LRU list holds
   /// pointers to them — stable, since unordered_map never moves nodes.
@@ -235,9 +272,23 @@ class ShardedLru {
     size_t weight = 0;
   };
 
-  /// Caller holds the shard lock; lru non-empty.
-  void EvictBack(Shard* shard) {
+  /// An evicted entry captured for the post-unlock eviction hook.
+  struct Victim {
+    Key key;
+    Value value;
+    size_t bytes = 0;
+  };
+
+  /// Caller holds the shard lock; lru non-empty. When an eviction hook is
+  /// installed the victim is moved into `victims` for delivery after the
+  /// lock is released.
+  void EvictBack(Shard* shard, std::vector<Victim>* victims) {
     auto victim = shard->index.find(*shard->lru.back());
+    if (eviction_hook_) {
+      victims->push_back(Victim{victim->first,
+                                std::move(victim->second.value),
+                                victim->second.bytes});
+    }
     shard->bytes -= victim->second.bytes;
     shard->weight -= victim->second.weight;
     shard->index.erase(victim);
@@ -256,6 +307,7 @@ class ShardedLru {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t shard_mask_ = 0;
+  EvictionHook eviction_hook_;
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -1,0 +1,579 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Persistence subsystem tests (PR 9): the relocatable PlanSet codec, the
+// snapshot file's validation matrix, and the service-level warm restore.
+// The headline invariant is bit-exactness — a snapshot round-trip must
+// reproduce every cost vector of every frontier down to the IEEE-754 bit
+// pattern, for exact and approximate frontiers alike, because the cache
+// identity contract is "equal keys imply byte-identical frontiers".
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/plan_set.h"
+#include "model/cost_model.h"
+#include "persist/format.h"
+#include "persist/frontier_codec.h"
+#include "persist/plan_set_codec.h"
+#include "persist/snapshot.h"
+#include "rt/failpoint.h"
+#include "service/optimization_service.h"
+#include "testing/test_helpers.h"
+#include "util/arena.h"
+
+namespace moqo {
+namespace {
+
+using persist::DoubleBits;
+using persist::PlanSetCodec;
+using persist::ReadSnapshot;
+using persist::RecordKind;
+using persist::SnapshotHeader;
+using persist::SnapshotReadResult;
+using persist::SnapshotRecordView;
+using persist::SnapshotWriter;
+using testing::MakeStarQuery;
+using testing::MakeTinyCatalog;
+using testing::SmallOperatorSpace;
+
+/// Fresh per-test scratch directory (tests must not see each other's
+/// snapshot or segment files).
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "moqo_persist_" + tag + "_" +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+/// True iff the two sets carry identical frontiers down to the cost bit
+/// patterns (the round-trip acceptance bar; == on doubles would also pass
+/// -0.0 vs 0.0, which the bit comparison rejects).
+void ExpectBitIdentical(const PlanSet& a, const PlanSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.cost(i).size(), b.cost(i).size());
+    for (int k = 0; k < a.cost(i).size(); ++k) {
+      EXPECT_EQ(DoubleBits(a.cost(i)[k]), DoubleBits(b.cost(i)[k]))
+          << "plan " << i << " dim " << k;
+    }
+  }
+}
+
+/// A small synthetic frontier whose two roots share one scan sub-plan —
+/// exercising DAG dedup — with adversarial doubles (negative zero,
+/// repeating fractions, denormal-adjacent values) in the cost vectors.
+std::shared_ptr<const PlanSet> MakeDagFrontier(Arena* arena) {
+  PlanNode* shared_scan = arena->New<PlanNode>();
+  shared_scan->op_config = 3;
+  shared_scan->table = 0;
+  shared_scan->tables = TableSet(0b1);
+  shared_scan->cardinality = 1.0 / 3.0;
+  shared_scan->row_width = 64.25;
+  shared_scan->cost = CostVector(2);
+  shared_scan->cost[0] = 0.1;
+  shared_scan->cost[1] = -0.0;
+
+  PlanNode* other_scan = arena->New<PlanNode>();
+  other_scan->op_config = 1;
+  other_scan->table = 1;
+  other_scan->tables = TableSet(0b10);
+  other_scan->cardinality = 5e-324;  // Smallest denormal.
+  other_scan->row_width = 32;
+  other_scan->cost = CostVector(2);
+  other_scan->cost[0] = 2.0;
+  other_scan->cost[1] = 1.0 / 7.0;
+
+  ParetoSet set;
+  const double join_costs[][2] = {{1.5, 8.0}, {6.0, 0.5}};
+  for (int j = 0; j < 2; ++j) {
+    PlanNode* join = arena->New<PlanNode>();
+    join->op_config = 10 + j;
+    join->table = -1;
+    join->left = shared_scan;
+    join->right = other_scan;
+    join->tables = TableSet(0b11);
+    join->cardinality = 1234.5;
+    join->row_width = 96;
+    join->cost = CostVector(2);
+    join->cost[0] = join_costs[j][0];
+    join->cost[1] = join_costs[j][1];
+    set.Prune(join);
+  }
+  set.Seal();
+  return PlanSet::FromParetoSet(set);
+}
+
+TEST(PersistTest, PlanSetCodecRoundTripIsBitExact) {
+  Arena arena;
+  std::shared_ptr<const PlanSet> original = MakeDagFrontier(&arena);
+  ASSERT_EQ(original->size(), 2);
+
+  std::string block;
+  PlanSetCodec::Append(*original, &block);
+  size_t consumed = 0;
+  std::shared_ptr<const PlanSet> decoded =
+      PlanSetCodec::Decode(block.data(), block.size(), &consumed);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(consumed, block.size());
+  ExpectBitIdentical(*original, *decoded);
+
+  // Node payloads survive verbatim, including the scalar statistics.
+  const PlanNode* root = decoded->plan(0);
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(root->left, nullptr);
+  EXPECT_EQ(root->left->op_config, 3);
+  EXPECT_EQ(root->left->table, 0);
+  EXPECT_EQ(root->left->tables.mask(), 0b1u);
+  EXPECT_EQ(DoubleBits(root->left->cardinality), DoubleBits(1.0 / 3.0));
+  EXPECT_EQ(DoubleBits(root->right->cardinality), DoubleBits(5e-324));
+
+  // DAG sharing is preserved: both decoded roots reference ONE copy of
+  // each scan, not per-root clones.
+  EXPECT_EQ(decoded->plan(0)->left, decoded->plan(1)->left);
+  EXPECT_EQ(decoded->plan(0)->right, decoded->plan(1)->right);
+
+  // Re-encoding the decoded set is byte-identical: the codec is a
+  // fixed point, so repeated demote/promote cycles never drift.
+  std::string block2;
+  PlanSetCodec::Append(*decoded, &block2);
+  EXPECT_EQ(block, block2);
+}
+
+TEST(PersistTest, PlanSetCodecRejectsEveryTruncation) {
+  Arena arena;
+  std::shared_ptr<const PlanSet> original = MakeDagFrontier(&arena);
+  std::string block;
+  PlanSetCodec::Append(*original, &block);
+
+  // Every strict prefix must decode to nullptr — never crash, never
+  // return a partially-built set.
+  for (size_t len = 0; len < block.size(); ++len) {
+    EXPECT_EQ(PlanSetCodec::Decode(block.data(), len, nullptr), nullptr)
+        << "prefix length " << len;
+  }
+}
+
+TEST(PersistTest, PlanSetCodecRejectsCorruptStructure) {
+  Arena arena;
+  std::shared_ptr<const PlanSet> original = MakeDagFrontier(&arena);
+  std::string block;
+  PlanSetCodec::Append(*original, &block);
+
+  // Forward references (child index >= own index) and out-of-range roots
+  // must be rejected; synthesize them by corrupting the counts.
+  std::string corrupt = block;
+  uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(corrupt.data(), &huge, sizeof(huge));  // num_plans.
+  EXPECT_EQ(PlanSetCodec::Decode(corrupt.data(), corrupt.size(), nullptr),
+            nullptr);
+  corrupt = block;
+  std::memcpy(corrupt.data() + 4, &huge, sizeof(huge));  // num_nodes.
+  EXPECT_EQ(PlanSetCodec::Decode(corrupt.data(), corrupt.size(), nullptr),
+            nullptr);
+  corrupt = block;
+  std::memcpy(corrupt.data() + 8, &huge, sizeof(huge));  // dims.
+  EXPECT_EQ(PlanSetCodec::Decode(corrupt.data(), corrupt.size(), nullptr),
+            nullptr);
+}
+
+TEST(PersistTest, FrontierPayloadRoundTripRebuildsSelection) {
+  Arena arena;
+  std::shared_ptr<const PlanSet> plan_set = MakeDagFrontier(&arena);
+  auto result = std::make_shared<OptimizerResult>();
+  result->plan_set = plan_set;
+  WeightVector weights(2);
+  weights[0] = 0.25;
+  weights[1] = 0.75;
+  BoundVector bounds(2);
+  const PlanSelection selection = SelectPlan(*plan_set, weights, bounds);
+  result->plan = selection.plan;
+  result->cost = selection.cost;
+  result->weighted_cost = selection.weighted_cost;
+  result->respects_bounds = true;
+  CachedFrontier entry;
+  entry.result = result;
+  entry.weights = weights;
+  entry.bounds = bounds;
+  entry.achieved_alpha = 1.25;
+
+  std::string payload;
+  ASSERT_TRUE(persist::EncodeFrontierPayload(entry, &payload));
+  std::shared_ptr<const CachedFrontier> decoded =
+      persist::DecodeFrontierPayload(payload.data(), payload.size(), 1.25);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->achieved_alpha, 1.25);
+  ASSERT_EQ(decoded->weights.size(), 2);
+  EXPECT_EQ(DoubleBits(decoded->weights[0]), DoubleBits(0.25));
+  ASSERT_NE(decoded->result, nullptr);
+  ExpectBitIdentical(*plan_set, *decoded->result->plan_set);
+  // SelectPlan over bit-identical costs is deterministic: the restored
+  // selection matches the original one exactly.
+  EXPECT_EQ(DoubleBits(decoded->result->weighted_cost),
+            DoubleBits(result->weighted_cost));
+  for (int len = static_cast<int>(payload.size()) - 1; len >= 0; len -= 7) {
+    EXPECT_EQ(persist::DecodeFrontierPayload(payload.data(), len, 1.25),
+              nullptr);
+  }
+}
+
+TEST(PersistTest, SnapshotWriterReaderRoundTrip) {
+  const std::string dir = FreshDir("roundtrip");
+  const std::string path = dir + "/snap";
+  SnapshotWriter writer(/*catalog_epoch=*/7, /*cost_model_version=*/kCostModelVersion);
+  writer.AddRecord(RecordKind::kPlanCacheEntry, "key-a", 111, 1.5, "payload-a");
+  writer.AddRecord(RecordKind::kMemoEntry, "key-b", 222, 0.0, "payload-b");
+  ASSERT_TRUE(writer.WriteFile(path));
+  EXPECT_EQ(writer.record_count(), 2u);
+
+  std::vector<SnapshotRecordView> seen_kinds;
+  std::vector<std::string> keys, payloads;
+  const SnapshotReadResult result = ReadSnapshot(
+      path,
+      [](const SnapshotHeader& header) {
+        EXPECT_EQ(header.catalog_epoch, 7u);
+        EXPECT_EQ(header.cost_model_version, kCostModelVersion);
+        EXPECT_EQ(header.record_count, 2u);
+        return true;
+      },
+      [&](const SnapshotRecordView& record) {
+        keys.emplace_back(record.key);
+        payloads.emplace_back(record.payload);
+        if (keys.size() == 1) {
+          EXPECT_EQ(record.kind, RecordKind::kPlanCacheEntry);
+          EXPECT_EQ(record.key_hash, 111u);
+          EXPECT_EQ(record.achieved_alpha, 1.5);
+        }
+      });
+  EXPECT_TRUE(result.loaded);
+  EXPECT_TRUE(result.used_mmap);
+  EXPECT_EQ(result.records_ok, 2u);
+  EXPECT_EQ(result.skipped_checksum, 0u);
+  EXPECT_EQ(result.truncated, 0u);
+  EXPECT_EQ(keys, (std::vector<std::string>{"key-a", "key-b"}));
+  EXPECT_EQ(payloads, (std::vector<std::string>{"payload-a", "payload-b"}));
+}
+
+TEST(PersistTest, SnapshotValidationMatrix) {
+  const std::string dir = FreshDir("matrix");
+  const std::string path = dir + "/snap";
+  SnapshotWriter writer(1, kCostModelVersion);
+  writer.AddRecord(RecordKind::kPlanCacheEntry, "k1", 1, 1.0, "p1");
+  writer.AddRecord(RecordKind::kPlanCacheEntry, "k2", 2, 1.0, "p2");
+  writer.AddRecord(RecordKind::kPlanCacheEntry, "k3", 3, 1.0, "p3");
+  ASSERT_TRUE(writer.WriteFile(path));
+
+  const auto read_count = [&](const std::string& p) {
+    uint64_t n = 0;
+    SnapshotReadResult r = ReadSnapshot(
+        p, nullptr, [&](const SnapshotRecordView&) { ++n; });
+    EXPECT_EQ(r.records_ok, n);
+    return r;
+  };
+
+  // Missing file: not loaded, no records, no crash.
+  SnapshotReadResult missing = read_count(dir + "/nonexistent");
+  EXPECT_FALSE(missing.loaded);
+
+  // Flipped magic byte: whole file ignored.
+  std::string raw;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[4096];
+    size_t n;
+    while ((n = fread(buffer, 1, sizeof(buffer), f)) > 0) raw.append(buffer, n);
+    fclose(f);
+  }
+  const auto write_variant = [&](const std::string& name,
+                                 const std::string& bytes) {
+    const std::string p = dir + "/" + name;
+    FILE* f = fopen(p.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    fwrite(bytes.data(), 1, bytes.size(), f);
+    fclose(f);
+    return p;
+  };
+  std::string bad_magic = raw;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(read_count(write_variant("bad_magic", bad_magic)).loaded);
+
+  // Corrupted header byte (breaks the header checksum): ignored.
+  std::string bad_header = raw;
+  bad_header[16] ^= 0x01;  // catalog_epoch byte.
+  EXPECT_FALSE(read_count(write_variant("bad_header", bad_header)).loaded);
+
+  // Unknown format version (header checksum recomputed so only the
+  // version gate can reject): header trusted, records not parsed.
+  std::string bad_version = raw;
+  bad_version[8] ^= 0x40;  // format_version.
+  {
+    const uint64_t checksum = persist::Fnv1a(bad_version.data(), 40);
+    std::memcpy(bad_version.data() + 40, &checksum, 8);
+  }
+  SnapshotReadResult version = read_count(write_variant("bad_version",
+                                                        bad_version));
+  EXPECT_TRUE(version.loaded);
+  EXPECT_NE(version.header.format_version, persist::kFormatVersion);
+  EXPECT_EQ(version.records_ok, 0u);
+
+  // Torn tail: drop the last 5 bytes — the final record is lost, the
+  // prefix parses.
+  std::string torn = raw.substr(0, raw.size() - 5);
+  SnapshotReadResult torn_result = read_count(write_variant("torn", torn));
+  EXPECT_TRUE(torn_result.loaded);
+  EXPECT_EQ(torn_result.records_ok, 2u);
+  EXPECT_EQ(torn_result.truncated, 1u);
+
+  // Bit rot inside record 2's payload: that record AND the rest are
+  // dropped (the corrupt header's lengths cannot be trusted to find
+  // record 3), record 1 survives.
+  std::string rot = raw;
+  rot[rot.size() - 3] ^= 0x10;  // Inside the last record's payload.
+  SnapshotReadResult rot_result = read_count(write_variant("rot", rot));
+  EXPECT_TRUE(rot_result.loaded);
+  EXPECT_EQ(rot_result.records_ok, 2u);
+  EXPECT_EQ(rot_result.skipped_checksum, 1u);
+
+  // Epoch gating is the caller's: header_cb false stops before records.
+  uint64_t gated_records = 0;
+  SnapshotReadResult gated = ReadSnapshot(
+      path, [](const SnapshotHeader&) { return false; },
+      [&](const SnapshotRecordView&) { ++gated_records; });
+  EXPECT_TRUE(gated.loaded);
+  EXPECT_EQ(gated_records, 0u);
+}
+
+// ---- Service-level warm restore. ---------------------------------------
+
+ServiceOptions PersistServiceOptions(const std::string& dir) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.operators = SmallOperatorSpace();
+  options.persist.directory = dir;
+  options.persist.tier_capacity_bytes = size_t{8} << 20;
+  return options;
+}
+
+ObjectiveSet FirstObjectives(int num_objectives) {
+  std::vector<Objective> objectives(kAllObjectives.begin(),
+                                    kAllObjectives.begin() + num_objectives);
+  return ObjectiveSet(objectives);
+}
+
+ServiceRequest StarRequest(const Catalog* catalog, int num_dims,
+                           int num_objectives, AlgorithmKind algorithm,
+                           double alpha) {
+  ServiceRequest request;
+  request.spec.query =
+      std::make_shared<Query>(MakeStarQuery(catalog, num_dims));
+  request.spec.objectives = FirstObjectives(num_objectives);
+  request.spec.algorithm = algorithm;
+  request.spec.alpha = alpha;
+  request.preference.weights = WeightVector::Uniform(num_objectives);
+  return request;
+}
+
+uint64_t OptimizerRuns(const OptimizationService& service) {
+  uint64_t runs = 0;
+  for (const HistogramSnapshot& lat : service.Stats().latency_by_algorithm) {
+    runs += lat.count;
+  }
+  return runs;
+}
+
+TEST(PersistTest, ServiceSnapshotRestoreServesWarmBitIdentical) {
+  const std::string dir = FreshDir("service");
+  Catalog catalog = MakeTinyCatalog();
+  // One exact (EXA) and one approximate (RTA) frontier: the bit-identity
+  // acceptance covers both.
+  ServiceRequest exact = StarRequest(&catalog, 2, 2, AlgorithmKind::kExa, 1.0);
+  ServiceRequest approx =
+      StarRequest(&catalog, 3, 3, AlgorithmKind::kRta, 1.5);
+
+  std::vector<CostVector> exact_costs, approx_costs;
+  double exact_weighted = 0, approx_weighted = 0;
+  {
+    OptimizationService service(PersistServiceOptions(dir));
+    ServiceResponse r1 = service.SubmitAndWait(exact);
+    ASSERT_EQ(r1.status, ResponseStatus::kCompleted);
+    exact_costs = r1.plan_set()->costs();
+    exact_weighted = r1.result->weighted_cost;
+    ServiceResponse r2 = service.SubmitAndWait(approx);
+    ASSERT_EQ(r2.status, ResponseStatus::kCompleted);
+    approx_costs = r2.plan_set()->costs();
+    approx_weighted = r2.result->weighted_cost;
+    // star3 publishes table-set frontiers into the memo; the snapshot
+    // must carry them too.
+    EXPECT_GT(service.MemoStats().insertions, 0u);
+  }  // Destructor: snapshot-on-shutdown.
+
+  OptimizationService restored(PersistServiceOptions(dir));
+  const persist::PersistStatsSnapshot persisted = restored.PersistStats();
+  EXPECT_EQ(persisted.restores_attempted, 1u);
+  EXPECT_EQ(persisted.restores_loaded, 1u);
+  ASSERT_GT(persisted.restored_plan_entries, 0u);
+  EXPECT_GT(persisted.restored_memo_entries, 0u);
+  EXPECT_EQ(persisted.restore_skipped_checksum, 0u);
+  EXPECT_EQ(persisted.restore_truncated, 0u);
+
+  // First request after restart: answered from the restored cache — no
+  // optimizer run — with the SAME frontier, bit for bit.
+  ServiceResponse warm_exact = restored.SubmitAndWait(exact);
+  ASSERT_EQ(warm_exact.status, ResponseStatus::kCompleted);
+  EXPECT_TRUE(warm_exact.cache_hit());
+  EXPECT_EQ(OptimizerRuns(restored), 0u);
+  ServiceResponse warm_approx = restored.SubmitAndWait(approx);
+  ASSERT_EQ(warm_approx.status, ResponseStatus::kCompleted);
+  EXPECT_TRUE(warm_approx.cache_hit());
+  EXPECT_EQ(OptimizerRuns(restored), 0u);
+
+  const auto expect_same = [](const std::vector<CostVector>& before,
+                              const std::vector<CostVector>& after) {
+    ASSERT_EQ(before.size(), after.size());
+    for (size_t i = 0; i < before.size(); ++i) {
+      for (int k = 0; k < before[i].size(); ++k) {
+        EXPECT_EQ(DoubleBits(before[i][k]), DoubleBits(after[i][k]));
+      }
+    }
+  };
+  expect_same(exact_costs, warm_exact.plan_set()->costs());
+  expect_same(approx_costs, warm_approx.plan_set()->costs());
+  EXPECT_EQ(DoubleBits(exact_weighted),
+            DoubleBits(warm_exact.result->weighted_cost));
+  EXPECT_EQ(DoubleBits(approx_weighted),
+            DoubleBits(warm_approx.result->weighted_cost));
+}
+
+TEST(PersistTest, RestoreSkipsWholeSnapshotOnEpochMismatch) {
+  const std::string dir = FreshDir("epoch");
+  Catalog catalog = MakeTinyCatalog();
+  {
+    ServiceOptions options = PersistServiceOptions(dir);
+    options.persist.catalog_epoch = 1;
+    OptimizationService service(options);
+    service.SubmitAndWait(
+        StarRequest(&catalog, 2, 2, AlgorithmKind::kExa, 1.0));
+  }
+  ServiceOptions options = PersistServiceOptions(dir);
+  options.persist.catalog_epoch = 2;  // Statistics changed since the write.
+  OptimizationService service(options);
+  const persist::PersistStatsSnapshot persisted = service.PersistStats();
+  EXPECT_EQ(persisted.restored_entries(), 0u);
+  EXPECT_GT(persisted.restore_skipped_epoch, 0u);
+  EXPECT_EQ(service.CacheStats().entries, 0u);
+}
+
+TEST(PersistTest, RestoreSkipsWholeSnapshotOnCostModelMismatch) {
+  const std::string dir = FreshDir("costmodel");
+  // Hand-write a snapshot claiming a future cost model: every stored cost
+  // would be stale, so the restore must load nothing.
+  SnapshotWriter writer(/*catalog_epoch=*/0, kCostModelVersion + 1);
+  writer.AddRecord(RecordKind::kPlanCacheEntry, "stale", 9, 1.0, "junk");
+  ASSERT_TRUE(writer.WriteFile(dir + "/moqo.snapshot"));
+
+  OptimizationService service(PersistServiceOptions(dir));
+  const persist::PersistStatsSnapshot persisted = service.PersistStats();
+  EXPECT_EQ(persisted.restored_entries(), 0u);
+  EXPECT_EQ(persisted.restore_skipped_version, 1u);
+  EXPECT_EQ(service.CacheStats().entries, 0u);
+}
+
+TEST(PersistTest, TornSnapshotRestoresPrefixAndStaysServing) {
+  const std::string dir = FreshDir("torn");
+  Catalog catalog = MakeTinyCatalog();
+  ServiceRequest request =
+      StarRequest(&catalog, 2, 2, AlgorithmKind::kExa, 1.0);
+  {
+    OptimizationService service(PersistServiceOptions(dir));
+    service.SubmitAndWait(request);
+  }
+  // Tear the tail off the snapshot: a crash mid-write of a *new* file
+  // never produces this (tmp + rename), but disks rot and copies
+  // truncate — the reader must degrade to the surviving prefix.
+  const std::string path = dir + "/moqo.snapshot";
+  struct stat st;
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 3), 0);
+
+  OptimizationService service(PersistServiceOptions(dir));
+  const persist::PersistStatsSnapshot persisted = service.PersistStats();
+  EXPECT_GT(persisted.restore_truncated, 0u);
+  // Whatever was lost, the service still answers — cold or warm.
+  ServiceResponse response = service.SubmitAndWait(request);
+  EXPECT_EQ(response.status, ResponseStatus::kCompleted);
+}
+
+TEST(PersistTest, FailpointsForceColdStartAndFailedSnapshotCleanly) {
+  if (!rt::kFailpointsEnabled) {
+    GTEST_SKIP() << "built with MOQO_FAILPOINTS=OFF";
+  }
+  const std::string dir = FreshDir("failpoints");
+  Catalog catalog = MakeTinyCatalog();
+  ServiceRequest request =
+      StarRequest(&catalog, 2, 2, AlgorithmKind::kExa, 1.0);
+  {
+    OptimizationService service(PersistServiceOptions(dir));
+    service.SubmitAndWait(request);
+    ASSERT_TRUE(service.SnapshotNow());
+  }
+
+  // persist.read: the restore open fails -> clean cold start.
+  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("persist.read",
+                                                  "always:return_error"));
+  {
+    ServiceOptions options = PersistServiceOptions(dir);
+    options.persist.snapshot_on_shutdown = false;
+    OptimizationService service(options);
+    EXPECT_EQ(service.PersistStats().restored_entries(), 0u);
+    ServiceResponse response = service.SubmitAndWait(request);
+    EXPECT_EQ(response.status, ResponseStatus::kCompleted);
+  }
+  rt::FailpointRegistry::Global().DisarmAll();
+
+  // persist.mmap: mmap refused -> the read(2) fallback restores the same
+  // entries.
+  ASSERT_TRUE(
+      rt::FailpointRegistry::Global().Arm("persist.mmap", "always:return_error"));
+  {
+    ServiceOptions options = PersistServiceOptions(dir);
+    options.persist.snapshot_on_shutdown = false;
+    OptimizationService service(options);
+    EXPECT_GT(service.PersistStats().restored_entries(), 0u);
+    ServiceResponse response = service.SubmitAndWait(request);
+    EXPECT_EQ(response.status, ResponseStatus::kCompleted);
+    EXPECT_TRUE(response.cache_hit());
+  }
+  rt::FailpointRegistry::Global().DisarmAll();
+
+  // persist.write: the shutdown snapshot fails; the previous snapshot
+  // survives untouched (tmp + rename) and the failure is counted.
+  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("persist.write",
+                                                  "always:return_error"));
+  {
+    OptimizationService service(PersistServiceOptions(dir));
+    EXPECT_FALSE(service.SnapshotNow());
+    EXPECT_GE(service.PersistStats().snapshot_failures, 1u);
+  }
+  rt::FailpointRegistry::Global().DisarmAll();
+  {
+    ServiceOptions options = PersistServiceOptions(dir);
+    options.persist.snapshot_on_shutdown = false;
+    OptimizationService service(options);
+    EXPECT_GT(service.PersistStats().restored_entries(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace moqo

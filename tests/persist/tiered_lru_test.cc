@@ -1,0 +1,382 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// RAM→disk tier tests (PR 9): the DiskTier container mechanics, then the
+// tier wired behind PlanCache and SubplanMemo — demotion on eviction,
+// promotion on a RAM miss (surfacing as a tier hit), the relaxed-alpha
+// gate on disk probes, and the stats-accounting regressions around
+// ReclassifyMissAsHit.
+
+#include "persist/disk_tier.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/plan_set.h"
+#include "memo/subplan_memo.h"
+#include "persist/format.h"
+#include "service/plan_cache.h"
+#include "util/arena.h"
+
+namespace moqo {
+namespace {
+
+using persist::DiskTier;
+using persist::DoubleBits;
+
+/// Fresh per-test scratch directory for segment files.
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "moqo_tier_" + tag + "_" +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+DiskTier::Options TierOptions(const std::string& dir,
+                              size_t capacity_bytes = size_t{1} << 20,
+                              int shards = 1) {
+  DiskTier::Options options;
+  options.directory = dir;
+  options.name = "test_tier";
+  options.capacity_bytes = capacity_bytes;
+  options.shards = shards;
+  return options;
+}
+
+/// On-disk record footprint: 32-byte header + key + payload (disk_tier.h).
+size_t RecordBytes(const std::string& key, const std::string& payload) {
+  return 32 + key.size() + payload.size();
+}
+
+TEST(TieredLruTest, DiskTierRoundTripIsReadOnce) {
+  DiskTier tier(TierOptions(FreshDir("roundtrip")));
+  ASSERT_TRUE(tier.ok());
+  ASSERT_TRUE(tier.Put(42, "key", 1.25, "payload-bytes"));
+  EXPECT_EQ(tier.GetStats().entries, 1u);
+  EXPECT_EQ(tier.GetStats().bytes, RecordBytes("key", "payload-bytes"));
+
+  std::string payload;
+  double alpha = 0;
+  ASSERT_TRUE(tier.Take(42, "key", 2.0, &payload, &alpha));
+  EXPECT_EQ(payload, "payload-bytes");
+  EXPECT_EQ(DoubleBits(alpha), DoubleBits(1.25));
+
+  // Promotion is a move: the entry is gone, its bytes reclaimed from the
+  // live accounting.
+  EXPECT_FALSE(tier.Take(42, "key", 2.0, &payload, &alpha));
+  const DiskTier::Stats stats = tier.GetStats();
+  EXPECT_EQ(stats.demotions, 1u);
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(TieredLruTest, DiskTierAlphaGateSkipsWithoutErasing) {
+  DiskTier tier(TierOptions(FreshDir("alpha")));
+  ASSERT_TRUE(tier.Put(7, "k", /*achieved_alpha=*/1.5, "p"));
+
+  // A probe needing a tighter guarantee than the stored entry must miss —
+  // and must NOT consume the entry: a later, looser probe still hits.
+  std::string payload;
+  EXPECT_FALSE(tier.Take(7, "k", /*max_alpha=*/1.2, &payload, nullptr));
+  EXPECT_EQ(tier.GetStats().entries, 1u);
+  EXPECT_TRUE(tier.Take(7, "k", /*max_alpha=*/1.5, &payload, nullptr));
+  EXPECT_EQ(payload, "p");
+}
+
+TEST(TieredLruTest, DiskTierHashCollisionsNeverAlias) {
+  DiskTier tier(TierOptions(FreshDir("collision")));
+  // Two distinct keys forced onto the same hash (shapes differ, so both
+  // are stored): the full-key verify must route each probe to its own
+  // payload, and an unknown key with a known hash must miss.
+  ASSERT_TRUE(tier.Put(99, "key-a", 1.0, "payload-a"));
+  ASSERT_TRUE(tier.Put(99, "key-bee", 1.0, "payload-bee"));
+  EXPECT_EQ(tier.GetStats().entries, 2u);
+
+  std::string payload;
+  ASSERT_TRUE(tier.Take(99, "key-bee", 2.0, &payload, nullptr));
+  EXPECT_EQ(payload, "payload-bee");
+  EXPECT_FALSE(tier.Take(99, "key-c", 2.0, &payload, nullptr));
+  ASSERT_TRUE(tier.Take(99, "key-a", 2.0, &payload, nullptr));
+  EXPECT_EQ(payload, "payload-a");
+
+  // A SAME-shape collision (equal hash, key length, payload length, and
+  // alpha) trips Put's re-demotion dedup: the second entry is not
+  // appended. That must degrade to a clean miss for the new key — the
+  // full-key check may never serve the resident key's payload for it.
+  ASSERT_TRUE(tier.Put(77, "twin-1", 1.0, "payload-1"));
+  ASSERT_TRUE(tier.Put(77, "twin-2", 1.0, "payload-2"));
+  EXPECT_EQ(tier.GetStats().entries, 1u);
+  EXPECT_FALSE(tier.Take(77, "twin-2", 2.0, &payload, nullptr));
+  ASSERT_TRUE(tier.Take(77, "twin-1", 2.0, &payload, nullptr));
+  EXPECT_EQ(payload, "payload-1");
+}
+
+TEST(TieredLruTest, DiskTierDedupsIdenticalReDemotion) {
+  DiskTier tier(TierOptions(FreshDir("dedup")));
+  ASSERT_TRUE(tier.Put(5, "k", 1.0, "same-payload"));
+  const size_t bytes = tier.GetStats().bytes;
+  // Re-demoting a byte-identical entry (same hash, key, alpha, payload
+  // shape) is a no-op, not a duplicate index entry or dead bytes.
+  ASSERT_TRUE(tier.Put(5, "k", 1.0, "same-payload"));
+  EXPECT_EQ(tier.GetStats().entries, 1u);
+  EXPECT_EQ(tier.GetStats().bytes, bytes);
+}
+
+TEST(TieredLruTest, DiskTierResetsShardAtBudgetAndRefusesOversize) {
+  // Tiny budget: a handful of records overflows the single shard.
+  const std::string payload(64, 'x');
+  DiskTier tier(TierOptions(FreshDir("reset"), /*capacity_bytes=*/512));
+  ASSERT_TRUE(tier.ok());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(tier.Put(1000 + i, "key" + std::to_string(i), 1.0, payload));
+  }
+  const DiskTier::Stats stats = tier.GetStats();
+  EXPECT_EQ(stats.demotions, 32u);
+  EXPECT_GT(stats.dropped, 0u);  // At least one generation was shed.
+  EXPECT_LT(stats.entries, 32u);
+  EXPECT_LE(stats.bytes, 512u + RecordBytes("key00", payload));
+
+  // A single record bigger than the whole shard budget can never be
+  // stored; refusing it must not disturb the resident generation.
+  const size_t entries_before = tier.GetStats().entries;
+  EXPECT_FALSE(tier.Put(1, "big", 1.0, std::string(4096, 'y')));
+  EXPECT_EQ(tier.GetStats().entries, entries_before);
+}
+
+// ---- PlanCache with an attached tier. ----------------------------------
+
+ProblemSignature Sig(const std::string& key) {
+  ProblemSignature signature;
+  signature.key = key;
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  signature.hash = hash;
+  return signature;
+}
+
+/// A cached entry with a real one-plan frontier (the demotion hook skips
+/// entries with no restorable plan set); `weighted_cost` lands in
+/// cost[0], so round-tripped entries are distinguishable by cost bits.
+std::shared_ptr<const CachedFrontier> FrontierEntry(double weighted_cost,
+                                                    double alpha = 1.0) {
+  Arena arena;
+  PlanNode* node = arena.New<PlanNode>();
+  node->op_config = 1;
+  node->table = 0;
+  node->tables = TableSet(0b1);
+  node->cardinality = 10;
+  node->row_width = 8;
+  node->cost = CostVector(2);
+  node->cost[0] = weighted_cost;
+  node->cost[1] = 1.0;
+  ParetoSet set;
+  set.Prune(node);
+  set.Seal();
+  auto plan_set = PlanSet::FromParetoSet(set);
+
+  auto result = std::make_shared<OptimizerResult>();
+  result->plan = plan_set->plan(0);
+  result->cost = plan_set->cost(0);
+  result->weighted_cost = weighted_cost;
+  result->plan_set = std::move(plan_set);
+  auto cached = std::make_shared<CachedFrontier>();
+  cached->result = std::move(result);
+  cached->weights = WeightVector::Uniform(2);
+  cached->achieved_alpha = alpha;
+  return cached;
+}
+
+/// PlanCache with one RAM slot, so every second insert demotes.
+std::unique_ptr<PlanCache> OneSlotCache(std::shared_ptr<DiskTier> tier) {
+  PlanCache::Options options;
+  options.capacity = 1;
+  options.shards = 1;
+  auto cache = std::make_unique<PlanCache>(options);
+  cache->AttachTier(std::move(tier));
+  return cache;
+}
+
+TEST(TieredLruTest, PlanCacheDemotesOnEvictionAndPromotesOnMiss) {
+  auto tier = std::make_shared<DiskTier>(TierOptions(FreshDir("promote")));
+  std::unique_ptr<PlanCache> cache = OneSlotCache(tier);
+
+  cache->Insert(Sig("a"), FrontierEntry(1.0));
+  cache->Insert(Sig("b"), FrontierEntry(2.0));  // Evicts + demotes a.
+  EXPECT_EQ(tier->GetStats().demotions, 1u);
+  EXPECT_EQ(tier->GetStats().entries, 1u);
+
+  // RAM miss on a → tier hit: promoted back (evicting + demoting b), the
+  // recorded miss reclassified, surfaced via from_tier.
+  bool from_tier = false;
+  auto hit = cache->Lookup(Sig("a"), PlanCache::kAnyAlpha,
+                           /*record_stats=*/true, &from_tier);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(from_tier);
+  ASSERT_EQ(hit->result->plan_set->size(), 1);
+  EXPECT_EQ(DoubleBits(hit->result->plan_set->cost(0)[0]), DoubleBits(1.0));
+  // The selection is re-derived from the decoded frontier (SelectPlan
+  // with the stored uniform weights), not copied: 1*1.0 + 1*1.0.
+  EXPECT_EQ(DoubleBits(hit->result->weighted_cost), DoubleBits(2.0));
+
+  PlanCache::Stats stats = cache->GetStats();
+  EXPECT_EQ(stats.hits, 1u);    // The miss was reclassified...
+  EXPECT_EQ(stats.misses, 0u);  // ...so the net contribution is one hit.
+  EXPECT_EQ(stats.tier_hits, 1u);
+  EXPECT_EQ(tier->GetStats().promotions, 1u);
+  EXPECT_EQ(tier->GetStats().demotions, 2u);  // b demoted by the promotion.
+
+  // A RAM hit on the promoted entry involves no tier traffic.
+  from_tier = true;
+  ASSERT_NE(cache->Lookup(Sig("a"), PlanCache::kAnyAlpha, true, &from_tier),
+            nullptr);
+  EXPECT_FALSE(from_tier);
+  EXPECT_EQ(tier->GetStats().promotions, 1u);
+}
+
+TEST(TieredLruTest, PlanCacheTierProbeRespectsAlphaGate) {
+  auto tier = std::make_shared<DiskTier>(TierOptions(FreshDir("alphagate")));
+  std::unique_ptr<PlanCache> cache = OneSlotCache(tier);
+
+  cache->Insert(Sig("loose"), FrontierEntry(1.0, /*alpha=*/1.5));
+  cache->Insert(Sig("other"), FrontierEntry(2.0));  // Demotes "loose".
+
+  // The demoted entry only guarantees alpha 1.5; a request needing 1.2
+  // must miss — without consuming the tier entry.
+  bool from_tier = false;
+  EXPECT_EQ(cache->Lookup(Sig("loose"), /*max_alpha=*/1.2, true, &from_tier),
+            nullptr);
+  EXPECT_FALSE(from_tier);
+  EXPECT_EQ(cache->GetStats().misses, 1u);
+  EXPECT_EQ(tier->GetStats().entries, 1u);
+
+  // A looser request is served from the tier, alpha tag intact.
+  auto hit = cache->Lookup(Sig("loose"), /*max_alpha=*/2.0, true, &from_tier);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(from_tier);
+  EXPECT_EQ(DoubleBits(hit->achieved_alpha), DoubleBits(1.5));
+}
+
+TEST(TieredLruTest, UncountedTierHitStaysUncounted) {
+  // Regression: ReclassifyMissAsHit must only fire for stats-recording
+  // lookups. The service's coalescing re-probe passes record_stats=false;
+  // if a tier promotion inside such a probe reclassified anyway, hits
+  // would exceed lookups and the hits+misses==lookups invariant breaks.
+  auto tier = std::make_shared<DiskTier>(TierOptions(FreshDir("uncounted")));
+  std::unique_ptr<PlanCache> cache = OneSlotCache(tier);
+  cache->Insert(Sig("a"), FrontierEntry(1.0));
+  cache->Insert(Sig("b"), FrontierEntry(2.0));  // Demotes a.
+
+  bool from_tier = false;
+  auto hit = cache->Lookup(Sig("a"), PlanCache::kAnyAlpha,
+                           /*record_stats=*/false, &from_tier);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(from_tier);  // Still surfaced as a tier hit to the caller...
+  PlanCache::Stats stats = cache->GetStats();
+  EXPECT_EQ(stats.hits, 0u);  // ...but the counters never moved.
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.tier_hits, 1u);  // Tier traffic is real and counted.
+}
+
+TEST(TieredLruTest, SubplanMemoDemotesAndPromotesBitExactly) {
+  auto tier = std::make_shared<DiskTier>(TierOptions(FreshDir("memo")));
+  SubplanMemo::Options options;
+  options.capacity = 1;
+  options.shards = 1;
+  SubplanMemo memo(options);
+  memo.AttachTier(tier);
+
+  SubplanSignature sig_x;
+  sig_x.key = "subplan-x";
+  sig_x.hash = 101;
+  SubplanSignature sig_y;
+  sig_y.key = "subplan-y";
+  sig_y.hash = 202;
+
+  Arena arena;
+  ParetoSet set;
+  for (int i = 0; i < 2; ++i) {
+    PlanNode* node = arena.New<PlanNode>();
+    node->op_config = i;
+    node->table = 0;
+    node->tables = TableSet(0b1);
+    node->cardinality = 3.5;
+    node->row_width = 16;
+    node->cost = CostVector(2);
+    node->cost[0] = i == 0 ? 1.0 / 3.0 : 4.0;
+    node->cost[1] = i == 0 ? 5.0 : -0.0;
+    set.Prune(node);
+  }
+  set.Seal();
+  std::shared_ptr<const PlanSet> frontier_x = PlanSet::FromParetoSet(set);
+
+  memo.Insert(sig_x, frontier_x);
+  memo.Insert(sig_y, PlanSet::Empty());  // Evicts + demotes x.
+  EXPECT_EQ(tier->GetStats().demotions, 1u);
+
+  std::shared_ptr<const PlanSet> promoted = memo.Lookup(sig_x);
+  ASSERT_NE(promoted, nullptr);
+  ASSERT_EQ(promoted->size(), frontier_x->size());
+  for (int i = 0; i < promoted->size(); ++i) {
+    for (int k = 0; k < promoted->cost(i).size(); ++k) {
+      EXPECT_EQ(DoubleBits(promoted->cost(i)[k]),
+                DoubleBits(frontier_x->cost(i)[k]));
+    }
+  }
+  const SubplanMemo::Stats stats = memo.GetStats();
+  EXPECT_EQ(stats.tier_hits, 1u);
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_EQ(tier->GetStats().promotions, 1u);
+}
+
+TEST(TieredLruTest, ConcurrentDemotePromoteHammer) {
+  // Thrash a 1-slot cache from several threads so demotions, promotions,
+  // and RAM hits interleave; the assertions are "no crash, no deadlock,
+  // sane counters" — the locking contract under TSan.
+  auto tier = std::make_shared<DiskTier>(
+      TierOptions(FreshDir("hammer"), size_t{1} << 20, /*shards=*/2));
+  std::unique_ptr<PlanCache> cache = OneSlotCache(tier);
+
+  constexpr int kThreads = 4;
+  constexpr int kOps = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string name = "key" + std::to_string((t + i) % 8);
+        if (i % 3 == 0) {
+          cache->Insert(Sig(name), FrontierEntry(i + 1.0));
+        } else {
+          bool from_tier = false;
+          cache->Lookup(Sig(name), PlanCache::kAnyAlpha, true, &from_tier);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const DiskTier::Stats stats = tier->GetStats();
+  EXPECT_GT(stats.demotions, 0u);
+  EXPECT_GE(stats.demotions, stats.promotions);
+  const PlanCache::Stats cache_stats = cache->GetStats();
+  EXPECT_EQ(cache_stats.hits + cache_stats.misses,
+            uint64_t{kThreads} * (kOps - (kOps + 2) / 3));
+  // Every successful tier read surfaced as exactly one tier hit.
+  EXPECT_EQ(cache_stats.tier_hits, stats.promotions);
+}
+
+}  // namespace
+}  // namespace moqo

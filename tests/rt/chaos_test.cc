@@ -14,6 +14,9 @@
 // CI failure replays locally from the seed it printed. CI runs this file
 // under ASan with several fixed seeds.
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -73,6 +76,10 @@ constexpr SiteSpec kServiceSites[] = {
     {"arena.new_block", "oom"},     {"planset.snapshot", "oom"},
     {"cache.insert", "return_error"}, {"memo.insert", "return_error"},
     {"pool.dispatch", "return_error"}, {"session.rung", "throw"},
+    // PR 9: the persistence layer rides the same hot path — the one-slot
+    // chaos cache demotes on every insert (persist.write) and probes the
+    // disk tier on every RAM miss (persist.read).
+    {"persist.write", "return_error"}, {"persist.read", "return_error"},
 };
 
 constexpr SiteSpec kNetSites[] = {
@@ -178,6 +185,17 @@ ServiceOptions ChaosServiceOptions(int workers) {
   // frontier — Lookup serves any looser target from the same signature.
   options.cache.capacity = 1;
   options.cache.shards = 1;
+  // A live disk tier behind the one-slot cache: every eviction demotes
+  // (persist.write) and every miss probes disk (persist.read), putting
+  // the persistence failpoints on the chaos hot path. Snapshots stay off
+  // here — the restart-cycle test below owns cross-restart state.
+  static std::atomic<int> persist_dir_counter{0};
+  options.persist.directory = ::testing::TempDir() + "moqo_chaos_persist_" +
+                              std::to_string(::getpid()) + "_" +
+                              std::to_string(persist_dir_counter.fetch_add(1));
+  options.persist.tier_capacity_bytes = size_t{4} << 20;
+  options.persist.restore_on_start = false;
+  options.persist.snapshot_on_shutdown = false;
   return options;
 }
 
@@ -354,6 +372,15 @@ TEST(ChaosTest, LoopbackSessionsSurviveInjectedFaultsEverywhere) {
   // The acceptance schedule: every site armed at probability(0.01).
   ArmSites(kServiceSites, 0.01, seed);
   ArmSites(kNetSites, 0.01, seed + 7);
+  // Override: a DEAD disk tier (every probe errors). The dedicated
+  // persist chaos test proves the tier serving; this run proves the tier
+  // failing leaves PR-8 behavior intact — RAM misses fall through to
+  // real optimizer runs, which also keeps the memo (and its memo.insert
+  // site) in play under the one-slot chaos cache. A probabilistically
+  // healthy tier would absorb those misses as promotions and starve the
+  // memo of traffic.
+  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("persist.read",
+                                                  "always:return_error"));
 
   std::atomic<int> opened{0};
   std::atomic<int> terminal{0};       // DONE or ERROR frame received.
@@ -462,6 +489,144 @@ TEST(ChaosTest, LoopbackSessionsSurviveInjectedFaultsEverywhere) {
               std::string::npos)
         << site.site;
   }
+}
+
+// ---- Persistence chaos: fault schedules across restart cycles. ---------
+
+/// A SubmitAndWait request against the chaos star catalog; alpha varies
+/// per call so each request is a distinct cache signature.
+ServiceRequest ChaosStarRequest(
+    const std::unordered_map<std::string,
+                             std::shared_ptr<const Query>>& queries,
+    int dims, double alpha) {
+  ServiceRequest request;
+  request.spec.query = queries.at("star" + std::to_string(dims));
+  std::vector<Objective> objectives;
+  for (int i = 0; i < dims; ++i) {
+    objectives.push_back(static_cast<Objective>(i));
+  }
+  request.spec.objectives = ObjectiveSet(std::move(objectives));
+  request.spec.algorithm = AlgorithmKind::kRta;
+  request.spec.alpha = alpha;
+  request.preference.weights = WeightVector::Uniform(dims);
+  return request;
+}
+
+TEST(ChaosTest, PersistFaultsAndTornSnapshotsAcrossRestartsStayClean) {
+  if (!rt::kFailpointsEnabled) {
+    GTEST_SKIP() << "built with MOQO_FAILPOINTS=OFF";
+  }
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("MOQO_CHAOS_SEED=" + std::to_string(seed));
+
+  const std::string dir = ::testing::TempDir() + "moqo_chaos_restart_" +
+                          std::to_string(::getpid());
+  const std::string snapshot_path = dir + "/moqo.snapshot";
+  std::string cmd = "rm -rf " + dir;
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  Catalog catalog = MakeTinyCatalog();
+  std::unordered_map<std::string, std::shared_ptr<const Query>> queries;
+  for (int dims = 2; dims <= 3; ++dims) {
+    queries["star" + std::to_string(dims)] =
+        std::make_shared<Query>(MakeStarQuery(&catalog, dims));
+  }
+  const auto restart_options = [&] {
+    ServiceOptions options = ChaosServiceOptions(2);
+    options.persist.directory = dir;  // Shared across generations.
+    options.persist.restore_on_start = true;
+    options.persist.snapshot_on_shutdown = true;
+    return options;
+  };
+  const auto tear_snapshot = [&](int drop_bytes) {
+    struct stat st;
+    if (::stat(snapshot_path.c_str(), &st) != 0) return;
+    if (st.st_size > drop_bytes) {
+      EXPECT_EQ(::truncate(snapshot_path.c_str(), st.st_size - drop_bytes),
+                0);
+    }
+  };
+
+  // Probabilistic generations: persist faults fire at random through
+  // snapshot writes, restores, demotions, and tier probes, and every
+  // other generation restarts from a torn snapshot. Persistence is a
+  // cache of a cache: NO request may fail, whatever the schedule does.
+  constexpr SiteSpec kPersistSites[] = {
+      {"persist.write", "return_error"},
+      {"persist.read", "return_error"},
+      {"persist.mmap", "return_error"},
+  };
+  ArmSites(kPersistSites, 0.2, seed + 17);
+  for (int round = 0; round < 5; ++round) {
+    {
+      OptimizationService service(restart_options());
+      for (int i = 0; i < 6; ++i) {
+        ServiceResponse response = service.SubmitAndWait(ChaosStarRequest(
+            queries, 2 + i % 2, 1.1 + 0.01 * (round * 6 + i)));
+        EXPECT_EQ(response.status, ResponseStatus::kCompleted)
+            << "round " << round << " request " << i;
+      }
+    }  // Teardown writes the next generation's snapshot (unless the
+       // schedule eats it).
+    // Every other generation boots from a torn file.
+    if (round % 2 == 0) tear_snapshot(3 + round);
+  }
+  rt::FailpointRegistry::Global().DisarmAll();
+
+  // Deterministic epilogue: each site in always-fire mode, so the suite
+  // proves every degradation path individually (and AllSitesHit cannot
+  // depend on the seed). First, a clean generation writes a good
+  // snapshot.
+  {
+    OptimizationService service(restart_options());
+    ServiceResponse response =
+        service.SubmitAndWait(ChaosStarRequest(queries, 2, 1.05));
+    ASSERT_EQ(response.status, ResponseStatus::kCompleted);
+    ASSERT_TRUE(service.SnapshotNow());
+  }
+  // persist.read always: the restore open fails -> clean cold start.
+  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("persist.read",
+                                                  "always:return_error"));
+  {
+    ServiceOptions options = restart_options();
+    options.persist.snapshot_on_shutdown = false;
+    OptimizationService service(options);
+    EXPECT_EQ(service.PersistStats().restored_entries(), 0u);
+    EXPECT_EQ(service
+                  .SubmitAndWait(ChaosStarRequest(queries, 2, 1.05))
+                  .status,
+              ResponseStatus::kCompleted);
+  }
+  rt::FailpointRegistry::Global().DisarmAll();
+  // persist.mmap always: restore falls back to read(2) and still loads.
+  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("persist.mmap",
+                                                  "always:return_error"));
+  {
+    ServiceOptions options = restart_options();
+    options.persist.snapshot_on_shutdown = false;
+    OptimizationService service(options);
+    EXPECT_GT(service.PersistStats().restored_entries(), 0u);
+  }
+  rt::FailpointRegistry::Global().DisarmAll();
+  // persist.write always: the snapshot fails cleanly; the previous good
+  // file survives (tmp + rename) for the next boot.
+  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("persist.write",
+                                                  "always:return_error"));
+  {
+    ServiceOptions options = restart_options();
+    options.persist.restore_on_start = false;
+    OptimizationService service(options);
+    EXPECT_FALSE(service.SnapshotNow());
+    EXPECT_GE(service.PersistStats().snapshot_failures, 1u);
+  }
+  rt::FailpointRegistry::Global().DisarmAll();
+  {
+    ServiceOptions options = restart_options();
+    options.persist.snapshot_on_shutdown = false;
+    OptimizationService service(options);
+    EXPECT_GT(service.PersistStats().restored_entries(), 0u);
+  }
+  ExpectAllSitesHit(kPersistSites);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -162,6 +163,98 @@ TEST(ShardedLruTest, ReclassifyMissAsHitBalancesCounters) {
   const Lru::Counters counters = lru.GetCounters();
   EXPECT_EQ(counters.hits, 1u);
   EXPECT_EQ(counters.misses, 0u);
+}
+
+TEST(ShardedLruTest, EvictionHookSeesVictimsColdestFirst) {
+  Lru lru(SingleShard(3));
+  std::vector<std::pair<std::string, size_t>> demoted;
+  lru.SetEvictionHook(
+      [&demoted](const TestKey& key, const std::shared_ptr<const int>& value,
+                 size_t bytes) {
+        EXPECT_NE(value, nullptr);
+        demoted.emplace_back(key.key, bytes);
+      });
+
+  lru.Insert(Key("a"), Value(1), 11, 0);
+  lru.Insert(Key("b"), Value(2), 12, 0);
+  lru.Insert(Key("c"), Value(3), 13, 0);
+  ASSERT_NE(lru.Lookup(Key("a")), nullptr);  // Recency now a > c > b.
+  EXPECT_TRUE(demoted.empty());              // No eviction yet.
+
+  // Two inserts over the entry cap evict b then c; the hook must see
+  // them coldest-first with the bytes each entry was accounted at.
+  lru.Insert(Key("d"), Value(4), 30, 0);  // Over capacity: evicts b.
+  lru.Insert(Key("e"), Value(5), 30, 0);  // Evicts c.
+  ASSERT_EQ(demoted.size(), 2u);
+  EXPECT_EQ(demoted[0], (std::pair<std::string, size_t>{"b", 12}));
+  EXPECT_EQ(demoted[1], (std::pair<std::string, size_t>{"c", 13}));
+}
+
+TEST(ShardedLruTest, EvictionHookByteSqueezeDeliversAllVictimsInOrder) {
+  // A single oversized insert that evicts several entries at once must
+  // deliver every victim, still coldest-first.
+  Lru lru(SingleShard(/*capacity=*/100, /*capacity_bytes=*/30));
+  std::vector<std::string> demoted;
+  lru.SetEvictionHook([&demoted](const TestKey& key,
+                                 const std::shared_ptr<const int>&,
+                                 size_t) { demoted.push_back(key.key); });
+  lru.Insert(Key("a"), Value(1), 10, 0);
+  lru.Insert(Key("b"), Value(2), 10, 0);
+  lru.Insert(Key("c"), Value(3), 10, 0);
+  lru.Insert(Key("big"), Value(4), 30, 0);  // Evicts a, b, c.
+  EXPECT_EQ(demoted, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(lru.GetCounters().entries, 1u);
+}
+
+TEST(ShardedLruTest, EvictionHookMayReenterContainer) {
+  // The hook runs after the shard lock is released, so a hook that
+  // re-inserts (the disk tier's promote path does exactly this through
+  // the owner) must not deadlock — even when that insert evicts again.
+  Lru lru(SingleShard(2));
+  int reentries = 0;
+  lru.SetEvictionHook([&](const TestKey& key,
+                          const std::shared_ptr<const int>& value, size_t) {
+    if (++reentries <= 1) {
+      lru.Insert(Key(key.key + "-redo"), value, 1, 0);
+    }
+  });
+  lru.Insert(Key("a"), Value(1), 1, 0);
+  lru.Insert(Key("b"), Value(2), 1, 0);
+  lru.Insert(Key("c"), Value(3), 1, 0);  // Evicts a; hook inserts a-redo.
+  EXPECT_GE(reentries, 1);
+  EXPECT_EQ(lru.GetCounters().entries, 2u);
+}
+
+TEST(ShardedLruTest, ClearDoesNotFireEvictionHook) {
+  // Clear() is invalidation (epoch flush), not cache pressure: flushed
+  // entries are stale by definition and must never be demoted to disk.
+  Lru lru(SingleShard(4));
+  int hook_calls = 0;
+  lru.SetEvictionHook([&hook_calls](const TestKey&,
+                                    const std::shared_ptr<const int>&,
+                                    size_t) { ++hook_calls; });
+  lru.Insert(Key("a"), Value(1), 1, 0);
+  lru.Insert(Key("b"), Value(2), 1, 0);
+  lru.Clear();
+  EXPECT_EQ(hook_calls, 0);
+  EXPECT_EQ(lru.GetCounters().entries, 0u);
+}
+
+TEST(ShardedLruTest, ForEachVisitsEveryResidentEntryWithBytes) {
+  Lru lru(SingleShard(4));
+  lru.Insert(Key("a"), Value(1), 11, 0);
+  lru.Insert(Key("b"), Value(2), 12, 0);
+  ASSERT_NE(lru.Lookup(Key("a")), nullptr);  // a most recent.
+  std::vector<std::pair<std::string, size_t>> seen;
+  lru.ForEach([&seen](const TestKey& key,
+                      const std::shared_ptr<const int>& value, size_t bytes) {
+    ASSERT_NE(value, nullptr);
+    seen.emplace_back(key.key, bytes);
+  });
+  // MRU→LRU within the shard: a (just touched) before b.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, size_t>{"a", 11}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, size_t>{"b", 12}));
 }
 
 TEST(ShardedLruTest, ConcurrentMixedTraffic) {
