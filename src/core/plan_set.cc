@@ -54,7 +54,7 @@ std::shared_ptr<const PlanSet> PlanSet::FromParetoSet(const ParetoSet& set) {
 std::shared_ptr<const PlanSet> PlanSet::FromParetoSetRemapped(
     const ParetoSet& set, const std::vector<int>& table_map) {
   if (set.empty()) return Empty();
-  MOQO_FAILPOINT("planset.snapshot");
+  MOQO_FAILPOINT("planset.snapshot.remap");
   struct Constructible : PlanSet {};
   auto result = std::make_shared<Constructible>();
   std::unordered_map<const PlanNode*, const PlanNode*> copied;

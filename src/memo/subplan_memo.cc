@@ -124,7 +124,7 @@ void SubplanMemo::Insert(const SubplanSignature& signature,
 }
 
 void SubplanMemo::ObserveCatalog(const void* catalog, uint64_t epoch) {
-  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  MutexLock epoch_lock(epoch_mu_);
   auto [it, first_sighting] = catalog_epochs_.try_emplace(catalog, epoch);
   if (first_sighting || it->second == epoch) return;
   it->second = epoch;

@@ -38,12 +38,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/plan_set.h"
 #include "memo/subplan_key.h"
+#include "util/mutex.h"
 #include "util/sharded_lru.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 
@@ -166,10 +167,11 @@ class SubplanMemo {
   std::shared_ptr<persist::DiskTier> tier_;
   std::atomic<uint64_t> tier_hits_{0};
 
-  /// Last-seen epoch per catalog identity; guarded by epoch_mu_, which
-  /// also serializes the flush an epoch change triggers.
-  std::mutex epoch_mu_;
-  std::unordered_map<const void*, uint64_t> catalog_epochs_;
+  /// Last-seen epoch per catalog identity; epoch_mu_ also serializes the
+  /// flush an epoch change triggers.
+  Mutex epoch_mu_;
+  std::unordered_map<const void*, uint64_t> catalog_epochs_
+      MOQO_GUARDED_BY(epoch_mu_);
 
   std::atomic<uint64_t> admission_rejects_{0};
   std::atomic<uint64_t> invalidations_{0};

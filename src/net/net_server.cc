@@ -77,11 +77,11 @@ struct NetServer::Connection {
   std::atomic<int64_t> last_activity_us{0};
   bool saw_frame = false;
 
-  std::mutex outbox_mu;
-  PushQueue outbox;
+  Mutex outbox_mu;
+  PushQueue outbox MOQO_GUARDED_BY(outbox_mu);
   /// Bytes of outbox.front() already written (partial sends); that entry
   /// is pinned — never dropped by backpressure.
-  size_t write_offset = 0;
+  size_t write_offset MOQO_GUARDED_BY(outbox_mu) = 0;
 };
 
 NetServer::NetServer(OptimizationService* service, NetOptions options)
@@ -330,7 +330,7 @@ void NetServer::LoopMain() {
     // Frames enqueued by session callbacks since the last pass.
     std::vector<std::weak_ptr<Connection>> pending;
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(pending_mu_);
       pending.swap(pending_flush_);
     }
     for (const std::weak_ptr<Connection>& weak : pending) {
@@ -592,7 +592,7 @@ bool NetServer::HandleSelect(const std::shared_ptr<Connection>& conn,
 void NetServer::Enqueue(const std::shared_ptr<Connection>& conn,
                         std::string frame, bool is_frontier) {
   {
-    std::lock_guard<std::mutex> lock(conn->outbox_mu);
+    MutexLock lock(conn->outbox_mu);
     if (conn->closed.load(std::memory_order_relaxed)) return;
     const size_t dropped =
         conn->outbox.Push(std::move(frame), is_frontier, conn->write_offset);
@@ -602,14 +602,14 @@ void NetServer::Enqueue(const std::shared_ptr<Connection>& conn,
     // closed under this same mutex, so the registration is strictly
     // ordered against teardown — a frame either never enters a closing
     // outbox, or enters with its flush request already queued.
-    std::lock_guard<std::mutex> pending(pending_mu_);
+    MutexLock pending(pending_mu_);
     pending_flush_.push_back(conn);
   }
   Wake();
 }
 
 bool NetServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
-  std::lock_guard<std::mutex> lock(conn->outbox_mu);
+  MutexLock lock(conn->outbox_mu);
   if (conn->closed.load(std::memory_order_relaxed)) return false;
   // Injected write fault: caller closes, as on a hard send error.
   MOQO_FAILPOINT_RETURN("net.write", false);
@@ -659,7 +659,7 @@ void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
     // respect to Enqueue (which checks closed under this mutex): no frame
     // can land in the outbox after it was cleared, and no flush
     // registration can outlive the connection with its frame unaccounted.
-    std::lock_guard<std::mutex> lock(conn->outbox_mu);
+    MutexLock lock(conn->outbox_mu);
     if (conn->closed.exchange(true)) return;
     counters_->push_queue_depth.fetch_sub(conn->outbox.Clear(),
                                           Counters::kRelaxed);

@@ -46,7 +46,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -54,6 +53,8 @@
 
 #include "net/push_queue.h"
 #include "net/wire.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 
@@ -197,8 +198,9 @@ class NetServer {
   /// its flush request is still queued here, and the drain would then
   /// flush the WRONG connection. A weak_ptr can only ever resolve to the
   /// connection that enqueued (or to nothing).
-  std::mutex pending_mu_;
-  std::vector<std::weak_ptr<Connection>> pending_flush_;
+  Mutex pending_mu_;
+  std::vector<std::weak_ptr<Connection>> pending_flush_
+      MOQO_GUARDED_BY(pending_mu_);
 };
 
 }  // namespace net

@@ -16,8 +16,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 
@@ -49,7 +51,7 @@ class SlowQueryLog {
     // Bit pattern of a double compares like the double for non-negative
     // values, so the threshold probe needs no lock.
     if (entry.total_ms < ThresholdMs()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (static_cast<int>(entries_.size()) < capacity_) {
       entries_.push_back(entry);
     } else {
@@ -74,7 +76,7 @@ class SlowQueryLog {
   std::vector<SlowQueryEntry> WorstFirst() const {
     std::vector<SlowQueryEntry> out;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       out = entries_;
     }
     std::sort(out.begin(), out.end(),
@@ -87,7 +89,7 @@ class SlowQueryLog {
 
   /// Slowest retained total_ms (0 when empty) — exported as a gauge.
   double WorstMs() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     double worst = 0;
     for (const SlowQueryEntry& entry : entries_) {
       worst = std::max(worst, entry.total_ms);
@@ -96,7 +98,7 @@ class SlowQueryLog {
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
   }
 
@@ -120,8 +122,8 @@ class SlowQueryLog {
   /// Bit pattern of the smallest kept total_ms once the log is full;
   /// 0.0 until then (so every offer enters the locked path while filling).
   std::atomic<uint64_t> threshold_bits_{0};
-  mutable std::mutex mu_;
-  std::vector<SlowQueryEntry> entries_;
+  mutable Mutex mu_;
+  std::vector<SlowQueryEntry> entries_ MOQO_GUARDED_BY(mu_);
 };
 
 }  // namespace moqo

@@ -75,9 +75,17 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
     return static_cast<ThreadBuffer*>(t_cache.buffer.get());
   }
   auto buffer = std::make_shared<ThreadBuffer>();
-  buffer->ring.resize(options_.ring_capacity);
   {
-    std::lock_guard<std::mutex> lock(buffers_mu_);
+    // The buffer is still private to this thread; locking is for the
+    // thread-safety analysis, not for exclusion.
+    MutexLock lock(buffer->mu);
+    buffer->ring.resize(options_.ring_capacity);
+  }
+  {
+    // buffers_mu_ -> buffer->mu is the one nested order here; every other
+    // path (Record, the exporters) takes the two locks disjointly.
+    MutexLock registry_lock(buffers_mu_);
+    MutexLock buffer_lock(buffer->mu);
     buffer->tid = static_cast<int>(buffers_.size()) + 1;
     buffers_.push_back(buffer);
   }
@@ -88,7 +96,7 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
 
 void Tracer::Record(const TraceEvent& event) {
   ThreadBuffer* buffer = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   if (options_.sample_period > 1 &&
       (buffer->sampled++ % static_cast<uint64_t>(options_.sample_period)) !=
           0) {
@@ -102,7 +110,7 @@ void Tracer::Record(const TraceEvent& event) {
 std::string Tracer::ExportChromeTrace() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(buffers_mu_);
+    MutexLock lock(buffers_mu_);
     buffers = buffers_;
   }
 
@@ -112,7 +120,7 @@ std::string Tracer::ExportChromeTrace() const {
   bool first = true;
   char line[256];
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     // Thread-name metadata so Perfetto labels each track.
     std::snprintf(line, sizeof(line),
                   "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":"
@@ -177,12 +185,12 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
 uint64_t Tracer::recorded_events() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(buffers_mu_);
+    MutexLock lock(buffers_mu_);
     buffers = buffers_;
   }
   uint64_t total = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     total += buffer->recorded;
   }
   return total;
@@ -191,12 +199,12 @@ uint64_t Tracer::recorded_events() const {
 uint64_t Tracer::dropped_events() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(buffers_mu_);
+    MutexLock lock(buffers_mu_);
     buffers = buffers_;
   }
   uint64_t dropped = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     if (buffer->recorded > buffer->ring.size()) {
       dropped += buffer->recorded - buffer->ring.size();
     }

@@ -40,9 +40,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 
@@ -112,12 +114,13 @@ class Tracer {
   friend class TraceSpan;
 
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<TraceEvent> ring;  ///< Sized once to ring_capacity.
-    size_t next = 0;               ///< Ring write cursor.
-    uint64_t recorded = 0;         ///< Total events written (post-sample).
-    uint64_t sampled = 0;          ///< Span-site hits (pre-sample).
-    int tid = 0;                   ///< Stable per-tracer thread number.
+    Mutex mu;
+    /// Sized once to ring_capacity.
+    std::vector<TraceEvent> ring MOQO_GUARDED_BY(mu);
+    size_t next MOQO_GUARDED_BY(mu) = 0;      ///< Ring write cursor.
+    uint64_t recorded MOQO_GUARDED_BY(mu) = 0;  ///< Events written.
+    uint64_t sampled MOQO_GUARDED_BY(mu) = 0;   ///< Pre-sample hits.
+    int tid MOQO_GUARDED_BY(mu) = 0;  ///< Stable per-tracer thread number.
   };
 
   /// The calling thread's buffer, registering it on first use.
@@ -129,8 +132,9 @@ class Tracer {
   uint64_t tracer_id_ = 0;  ///< Process-unique; keys the TLS buffer cache.
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex buffers_mu_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex buffers_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      MOQO_GUARDED_BY(buffers_mu_);
 };
 
 /// RAII span: captures the start time at construction, records one

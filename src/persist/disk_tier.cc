@@ -42,6 +42,9 @@ DiskTier::DiskTier(const Options& options) {
                              ".shard" + std::to_string(i) + ".seg";
     // O_TRUNC: the tier holds this process's overflow only; stale segments
     // from a previous run are unreachable (their index died with it).
+    // The shard is not shared yet; the lock is for the thread-safety
+    // analysis (fd is guarded, and Shard's own ctor/dtor never touch it).
+    MutexLock lock(shard->mu);
     shard->fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
     if (shard->fd < 0) all_open = false;
     shards_.push_back(std::move(shard));
@@ -51,6 +54,9 @@ DiskTier::DiskTier(const Options& options) {
 
 DiskTier::~DiskTier() {
   for (auto& shard : shards_) {
+    // No concurrent Put/Take may be in flight at destruction; the lock
+    // keeps the guarded fd read visible to the analysis.
+    MutexLock lock(shard->mu);
     if (shard->fd >= 0) ::close(shard->fd);
   }
 }
@@ -79,7 +85,7 @@ void DiskTier::ResetShard(Shard* shard) {
 bool DiskTier::Put(uint64_t key_hash, std::string_view key,
                    double achieved_alpha, std::string_view payload) {
   if (!ok_) return false;
-  MOQO_FAILPOINT_RETURN("persist.write", false);
+  MOQO_FAILPOINT_RETURN("persist.tier.write", false);
   const size_t record_bytes = RecordBytes(key.size(), payload.size());
   if (record_bytes > shard_capacity_bytes_) return false;
 
@@ -96,7 +102,7 @@ bool DiskTier::Put(uint64_t key_hash, std::string_view key,
   record.append(payload);
 
   Shard& shard = ShardFor(key_hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.fd < 0) return false;
   // Re-demotion of an unchanged entry (demote → promote → demote churn) is
   // the common case; an index entry with identical hash, shape, and alpha
@@ -139,12 +145,12 @@ bool DiskTier::Put(uint64_t key_hash, std::string_view key,
 bool DiskTier::Take(uint64_t key_hash, std::string_view key, double max_alpha,
                     std::string* payload_out, double* alpha_out) {
   if (!ok_) return false;
-  if (MOQO_FAILPOINT_HIT("persist.read")) {
+  if (MOQO_FAILPOINT_HIT("persist.tier.read")) {
     counters_->misses.fetch_add(1, kRelaxed);
     return false;
   }
   Shard& shard = ShardFor(key_hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto range = shard.index.equal_range(key_hash);
   for (auto it = range.first; it != range.second;) {
     const IndexEntry& entry = it->second;

@@ -31,11 +31,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 namespace persist {
@@ -109,16 +111,18 @@ class DiskTier {
   };
 
   struct Shard {
-    std::mutex mu;
-    int fd = -1;
-    uint64_t append_offset = 0;
-    uint64_t live_bytes = 0;  ///< Record bytes still reachable via index.
-    std::unordered_multimap<uint64_t, IndexEntry> index;
+    Mutex mu;
+    /// Opened at construction, closed at destruction, I/O under mu.
+    int fd MOQO_GUARDED_BY(mu) = -1;
+    uint64_t append_offset MOQO_GUARDED_BY(mu) = 0;
+    /// Record bytes still reachable via index.
+    uint64_t live_bytes MOQO_GUARDED_BY(mu) = 0;
+    std::unordered_multimap<uint64_t, IndexEntry> index MOQO_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t key_hash);
   /// Caller holds the shard lock. Drops every entry in the shard.
-  void ResetShard(Shard* shard);
+  void ResetShard(Shard* shard) MOQO_REQUIRES(shard->mu);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t shard_mask_ = 0;

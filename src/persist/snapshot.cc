@@ -176,8 +176,10 @@ SnapshotReadResult ReadSnapshot(
         result.truncated += header.record_count - i;
         break;
       }
+      // lint:allow raw-encode — decode-side view of checksummed bytes.
       const char* key_ptr = reinterpret_cast<const char*>(reader.cursor());
       reader.Skip(key_len);
+      // lint:allow raw-encode — decode-side view of checksummed bytes.
       const char* payload_ptr = reinterpret_cast<const char*>(reader.cursor());
       reader.Skip(payload_len);
       uint64_t checksum = Fnv1a(record_start, kRecordHeaderBytes);

@@ -68,7 +68,7 @@ bool ParseDouble(const std::string& text, double* out) {
 }  // namespace
 
 void Failpoint::Arm(const FailpointSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spec_ = spec;
   visits_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
@@ -76,7 +76,7 @@ void Failpoint::Arm(const FailpointSpec& spec) {
 }
 
 void Failpoint::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spec_ = FailpointSpec{};
   armed_.store(0, std::memory_order_relaxed);
 }
@@ -85,7 +85,7 @@ bool Failpoint::EvalArmed() {
   FailAction action = FailAction::kReturnError;
   int64_t delay_ms = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Disarm() may have won the race after the fast-path load saw armed.
     if (spec_.mode == ArmMode::kOff) return false;
     const uint64_t visit = visits_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -135,7 +135,7 @@ FailpointRegistry& FailpointRegistry::Global() {
 }
 
 Failpoint& FailpointRegistry::Register(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Failpoint>& slot = sites_[name];
   if (slot == nullptr) slot = std::make_unique<Failpoint>(name);
   return *slot;
@@ -167,14 +167,14 @@ void FailpointRegistry::Disarm(const std::string& name) {
 }
 
 void FailpointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& entry : sites_) entry.second->Disarm();
 }
 
 std::vector<std::pair<std::string, uint64_t>> FailpointRegistry::HitCounts()
     const {
   std::vector<std::pair<std::string, uint64_t>> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(sites_.size());
   for (const auto& entry : sites_) {
     out.emplace_back(entry.first, entry.second->hits());

@@ -42,11 +42,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 namespace rt {
@@ -129,8 +131,8 @@ class Failpoint {
   std::atomic<uint32_t> armed_{0};
   std::atomic<uint64_t> visits_{0};
   std::atomic<uint64_t> hits_{0};
-  std::mutex mu_;  ///< Guards spec_ and the policy evaluation.
-  FailpointSpec spec_;
+  Mutex mu_;  ///< Guards spec_ and the policy evaluation.
+  FailpointSpec spec_ MOQO_GUARDED_BY(mu_);
 };
 
 /// Process-wide site registry. Sites self-register on first visit (the
@@ -176,9 +178,10 @@ class FailpointRegistry {
  private:
   FailpointRegistry() = default;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Ordered so HitCounts()/MetricsText() render deterministically.
-  std::map<std::string, std::unique_ptr<Failpoint>> sites_;
+  std::map<std::string, std::unique_ptr<Failpoint>> sites_
+      MOQO_GUARDED_BY(mu_);
 };
 
 }  // namespace rt

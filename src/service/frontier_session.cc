@@ -11,12 +11,12 @@
 namespace moqo {
 
 std::shared_ptr<const PlanSet> FrontierSession::BestFrontier() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return best_;
 }
 
 double FrontierSession::BestAlpha() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return best_alpha_;
 }
 
@@ -24,7 +24,7 @@ SessionSelection FrontierSession::Select(const Preference& preference) const {
   SessionSelection result;
   std::shared_ptr<const PlanSet> frontier;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (best_ == nullptr) return result;
     frontier = best_;
     result.alpha = best_alpha_;
@@ -44,22 +44,22 @@ SessionSelection FrontierSession::Select(const Preference& preference) const {
 }
 
 std::vector<RefinedFrontier> FrontierSession::History() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return history_;
 }
 
 int FrontierSession::StepsPublished() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(history_.size());
 }
 
 bool FrontierSession::Done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return done_;
 }
 
 bool FrontierSession::TargetReached() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return target_reached_;
 }
 
@@ -70,29 +70,29 @@ bool FrontierSession::Cancelled() const {
 }
 
 bool FrontierSession::Shed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shed_;
 }
 
 bool FrontierSession::Rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rejected_;
 }
 
 bool FrontierSession::Degraded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return degraded_;
 }
 
 void FrontierSession::Attach() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++open_handles_;
 }
 
 void FrontierSession::Cancel() {
   bool cancel_now = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (open_handles_ > 0) --open_handles_;
     cancel_now = open_handles_ == 0;
   }
@@ -100,35 +100,44 @@ void FrontierSession::Cancel() {
     // The runner observes the flag at its next deadline poll (mid-rung)
     // or rung boundary and completes the session with what it has.
     cancel_flag_.store(true, std::memory_order_relaxed);
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 bool FrontierSession::AwaitTarget() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mu_);
+  while (!done_) cv_.Wait(mu_);
   return target_reached_;
 }
 
 bool FrontierSession::AwaitFor(int64_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (timeout_ms < 0) {
-    cv_.wait(lock, [this] { return done_; });
-  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                           [this] { return done_; })) {
-    return false;
+    while (!done_) cv_.Wait(mu_);
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!done_) {
+      // WaitUntil returns true on timeout; re-check the predicate once
+      // more (the notify may have raced the deadline) before giving up.
+      if (cv_.WaitUntil(mu_, deadline) && !done_) return false;
+    }
   }
   return target_reached_;
 }
 
 bool FrontierSession::AwaitFrontier(int64_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto published = [this] { return best_ != nullptr || done_; };
+  MutexLock lock(mu_);
   if (timeout_ms < 0) {
-    cv_.wait(lock, published);
-  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                           published)) {
-    return false;
+    while (best_ == nullptr && !done_) cv_.Wait(mu_);
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (best_ == nullptr && !done_) {
+      if (cv_.WaitUntil(mu_, deadline) && best_ == nullptr && !done_) {
+        return false;
+      }
+    }
   }
   return best_ != nullptr;
 }
@@ -140,11 +149,11 @@ int FrontierSession::OnRefined(RefinedCallback callback) {
   // us; the snapshot taken after its history append covers its step) or
   // blocks on callback_mu_ until the replay finished. Either way this
   // callback sees every step exactly once, in order.
-  std::lock_guard<std::mutex> delivery(callback_mu_);
+  MutexLock delivery(callback_mu_);
   std::vector<RefinedFrontier> replay;
   int id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = next_callback_id_++;
     replay = history_;
     callbacks_.emplace_back(id, std::move(callback));
@@ -160,11 +169,11 @@ int FrontierSession::OnDone(DoneCallback callback) {
   // a concurrent MarkDone either already delivered to its snapshot (which
   // excludes us) or blocks until we returned — the callback fires exactly
   // once either way.
-  std::lock_guard<std::mutex> delivery(callback_mu_);
+  MutexLock delivery(callback_mu_);
   bool already_done;
   int id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = next_callback_id_++;
     already_done = done_;
     if (!already_done) done_callbacks_.emplace_back(id, std::move(callback));
@@ -176,8 +185,8 @@ int FrontierSession::OnDone(DoneCallback callback) {
 void FrontierSession::RemoveCallback(int id) {
   // Block until in-flight deliveries finish so a removed callback is never
   // invoked after RemoveCallback returns.
-  std::lock_guard<std::mutex> delivery(callback_mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock delivery(callback_mu_);
+  MutexLock lock(mu_);
   const auto matches = [id](const auto& entry) { return entry.first == id; };
   callbacks_.erase(
       std::remove_if(callbacks_.begin(), callbacks_.end(), matches),
@@ -195,12 +204,12 @@ bool FrontierSession::Publish(double alpha,
   // delivery (same order as OnRefined/RemoveCallback take the locks): a
   // RemoveCallback cannot slip between snapshot and delivery, so a
   // removed callback is provably never invoked after removal returns.
-  std::lock_guard<std::mutex> delivery(callback_mu_);
+  MutexLock delivery(callback_mu_);
   RefinedFrontier frontier;
   std::vector<std::pair<int, RefinedCallback>> callbacks;
   bool first_publish = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Monotonicity guard: after the first publish (which may be the
     // guarantee-free quick frontier at +infinity), every further frontier
     // must strictly tighten the guarantee. The ladder is strictly
@@ -242,7 +251,7 @@ bool FrontierSession::Publish(double alpha,
       tracer_->Record(event);
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (const auto& [id, callback] : callbacks) callback(frontier);
   return true;
 }
@@ -254,17 +263,17 @@ void FrontierSession::MarkDone(
   // discipline): an OnDone registering concurrently either lands in the
   // snapshot below or observes done_ and self-delivers — never both,
   // never neither.
-  std::lock_guard<std::mutex> delivery(callback_mu_);
+  MutexLock delivery(callback_mu_);
   std::vector<std::pair<int, DoneCallback>> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (final_result != nullptr) final_result_ = std::move(final_result);
     degraded_ = degraded;
     failed_ = failed;
     done_ = true;
     callbacks.swap(done_callbacks_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (const auto& [id, callback] : callbacks) callback();
 }
 

@@ -47,12 +47,10 @@
 #define MOQO_SERVICE_FRONTIER_SESSION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -63,6 +61,8 @@
 #include "service/request.h"
 #include "service/signature.h"
 #include "util/deadline.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 
@@ -189,7 +189,7 @@ class FrontierSession {
   /// order is publish order. Returns an id for RemoveCallback. Callbacks
   /// run on the refining (or registering, during replay) thread and must
   /// not block.
-  int OnRefined(RefinedCallback callback);
+  int OnRefined(RefinedCallback callback) MOQO_EXCLUDES(callback_mu_, mu_);
 
   /// Registers a callback invoked exactly once when the session completes
   /// (every Done()-visible field is set before it runs). An already-done
@@ -197,9 +197,9 @@ class FrontierSession {
   /// the id space (and RemoveCallback) with OnRefined; same threading and
   /// must-not-block rules. This is how the network front end turns
   /// completion into a server-pushed DONE frame without polling.
-  int OnDone(DoneCallback callback);
+  int OnDone(DoneCallback callback) MOQO_EXCLUDES(callback_mu_, mu_);
 
-  void RemoveCallback(int id);
+  void RemoveCallback(int id) MOQO_EXCLUDES(callback_mu_, mu_);
 
  private:
   friend class OptimizationService;
@@ -210,11 +210,12 @@ class FrontierSession {
   /// ones are dropped), updates the best snapshot, wakes waiters, and
   /// delivers callbacks. Returns false if the frontier was dropped.
   bool Publish(double alpha, std::shared_ptr<const PlanSet> plan_set,
-               double step_ms, bool from_cache);
+               double step_ms, bool from_cache)
+      MOQO_EXCLUDES(callback_mu_, mu_);
 
   /// Marks the session finished and wakes every waiter.
   void MarkDone(std::shared_ptr<const OptimizerResult> final_result,
-                bool degraded, bool failed);
+                bool degraded, bool failed) MOQO_EXCLUDES(callback_mu_, mu_);
 
   void Attach();  ///< One more OpenFrontier call returned this session.
   bool CancelRequested() const {
@@ -255,35 +256,47 @@ class FrontierSession {
   uint64_t trace_id_ = 0;
 
   // ---- Mutable session state. ----
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::vector<RefinedFrontier> history_;
-  std::shared_ptr<const PlanSet> best_;
-  double best_alpha_ = std::numeric_limits<double>::infinity();
-  bool done_ = false;
-  bool target_reached_ = false;
-  bool failed_ = false;     ///< Optimizer error; no further publishes.
-  bool rejected_ = false;   ///< Shed by admission control at open.
-  bool degraded_ = false;   ///< A rung timed out before the target.
-  bool shed_ = false;       ///< Refinement shed by overload mid-ladder.
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  std::vector<RefinedFrontier> history_ MOQO_GUARDED_BY(mu_);
+  std::shared_ptr<const PlanSet> best_ MOQO_GUARDED_BY(mu_);
+  double best_alpha_ MOQO_GUARDED_BY(mu_) =
+      std::numeric_limits<double>::infinity();
+  bool done_ MOQO_GUARDED_BY(mu_) = false;
+  bool target_reached_ MOQO_GUARDED_BY(mu_) = false;
+  /// Optimizer error; no further publishes.
+  bool failed_ MOQO_GUARDED_BY(mu_) = false;
+  /// Shed by admission control at open.
+  bool rejected_ MOQO_GUARDED_BY(mu_) = false;
+  /// A rung timed out before the target.
+  bool degraded_ MOQO_GUARDED_BY(mu_) = false;
+  /// Refinement shed by overload mid-ladder.
+  bool shed_ MOQO_GUARDED_BY(mu_) = false;
   /// How the PlanCache answered the opener (kMiss when a ladder ran).
-  CacheOutcome open_outcome_ = CacheOutcome::kMiss;
+  CacheOutcome open_outcome_ MOQO_GUARDED_BY(mu_) = CacheOutcome::kMiss;
   /// The cache entry a born-done session was served from (exact-hit
   /// classification needs its stored preference).
-  std::shared_ptr<const CachedFrontier> cached_entry_;
+  std::shared_ptr<const CachedFrontier> cached_entry_ MOQO_GUARDED_BY(mu_);
   /// The last completed rung's full result (or the degraded quick result
   /// when nothing completed); what the SubmitAndWait shim answers from.
-  std::shared_ptr<const OptimizerResult> final_result_;
-  double queue_ms_ = 0;  ///< Open-to-ladder-pickup wall time.
-  int open_handles_ = 0;
-  std::vector<std::pair<int, RefinedCallback>> callbacks_;
-  std::vector<std::pair<int, DoneCallback>> done_callbacks_;
-  int next_callback_id_ = 0;
+  std::shared_ptr<const OptimizerResult> final_result_ MOQO_GUARDED_BY(mu_);
+  /// Open-to-ladder-pickup wall time.
+  double queue_ms_ MOQO_GUARDED_BY(mu_) = 0;
+  int open_handles_ MOQO_GUARDED_BY(mu_) = 0;
+  int next_callback_id_ MOQO_GUARDED_BY(mu_) = 0;
 
   /// Serializes callback delivery so each callback sees publishes in
   /// order, including the OnRefined replay and the one-shot OnDone
-  /// delivery. Lock order everywhere: callback_mu_ before mu_.
-  std::mutex callback_mu_;
+  /// delivery. Lock order everywhere: callback_mu_ before mu_ (the
+  /// MOQO_ACQUIRED_BEFORE edge below lets the analysis check it). The
+  /// callback lists are guarded by callback_mu_ itself — every reader and
+  /// writer holds it — which is what lets OnRefined keep a reference into
+  /// callbacks_ across the replay after dropping mu_.
+  Mutex callback_mu_ MOQO_ACQUIRED_BEFORE(mu_);
+  std::vector<std::pair<int, RefinedCallback>> callbacks_
+      MOQO_GUARDED_BY(callback_mu_);
+  std::vector<std::pair<int, DoneCallback>> done_callbacks_
+      MOQO_GUARDED_BY(callback_mu_);
 
   /// Set when every opener has cancelled; polled by the DP through its
   /// Deadline (mid-rung cancellation point).

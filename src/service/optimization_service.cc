@@ -201,10 +201,10 @@ OptimizationService::OptimizationService(ServiceOptions options)
 
 OptimizationService::~OptimizationService() {
   {
-    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    MutexLock lock(watchdog_mu_);
     watchdog_stop_ = true;
   }
-  watchdog_cv_.notify_all();
+  watchdog_cv_.NotifyAll();
   if (watchdog_.joinable()) watchdog_.join();
   pool_.Shutdown();
   // After the drain: the caches are quiescent and as warm as they will
@@ -216,10 +216,10 @@ OptimizationService::~OptimizationService() {
 }
 
 void OptimizationService::WatchdogMain() {
-  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  watchdog_mu_.Lock();
   while (!watchdog_stop_) {
-    watchdog_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.watchdog_poll_ms));
+    watchdog_cv_.WaitFor(watchdog_mu_,
+                         std::chrono::milliseconds(options_.watchdog_poll_ms));
     if (watchdog_stop_) break;
     // Sweep under the list lock, act outside it: the force-finish path
     // (FinishSession -> MarkDone -> subscriber callbacks) must not run
@@ -249,7 +249,7 @@ void OptimizationService::WatchdogMain() {
     }
     watched_sessions_.resize(keep);
     if (fired.empty()) continue;
-    lock.unlock();
+    watchdog_mu_.Unlock();
     for (const std::shared_ptr<FrontierSession>& session : fired) {
       // Force-finish: the opener gets DONE{degraded} now, with everything
       // the session already published — never a silent hang. The wedged
@@ -260,8 +260,9 @@ void OptimizationService::WatchdogMain() {
       session->cancel_flag_.store(true, std::memory_order_relaxed);
       FinishSession(session, nullptr, /*degraded=*/true, /*failed=*/false);
     }
-    lock.lock();
+    watchdog_mu_.Lock();
   }
+  watchdog_mu_.Unlock();
 }
 
 std::shared_ptr<const OptimizerResult> OptimizationService::TryQuickFallback(
@@ -370,7 +371,10 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   if (session->spec_.query == nullptr) {
     stats_.RecordInternalError();
     info->rejected = true;
-    session->rejected_ = true;
+    {
+      MutexLock lock(session->mu_);
+      session->rejected_ = true;
+    }
     session->MarkDone(nullptr, /*degraded=*/false, /*failed=*/true);
     return session;
   }
@@ -409,7 +413,10 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   if (IsPreferenceDependent(decision.algorithm)) {
     stats_.RecordInternalError();
     info->rejected = true;
-    session->rejected_ = true;
+    {
+      MutexLock lock(session->mu_);
+      session->rejected_ = true;
+    }
     session->MarkDone(nullptr, /*degraded=*/false, /*failed=*/true);
     return session;
   }
@@ -495,7 +502,10 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
     stats_.RecordAdmissionRejected();
     info->rejected = true;
-    session->rejected_ = true;
+    {
+      MutexLock lock(session->mu_);
+      session->rejected_ = true;
+    }
     session->MarkDone(nullptr, /*degraded=*/false, /*failed=*/true);
     return false;
   };
@@ -506,7 +516,7 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   TraceSpan admission_span(&tracer_, "service", "admission",
                            session->trace_id_);
   if (options_.enable_coalescing && coalescable) {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    MutexLock lock(session_mu_);
     auto it = sessions_by_key_.find(session->session_key_);
     // Never join a session whose every prior opener has already
     // cancelled: its runner is mid-abort and will not reach the target,
@@ -546,7 +556,7 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
     if (cached != nullptr && cached->result != nullptr) {
       cache_.ReclassifyMissAsHit();
       if (session->registered_) {
-        std::lock_guard<std::mutex> lock(session_mu_);
+        MutexLock lock(session_mu_);
         auto it = sessions_by_key_.find(session->session_key_);
         if (it != sessions_by_key_.end() && it->second == session) {
           sessions_by_key_.erase(it);
@@ -589,7 +599,7 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
   // watched for wedged rungs. Weak refs only — the list must never keep a
   // session alive or delay its teardown.
   if (watchdog_.joinable() && session_options.step_deadline_ms >= 0) {
-    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    MutexLock lock(watchdog_mu_);
     watched_sessions_.push_back(session);
   }
 
@@ -601,7 +611,12 @@ std::shared_ptr<FrontierSession> OptimizationService::OpenSession(
     // prelude published.
     stats_.RecordAdmissionRejected();
     info->rejected = true;
-    session->rejected_ = true;
+    {
+      // The session may already be registered and shared with joiners
+      // when a shutdown race lands here, so the write must be locked.
+      MutexLock lock(session->mu_);
+      session->rejected_ = true;
+    }
     FinishSession(session, nullptr, /*degraded=*/false, /*failed=*/true);
   }
   return session;
@@ -622,7 +637,7 @@ void OptimizationService::ServeSessionBornDone(
   {
     // Under the session lock: the post-registration re-probe path calls
     // this on a session joiners may already share.
-    std::lock_guard<std::mutex> lock(session->mu_);
+    MutexLock lock(session->mu_);
     session->open_outcome_ = info->outcome;
     session->cached_entry_ = cached;
     session->target_reached_ = true;
@@ -648,7 +663,7 @@ void OptimizationService::ScheduleSessionRung(
     if (inflight_.load(std::memory_order_acquire) >= watermark) {
       stats_.RecordRefinementShed();
       {
-        std::lock_guard<std::mutex> lock(session->mu_);
+        MutexLock lock(session->mu_);
         session->shed_ = true;
       }
       FinishSession(session, nullptr, /*degraded=*/false, /*failed=*/false);
@@ -669,12 +684,19 @@ void OptimizationService::ScheduleSessionRung(
 void OptimizationService::RunSessionRung(
     const std::shared_ptr<FrontierSession>& session, size_t rung) {
   const PolicyDecision& decision = session->decision_;
-  if (rung == 0) session->queue_ms_ = session->since_open_.ElapsedMillis();
+  double queue_ms;
+  {
+    // queue_ms_ is read by FinishSession — possibly on the watchdog
+    // thread, concurrently with this rung — so even the rung-0 stamp
+    // happens under the session lock.
+    MutexLock lock(session->mu_);
+    if (rung == 0) session->queue_ms_ = session->since_open_.ElapsedMillis();
+    queue_ms = session->queue_ms_;
+  }
   TraceSpan request_span(&tracer_, "service",
                          rung == 0 ? "request" : "request.rung",
                          session->trace_id_);
-  request_span.AddArg("queue_us",
-                      static_cast<int64_t>(session->queue_ms_ * 1000.0));
+  request_span.AddArg("queue_us", static_cast<int64_t>(queue_ms * 1000.0));
   request_span.AddArg("rungs",
                       static_cast<int64_t>(session->ladder_.size()));
 
@@ -746,7 +768,7 @@ void OptimizationService::RunSessionRung(
       stats_.RecordLatency(decision.algorithm, run_watch.ElapsedMillis());
       bool any_completed;
       {
-        std::lock_guard<std::mutex> lock(session->mu_);
+        MutexLock lock(session->mu_);
         any_completed = session->final_result_ != nullptr;
       }
       if (!any_completed) {
@@ -768,7 +790,7 @@ void OptimizationService::RunSessionRung(
     // mode fails does the session end failed.
     bool any_completed;
     {
-      std::lock_guard<std::mutex> lock(session->mu_);
+      MutexLock lock(session->mu_);
       any_completed = session->final_result_ != nullptr;
     }
     if (any_completed) {
@@ -820,7 +842,7 @@ bool OptimizationService::OnSessionRung(
                                  achieved));
   }
   {
-    std::lock_guard<std::mutex> lock(session->mu_);
+    MutexLock lock(session->mu_);
     session->final_result_ = shared;
   }
   session->Publish(achieved, shared->plan_set,
@@ -843,7 +865,7 @@ void OptimizationService::FinishSession(
   // OnSessionRung — insert-before-unregister is what makes the open
   // path's race-closing re-probe sound.)
   if (session->registered_) {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    MutexLock lock(session_mu_);
     auto it = sessions_by_key_.find(session->session_key_);
     if (it != sessions_by_key_.end() && it->second == session) {
       sessions_by_key_.erase(it);
@@ -860,16 +882,16 @@ void OptimizationService::FinishSession(
     entry.signature = session->cache_signature_.hash;
     entry.algorithm = AlgorithmName(session->decision_.algorithm);
     entry.total_ms = session->since_open_.ElapsedMillis();
-    entry.queue_ms = session->queue_ms_;
-    entry.optimize_ms = entry.total_ms - entry.queue_ms;
-    entry.phase = entry.queue_ms > entry.optimize_ms ? "queue" : "optimize";
-    entry.sequence = slow_seq_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(session->mu_);
+      MutexLock lock(session->mu_);
+      entry.queue_ms = session->queue_ms_;
       entry.alpha = session->best_alpha_;
       entry.frontier_size =
           session->best_ != nullptr ? session->best_->size() : 0;
     }
+    entry.optimize_ms = entry.total_ms - entry.queue_ms;
+    entry.phase = entry.queue_ms > entry.optimize_ms ? "queue" : "optimize";
+    entry.sequence = slow_seq_.fetch_add(1, std::memory_order_relaxed);
     slow_log_.Offer(entry);
   }
   session->MarkDone(std::move(final_result), degraded, failed);
@@ -929,8 +951,13 @@ ServiceResponse OptimizationService::SubmitAndWait(ServiceRequest request) {
     if (!info.joined && (info.outcome == CacheOutcome::kExactHit ||
                          info.outcome == CacheOutcome::kFrontierHit ||
                          info.outcome == CacheOutcome::kTierHit)) {
-      const std::shared_ptr<const CachedFrontier>& cached =
-          session->cached_entry_;
+      std::shared_ptr<const CachedFrontier> cached;
+      {
+        // Born-done sessions are terminal before OpenSession returns,
+        // but the field is guarded: copy it out under the lock.
+        MutexLock lock(session->mu_);
+        cached = session->cached_entry_;
+      }
       response.status = ResponseStatus::kCompleted;
       response.cache = info.outcome;
       response.alpha = cached->achieved_alpha;
@@ -967,7 +994,7 @@ ServiceResponse OptimizationService::SubmitAndWait(ServiceRequest request) {
       std::shared_ptr<const OptimizerResult> shared_result;
       bool usable = false;
       {
-        std::lock_guard<std::mutex> lock(session->mu_);
+        MutexLock lock(session->mu_);
         usable = session->target_reached_ && !session->failed_ &&
                  session->final_result_ != nullptr;
         shared_result = session->final_result_;
@@ -988,11 +1015,11 @@ ServiceResponse OptimizationService::SubmitAndWait(ServiceRequest request) {
     // Primary: this call's open ran (or is running) the one-rung ladder.
     session->AwaitTarget();
     response.cache = CacheOutcome::kMiss;
-    response.queue_ms = session->queue_ms_;
     std::shared_ptr<const OptimizerResult> final_result;
     bool was_failed = false, was_degraded = false, reached = false;
     {
-      std::lock_guard<std::mutex> lock(session->mu_);
+      MutexLock lock(session->mu_);
+      response.queue_ms = session->queue_ms_;
       final_result = session->final_result_;
       was_failed = session->failed_;
       was_degraded = session->degraded_;
@@ -1092,7 +1119,7 @@ std::future<ServiceResponse> OptimizationService::Submit(
     probe_span.AddArg("hit", cached != nullptr ? 1 : 0);
     probe_span.End();
     if (cached == nullptr && options_.enable_coalescing) {
-      std::lock_guard<std::mutex> lock(coalesce_mu_);
+      MutexLock lock(coalesce_mu_);
       auto it = inflight_by_signature_.find(admitted->coalesce_key);
       if (it != inflight_by_signature_.end()) {
         // An identical miss is already being optimized. Deadline-free
@@ -1242,7 +1269,7 @@ void OptimizationService::ServeCoalesced(
 
 std::vector<std::shared_ptr<OptimizationService::Admitted>>
 OptimizationService::TakeWaiters(const ProblemSignature& signature) {
-  std::lock_guard<std::mutex> lock(coalesce_mu_);
+  MutexLock lock(coalesce_mu_);
   auto it = inflight_by_signature_.find(signature);
   if (it == inflight_by_signature_.end()) return {};
   std::vector<std::shared_ptr<Admitted>> waiters =
@@ -1361,7 +1388,7 @@ void OptimizationService::RunRequest(
     } else if (!waiters.empty()) {
       std::shared_ptr<Admitted> promoted;
       {
-        std::lock_guard<std::mutex> lock(coalesce_mu_);
+        MutexLock lock(coalesce_mu_);
         auto it = inflight_by_signature_.find(admitted->coalesce_key);
         if (it != inflight_by_signature_.end()) {
           // A newer primary already took over: park everyone behind it.
@@ -1543,7 +1570,7 @@ std::string OptimizationService::SnapshotPath() const {
 
 bool OptimizationService::SnapshotNow() {
   if (options_.persist.directory.empty()) return false;
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   constexpr auto kRelaxed = std::memory_order_relaxed;
   persist::SnapshotWriter writer(options_.persist.catalog_epoch,
                                  kCostModelVersion);
@@ -1587,7 +1614,7 @@ bool OptimizationService::SnapshotNow() {
 
 size_t OptimizationService::RestoreNow() {
   if (options_.persist.directory.empty()) return 0;
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   constexpr auto kRelaxed = std::memory_order_relaxed;
   persist::PersistCounters& counters = *persist_counters_;
   counters.restores_attempted.fetch_add(1, kRelaxed);

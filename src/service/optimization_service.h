@@ -35,11 +35,10 @@
 #define MOQO_SERVICE_OPTIMIZATION_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag only; mutexes are util/mutex.h Mutex
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -59,6 +58,8 @@
 #include "service/request.h"
 #include "service/signature.h"
 #include "service/stats.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace moqo {
@@ -424,20 +425,20 @@ class OptimizationService {
   std::shared_ptr<persist::DiskTier> memo_tier_;
   std::shared_ptr<persist::PersistCounters> persist_counters_ =
       std::make_shared<persist::PersistCounters>();
-  std::mutex snapshot_mu_;  ///< Serializes SnapshotNow/RestoreNow.
+  Mutex snapshot_mu_;  ///< Serializes SnapshotNow/RestoreNow.
 
-  std::mutex coalesce_mu_;
+  Mutex coalesce_mu_;
   /// Keyed by the alpha-EXTENDED signature: runs at different precisions
   /// must not coalesce even though they share a cache entry.
   std::unordered_map<ProblemSignature, std::shared_ptr<CoalesceEntry>>
-      inflight_by_signature_;
+      inflight_by_signature_ MOQO_GUARDED_BY(coalesce_mu_);
 
   /// Live refinement sessions by exact session key (spec + ladder + step
   /// budget); entries are removed when the ladder finishes, *after* its
   /// final cache insert.
-  std::mutex session_mu_;
+  Mutex session_mu_;
   std::unordered_map<ProblemSignature, std::shared_ptr<FrontierSession>>
-      sessions_by_key_;
+      sessions_by_key_ MOQO_GUARDED_BY(session_mu_);
 
   /// Intra-query DP helpers, shared by all requests and spawned lazily on
   /// the first request that actually fans out — a service whose policy
@@ -456,10 +457,11 @@ class OptimizationService {
   /// self-prune on the next sweep. The thread is joined in the destructor
   /// before pool_ shuts down (it may call FinishSession, which touches
   /// the same state the workers do).
-  std::mutex watchdog_mu_;
-  std::condition_variable watchdog_cv_;
-  bool watchdog_stop_ = false;
-  std::vector<std::weak_ptr<FrontierSession>> watched_sessions_;
+  Mutex watchdog_mu_;
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ MOQO_GUARDED_BY(watchdog_mu_) = false;
+  std::vector<std::weak_ptr<FrontierSession>> watched_sessions_
+      MOQO_GUARDED_BY(watchdog_mu_);
   std::thread watchdog_;
 
   ThreadPool pool_;  ///< Last member: workers die before the state above.

@@ -1,0 +1,128 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Annotated mutex primitives: `Mutex`, `MutexLock`, and `CondVar` — thin,
+// zero-overhead wrappers over the <mutex>/<condition_variable> primitives
+// that carry Clang Thread Safety Analysis capabilities
+// (util/thread_annotations.h). Every mutex in src/ goes through these
+// types; naked std::mutex outside this file is a lint error
+// (tools/lint/moqo_lint.py, rule `naked-mutex`), which is what lets the
+// analysis see every lock in the codebase.
+//
+// Zero-overhead is a hard contract (the bench guard compares
+// bench_service_throughput's quick phase against the pre-wrapper seed):
+// every method is a trivial inline forward, there is no extra state, and
+// the static_asserts below pin the layout to the wrapped std types.
+//
+// CondVar deliberately has no predicate-taking Wait: the analysis treats
+// a lambda body as a separate function, so a predicate closure reading
+// guarded fields could not be checked. Call sites spell the standard
+// explicit loop instead —
+//
+//   MutexLock lock(mu_);
+//   while (!done_) cv_.Wait(mu_);
+//
+// which the analysis verifies end to end.
+
+#ifndef MOQO_UTIL_MUTEX_H_
+#define MOQO_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace moqo {
+
+class CondVar;
+
+/// A std::mutex carrying the "mutex" capability. Prefer MutexLock for
+/// scoped sections; Lock/Unlock exist for the few hand-over-hand sites.
+class MOQO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MOQO_ACQUIRE() { mu_.lock(); }
+  void Unlock() MOQO_RELEASE() { mu_.unlock(); }
+  bool TryLock() MOQO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "Mutex must add no state over std::mutex");
+
+/// RAII scoped lock over a Mutex (the capability-aware std::lock_guard).
+class MOQO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MOQO_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() MOQO_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+static_assert(sizeof(MutexLock) == sizeof(std::mutex*),
+              "MutexLock must be one pointer, like std::lock_guard");
+
+/// Condition variable usable with Mutex while the analysis tracks the
+/// lock: Wait atomically releases `mu`, blocks, and reacquires before
+/// returning, so from the caller's (and the analysis's) view the lock is
+/// held across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) MOQO_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release the unique_lock's ownership claim without unlocking —
+    // the caller still holds `mu`, exactly as the annotation promises.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Returns true if the wait timed out (the caller re-checks its
+  /// predicate either way; spurious wakeups are allowed).
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      MOQO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::timeout;
+  }
+
+  /// Returns true if `deadline` passed before a notification.
+  template <class Clock, class Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      MOQO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+static_assert(sizeof(CondVar) == sizeof(std::condition_variable),
+              "CondVar must add no state over std::condition_variable");
+
+}  // namespace moqo
+
+#endif  // MOQO_UTIL_MUTEX_H_

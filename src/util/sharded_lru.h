@@ -31,10 +31,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 
@@ -78,8 +80,14 @@ class ShardedLru {
             : (options.capacity_bytes + num_shards - 1) / num_shards;
     for (size_t i = 0; i < num_shards; ++i) {
       auto shard = std::make_unique<Shard>();
-      shard->capacity = per_shard < 1 ? 1 : per_shard;
-      shard->capacity_bytes = bytes_per_shard;
+      {
+        // The shard is not shared yet; the lock exists purely so the
+        // thread-safety analysis sees the guarded stores (free of
+        // contention, and construction is never a hot path).
+        MutexLock lock(shard->mu);
+        shard->capacity = per_shard < 1 ? 1 : per_shard;
+        shard->capacity_bytes = bytes_per_shard;
+      }
       shards_.push_back(std::move(shard));
     }
   }
@@ -107,7 +115,7 @@ class ShardedLru {
   template <typename Admit>
   Value LookupIf(const Key& key, Admit admit, bool record_stats = true) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end() || !admit(it->second.value)) {
       if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
@@ -140,7 +148,7 @@ class ShardedLru {
     std::vector<Victim> victims;
     {
       Shard& shard = ShardFor(key);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       auto it = shard.index.find(key);
       if (it != shard.index.end()) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
@@ -198,7 +206,7 @@ class ShardedLru {
     counters.insertions = insertions_.load(std::memory_order_relaxed);
     counters.evictions = evictions_.load(std::memory_order_relaxed);
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       counters.entries += shard->lru.size();
       counters.bytes += shard->bytes;
       counters.weight += shard->weight;
@@ -209,7 +217,7 @@ class ShardedLru {
   size_t size() const {
     size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       total += shard->lru.size();
     }
     return total;
@@ -217,7 +225,7 @@ class ShardedLru {
 
   void Clear() {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       shard->lru.clear();
       shard->index.clear();
       shard->bytes = 0;
@@ -234,7 +242,7 @@ class ShardedLru {
   template <typename Fn>
   void ForEach(Fn fn) const {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       for (const Key* key : shard->lru) {
         auto it = shard->index.find(*key);
         fn(it->first, it->second.value, it->second.bytes);
@@ -263,13 +271,15 @@ class ShardedLru {
   };
 
   struct Shard {
-    std::mutex mu;
-    LruList lru;  ///< Front = most recently used.
-    std::unordered_map<Key, Entry, KeyHash> index;
-    size_t capacity = 0;
-    size_t capacity_bytes = 0;  ///< 0 = no byte limit for this shard.
-    size_t bytes = 0;
-    size_t weight = 0;
+    Mutex mu;
+    LruList lru MOQO_GUARDED_BY(mu);  ///< Front = most recently used.
+    std::unordered_map<Key, Entry, KeyHash> index MOQO_GUARDED_BY(mu);
+    /// capacity/capacity_bytes are set once at construction, then
+    /// read-only; guarded anyway so every reader is provably serialized.
+    size_t capacity MOQO_GUARDED_BY(mu) = 0;
+    size_t capacity_bytes MOQO_GUARDED_BY(mu) = 0;  ///< 0 = no byte limit.
+    size_t bytes MOQO_GUARDED_BY(mu) = 0;
+    size_t weight MOQO_GUARDED_BY(mu) = 0;
   };
 
   /// An evicted entry captured for the post-unlock eviction hook.
@@ -282,7 +292,8 @@ class ShardedLru {
   /// Caller holds the shard lock; lru non-empty. When an eviction hook is
   /// installed the victim is moved into `victims` for delivery after the
   /// lock is released.
-  void EvictBack(Shard* shard, std::vector<Victim>* victims) {
+  void EvictBack(Shard* shard, std::vector<Victim>* victims)
+      MOQO_REQUIRES(shard->mu) {
     auto victim = shard->index.find(*shard->lru.back());
     if (eviction_hook_) {
       victims->push_back(Victim{victim->first,

@@ -1,0 +1,89 @@
+// Copyright (c) 2026 moqo authors. MIT license.
+//
+// Clang Thread Safety Analysis annotations (MOQO_* spelling), no-ops on
+// every other compiler. Applied across the concurrent layers so that lock
+// discipline — which field is guarded by which mutex, which helper must be
+// called with a lock held, which APIs must NOT be entered holding one — is
+// checked at compile time instead of discovered by TSan at run time.
+//
+// Build with `-DMOQO_THREAD_SAFETY=ON` (Clang only) to turn the analysis
+// into hard errors: `-Wthread-safety -Wthread-safety-beta -Werror`. See
+// README "Static analysis" for the macro table and the escape-hatch
+// policy (`MOQO_NO_THREAD_SAFETY_ANALYSIS` requires a justifying comment
+// and is counted/capped by tools/lint/moqo_lint.py).
+//
+// The macro set mirrors the standard capability vocabulary:
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef MOQO_UTIL_THREAD_ANNOTATIONS_H_
+#define MOQO_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define MOQO_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MOQO_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a class as a capability (a lockable thing). The string names
+/// the capability kind in diagnostics, e.g. MOQO_CAPABILITY("mutex").
+#define MOQO_CAPABILITY(x) MOQO_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (e.g. MutexLock).
+#define MOQO_SCOPED_CAPABILITY \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define MOQO_GUARDED_BY(x) MOQO_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define MOQO_PT_GUARDED_BY(x) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define MOQO_REQUIRES(...) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define MOQO_ACQUIRE(...) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define MOQO_RELEASE(...) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts an acquire; the first argument is the return value
+/// that means "acquired".
+#define MOQO_TRY_ACQUIRE(...) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be entered holding the listed capabilities (it will
+/// acquire them itself; calling with them held deadlocks).
+#define MOQO_EXCLUDES(...) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (teaches the analysis a
+/// fact it cannot see, e.g. across an opaque callback boundary).
+#define MOQO_ASSERT_CAPABILITY(x) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define MOQO_RETURN_CAPABILITY(x) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Documented lock-order edges, checked by the analysis.
+#define MOQO_ACQUIRED_BEFORE(...) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define MOQO_ACQUIRED_AFTER(...) \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST
+/// carry a comment starting with "TSA:" explaining why the analysis
+/// cannot see the invariant; tools/lint/moqo_lint.py enforces the comment
+/// and caps the total count.
+#define MOQO_NO_THREAD_SAFETY_ANALYSIS \
+  MOQO_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // MOQO_UTIL_THREAD_ANNOTATIONS_H_

@@ -31,18 +31,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/histogram.h"
 #include "obs/trace.h"
 #include "rt/failpoint.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moqo {
 
@@ -81,12 +81,12 @@ class ThreadPool {
     // handle a false return (reject, finish degraded, fewer helpers).
     MOQO_FAILPOINT_RETURN("pool.dispatch", false);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shutdown_) return false;
       queues_[static_cast<int>(lane)].push_back(
           {std::move(task), Clock::now()});
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
@@ -124,9 +124,10 @@ class ThreadPool {
       std::atomic<int> done{0};
       int n = 0;
       const std::function<void(int, int)>* fn = nullptr;
-      std::mutex mu;
-      std::condition_variable cv;
-      std::exception_ptr error;  ///< First throw from any slot; mu-guarded.
+      Mutex mu;
+      CondVar cv;
+      /// First throw from any slot.
+      std::exception_ptr error MOQO_GUARDED_BY(mu);
     };
     auto batch = std::make_shared<Batch>();
     batch->n = n;
@@ -143,13 +144,13 @@ class ThreadPool {
         } catch (...) {
           // Contain it (a throw escaping into WorkerLoop would terminate
           // the process); the caller rethrows after the barrier.
-          std::lock_guard<std::mutex> lock(b->mu);
+          MutexLock lock(b->mu);
           if (!b->error) b->error = std::current_exception();
         }
         if (b->done.fetch_add(1, std::memory_order_acq_rel) + 1 == b->n) {
           // Last finisher wakes the (possibly already waiting) caller.
-          std::lock_guard<std::mutex> lock(b->mu);
-          b->cv.notify_all();
+          MutexLock lock(b->mu);
+          b->cv.NotifyAll();
         }
       }
     };
@@ -160,24 +161,28 @@ class ThreadPool {
       Submit([batch, drain, helper] { drain(batch, helper); });
     }
     drain(batch, /*slot=*/0);
+    // The error is copied out under the lock (every writer held it), so
+    // the rethrow below touches no guarded state.
+    std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(batch->mu);
-      batch->cv.wait(lock, [&batch] {
-        return batch->done.load(std::memory_order_acquire) >= batch->n;
-      });
+      MutexLock lock(batch->mu);
+      while (batch->done.load(std::memory_order_acquire) < batch->n) {
+        batch->cv.Wait(batch->mu);
+      }
+      error = batch->error;
     }
-    if (batch->error) std::rethrow_exception(batch->error);
+    if (error) std::rethrow_exception(error);
   }
 
   /// Stops accepting tasks, drains the queue, and joins all workers.
   /// Idempotent.
   void Shutdown() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shutdown_) return;
       shutdown_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
@@ -187,12 +192,12 @@ class ThreadPool {
 
   /// Queued tasks across both lanes.
   size_t QueueDepth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queues_[0].size() + queues_[1].size();
   }
 
   size_t QueueDepth(TaskLane lane) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queues_[static_cast<int>(lane)].size();
   }
 
@@ -214,10 +219,10 @@ class ThreadPool {
     for (;;) {
       QueuedTask task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] {
-          return shutdown_ || !queues_[0].empty() || !queues_[1].empty();
-        });
+        MutexLock lock(mu_);
+        while (!shutdown_ && queues_[0].empty() && queues_[1].empty()) {
+          cv_.Wait(mu_);
+        }
         std::deque<QueuedTask>& queue =
             !queues_[0].empty() ? queues_[0] : queues_[1];
         if (queue.empty()) return;  // shutdown_ and both lanes drained.
@@ -238,11 +243,11 @@ class ThreadPool {
   Tracer* tracer_ = nullptr;
   const char* name_ = "pool";
   LatencyHistogram queue_wait_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   /// Indexed by TaskLane; [0] (interactive) always dequeues first.
-  std::deque<QueuedTask> queues_[2];
-  bool shutdown_ = false;
+  std::deque<QueuedTask> queues_[2] MOQO_GUARDED_BY(mu_);
+  bool shutdown_ MOQO_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

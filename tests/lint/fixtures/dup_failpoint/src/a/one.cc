@@ -1,0 +1,2 @@
+// Fixture: first user of the site.
+void A() { MOQO_FAILPOINT("dup.site"); }

@@ -1,0 +1,3 @@
+// Fixture: second user of the same site — moqo_lint must report rule
+// `failpoint-site`.
+void B() { MOQO_FAILPOINT_RETURN("dup.site", false); }

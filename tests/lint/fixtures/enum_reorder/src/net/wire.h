@@ -1,0 +1,14 @@
+// Fixture: ErrorCode with two values swapped relative to the frozen
+// baseline — moqo_lint must report rule `frozen-enum`.
+#ifndef FIXTURE_WIRE_H_
+#define FIXTURE_WIRE_H_
+#include <cstdint>
+namespace net {
+enum class ErrorCode : uint8_t {
+  kProtocol = 1,
+  kUnknownQuery = 2,
+  kInternal = 3,  // swapped with kRejected
+  kRejected = 4,
+};
+}  // namespace net
+#endif

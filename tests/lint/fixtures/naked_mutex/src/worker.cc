@@ -1,0 +1,8 @@
+// Fixture: naked standard mutex — moqo_lint must report rule `naked-mutex`.
+#include <mutex>
+std::mutex g_mu;
+int g_count = 0;
+void Bump() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_count;
+}

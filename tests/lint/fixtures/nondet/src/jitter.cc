@@ -1,0 +1,7 @@
+// Fixture: unseeded randomness — moqo_lint must report `nondeterminism`.
+#include <cstdlib>
+#include <random>
+int Jitter() {
+  std::random_device entropy;
+  return static_cast<int>(entropy()) + rand();
+}

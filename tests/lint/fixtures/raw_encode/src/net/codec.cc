@@ -1,0 +1,11 @@
+// Fixture: ad-hoc struct encode — moqo_lint must report rule `raw-encode`.
+#include <cstring>
+#include <vector>
+struct Header { unsigned magic; unsigned len; };
+void Encode(std::vector<char>* out, const Header& header) {
+  out->resize(sizeof(header));
+  std::memcpy(out->data(), &header, sizeof(header));
+}
+const char* View(const unsigned* words) {
+  return reinterpret_cast<const char*>(words);
+}

@@ -1,0 +1,4 @@
+// Fixture: an analysis escape without a justifying comment above it;
+// moqo_lint must report rule `tsa-escape`.
+void Sneaky() MOQO_NO_THREAD_SAFETY_ANALYSIS;
+void Sneaky() {}

@@ -1,0 +1,35 @@
+// Negative-compile fixture: a deliberately unguarded access to a
+// MOQO_GUARDED_BY field. Under Clang with -Wthread-safety -Werror this
+// translation unit MUST fail to compile — ctest registers it WILL_FAIL
+// (lint.tsa_negative_compile). If it ever starts compiling, the
+// annotation plumbing is broken end to end.
+//
+// Not part of any real target; compiled with -fsyntax-only by the test.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace moqo {
+
+class Counter {
+ public:
+  void BumpLocked() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+  // BUG (on purpose): reads count_ without holding mu_.
+  int Peek() const { return count_; }
+
+ private:
+  mutable Mutex mu_;
+  int count_ MOQO_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter counter;
+  counter.BumpLocked();
+  return counter.Peek();
+}
+
+}  // namespace moqo

@@ -74,12 +74,14 @@ struct SiteSpec {
 
 constexpr SiteSpec kServiceSites[] = {
     {"arena.new_block", "oom"},     {"planset.snapshot", "oom"},
+    {"planset.snapshot.remap", "oom"},
     {"cache.insert", "return_error"}, {"memo.insert", "return_error"},
     {"pool.dispatch", "return_error"}, {"session.rung", "throw"},
     // PR 9: the persistence layer rides the same hot path — the one-slot
-    // chaos cache demotes on every insert (persist.write) and probes the
-    // disk tier on every RAM miss (persist.read).
-    {"persist.write", "return_error"}, {"persist.read", "return_error"},
+    // chaos cache demotes on every insert (persist.tier.write) and probes
+    // the disk tier on every RAM miss (persist.tier.read).
+    {"persist.tier.write", "return_error"},
+    {"persist.tier.read", "return_error"},
 };
 
 constexpr SiteSpec kNetSites[] = {
@@ -379,7 +381,7 @@ TEST(ChaosTest, LoopbackSessionsSurviveInjectedFaultsEverywhere) {
   // site) in play under the one-slot chaos cache. A probabilistically
   // healthy tier would absorb those misses as promotions and starve the
   // memo of traffic.
-  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("persist.read",
+  ASSERT_TRUE(rt::FailpointRegistry::Global().Arm("persist.tier.read",
                                                   "always:return_error"));
 
   std::atomic<int> opened{0};
@@ -555,6 +557,8 @@ TEST(ChaosTest, PersistFaultsAndTornSnapshotsAcrossRestartsStayClean) {
       {"persist.write", "return_error"},
       {"persist.read", "return_error"},
       {"persist.mmap", "return_error"},
+      {"persist.tier.write", "return_error"},
+      {"persist.tier.read", "return_error"},
   };
   ArmSites(kPersistSites, 0.2, seed + 17);
   for (int round = 0; round < 5; ++round) {
